@@ -1,0 +1,104 @@
+// Ablation / analysis check (§II-B): empirical behaviour of the 2-of-3
+// cuckoo insertion.
+//
+// (a) failure probability vs load: the analysis bounds the per-insertion
+//     failure probability by O((ε³ n r)⁻¹) for r >= (2+ε)n — failures should
+//     drop rapidly as the range grows past 2n.
+// (b) expected moves per insertion: O(1/ε) — the average number of swaps per
+//     walk should be a small constant at the paper's sizing (r ≈ 2..4 n).
+// (c) MaxLoop sensitivity: how small can the walk budget be before failures
+//     appear at the standard sizing?
+#include <iostream>
+
+#include "batmap/builder.hpp"
+#include "harness.hpp"
+#include "util/rng.hpp"
+
+using namespace repro;
+
+namespace {
+
+struct Trial {
+  std::uint64_t failures = 0;
+  std::uint64_t inserted = 0;
+  double avg_swaps_per_walk = 0;
+};
+
+Trial run_trial(std::uint64_t universe, std::size_t set_size,
+                std::uint32_t range, int max_loop, std::uint64_t seed) {
+  const batmap::BatmapContext ctx(universe, seed);
+  batmap::BatmapBuilder::Options opt;
+  opt.max_loop = max_loop;
+  batmap::BatmapBuilder b(ctx, range, opt);
+  Xoshiro256 rng(seed * 31 + 7);
+  std::vector<bool> used(universe, false);
+  std::size_t inserted = 0;
+  while (inserted < set_size) {
+    const std::uint64_t x = rng.below(universe);
+    if (used[x]) continue;
+    used[x] = true;
+    b.insert(x);
+    ++inserted;
+  }
+  Trial t;
+  t.failures = b.failures().size();
+  t.inserted = b.stats().inserted;
+  t.avg_swaps_per_walk = static_cast<double>(b.stats().swaps) /
+                         static_cast<double>(b.stats().walks);
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::uint64_t universe = args.u64("universe", 1 << 20, "universe size m");
+  const std::uint64_t set_size = args.u64("set-size", 20000, "elements per set");
+  const std::uint64_t trials = args.u64("trials", 5, "seeds per configuration");
+  const std::string csv = args.str("csv", "", "CSV output path");
+  args.finish();
+
+  std::cout << "=== Ablation: 2-of-3 cuckoo insertion (|S|=" << set_size
+            << ", m=" << universe << ", " << trials << " trials) ===\n";
+
+  // (a)+(b): sweep the range/size ratio.
+  Table t({"r_over_n", "failure_rate", "avg_swaps_per_walk"});
+  const auto n = static_cast<std::uint32_t>(set_size);
+  // Power-of-two ranges from undersized (heavy failures) to the paper's
+  // sizing (r in [2n, 4n)) and beyond.
+  const std::uint32_t base = static_cast<std::uint32_t>(bits::next_pow2(n));
+  for (const std::uint32_t range : {base / 2, base, 2 * base, 4 * base}) {
+    std::uint64_t fails = 0, total = 0;
+    double swaps = 0;
+    for (std::uint64_t s = 0; s < trials; ++s) {
+      const auto tr = run_trial(universe, set_size, range, 128, s + 1);
+      fails += tr.failures;
+      total += set_size;
+      swaps += tr.avg_swaps_per_walk;
+    }
+    t.row()
+        .add(static_cast<double>(range) / n, 2)
+        .add(static_cast<double>(fails) / static_cast<double>(total), 6)
+        .add(swaps / static_cast<double>(trials), 3);
+  }
+  bench::emit(t, csv);
+
+  // (c): MaxLoop sensitivity at the paper's sizing.
+  Table t2({"max_loop", "failure_rate"});
+  const batmap::BatmapContext probe(universe, 1);
+  const std::uint32_t std_range = probe.params().range_for_size(set_size);
+  for (const int ml : {1, 2, 4, 8, 16, 32, 128}) {
+    std::uint64_t fails = 0;
+    for (std::uint64_t s = 0; s < trials; ++s) {
+      fails += run_trial(universe, set_size, std_range, ml, s + 100).failures;
+    }
+    t2.row().add(ml).add(
+        static_cast<double>(fails) /
+            static_cast<double>(trials * set_size),
+        6);
+  }
+  bench::emit(t2, "");
+  std::cout << "(analysis: failures ~ O((eps^3 n r)^-1) for r >= (2+eps)n; "
+               "expected moves O(1/eps))\n";
+  return 0;
+}

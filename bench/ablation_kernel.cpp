@@ -1,0 +1,89 @@
+// Ablation: shared-memory staged kernel (paper §III-B) vs direct global
+// reads, measured with the SIMT coalescing model. Reproduces the paper's
+// implicit claim that the 16×16 staging is what keeps global accesses
+// coalesced (they follow the NVIDIA best-practices guide [19]).
+#include <iostream>
+#include <set>
+
+#include "batmap/builder.hpp"
+#include "core/direct_kernel.hpp"
+#include "core/tile_kernel.hpp"
+#include "harness.hpp"
+#include "simt/perf_model.hpp"
+#include "util/rng.hpp"
+
+using namespace repro;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::uint64_t n = args.u64("maps", 32, "batmaps (multiple of 16)");
+  const std::uint64_t set_size = args.u64("set-size", 300, "elements per set");
+  const std::uint64_t universe = args.u64("universe", 8192, "universe m");
+  const std::string csv = args.str("csv", "", "CSV output path");
+  args.finish();
+
+  const batmap::BatmapContext ctx(universe, 5);
+  Xoshiro256 rng(9);
+  std::vector<batmap::Batmap> maps;
+  std::vector<std::uint32_t> words;
+  std::vector<std::uint64_t> offsets(n);
+  std::vector<std::uint32_t> widths(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::set<std::uint64_t> s;
+    while (s.size() < set_size) s.insert(rng.below(universe));
+    std::vector<std::uint64_t> v(s.begin(), s.end());
+    maps.push_back(batmap::build_batmap(ctx, v));
+    offsets[i] = words.size();
+    widths[i] = static_cast<std::uint32_t>(maps.back().word_count());
+    words.insert(words.end(), maps.back().words().begin(),
+                 maps.back().words().end());
+  }
+  auto dwords = simt::Buffer<std::uint32_t>::from(words);
+  auto doffsets = simt::Buffer<std::uint64_t>::from(offsets);
+  auto dwidths = simt::Buffer<std::uint32_t>::from(widths);
+  const auto dim = static_cast<std::uint32_t>(n);
+
+  std::cout << "=== Ablation: staged (shared-memory) kernel vs direct "
+               "global reads (" << n << " maps, |S|=" << set_size << ") ===\n";
+  Table t({"kernel", "loads", "load_transactions", "coalescing_eff",
+           "projected_GTX285_ms"});
+  const simt::PerfModel gpu(simt::DeviceProfile::gtx285());
+
+  simt::Buffer<std::uint32_t> out_staged(static_cast<std::size_t>(n) * n);
+  simt::Buffer<std::uint32_t> out_direct(static_cast<std::size_t>(n) * n);
+  simt::MemStats staged_stats, direct_stats;
+  {
+    simt::Device dev(simt::Device::Config{1, true});
+    core::TileKernel k(dwords, doffsets, dwidths, 0, 0, out_staged, dim);
+    dev.launch({{dim, dim}, {16, 16}}, k);
+    staged_stats = dev.stats();
+  }
+  {
+    simt::Device dev(simt::Device::Config{1, true});
+    core::DirectKernel k(dwords, doffsets, dwidths, 0, 0, out_direct, dim);
+    dev.launch({{dim, dim}, {16, 16}}, k);
+    direct_stats = dev.stats();
+  }
+  // Identical results, different memory behaviour.
+  std::uint64_t diff = 0;
+  for (std::size_t i = 0; i < out_staged.size(); ++i) {
+    diff += (out_staged[i] != out_direct[i]);
+  }
+
+  auto add_row = [&](const char* name, const simt::MemStats& st) {
+    t.row()
+        .add(name)
+        .add(st.global_loads)
+        .add(st.load_transactions)
+        .add(st.coalescing_efficiency(), 3)
+        .add(gpu.projected_seconds(st) * 1e3, 3);
+  };
+  add_row("staged 16x16 (paper)", staged_stats);
+  add_row("direct global reads", direct_stats);
+  bench::emit(t, csv);
+  std::cout << "count mismatches between kernels: " << diff
+            << " (must be 0)\n"
+            << "(the staged kernel trades 16x fewer global loads AND "
+               "near-perfect coalescing; direct reads serialize half-warps)\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 6: pure pair-generation time vs number of distinct items n
+// (constant instance size, 5% density).
+//
+// Paper result: Apriori exceeds the 1800 s limit at n = 64,000 (memory
+// thrashing); FP-growth grows linearly in n; the GPU pipeline scales well
+// and is >1 order of magnitude faster than single-core FP-growth.
+//
+// Columns: the batmap sweep on the native backend (measured), its projected
+// GTX 285 time from the perf model (bytes swept / sustained bandwidth), and
+// the two CPU baselines under a time limit.
+#include <iostream>
+
+#include "baselines/apriori.hpp"
+#include "baselines/fpgrowth.hpp"
+#include "core/pair_miner.hpp"
+#include "harness.hpp"
+#include "mining/datagen.hpp"
+#include "simt/perf_model.hpp"
+
+using namespace repro;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::uint64_t total = args.u64("total", 200000, "instance size N (paper: 10000000)");
+  const double density = args.f64("density", 0.05, "item density p");
+  const std::uint64_t min_n = args.u64("min-n", 500, "smallest n");
+  const std::uint64_t max_n = args.u64("max-n", 4000, "largest n (paper: 128000)");
+  const double limit = args.f64("limit", 20.0, "per-run limit in s (paper: 1800)");
+  const std::uint64_t threads = args.u64("threads", 1, "host threads for the sweep");
+  const std::string csv = args.str("csv", "", "CSV output path");
+  args.finish();
+
+  const simt::PerfModel gpu_model(simt::DeviceProfile::gtx285());
+
+  std::cout << "=== Fig 6: pure pair generation time vs n (N=" << total
+            << ", p=" << density << ", limit=" << limit << "s) ===\n";
+  Table t({"n", "batmap_sweep_s", "gpu_projected_s", "apriori_s",
+           "fpgrowth_s"});
+
+  for (std::uint64_t n = min_n; n <= max_n; n *= 2) {
+    mining::BernoulliSpec spec;
+    spec.num_items = static_cast<std::uint32_t>(n);
+    spec.density = density;
+    spec.total_items = total;
+    spec.seed = n;
+    const auto db = mining::bernoulli_instance(spec);
+
+    core::PairMinerOptions opt;
+    opt.materialize = false;
+    opt.tile = 2048;
+    opt.threads = threads;
+    const auto res = core::PairMiner(opt).mine(db);
+    const double projected =
+        gpu_model.projected_seconds_for_bytes(res.bytes_compared, res.tiles);
+
+    const auto ap = bench::timed_with_limit(limit, [&](const Deadline& d) {
+      return baselines::apriori_pair_supports(db, d).has_value();
+    });
+    const auto fp = bench::timed_with_limit(limit, [&](const Deadline& d) {
+      return baselines::fpgrowth_pair_supports(db, 2, d).has_value();
+    });
+
+    t.row()
+        .add(n)
+        .add(res.sweep_seconds, 3)
+        .add(projected, 4)
+        .add(bench::fmt_time(ap, limit))
+        .add(bench::fmt_time(fp, limit));
+  }
+  bench::emit(t, csv);
+  std::cout << "(paper: GPU scales ~linearly in n at fixed N; Apriori "
+               "explodes, FP-growth linear but >10x slower than GPU)\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Conventions: every binary prints (a) the experiment header with the
+// parameters in paper terms, (b) a table whose rows/series correspond to the
+// figure being reproduced, with "> limit" markers mirroring the paper's
+// 1800 s cancellations, and (c) optionally saves the table as CSV next to
+// the binary (--csv=path).
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace repro::bench {
+
+/// Formats a timing that may have hit the limit, like the paper's ">1800".
+inline std::string fmt_time(std::optional<double> seconds, double limit) {
+  if (!seconds.has_value()) {
+    std::ostringstream os;
+    os << ">" << limit;
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << *seconds;
+  return os.str();
+}
+
+inline std::string fmt_gib(double gib) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << gib;
+  return os.str();
+}
+
+/// Runs fn under a deadline; returns elapsed seconds, or nullopt if fn
+/// reported expiry (fn returns false on timeout).
+template <typename Fn>
+std::optional<double> timed_with_limit(double limit, Fn&& fn) {
+  const Deadline deadline(limit);
+  Timer t;
+  const bool completed = fn(deadline);
+  if (!completed) return std::nullopt;
+  return t.seconds();
+}
+
+inline void emit(const Table& table, const std::string& csv_path) {
+  table.print(std::cout);
+  if (!csv_path.empty()) {
+    table.save_csv(csv_path);
+    std::cout << "csv written to " << csv_path << "\n";
+  }
+}
+
+}  // namespace repro::bench

@@ -1,0 +1,94 @@
+// General (k ≥ 3) frequent itemset mining shoot-out: the batmap-powered
+// miner (§V extension) against Apriori, FP-growth, Eclat and dEclat.
+// Extends the paper's pair-mining evaluation to the full problem its
+// introduction motivates.
+#include <iostream>
+
+#include "baselines/apriori.hpp"
+#include "baselines/declat.hpp"
+#include "baselines/eclat.hpp"
+#include "baselines/fpgrowth.hpp"
+#include "core/itemset_miner.hpp"
+#include "harness.hpp"
+#include "mining/datagen.hpp"
+
+using namespace repro;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::uint64_t n = args.u64("items", 40, "distinct items");
+  const std::uint64_t total = args.u64("total", 8000, "instance size");
+  const double density = args.f64("density", 0.3, "item density");
+  const std::string csv = args.str("csv", "", "CSV output path");
+  args.finish();
+
+  mining::BernoulliSpec spec;
+  spec.num_items = static_cast<std::uint32_t>(n);
+  spec.density = density;
+  spec.total_items = total;
+  const auto db = mining::bernoulli_instance(spec);
+  std::cout << "=== General itemset mining: " << db.num_transactions()
+            << " transactions, n=" << n << ", p=" << density << " ===\n";
+
+  Table t({"minsup", "itemsets", "batmap_s", "apriori_s", "fpgrowth_s",
+           "eclat_s", "declat_s"});
+
+  const auto m = static_cast<std::uint32_t>(db.num_transactions());
+  for (const std::uint32_t frac : {16u, 30u, 50u}) {
+    const std::uint32_t minsup = std::max(2u, m / frac);
+    std::size_t count = 0;
+    double batmap_s = 0, apriori_s = 0, fpg_s = 0, eclat_s = 0, declat_s = 0;
+    {
+      Timer timer;
+      core::BatmapItemsetMiner::Options o;
+      o.minsup = minsup;
+      core::BatmapItemsetMiner miner(o);
+      count = miner.mine(db).size();
+      batmap_s = timer.seconds();
+    }
+    {
+      Timer timer;
+      baselines::Apriori::Options o;
+      o.minsup = minsup;
+      const auto got = baselines::Apriori(o).mine(db);
+      apriori_s = timer.seconds();
+      REPRO_CHECK(got.size() == count);
+    }
+    {
+      Timer timer;
+      baselines::FpGrowth::Options o;
+      o.minsup = minsup;
+      const auto got = baselines::FpGrowth(o).mine(db);
+      fpg_s = timer.seconds();
+      REPRO_CHECK(got.size() == count);
+    }
+    {
+      Timer timer;
+      baselines::Eclat::Options o;
+      o.minsup = minsup;
+      const auto got = baselines::Eclat(o).mine(db);
+      eclat_s = timer.seconds();
+      REPRO_CHECK(got.size() == count);
+    }
+    {
+      Timer timer;
+      baselines::DEclat::Options o;
+      o.minsup = minsup;
+      const auto got = baselines::DEclat(o).mine(db);
+      declat_s = timer.seconds();
+      REPRO_CHECK(got.size() == count);
+    }
+    t.row()
+        .add(static_cast<std::uint64_t>(minsup))
+        .add(static_cast<std::uint64_t>(count))
+        .add(batmap_s, 3)
+        .add(apriori_s, 3)
+        .add(fpg_s, 3)
+        .add(eclat_s, 3)
+        .add(declat_s, 3);
+  }
+  bench::emit(t, csv);
+  std::cout << "(all miners agree (REPRO_CHECKed); note the counter scheme pays O(batmap-slots · k) per CANDIDATE, so tidlist methods win deep CPU mining — on-device, the sweeps are the parallelizable part "
+               "count per row)\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Space comparison across set representations vs density — quantifying the
+// paper's §I/§II positioning: plain bitmaps are density-independent (m bits
+// per set), sorted lists and WAH shrink with sparsity but don't parallelize
+// position-wise, and BATMAP stays within a small factor of the information-
+// theoretic minimum while keeping data-independent comparisons, down to the
+// r >= 2^s floor (density >= 1/256 in the paper's 8-bit layout).
+#include <cmath>
+#include <set>
+#include <iostream>
+
+#include "baselines/bitmap.hpp"
+#include "baselines/wah.hpp"
+#include "batmap/intersect.hpp"
+#include "harness.hpp"
+#include "mining/datagen.hpp"
+#include "util/rng.hpp"
+
+using namespace repro;
+
+namespace {
+
+/// Information-theoretic bound log2(C(m, k)) bits for a k-subset of [0, m).
+double entropy_bytes(std::uint64_t m, std::uint64_t k) {
+  if (k == 0 || k == m) return 0;
+  const double p = static_cast<double>(k) / static_cast<double>(m);
+  const double h = -p * std::log2(p) - (1 - p) * std::log2(1 - p);
+  return static_cast<double>(m) * h / 8.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::uint64_t m = args.u64("universe", 100000, "transactions m");
+  const std::string csv = args.str("csv", "", "CSV output path");
+  args.finish();
+
+  std::cout << "=== Space per set vs density (universe m=" << m
+            << "; bytes per stored element) ===\n";
+  Table t({"density", "set_size", "batmap_Bpe", "bitmap_Bpe", "wah_Bpe",
+           "sorted_list_Bpe", "entropy_Bpe"});
+
+  Xoshiro256 rng(3);
+  for (const double density :
+       {0.0005, 0.001, 0.002, 0.004, 0.01, 0.05, 0.2, 0.5}) {
+    const auto k = static_cast<std::uint64_t>(density * static_cast<double>(m));
+    if (k < 2) continue;
+    std::vector<std::uint64_t> set64;
+    std::vector<std::uint32_t> set32;
+    {
+      std::set<std::uint64_t> s;
+      while (s.size() < k) s.insert(rng.below(m));
+      set64.assign(s.begin(), s.end());
+      for (const auto x : s) set32.push_back(static_cast<std::uint32_t>(x));
+    }
+    batmap::BatmapStore store(m);
+    const auto id = store.add(set64);
+    const double batmap_b = static_cast<double>(store.map(id).memory_bytes());
+    const double bitmap_b = static_cast<double>(m) / 8.0;
+    const baselines::WahBitmap wah(set32, m);
+    const double wah_b = static_cast<double>(wah.memory_bytes());
+    const double list_b = static_cast<double>(k) * 4.0;
+    const double dk = static_cast<double>(k);
+    t.row()
+        .add(density, 4)
+        .add(k)
+        .add(batmap_b / dk, 2)
+        .add(bitmap_b / dk, 2)
+        .add(wah_b / dk, 2)
+        .add(list_b / dk, 2)
+        .add(entropy_bytes(m, k) / dk, 2);
+  }
+  bench::emit(t, csv);
+  std::cout << "(paper: batmaps ~8-12 B/element above the 1/256 density "
+               "floor, vs bitmaps' m/8k blow-up on sparse sets; WAH is "
+               "compact but decodes sequentially)\n";
+  return 0;
+}

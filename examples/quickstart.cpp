@@ -1,0 +1,62 @@
+// Quickstart: build batmaps for a handful of sets and count intersections.
+//
+//   $ ./quickstart
+//
+// Walks through the three core API layers:
+//   1. BatmapStore — the "just give me intersection sizes" interface,
+//   2. BatmapContext + build_batmap — manual construction and raw sweeps,
+//   3. a peek at the compressed representation itself.
+#include <cstdio>
+#include <vector>
+
+#include "batmap/builder.hpp"
+#include "batmap/intersect.hpp"
+
+int main() {
+  using namespace repro::batmap;
+
+  // ---- 1. The high-level store -------------------------------------------
+  // Universe: transaction ids 0..9999. All sets added to one store share the
+  // same three hash permutations, which is what makes their batmaps
+  // position-comparable.
+  BatmapStore store(/*universe=*/10000);
+
+  std::vector<std::uint64_t> mondays, tuesdays, both;
+  for (std::uint64_t t = 0; t < 10000; t += 7) mondays.push_back(t);
+  for (std::uint64_t t = 1; t < 10000; t += 7) tuesdays.push_back(t);
+  for (std::uint64_t t = 0; t < 10000; t += 14) both.push_back(t);
+
+  const auto a = store.add(mondays);
+  const auto b = store.add(tuesdays);
+  const auto c = store.add(both);
+
+  std::printf("|mondays|=%zu |tuesdays|=%zu |every-other-monday|=%zu\n",
+              mondays.size(), tuesdays.size(), both.size());
+  std::printf("mondays  ∩ tuesdays           = %llu (expect 0)\n",
+              static_cast<unsigned long long>(store.intersection_size(a, b)));
+  std::printf("mondays  ∩ every-other-monday = %llu (expect %zu)\n",
+              static_cast<unsigned long long>(store.intersection_size(a, c)),
+              both.size());
+
+  // ---- 2. Manual construction --------------------------------------------
+  const BatmapContext ctx(10000, /*seed=*/42);
+  std::vector<std::uint64_t> failed;
+  const Batmap ma = build_batmap(ctx, mondays, &failed);
+  const Batmap mc = build_batmap(ctx, both, &failed);
+  std::printf("raw sweep count(mondays, every-other) = %llu, failures = %zu\n",
+              static_cast<unsigned long long>(intersect_count(ma, mc)),
+              failed.size());
+
+  // ---- 3. What the representation looks like -----------------------------
+  // The batmap for `mondays` (1429 elements) uses range r = 2^ceil(lg n)+1,
+  // 3r slot bytes, 4 slots per 32-bit word.
+  std::printf("batmap(mondays): range=%u, slots=%llu, bytes=%llu "
+              "(%.2f bytes/element)\n",
+              ma.range(), static_cast<unsigned long long>(ma.slot_count()),
+              static_cast<unsigned long long>(ma.memory_bytes()),
+              static_cast<double>(ma.memory_bytes()) /
+                  static_cast<double>(mondays.size()));
+  std::printf("first words: %08x %08x %08x %08x\n", ma.words()[0],
+              ma.words()[1], ma.words()[2], ma.words()[3]);
+  return 0;
+}

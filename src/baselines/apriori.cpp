@@ -1,0 +1,121 @@
+#include "baselines/apriori.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace repro::baselines {
+
+std::optional<mining::PairSupports> apriori_pair_supports(
+    const mining::TransactionDb& db, const Deadline& deadline,
+    MemAccount* mem) {
+  REPRO_CHECK(db.num_items() >= 2);
+  mining::PairSupports supports(db.num_items());
+  if (mem) mem->add("apriori pair counters", supports.memory_bytes());
+  std::size_t t = 0;
+  for (const auto& txn : db.transactions()) {
+    for (std::size_t a = 0; a < txn.size(); ++a) {
+      for (std::size_t b = a + 1; b < txn.size(); ++b) {
+        supports.increment(txn[a], txn[b]);
+      }
+    }
+    // Check the deadline at transaction granularity: cheap and sufficient.
+    if ((++t & 0x3ff) == 0 && deadline.expired()) return std::nullopt;
+  }
+  if (deadline.expired()) return std::nullopt;
+  return supports;
+}
+
+namespace {
+
+using Itemset = std::vector<mining::Item>;
+
+/// Candidate generation: join frequent k-itemsets sharing a (k-1)-prefix,
+/// then prune candidates with an infrequent k-subset.
+std::vector<Itemset> generate_candidates(const std::vector<Itemset>& level) {
+  std::vector<Itemset> candidates;
+  for (std::size_t a = 0; a < level.size(); ++a) {
+    for (std::size_t b = a + 1; b < level.size(); ++b) {
+      const Itemset& x = level[a];
+      const Itemset& y = level[b];
+      if (!std::equal(x.begin(), x.end() - 1, y.begin(), y.end() - 1)) {
+        // level is sorted lexicographically; once prefixes diverge no later
+        // y can share x's prefix.
+        break;
+      }
+      Itemset cand(x);
+      cand.push_back(y.back());
+      if (cand[cand.size() - 2] > cand.back())
+        std::swap(cand[cand.size() - 2], cand.back());
+      // Prune: every (k-1)-subset must be frequent (i.e. in `level`).
+      bool ok = true;
+      Itemset sub(cand.size() - 1);
+      for (std::size_t drop = 0; ok && drop + 2 < cand.size(); ++drop) {
+        std::size_t w = 0;
+        for (std::size_t r = 0; r < cand.size(); ++r)
+          if (r != drop) sub[w++] = cand[r];
+        ok = std::binary_search(level.begin(), level.end(), sub);
+      }
+      if (ok) candidates.push_back(std::move(cand));
+    }
+  }
+  return candidates;
+}
+
+bool contains_subset(std::span<const mining::Item> txn, const Itemset& set) {
+  // txn and set are sorted; two-pointer subset test.
+  std::size_t i = 0;
+  for (const mining::Item x : set) {
+    while (i < txn.size() && txn[i] < x) ++i;
+    if (i >= txn.size() || txn[i] != x) return false;
+    ++i;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> Apriori::mine(
+    const mining::TransactionDb& db) const {
+  std::vector<FrequentItemset> result;
+
+  // Level 1: item supports.
+  const auto item_support = db.item_supports();
+  std::vector<Itemset> level;
+  for (mining::Item i = 0; i < db.num_items(); ++i) {
+    if (item_support[i] >= opt_.minsup) {
+      level.push_back({i});
+      result.push_back({{i}, item_support[i]});
+    }
+  }
+
+  std::size_t k = 2;
+  while (!level.empty() && (opt_.max_size == 0 || k <= opt_.max_size)) {
+    const std::vector<Itemset> candidates = generate_candidates(level);
+    if (candidates.empty()) break;
+    // Count candidates with a sorted map from itemset -> count. (A hash
+    // tree would be faster; the map keeps the code simple and the
+    // asymptotics identical for the evaluation sizes used here.)
+    std::map<Itemset, std::uint32_t> counts;
+    for (const auto& c : candidates) counts.emplace(c, 0);
+    for (const auto& txn : db.transactions()) {
+      if (txn.size() < k) continue;
+      for (auto& [cand, count] : counts) {
+        if (contains_subset(txn, cand)) ++count;
+      }
+    }
+    level.clear();
+    for (const auto& [cand, count] : counts) {
+      if (count >= opt_.minsup) {
+        level.push_back(cand);
+        result.push_back({cand, count});
+      }
+    }
+    std::sort(level.begin(), level.end());
+    ++k;
+  }
+  return result;
+}
+
+}  // namespace repro::baselines

@@ -1,0 +1,59 @@
+// Apriori (Agrawal & Srikant, VLDB'94) — the paper's first CPU baseline.
+//
+// Two entry points:
+// * apriori_pair_supports — the size-2 specialization the paper times: one
+//   pass over transactions incrementing a dense triangular counter array.
+//   Its Θ(n²) counter memory is the quadratic blow-up of Fig 5, and its
+//   Σ|T|² counting time is what explodes in Figs 6/10.
+// * Apriori::mine — the general levelwise algorithm (candidate generation
+//   with prefix join + prune, hash-map counting) for itemsets of any size,
+//   used by the general-mining example and the k>2 tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mining/pair_support.hpp"
+#include "mining/transaction_db.hpp"
+#include "util/mem_accounting.hpp"
+#include "util/timer.hpp"
+
+namespace repro::baselines {
+
+/// All pair supports via the dense triangular counter (Apriori's 2nd pass).
+/// Returns nullopt if `deadline` expires mid-count (paper's 1800 s limit).
+std::optional<mining::PairSupports> apriori_pair_supports(
+    const mining::TransactionDb& db, const Deadline& deadline,
+    MemAccount* mem = nullptr);
+
+inline std::optional<mining::PairSupports> apriori_pair_supports(
+    const mining::TransactionDb& db) {
+  const Deadline no_limit(0);
+  return apriori_pair_supports(db, no_limit);
+}
+
+/// A frequent itemset with its support.
+struct FrequentItemset {
+  std::vector<mining::Item> items;  // sorted
+  std::uint32_t support = 0;
+};
+
+class Apriori {
+ public:
+  struct Options {
+    std::uint32_t minsup = 2;
+    /// Stop after this itemset size (0 = unbounded).
+    std::size_t max_size = 0;
+  };
+
+  explicit Apriori(Options opt) : opt_(opt) {}
+
+  /// All frequent itemsets (size >= 1) with support >= minsup.
+  std::vector<FrequentItemset> mine(const mining::TransactionDb& db) const;
+
+ private:
+  Options opt_;
+};
+
+}  // namespace repro::baselines

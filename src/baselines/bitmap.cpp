@@ -1,0 +1,44 @@
+#include "baselines/bitmap.hpp"
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace repro::baselines {
+
+BitmapIndex::BitmapIndex(const mining::TransactionDb& db)
+    : n_(db.num_items()),
+      m_(db.num_transactions()),
+      row_words_(bits::ceil_div(m_, 64)) {
+  REPRO_CHECK(n_ >= 1 && m_ >= 1);
+  bits_.assign(static_cast<std::size_t>(n_) * row_words_, 0ull);
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    for (const mining::Item i : db.transaction(t)) {
+      bits_[i * row_words_ + (t >> 6)] |= 1ull << (t & 63);
+    }
+  }
+}
+
+std::uint64_t BitmapIndex::intersection_size(std::uint32_t i,
+                                             std::uint32_t j) const {
+  REPRO_DCHECK(i < n_ && j < n_);
+  const std::uint64_t* a = bits_.data() + i * row_words_;
+  const std::uint64_t* b = bits_.data() + j * row_words_;
+  std::uint64_t count = 0;
+  for (std::uint64_t w = 0; w < row_words_; ++w) {
+    count += bits::popcount64(a[w] & b[w]);
+  }
+  return count;
+}
+
+mining::PairSupports BitmapIndex::all_pair_supports() const {
+  mining::PairSupports supports(n_);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    for (std::uint32_t j = i + 1; j < n_; ++j) {
+      supports.set(i, j,
+                   static_cast<std::uint32_t>(intersection_size(i, j)));
+    }
+  }
+  return supports;
+}
+
+}  // namespace repro::baselines

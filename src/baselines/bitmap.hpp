@@ -1,0 +1,46 @@
+// Dense vertical bitmap representation — the layout of Fang et al.'s
+// PBI-GPU algorithm [11], the paper's main GPU point of comparison.
+//
+// Each item's tidlist is one m-bit row; pair support = popcount(row_i AND
+// row_j). Space is n·m bits regardless of density, which is exactly the
+// weakness (excessive space on sparse data) BATMAP addresses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mining/pair_support.hpp"
+#include "mining/transaction_db.hpp"
+
+namespace repro::baselines {
+
+class BitmapIndex {
+ public:
+  /// Builds the n × ⌈m/64⌉ bit matrix from the vertical representation.
+  explicit BitmapIndex(const mining::TransactionDb& db);
+
+  std::uint32_t num_items() const { return n_; }
+  std::uint64_t num_transactions() const { return m_; }
+  std::uint64_t words_per_row() const { return row_words_; }
+
+  std::span<const std::uint64_t> row(std::uint32_t item) const {
+    return {bits_.data() + item * row_words_, row_words_};
+  }
+
+  /// |S_i ∩ S_j| by AND + popcount.
+  std::uint64_t intersection_size(std::uint32_t i, std::uint32_t j) const;
+
+  /// All pair supports (the PBI counting pass).
+  mining::PairSupports all_pair_supports() const;
+
+  std::uint64_t memory_bytes() const { return bits_.size() * 8; }
+
+ private:
+  std::uint32_t n_ = 0;
+  std::uint64_t m_ = 0;
+  std::uint64_t row_words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace repro::baselines

@@ -1,0 +1,93 @@
+#include "baselines/declat.hpp"
+
+#include <algorithm>
+
+namespace repro::baselines {
+
+namespace {
+
+/// a \ b for sorted vectors.
+std::vector<mining::Tid> difference(const std::vector<mining::Tid>& a,
+                                    const std::vector<mining::Tid>& b) {
+  std::vector<mining::Tid> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> DEclat::mine(
+    const mining::TransactionDb& db) const {
+  std::vector<FrequentItemset> out;
+  const auto tidlists = db.vertical();
+
+  std::vector<mining::Item> frequent;
+  for (mining::Item i = 0; i < db.num_items(); ++i) {
+    if (tidlists[i].size() >= opt_.minsup) {
+      frequent.push_back(i);
+      out.push_back({{i}, static_cast<std::uint32_t>(tidlists[i].size())});
+    }
+  }
+  if (opt_.max_size == 1) return out;
+
+  // Level 2 is special: diffsets are computed from tidlists,
+  // d(ab) = t(a) \ t(b), sup(ab) = |t(a)| − |d(ab)|.
+  std::vector<mining::Item> prefix;
+  for (std::size_t a = 0; a < frequent.size(); ++a) {
+    const mining::Item ia = frequent[a];
+    std::vector<Class> classes;
+    for (std::size_t b = a + 1; b < frequent.size(); ++b) {
+      const mining::Item ib = frequent[b];
+      auto diff = difference(tidlists[ia], tidlists[ib]);
+      const auto sup = static_cast<std::uint32_t>(tidlists[ia].size() -
+                                                  diff.size());
+      if (sup >= opt_.minsup) {
+        out.push_back({{ia, ib}, sup});
+        classes.push_back({ib, sup, std::move(diff)});
+      }
+    }
+    if (!classes.empty() && (opt_.max_size == 0 || opt_.max_size > 2)) {
+      prefix.assign(1, ia);
+      recurse(classes, prefix, out);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& x, const FrequentItemset& y) {
+              return x.items < y.items;
+            });
+  return out;
+}
+
+void DEclat::recurse(std::vector<Class>& classes,
+                     std::vector<mining::Item>& prefix,
+                     std::vector<FrequentItemset>& out) const {
+  // Extending prefix P with X then Y: d(PXY) = d(PY) \ d(PX),
+  // sup(PXY) = sup(PX) − |d(PXY)|.
+  if (opt_.max_size != 0 && prefix.size() + 2 > opt_.max_size) return;
+  for (std::size_t a = 0; a < classes.size(); ++a) {
+    std::vector<Class> next;
+    for (std::size_t b = a + 1; b < classes.size(); ++b) {
+      auto diff = difference(classes[b].diffset, classes[a].diffset);
+      const auto sup = static_cast<std::uint32_t>(classes[a].support -
+                                                  diff.size());
+      if (sup >= opt_.minsup) {
+        FrequentItemset fs;
+        fs.items = prefix;
+        fs.items.push_back(classes[a].item);
+        fs.items.push_back(classes[b].item);
+        std::sort(fs.items.begin(), fs.items.end());
+        fs.support = sup;
+        out.push_back(std::move(fs));
+        next.push_back({classes[b].item, sup, std::move(diff)});
+      }
+    }
+    if (!next.empty()) {
+      prefix.push_back(classes[a].item);
+      recurse(next, prefix, out);
+      prefix.pop_back();
+    }
+  }
+}
+
+}  // namespace repro::baselines

@@ -1,0 +1,88 @@
+#include "baselines/eclat.hpp"
+
+#include <algorithm>
+
+#include "baselines/sorted_list.hpp"
+#include "util/check.hpp"
+
+namespace repro::baselines {
+
+std::optional<mining::PairSupports> eclat_pair_supports(
+    const mining::TransactionDb& db, const Deadline& deadline,
+    MemAccount* mem) {
+  REPRO_CHECK(db.num_items() >= 2);
+  const auto tidlists = db.vertical();
+  if (mem) {
+    std::uint64_t bytes = 0;
+    for (const auto& l : tidlists) bytes += l.size() * sizeof(mining::Tid);
+    mem->add("tidlists", bytes);
+  }
+  mining::PairSupports supports(db.num_items());
+  if (mem) mem->add("pair counters", supports.memory_bytes());
+  const std::uint32_t n = db.num_items();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      supports.set(i, j, static_cast<std::uint32_t>(intersect_size_merge(
+                             tidlists[i], tidlists[j])));
+    }
+    if (deadline.expired()) return std::nullopt;
+  }
+  return supports;
+}
+
+std::vector<FrequentItemset> Eclat::mine(
+    const mining::TransactionDb& db) const {
+  const auto tidlists = db.vertical();
+  std::vector<Class> classes;
+  std::vector<FrequentItemset> out;
+  for (mining::Item i = 0; i < db.num_items(); ++i) {
+    if (tidlists[i].size() >= opt_.minsup) {
+      out.push_back({{i}, static_cast<std::uint32_t>(tidlists[i].size())});
+      classes.push_back({i, tidlists[i]});
+    }
+  }
+  std::vector<mining::Item> prefix;
+  recurse(classes, prefix, out);
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  return out;
+}
+
+void Eclat::recurse(std::vector<Class>& classes,
+                    std::vector<mining::Item>& prefix,
+                    std::vector<FrequentItemset>& out) const {
+  if (opt_.max_size != 0 && prefix.size() + 1 >= opt_.max_size) return;
+  std::vector<mining::Tid> scratch;
+  for (std::size_t a = 0; a < classes.size(); ++a) {
+    std::vector<Class> next;
+    for (std::size_t b = a + 1; b < classes.size(); ++b) {
+      scratch.resize(
+          std::min(classes[a].tids.size(), classes[b].tids.size()));
+      const std::size_t k =
+          intersect_into(classes[a].tids, classes[b].tids, scratch.data());
+      if (k >= opt_.minsup) {
+        FrequentItemset fs;
+        fs.items = prefix;
+        fs.items.push_back(classes[a].item);
+        fs.items.push_back(classes[b].item);
+        std::sort(fs.items.begin(), fs.items.end());
+        fs.support = static_cast<std::uint32_t>(k);
+        out.push_back(std::move(fs));
+        next.push_back(
+            {classes[b].item,
+             std::vector<mining::Tid>(scratch.begin(),
+                                      scratch.begin() +
+                                          static_cast<std::ptrdiff_t>(k))});
+      }
+    }
+    if (!next.empty()) {
+      prefix.push_back(classes[a].item);
+      recurse(next, prefix, out);
+      prefix.pop_back();
+    }
+  }
+}
+
+}  // namespace repro::baselines

@@ -1,0 +1,55 @@
+// Eclat (Zaki et al., KDD'97) — vertical tidlist mining, mentioned by the
+// paper as "significantly slower than the other three implementations".
+// Included for completeness of the comparison suite.
+//
+// * eclat_pair_supports — all-pairs sorted-tidlist intersection (exactly
+//   what BATMAP replaces with position-aligned comparisons).
+// * Eclat::mine — depth-first itemset mining with tidlist intersection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "baselines/apriori.hpp"  // FrequentItemset
+#include "mining/pair_support.hpp"
+#include "mining/transaction_db.hpp"
+#include "util/mem_accounting.hpp"
+#include "util/timer.hpp"
+
+namespace repro::baselines {
+
+/// All pair supports by pairwise merge-intersecting tidlists. Returns
+/// nullopt on deadline expiry.
+std::optional<mining::PairSupports> eclat_pair_supports(
+    const mining::TransactionDb& db, const Deadline& deadline,
+    MemAccount* mem = nullptr);
+
+inline std::optional<mining::PairSupports> eclat_pair_supports(
+    const mining::TransactionDb& db) {
+  const Deadline no_limit(0);
+  return eclat_pair_supports(db, no_limit);
+}
+
+class Eclat {
+ public:
+  struct Options {
+    std::uint32_t minsup = 2;
+    std::size_t max_size = 0;  ///< 0 = unbounded
+  };
+
+  explicit Eclat(Options opt) : opt_(opt) {}
+
+  std::vector<FrequentItemset> mine(const mining::TransactionDb& db) const;
+
+ private:
+  struct Class {
+    mining::Item item;
+    std::vector<mining::Tid> tids;
+  };
+  void recurse(std::vector<Class>& classes, std::vector<mining::Item>& prefix,
+               std::vector<FrequentItemset>& out) const;
+  Options opt_;
+};
+
+}  // namespace repro::baselines

@@ -1,0 +1,221 @@
+#include "baselines/fpgrowth.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+
+#include "util/check.hpp"
+
+namespace repro::baselines {
+
+void FpTree::init_tables(mining::Item universe) {
+  header_.assign(universe, -1);
+  item_support_.assign(universe, 0);
+  rank_.assign(universe, 0);
+  children_.emplace_back();  // root = node "-1" is virtual; children_[0] is root's
+  // nodes_ stays empty; node index k corresponds to children_[k+1].
+}
+
+void FpTree::insert_path(std::span<const mining::Item> ranked_items,
+                         std::uint32_t count) {
+  std::int32_t cur = -1;  // root
+  for (const mining::Item item : ranked_items) {
+    auto& kids = children_[static_cast<std::size_t>(cur + 1)];
+    const auto it = std::lower_bound(
+        kids.begin(), kids.end(), item,
+        [](const auto& p, mining::Item v) { return p.first < v; });
+    if (it != kids.end() && it->first == item) {
+      cur = it->second;
+      nodes_[static_cast<std::size_t>(cur)].count += count;
+    } else {
+      const auto idx = static_cast<std::int32_t>(nodes_.size());
+      nodes_.push_back(Node{item, count, cur, header_[item]});
+      header_[item] = idx;
+      kids.insert(it, {item, idx});
+      children_.emplace_back();
+      cur = idx;
+    }
+  }
+}
+
+FpTree::FpTree(const mining::TransactionDb& db, std::uint32_t minsup_items) {
+  const mining::Item n = db.num_items();
+  init_tables(n);
+  const auto support = db.item_supports();
+
+  // Frequency ranking: most frequent first, ties by item id for determinism.
+  std::vector<mining::Item> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](mining::Item a, mining::Item b) {
+    if (support[a] != support[b]) return support[a] > support[b];
+    return a < b;
+  });
+  for (std::uint32_t r = 0; r < n; ++r) rank_[order[r]] = r;
+
+  std::vector<mining::Item> ranked;
+  for (const auto& txn : db.transactions()) {
+    ranked.clear();
+    for (const mining::Item i : txn) {
+      if (support[i] >= minsup_items) ranked.push_back(i);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [&](mining::Item a, mining::Item b) { return rank_[a] < rank_[b]; });
+    if (!ranked.empty()) insert_path(ranked, 1);
+  }
+  for (const mining::Item i : order) {
+    if (support[i] >= minsup_items) item_support_[i] = support[i];
+  }
+  // Items ascending by rank order means DEscending rank value: least
+  // frequent first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (support[*it] >= minsup_items) items_asc_.push_back(*it);
+  }
+  children_.clear();
+  children_.shrink_to_fit();
+}
+
+FpTree::FpTree(
+    const std::vector<std::pair<std::vector<mining::Item>, std::uint32_t>>&
+        patterns,
+    mining::Item universe, std::uint32_t minsup) {
+  init_tables(universe);
+  // Conditional support counting.
+  std::vector<std::uint64_t> support(universe, 0);
+  for (const auto& [items, count] : patterns) {
+    for (const mining::Item i : items) support[i] += count;
+  }
+  std::vector<mining::Item> order;
+  for (mining::Item i = 0; i < universe; ++i) {
+    if (support[i] >= minsup) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](mining::Item a, mining::Item b) {
+    if (support[a] != support[b]) return support[a] > support[b];
+    return a < b;
+  });
+  for (std::uint32_t r = 0; r < order.size(); ++r) rank_[order[r]] = r;
+
+  std::vector<mining::Item> ranked;
+  for (const auto& [items, count] : patterns) {
+    ranked.clear();
+    for (const mining::Item i : items) {
+      if (support[i] >= minsup) ranked.push_back(i);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [&](mining::Item a, mining::Item b) { return rank_[a] < rank_[b]; });
+    if (!ranked.empty()) insert_path(ranked, count);
+  }
+  for (const mining::Item i : order) {
+    item_support_[i] = static_cast<std::uint32_t>(support[i]);
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    items_asc_.push_back(*it);
+  }
+  children_.clear();
+  children_.shrink_to_fit();
+}
+
+std::optional<std::vector<PairCount>> fpgrowth_pair_supports(
+    const mining::TransactionDb& db, std::uint32_t minsup,
+    const Deadline& deadline, MemAccount* mem) {
+  REPRO_CHECK(db.num_items() >= 2);
+  FpTree tree(db, /*minsup_items=*/1);
+  if (mem) {
+    mem->add("fp-tree", tree.memory_bytes());
+    mem->add("fp scratch", db.num_items() * 4ull + db.num_items() * 4ull);
+  }
+
+  std::vector<PairCount> out;
+  // Scratch accumulator reused across items: counts[j] = co-occurrences of
+  // the current item i with ancestor item j.
+  std::vector<std::uint32_t> counts(db.num_items(), 0);
+  std::vector<mining::Item> touched;
+  const auto& nodes = tree.nodes();
+  std::size_t steps = 0;
+  for (const mining::Item i : tree.items_by_rank_asc()) {
+    touched.clear();
+    for (std::int32_t nd = tree.header(i); nd != -1;
+         nd = nodes[static_cast<std::size_t>(nd)].next) {
+      const std::uint32_t c = nodes[static_cast<std::size_t>(nd)].count;
+      for (std::int32_t a = nodes[static_cast<std::size_t>(nd)].parent;
+           a != -1; a = nodes[static_cast<std::size_t>(a)].parent) {
+        const mining::Item j = nodes[static_cast<std::size_t>(a)].item;
+        if (counts[j] == 0) touched.push_back(j);
+        counts[j] += c;
+        if ((++steps & 0xfffff) == 0 && deadline.expired())
+          return std::nullopt;
+      }
+    }
+    for (const mining::Item j : touched) {
+      if (counts[j] >= minsup) {
+        out.push_back(PairCount{std::min(i, j), std::max(i, j), counts[j]});
+      }
+      counts[j] = 0;
+    }
+  }
+  if (deadline.expired()) return std::nullopt;
+  std::sort(out.begin(), out.end(), [](const PairCount& a, const PairCount& b) {
+    return a.i != b.i ? a.i < b.i : a.j < b.j;
+  });
+  return out;
+}
+
+mining::PairSupports to_dense(const std::vector<PairCount>& sparse,
+                              std::uint32_t num_items) {
+  mining::PairSupports dense(num_items);
+  for (const auto& p : sparse) dense.set(p.i, p.j, p.support);
+  return dense;
+}
+
+std::vector<FrequentItemset> FpGrowth::mine(
+    const mining::TransactionDb& db) const {
+  FpTree tree(db, opt_.minsup);
+  std::vector<FrequentItemset> out;
+  std::vector<mining::Item> suffix;
+  mine_tree(tree, suffix, out);
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  return out;
+}
+
+void FpGrowth::mine_tree(const FpTree& tree, std::vector<mining::Item>& suffix,
+                         std::vector<FrequentItemset>& out) const {
+  const auto& nodes = tree.nodes();
+  for (const mining::Item i : tree.items_by_rank_asc()) {
+    const std::uint32_t sup = tree.item_support(i);
+    if (sup < opt_.minsup) continue;
+    // Emit {i} ∪ suffix.
+    FrequentItemset fs;
+    fs.items = suffix;
+    fs.items.push_back(i);
+    std::sort(fs.items.begin(), fs.items.end());
+    fs.support = sup;
+    out.push_back(std::move(fs));
+
+    if (opt_.max_size != 0 && suffix.size() + 1 >= opt_.max_size) continue;
+
+    // Conditional pattern base: ancestor paths of every node of i.
+    std::vector<std::pair<std::vector<mining::Item>, std::uint32_t>> base;
+    for (std::int32_t nd = tree.header(i); nd != -1;
+         nd = nodes[static_cast<std::size_t>(nd)].next) {
+      std::vector<mining::Item> path;
+      for (std::int32_t a = nodes[static_cast<std::size_t>(nd)].parent;
+           a != -1; a = nodes[static_cast<std::size_t>(a)].parent) {
+        path.push_back(nodes[static_cast<std::size_t>(a)].item);
+      }
+      if (!path.empty()) {
+        base.emplace_back(std::move(path),
+                          nodes[static_cast<std::size_t>(nd)].count);
+      }
+    }
+    if (base.empty()) continue;
+    FpTree cond(base, tree.universe(), opt_.minsup);
+    if (cond.items_by_rank_asc().empty()) continue;
+    suffix.push_back(i);
+    mine_tree(cond, suffix, out);
+    suffix.pop_back();
+  }
+}
+
+}  // namespace repro::baselines

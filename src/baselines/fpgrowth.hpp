@@ -1,0 +1,118 @@
+// FP-growth (Han et al., DMKD 2004) — the paper's strongest CPU baseline.
+//
+// * FpTree — the prefix tree with per-item node chains (header table),
+//   items ordered by decreasing global support.
+// * fpgrowth_pair_supports — the size-2 specialization the paper times:
+//   for every node (item i, count c), walk its ancestor path and add c to
+//   support{i, ancestor}. Working memory is O(tree + n) (linear in the
+//   number of distinct items — the Fig 5 behaviour), output is sparse.
+// * FpGrowth::mine — full recursive mining with conditional trees for
+//   arbitrary itemset sizes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "baselines/apriori.hpp"  // FrequentItemset
+#include "mining/pair_support.hpp"
+#include "mining/transaction_db.hpp"
+#include "util/mem_accounting.hpp"
+#include "util/timer.hpp"
+
+namespace repro::baselines {
+
+class FpTree {
+ public:
+  struct Node {
+    mining::Item item;
+    std::uint32_t count;
+    std::int32_t parent;     ///< node index, -1 for root children
+    std::int32_t next;       ///< next node of the same item (header chain)
+  };
+
+  /// Builds the tree keeping only items with support >= minsup_items.
+  FpTree(const mining::TransactionDb& db, std::uint32_t minsup_items);
+
+  /// Builds from (pattern, count) pairs — used for conditional trees.
+  /// `universe` is the item-id bound; patterns are sorted ascending by
+  /// frequency rank already.
+  FpTree(const std::vector<std::pair<std::vector<mining::Item>,
+                                     std::uint32_t>>& patterns,
+         mining::Item universe, std::uint32_t minsup);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Items present in the tree, ascending global-frequency rank order
+  /// (i.e. least frequent first — the FP-growth processing order).
+  const std::vector<mining::Item>& items_by_rank_asc() const {
+    return items_asc_;
+  }
+  std::int32_t header(mining::Item item) const { return header_[item]; }
+  std::uint32_t item_support(mining::Item item) const {
+    return item_support_[item];
+  }
+  mining::Item universe() const {
+    return static_cast<mining::Item>(header_.size());
+  }
+
+  std::uint64_t memory_bytes() const {
+    return nodes_.size() * sizeof(Node) + header_.size() * 8;
+  }
+
+ private:
+  void init_tables(mining::Item universe);
+  void insert_path(std::span<const mining::Item> ranked_items,
+                   std::uint32_t count);
+
+  std::vector<Node> nodes_;
+  std::vector<std::int32_t> header_;        // item -> first node
+  std::vector<std::uint32_t> item_support_; // item -> total count
+  std::vector<std::uint32_t> rank_;         // item -> frequency rank (0 = most frequent)
+  std::vector<mining::Item> items_asc_;
+  // Child lookup during construction: per node, sorted (item, child) pairs.
+  std::vector<std::vector<std::pair<mining::Item, std::int32_t>>> children_;
+};
+
+/// One sparse pair-support entry.
+struct PairCount {
+  mining::Item i, j;       ///< i < j
+  std::uint32_t support;
+};
+
+/// Pair supports >= minsup via FP-tree ancestor walks. Returns nullopt on
+/// deadline expiry. With minsup == 1 this enumerates every co-occurring pair.
+std::optional<std::vector<PairCount>> fpgrowth_pair_supports(
+    const mining::TransactionDb& db, std::uint32_t minsup,
+    const Deadline& deadline, MemAccount* mem = nullptr);
+
+inline std::optional<std::vector<PairCount>> fpgrowth_pair_supports(
+    const mining::TransactionDb& db, std::uint32_t minsup = 1) {
+  const Deadline no_limit(0);
+  return fpgrowth_pair_supports(db, minsup, no_limit);
+}
+
+/// Converts a sparse pair list to the dense triangular form (for tests).
+mining::PairSupports to_dense(const std::vector<PairCount>& sparse,
+                              std::uint32_t num_items);
+
+class FpGrowth {
+ public:
+  struct Options {
+    std::uint32_t minsup = 2;
+    std::size_t max_size = 0;  ///< 0 = unbounded
+  };
+
+  explicit FpGrowth(Options opt) : opt_(opt) {}
+
+  /// All frequent itemsets (size >= 1) with support >= minsup.
+  std::vector<FrequentItemset> mine(const mining::TransactionDb& db) const;
+
+ private:
+  void mine_tree(const FpTree& tree, std::vector<mining::Item>& suffix,
+                 std::vector<FrequentItemset>& out) const;
+  Options opt_;
+};
+
+}  // namespace repro::baselines

@@ -1,0 +1,46 @@
+#include "baselines/hash_probe.hpp"
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace repro::baselines {
+
+ProbeSet::ProbeSet(std::span<const std::uint64_t> elements,
+                   std::uint64_t seed) {
+  const std::uint64_t capacity =
+      bits::next_pow2(std::max<std::uint64_t>(4, elements.size() * 2));
+  slots_.assign(capacity, kEmpty);
+  mask_ = capacity - 1;
+  hash_ = hash::MultiplyShift(seed, 63);
+  for (const std::uint64_t x : elements) {
+    REPRO_DCHECK(x != kEmpty);
+    std::uint64_t i = hash_(x) & mask_;
+    while (slots_[i] != kEmpty) {
+      REPRO_CHECK_MSG(slots_[i] != x, "duplicate element");
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = x;
+    ++size_;
+  }
+}
+
+bool ProbeSet::contains(std::uint64_t x) const {
+  std::uint64_t i = hash_(x) & mask_;
+  for (;;) {
+    ++probes_;
+    if (slots_[i] == x) return true;
+    if (slots_[i] == kEmpty) return false;
+    i = (i + 1) & mask_;
+  }
+}
+
+std::uint64_t intersect_size_probe(const ProbeSet& table,
+                                   std::span<const std::uint64_t> probe_side) {
+  std::uint64_t count = 0;
+  for (const std::uint64_t x : probe_side) {
+    count += table.contains(x);
+  }
+  return count;
+}
+
+}  // namespace repro::baselines

@@ -1,0 +1,49 @@
+// Linear-probing hash-set intersection — the paper's §II stepping-stone:
+// "If we organize the sets in hash tables (say, using linear probing or
+// perfect hashing) it is indeed fast to determine the common elements ...
+// However, the memory access pattern of hash table lookups remains random
+// and highly irregular."
+//
+// Implemented to make that comparison concrete: probing gives O(|A|)
+// expected lookups into B's table, with deterministic control flow only in
+// expectation and data-dependent probe chains — the irregularity BATMAP
+// removes. Included in micro_intersect.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hash/hash_family.hpp"
+
+namespace repro::baselines {
+
+/// An open-addressing (linear probing) set over uint64 keys.
+class ProbeSet {
+ public:
+  /// Builds from distinct elements at ~50% load factor.
+  explicit ProbeSet(std::span<const std::uint64_t> elements,
+                    std::uint64_t seed = 0x5bd1e995);
+
+  bool contains(std::uint64_t x) const;
+  std::size_t size() const { return size_; }
+  std::uint64_t memory_bytes() const { return slots_.size() * 8; }
+
+  /// Total probe steps across all contains() calls so far (irregularity
+  /// metric: > 1 per lookup means chains were walked).
+  std::uint64_t probes() const { return probes_; }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~0ull;
+  std::vector<std::uint64_t> slots_;
+  hash::MultiplyShift hash_;
+  std::size_t size_ = 0;
+  std::uint64_t mask_ = 0;
+  mutable std::uint64_t probes_ = 0;
+};
+
+/// |A ∩ B| by probing every element of `probe_side` into `table`.
+std::uint64_t intersect_size_probe(const ProbeSet& table,
+                                   std::span<const std::uint64_t> probe_side);
+
+}  // namespace repro::baselines

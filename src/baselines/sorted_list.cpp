@@ -1,0 +1,86 @@
+#include "baselines/sorted_list.hpp"
+
+#include <algorithm>
+
+namespace repro::baselines {
+
+std::uint64_t intersect_size_merge(std::span<const std::uint32_t> a,
+                                   std::span<const std::uint32_t> b) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::uint64_t intersect_size_branchless(std::span<const std::uint32_t> a,
+                                        std::span<const std::uint32_t> b) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  const std::size_t na = a.size(), nb = b.size();
+  while (i < na && j < nb) {
+    const std::uint32_t x = a[i];
+    const std::uint32_t y = b[j];
+    count += (x == y);
+    i += (x <= y);
+    j += (y <= x);
+  }
+  return count;
+}
+
+std::uint64_t intersect_size_galloping(std::span<const std::uint32_t> a,
+                                       std::span<const std::uint32_t> b) {
+  // Probe each element of the smaller list into the larger with a doubling
+  // search that resumes where the previous probe ended.
+  if (a.size() > b.size()) return intersect_size_galloping(b, a);
+  std::uint64_t count = 0;
+  std::size_t lo = 0;
+  for (const std::uint32_t x : a) {
+    // Gallop to find the first position with b[pos] >= x.
+    std::size_t step = 1;
+    std::size_t hi = lo;
+    while (hi < b.size() && b[hi] < x) {
+      lo = hi + 1;
+      hi += step;
+      step *= 2;
+    }
+    hi = std::min(hi, b.size());
+    const auto it = std::lower_bound(b.begin() + static_cast<std::ptrdiff_t>(lo),
+                                     b.begin() + static_cast<std::ptrdiff_t>(hi), x);
+    lo = static_cast<std::size_t>(it - b.begin());
+    if (lo < b.size() && b[lo] == x) {
+      ++count;
+      ++lo;
+    }
+  }
+  return count;
+}
+
+std::size_t intersect_into(std::span<const std::uint32_t> a,
+                           std::span<const std::uint32_t> b,
+                           std::uint32_t* out) {
+  std::size_t i = 0, j = 0, k = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out[k++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return k;
+}
+
+}  // namespace repro::baselines

@@ -1,0 +1,32 @@
+// Sorted-list ("merge") set intersection — the classical CPU baseline the
+// paper compares against in §IV-B. Three variants:
+//
+// * merge:      the folklore two-pointer scan; branchy (the paper attributes
+//               its poor CPU behaviour to branch mispredictions).
+// * branchless: the same scan with the pointer advances computed with
+//               arithmetic instead of branches.
+// * galloping:  doubling search from the smaller list into the larger —
+//               the adaptive method referenced in §I-B1 ([9] Demaine et al.).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace repro::baselines {
+
+/// |a ∩ b| for sorted, duplicate-free spans.
+std::uint64_t intersect_size_merge(std::span<const std::uint32_t> a,
+                                   std::span<const std::uint32_t> b);
+
+std::uint64_t intersect_size_branchless(std::span<const std::uint32_t> a,
+                                        std::span<const std::uint32_t> b);
+
+std::uint64_t intersect_size_galloping(std::span<const std::uint32_t> a,
+                                       std::span<const std::uint32_t> b);
+
+/// Materializes a ∩ b (used by Eclat's recursion).
+std::size_t intersect_into(std::span<const std::uint32_t> a,
+                           std::span<const std::uint32_t> b,
+                           std::uint32_t* out);
+
+}  // namespace repro::baselines

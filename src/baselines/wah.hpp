@@ -1,0 +1,72 @@
+// WAH (Word-Aligned Hybrid) compressed bitmaps — Wu, Otoo & Shoshani,
+// VLDB'04 [27], one of the compressed-bitmap formats the paper positions
+// BATMAP against (§I-B1): compact on sparse data, but intersection requires
+// SEQUENTIAL decoding of variable-length runs, which is exactly the
+// data-dependent control flow that does not map to GPUs. Implemented here to
+// make that trade-off measurable (bench/space_compare).
+//
+// Encoding (32-bit words over 31-bit groups):
+//   MSB = 0: literal word, low 31 bits are the next 31 bitmap bits.
+//   MSB = 1: fill word; bit 30 = fill value, low 30 bits = run length in
+//            31-bit groups.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mining/transaction_db.hpp"
+
+namespace repro::baselines {
+
+class WahBitmap {
+ public:
+  WahBitmap() = default;
+
+  /// Compresses a sorted, duplicate-free id list over [0, universe).
+  WahBitmap(std::span<const std::uint32_t> sorted_ids, std::uint64_t universe);
+
+  std::uint64_t universe() const { return universe_; }
+  std::uint64_t ones() const { return ones_; }
+  std::uint64_t memory_bytes() const { return words_.size() * 4; }
+  std::span<const std::uint32_t> words() const { return words_; }
+
+  /// Decompresses back to the id list (for tests).
+  std::vector<std::uint32_t> decode() const;
+
+  /// |A ∩ B| by run-aligned sequential merge of the two compressed streams.
+  static std::uint64_t intersect_size(const WahBitmap& a, const WahBitmap& b);
+
+ private:
+  static constexpr std::uint32_t kLiteralBits = 31;
+  static constexpr std::uint32_t kFillFlag = 0x80000000u;
+  static constexpr std::uint32_t kFillValue = 0x40000000u;
+  static constexpr std::uint32_t kLenMask = 0x3fffffffu;
+
+  void append_group(std::uint32_t literal31);
+
+  std::uint64_t universe_ = 0;
+  std::uint64_t ones_ = 0;
+  std::vector<std::uint32_t> words_;
+};
+
+/// A WAH index over a transaction database (vertical layout), mirroring
+/// BitmapIndex's interface for the space/time comparison benches.
+class WahIndex {
+ public:
+  explicit WahIndex(const mining::TransactionDb& db);
+
+  std::uint32_t num_items() const {
+    return static_cast<std::uint32_t>(rows_.size());
+  }
+  const WahBitmap& row(std::uint32_t item) const { return rows_[item]; }
+  std::uint64_t intersection_size(std::uint32_t i, std::uint32_t j) const {
+    return WahBitmap::intersect_size(rows_[i], rows_[j]);
+  }
+  std::uint64_t memory_bytes() const;
+
+ private:
+  std::vector<WahBitmap> rows_;
+};
+
+}  // namespace repro::baselines

@@ -1,0 +1,71 @@
+#include "batmap/batmap.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "batmap/context.hpp"
+#include "batmap/swar.hpp"
+
+namespace repro::batmap {
+
+Batmap::Batmap(std::uint32_t range, std::uint64_t stored_elements,
+               std::vector<std::uint32_t> words, const LayoutParams& params)
+    : range_(range), stored_elements_(stored_elements), words_(std::move(words)) {
+  REPRO_CHECK(bits::is_pow2(range) && range >= params.r0);
+  REPRO_CHECK(words_.size() == LayoutParams::words(range));
+}
+
+std::vector<std::uint64_t> Batmap::decode(const LayoutParams& params,
+                                          const BatmapContext& ctx) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(stored_elements_);
+  for (std::uint64_t p = 0; p < slot_count(); ++p) {
+    const std::uint8_t byte = slot(p);
+    if (byte == kNullSlot) continue;
+    const int t = params.table_of(p);
+    const std::uint64_t v = params.reconstruct(p, byte & 0x7f, range_);
+    if (v >= params.m) continue;  // cannot happen for well-formed maps
+    out.push_back(ctx.unpermuted(t, v));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::uint64_t intersect_count_words(std::span<const std::uint32_t> big_words,
+                                    std::span<const std::uint32_t> small_words) {
+  REPRO_CHECK(!small_words.empty());
+  REPRO_CHECK(big_words.size() % small_words.size() == 0);
+  const std::size_t wb = big_words.size();
+  const std::size_t ws = small_words.size();
+  std::uint64_t count = 0;
+  // The small map tiles the big one cyclically; iterate tile-by-tile so the
+  // inner loop has no modulo. Words are processed two at a time through the
+  // 64-bit SWAR kernel (unaligned loads via memcpy compile to plain movq);
+  // widths 3·2^j are odd only for the minimal width 3, handled by the tail.
+  const std::size_t pairs = ws / 2;
+  for (std::size_t base = 0; base < wb; base += ws) {
+    const std::uint32_t* bw = big_words.data() + base;
+    const std::uint32_t* sw = small_words.data();
+    for (std::size_t w = 0; w < pairs; ++w) {
+      std::uint64_t x, y;
+      std::memcpy(&x, bw + 2 * w, 8);
+      std::memcpy(&y, sw + 2 * w, 8);
+      count += swar_match_count64(x, y);
+    }
+    if (ws & 1) {
+      count += swar_match_count(bw[ws - 1], sw[ws - 1]);
+    }
+  }
+  return count;
+}
+
+std::uint64_t intersect_count(const Batmap& a, const Batmap& b) {
+  const Batmap& big = a.word_count() >= b.word_count() ? a : b;
+  const Batmap& small = a.word_count() >= b.word_count() ? b : a;
+  REPRO_CHECK_MSG(!big.empty() && !small.empty(),
+                  "intersect on default-constructed batmap");
+  return intersect_count_words(big.words(), small.words());
+}
+
+}  // namespace repro::batmap

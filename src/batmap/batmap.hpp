@@ -1,0 +1,67 @@
+// The sealed, compressed batmap: 3 interleaved hash tables of slot bytes
+// packed 4-per-word, ready for branch-free intersection counting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "batmap/layout.hpp"
+
+namespace repro::batmap {
+
+class Batmap {
+ public:
+  Batmap() = default;
+
+  /// Constructs from raw words; used by BatmapBuilder::seal().
+  Batmap(std::uint32_t range, std::uint64_t stored_elements,
+         std::vector<std::uint32_t> words, const LayoutParams& params);
+
+  /// Hash range r (power of two) of this batmap.
+  std::uint32_t range() const { return range_; }
+  /// Number of slot bytes (3r).
+  std::uint64_t slot_count() const { return LayoutParams::slots(range_); }
+  /// Number of packed 32-bit words (3r/4).
+  std::uint64_t word_count() const { return words_.size(); }
+  /// Number of set elements successfully stored (excludes failed inserts).
+  std::uint64_t stored_elements() const { return stored_elements_; }
+
+  std::span<const std::uint32_t> words() const { return words_; }
+
+  /// Slot byte at position p.
+  std::uint8_t slot(std::uint64_t p) const {
+    REPRO_DCHECK(p < slot_count());
+    return static_cast<std::uint8_t>(words_[p >> 2] >> (8 * (p & 3)));
+  }
+
+  /// Memory held by the packed representation, in bytes.
+  std::uint64_t memory_bytes() const { return words_.size() * 4; }
+
+  /// Decodes the stored set back out of the compressed representation
+  /// (each element appears in exactly 2 slots; returns the deduplicated,
+  /// sorted element list). Primarily for tests/debugging — O(slots).
+  std::vector<std::uint64_t> decode(const LayoutParams& params,
+                                    const class BatmapContext& ctx) const;
+
+  bool empty() const { return words_.empty(); }
+
+ private:
+  std::uint32_t range_ = 0;
+  std::uint64_t stored_elements_ = 0;
+  std::vector<std::uint32_t> words_;
+};
+
+/// Counts matching slots between two batmaps of the SAME universe: the value
+/// equals |S_a ∩ S_b| when both were built without insertion failures.
+/// The sweep is completely data-independent: word w of the larger map is
+/// compared against word (w mod W_small) of the smaller.
+std::uint64_t intersect_count(const Batmap& a, const Batmap& b);
+
+/// Same sweep over an explicit word span (used by the SIMT kernel and the
+/// CPU throughput bench). `big_words.size()` must be a multiple of
+/// `small_words.size()`.
+std::uint64_t intersect_count_words(std::span<const std::uint32_t> big_words,
+                                    std::span<const std::uint32_t> small_words);
+
+}  // namespace repro::batmap

@@ -1,0 +1,185 @@
+#include "batmap/builder.hpp"
+
+#include <algorithm>
+
+namespace repro::batmap {
+
+BatmapBuilder::BatmapBuilder(const BatmapContext& ctx, std::uint32_t range)
+    : BatmapBuilder(ctx, range, Options{}) {}
+
+BatmapBuilder::BatmapBuilder(const BatmapContext& ctx, std::uint32_t range,
+                             Options opt)
+    : ctx_(&ctx), range_(range), opt_(opt) {
+  REPRO_CHECK_MSG(bits::is_pow2(range) && range >= ctx.params().r0,
+                  "range must be a power of two >= r0");
+  REPRO_CHECK(opt.max_loop >= 1 && opt.max_cascade >= 1);
+  slots_.assign(LayoutParams::slots(range_), kEmpty);
+}
+
+bool BatmapBuilder::contains(std::uint64_t x) const {
+  for (int t = 0; t < 3; ++t) {
+    if (slots_[position(t, x)] == x) return true;
+  }
+  return false;
+}
+
+bool BatmapBuilder::erase(std::uint64_t x) {
+  if (!contains(x)) return false;
+  remove_all(x);
+  --stats_.inserted;
+  return true;
+}
+
+std::uint64_t BatmapBuilder::walk(std::uint64_t x) {
+  ++stats_.walks;
+  std::uint64_t tau = x;
+  for (int round = 0; round < opt_.max_loop; ++round) {
+    for (int t = 0; t < 3; ++t) {
+      std::uint64_t& slot = slots_[position(t, tau)];
+      std::swap(tau, slot);
+      ++stats_.swaps;
+      if (tau == kEmpty) return kEmpty;
+    }
+  }
+  return tau;
+}
+
+void BatmapBuilder::remove_all(std::uint64_t x) {
+  for (int t = 0; t < 3; ++t) {
+    std::uint64_t& slot = slots_[position(t, x)];
+    if (slot == x) slot = kEmpty;
+  }
+}
+
+void BatmapBuilder::handle_failure(std::uint64_t x, std::uint64_t nestless) {
+  // §III-C: delete any occurrences of x, then re-insert the nestless element
+  // (unless it is x itself). Deleting x frees at least one slot, so the
+  // cascade converges quickly; if it does not within max_cascade rounds we
+  // evict the current nestless element and record it as failed as well.
+  remove_all(x);
+  failures_.push_back(x);
+  ++stats_.failed;
+  std::uint64_t pending = nestless;
+  if (pending == x || pending == kEmpty) return;
+  for (int round = 0; round < opt_.max_cascade; ++round) {
+    const std::uint64_t evicted = walk(pending);
+    if (evicted == kEmpty) return;  // chain repaired
+    if (evicted == pending) break;  // walk cycled back; drop it
+    // `pending` got a copy placed during the walk; the new nestless element
+    // is `evicted`. Continue restoring its 2-copy invariant.
+    pending = evicted;
+  }
+  // Could not repair: remove the dangling element completely and record it.
+  remove_all(pending);
+  failures_.push_back(pending);
+  ++stats_.failed;
+}
+
+bool BatmapBuilder::insert(std::uint64_t x) {
+  REPRO_CHECK_MSG(x < ctx_->universe(), "element outside universe");
+  REPRO_DCHECK(x != kEmpty);
+  REPRO_DCHECK(!contains(x));
+  // Two copies (paper: "the insert procedure is called twice").
+  for (int copy = 0; copy < 2; ++copy) {
+    const std::uint64_t nestless = walk(x);
+    if (nestless != kEmpty) {
+      handle_failure(x, nestless);
+      return false;
+    }
+  }
+  ++stats_.inserted;
+  return true;
+}
+
+void BatmapBuilder::check_invariants() const {
+  // Every stored value occurs exactly twice, in two distinct tables, at its
+  // own hash positions.
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t p = 0; p < slots_.size(); ++p) {
+    const std::uint64_t v = slots_[p];
+    if (v == kEmpty) continue;
+    const int t = ctx_->params().table_of(p);
+    REPRO_CHECK_MSG(position(t, v) == p, "value stored at wrong position");
+    seen.push_back(v);
+  }
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < seen.size(); i += 2) {
+    REPRO_CHECK_MSG(i + 1 < seen.size() && seen[i] == seen[i + 1],
+                    "value does not occur exactly twice");
+    REPRO_CHECK_MSG(i + 2 >= seen.size() || seen[i + 2] != seen[i],
+                    "value occurs more than twice");
+  }
+  for (const std::uint64_t f : failures_) {
+    REPRO_CHECK_MSG(!std::binary_search(seen.begin(), seen.end(), f),
+                    "failed element still stored");
+  }
+}
+
+namespace {
+/// Cyclic-successor test: with both copies of a value in tables ta and tb,
+/// the copy in table `t` is the LAST of the two iff the other table is its
+/// cyclic predecessor (pairs {1,2}->2, {2,3}->3, {3,1}->1 in 1-based terms).
+bool is_last_occurrence(int t, int t_other) {
+  return (t_other + 1) % 3 == t;
+}
+}  // namespace
+
+Batmap BatmapBuilder::seal() const {
+  const LayoutParams& prm = ctx_->params();
+  std::vector<std::uint32_t> words(LayoutParams::words(range_), 0u);
+  std::uint64_t stored = 0;
+  for (std::uint64_t p = 0; p < slots_.size(); ++p) {
+    const std::uint64_t v = slots_[p];
+    if (v == kEmpty) continue;
+    const int t = prm.table_of(p);
+    // Locate the other copy to derive the indicator bit.
+    int t_other = -1;
+    for (int u = 0; u < 3; ++u) {
+      if (u == t) continue;
+      if (slots_[position(u, v)] == v) {
+        REPRO_CHECK_MSG(t_other == -1, "value stored in all three tables");
+        t_other = u;
+      }
+    }
+    REPRO_CHECK_MSG(t_other != -1, "value stored only once");
+    const bool last = is_last_occurrence(t, t_other);
+    const std::uint8_t byte = static_cast<std::uint8_t>(
+        (last ? 0x80u : 0x00u) | prm.code(ctx_->permuted(t, v)));
+    words[p >> 2] |= static_cast<std::uint32_t>(byte) << (8 * (p & 3));
+    if (last) ++stored;
+  }
+  return Batmap(range_, stored, std::move(words), prm);
+}
+
+ReferenceBatmap BatmapBuilder::seal_reference() const {
+  std::vector<std::uint64_t> values(slots_.size(), ReferenceBatmap::kEmpty);
+  std::vector<std::uint8_t> last(slots_.size(), 0);
+  const LayoutParams& prm = ctx_->params();
+  for (std::uint64_t p = 0; p < slots_.size(); ++p) {
+    const std::uint64_t v = slots_[p];
+    if (v == kEmpty) continue;
+    const int t = prm.table_of(p);
+    int t_other = -1;
+    for (int u = 0; u < 3; ++u) {
+      if (u != t && slots_[position(u, v)] == v) t_other = u;
+    }
+    REPRO_CHECK(t_other != -1);
+    values[p] = v;
+    last[p] = is_last_occurrence(t, t_other) ? 1 : 0;
+  }
+  return ReferenceBatmap(range_, std::move(values), std::move(last));
+}
+
+Batmap build_batmap(const BatmapContext& ctx,
+                    std::span<const std::uint64_t> elements,
+                    std::vector<std::uint64_t>* failed,
+                    BatmapBuilder::Options opt) {
+  BatmapBuilder b(ctx, ctx.params().range_for_size(elements.size()), opt);
+  for (const std::uint64_t x : elements) b.insert(x);
+  if (failed) {
+    failed->insert(failed->end(), b.failures().begin(), b.failures().end());
+  }
+  return b.seal();
+}
+
+}  // namespace repro::batmap

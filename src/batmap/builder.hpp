@@ -1,0 +1,107 @@
+// BatmapBuilder: places each element in 2 of its 3 hash positions using the
+// paper's generalization of cuckoo hashing (§II-A), then seals the table
+// into the compressed byte representation.
+//
+// Failure semantics follow §III-C: if an insertion walk exceeds MaxLoop, the
+// element being inserted is removed entirely, recorded in failures(), and the
+// nestless victim returned by the walk is re-inserted (cascading failures are
+// bounded and also recorded). A sealed batmap therefore represents exactly
+// S \ failures(), and callers patch the difference (see core::PairMiner).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "batmap/batmap.hpp"
+#include "batmap/context.hpp"
+#include "batmap/reference.hpp"
+
+namespace repro::batmap {
+
+class BatmapBuilder {
+ public:
+  struct Options {
+    /// Maximum number of 3-swap rounds per insertion walk before declaring
+    /// the insertion failed (the paper's MaxLoop).
+    int max_loop = 128;
+    /// Maximum cascading re-insertions processed after a failure.
+    int max_cascade = 16;
+  };
+
+  struct Stats {
+    std::uint64_t inserted = 0;      ///< elements fully placed
+    std::uint64_t failed = 0;        ///< elements recorded as failures
+    std::uint64_t swaps = 0;         ///< total element moves across all walks
+    std::uint64_t walks = 0;         ///< insertion walks started
+  };
+
+  /// A builder for one set with hash range `range` (use
+  /// params().range_for_size). The context outlives the builder.
+  BatmapBuilder(const BatmapContext& ctx, std::uint32_t range);
+  BatmapBuilder(const BatmapContext& ctx, std::uint32_t range, Options opt);
+
+  /// Inserts element x < universe. Elements must be distinct across calls.
+  /// Returns false iff x was recorded as failed. Note a failure may also
+  /// evict a previously inserted element (also recorded in failures()).
+  bool insert(std::uint64_t x);
+
+  /// Elements not represented in the sealed batmap.
+  const std::vector<std::uint64_t>& failures() const { return failures_; }
+  const Stats& stats() const { return stats_; }
+
+  /// True iff x currently has at least one copy placed.
+  bool contains(std::uint64_t x) const;
+
+  /// Removes x if present (both copies — cuckoo deletion is O(1)).
+  /// Returns true iff x was stored. Elements recorded as failures stay in
+  /// failures(); erase only affects placed elements.
+  bool erase(std::uint64_t x);
+
+  /// Validates the 2-of-3 invariants (every stored value in exactly two
+  /// distinct tables, each at its hash position). Throws CheckError on
+  /// violation. O(slots); meant for tests.
+  void check_invariants() const;
+
+  /// Compressed batmap. Builder remains valid (idempotent snapshot).
+  Batmap seal() const;
+
+  /// Uncompressed reference snapshot for oracle comparisons in tests.
+  ReferenceBatmap seal_reference() const;
+
+  std::uint32_t range() const { return range_; }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~0ull;
+
+  std::uint64_t position(int t, std::uint64_t x) const {
+    return ctx_->params().position(ctx_->permuted(t, x), t, range_);
+  }
+
+  /// One cuckoo walk trying to place a single copy of x. Returns kEmpty on
+  /// success or the nestless element after MaxLoop rounds.
+  std::uint64_t walk(std::uint64_t x);
+
+  /// Removes every placed copy of x (checks its 3 positions).
+  void remove_all(std::uint64_t x);
+
+  /// Failure path: drop `x`, then restore the invariant for the nestless
+  /// victim chain.
+  void handle_failure(std::uint64_t x, std::uint64_t nestless);
+
+  const BatmapContext* ctx_;
+  std::uint32_t range_;
+  Options opt_;
+  std::vector<std::uint64_t> slots_;  ///< element value per position, kEmpty=⊥
+  std::vector<std::uint64_t> failures_;
+  Stats stats_;
+};
+
+/// Convenience: build + seal a batmap for `elements` (all < ctx.universe()),
+/// appending any failed elements to *failed (if non-null).
+Batmap build_batmap(const BatmapContext& ctx,
+                    std::span<const std::uint64_t> elements,
+                    std::vector<std::uint64_t>* failed = nullptr,
+                    BatmapBuilder::Options opt = BatmapBuilder::Options{});
+
+}  // namespace repro::batmap

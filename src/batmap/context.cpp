@@ -1,0 +1,9 @@
+#include "batmap/context.hpp"
+
+namespace repro::batmap {
+
+BatmapContext::BatmapContext(std::uint64_t m, std::uint64_t seed,
+                             std::uint32_t r0_min)
+    : params_(LayoutParams::for_universe(m, r0_min)), perms_(m, seed) {}
+
+}  // namespace repro::batmap

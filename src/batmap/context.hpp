@@ -1,0 +1,42 @@
+// BatmapContext: everything shared by all batmaps of one universe [0, m) —
+// the layout parameters and the three global permutations π_1, π_2, π_3.
+// Batmaps are only comparable when built against the same context (same
+// permutations, nested power-of-two ranges).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "batmap/layout.hpp"
+#include "hash/permutation.hpp"
+
+namespace repro::batmap {
+
+class BatmapContext {
+ public:
+  /// Universe [0, m); `seed` fixes the permutations, `r0_min` optionally
+  /// raises the global minimum range.
+  explicit BatmapContext(std::uint64_t m, std::uint64_t seed = 0x9d2c5680,
+                         std::uint32_t r0_min = 4);
+
+  const LayoutParams& params() const { return params_; }
+  std::uint64_t universe() const { return params_.m; }
+
+  /// Permuted value π_t(x), t ∈ {0,1,2}.
+  std::uint64_t permuted(int t, std::uint64_t x) const {
+    return perms_.pi(t)(x);
+  }
+  /// x from π_t(x).
+  std::uint64_t unpermuted(int t, std::uint64_t v) const {
+    return perms_.pi(t).inverse(v);
+  }
+
+  const hash::PermutationTriple& perms() const { return perms_; }
+
+ private:
+  LayoutParams params_;
+  hash::PermutationTriple perms_;
+};
+
+}  // namespace repro::batmap

@@ -1,0 +1,188 @@
+#include "batmap/intersect.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+namespace repro::batmap {
+
+BatmapStore::BatmapStore(std::uint64_t universe)
+    : BatmapStore(universe, Options{}) {}
+
+BatmapStore::BatmapStore(std::uint64_t universe, Options opt)
+    : ctx_(universe, opt.seed), opt_(opt) {}
+
+std::size_t BatmapStore::add(std::span<const std::uint64_t> elements) {
+  std::vector<std::uint64_t> sorted(elements.begin(), elements.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::vector<std::uint64_t> failed;
+  maps_.push_back(build_batmap(ctx_, sorted, &failed, opt_.builder));
+  std::sort(failed.begin(), failed.end());
+  failed_.push_back(std::move(failed));
+  if (opt_.keep_elements) {
+    elements_.push_back(std::move(sorted));
+  } else {
+    elements_.emplace_back();
+  }
+  return maps_.size() - 1;
+}
+
+const Batmap& BatmapStore::map(std::size_t id) const {
+  REPRO_CHECK(id < maps_.size());
+  return maps_[id];
+}
+
+std::span<const std::uint64_t> BatmapStore::failures(std::size_t id) const {
+  REPRO_CHECK(id < failed_.size());
+  return failed_[id];
+}
+
+std::span<const std::uint64_t> BatmapStore::elements(std::size_t id) const {
+  REPRO_CHECK(id < elements_.size());
+  return elements_[id];
+}
+
+std::uint64_t BatmapStore::raw_count(std::size_t a, std::size_t b) const {
+  return intersect_count(map(a), map(b));
+}
+
+std::uint64_t BatmapStore::intersection_size(std::size_t a,
+                                             std::size_t b) const {
+  REPRO_CHECK(a < maps_.size() && b < maps_.size());
+  return patched_intersect_count(maps_[a], failed_[a], elements_[a], maps_[b],
+                                 failed_[b], elements_[b]);
+}
+
+std::uint64_t BatmapStore::batmap_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& m : maps_) total += m.memory_bytes();
+  return total;
+}
+
+std::uint64_t BatmapStore::memory_bytes() const {
+  std::uint64_t total = batmap_bytes();
+  for (const auto& e : elements_) total += e.size() * sizeof(std::uint64_t);
+  for (const auto& f : failed_) total += f.size() * sizeof(std::uint64_t);
+  return total;
+}
+
+std::uint64_t BatmapStore::total_failures() const {
+  std::uint64_t total = 0;
+  for (const auto& f : failed_) total += f.size();
+  return total;
+}
+
+namespace {
+/// |list ∩ a ∩ b| for a sorted failure list and sorted element lists.
+std::uint64_t count_in_both(std::span<const std::uint64_t> list,
+                            std::span<const std::uint64_t> a,
+                            std::span<const std::uint64_t> b) {
+  std::uint64_t c = 0;
+  for (const std::uint64_t x : list) {
+    if (std::binary_search(a.begin(), a.end(), x) &&
+        std::binary_search(b.begin(), b.end(), x))
+      ++c;
+  }
+  return c;
+}
+}  // namespace
+
+std::uint64_t patched_intersect_count(
+    const Batmap& map_a, std::span<const std::uint64_t> failed_a,
+    std::span<const std::uint64_t> sorted_a, const Batmap& map_b,
+    std::span<const std::uint64_t> failed_b,
+    std::span<const std::uint64_t> sorted_b) {
+  std::uint64_t count = intersect_count(map_a, map_b);
+  // Patch elements missing from either map. An element in both failure lists
+  // must be counted once, hence the exclusion of duplicates.
+  count += count_in_both(failed_a, sorted_a, sorted_b);
+  for (const std::uint64_t x : failed_b) {
+    if (std::binary_search(failed_a.begin(), failed_a.end(), x)) continue;
+    if (std::binary_search(sorted_a.begin(), sorted_a.end(), x) &&
+        std::binary_search(sorted_b.begin(), sorted_b.end(), x))
+      ++count;
+  }
+  return count;
+}
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x424154'4d41'5031ull;  // "BATMAP1"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  REPRO_CHECK_MSG(in.good(), "truncated batmap store stream");
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in) {
+  const auto size = read_pod<std::uint64_t>(in);
+  std::vector<T> v(size);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  REPRO_CHECK_MSG(in.good(), "truncated batmap store stream");
+  return v;
+}
+
+}  // namespace
+
+void BatmapStore::save(std::ostream& out) const {
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod<std::uint64_t>(out, ctx_.universe());
+  write_pod<std::uint64_t>(out, opt_.seed);
+  write_pod<std::uint8_t>(out, opt_.keep_elements ? 1 : 0);
+  write_pod<std::uint64_t>(out, maps_.size());
+  for (std::size_t i = 0; i < maps_.size(); ++i) {
+    write_pod<std::uint32_t>(out, maps_[i].range());
+    write_pod<std::uint64_t>(out, maps_[i].stored_elements());
+    write_vec(out, std::vector<std::uint32_t>(maps_[i].words().begin(),
+                                              maps_[i].words().end()));
+    write_vec(out, failed_[i]);
+    write_vec(out, elements_[i]);
+  }
+  REPRO_CHECK_MSG(out.good(), "write failed");
+}
+
+BatmapStore BatmapStore::load(std::istream& in) {
+  REPRO_CHECK_MSG(read_pod<std::uint64_t>(in) == kMagic,
+                  "not a batmap store stream");
+  REPRO_CHECK_MSG(read_pod<std::uint32_t>(in) == kVersion,
+                  "unsupported batmap store version");
+  const auto universe = read_pod<std::uint64_t>(in);
+  Options opt;
+  opt.seed = read_pod<std::uint64_t>(in);
+  opt.keep_elements = read_pod<std::uint8_t>(in) != 0;
+  BatmapStore store(universe, opt);
+  const auto count = read_pod<std::uint64_t>(in);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto range = read_pod<std::uint32_t>(in);
+    const auto stored = read_pod<std::uint64_t>(in);
+    auto words = read_vec<std::uint32_t>(in);
+    store.maps_.emplace_back(range, stored, std::move(words),
+                             store.ctx_.params());
+    store.failed_.push_back(read_vec<std::uint64_t>(in));
+    store.elements_.push_back(read_vec<std::uint64_t>(in));
+  }
+  return store;
+}
+
+}  // namespace repro::batmap

@@ -1,0 +1,52 @@
+#include "batmap/layout.hpp"
+
+namespace repro::batmap {
+
+LayoutParams LayoutParams::for_universe(std::uint64_t m,
+                                        std::uint32_t r0_min) {
+  REPRO_CHECK_MSG(m >= 1, "universe must be non-empty");
+  REPRO_CHECK_MSG(bits::is_pow2(r0_min) && r0_min >= 4,
+                  "r0_min must be a power of two >= 4");
+  LayoutParams p;
+  p.m = m;
+  // Smallest shift such that the code (max_v >> s) + 1 fits in 7 bits.
+  unsigned s = 0;
+  while ((((m - 1) >> s) + 1) > 127) ++s;
+  p.s = s;
+  // The compression is only decodable when every hash range is >= 2^s.
+  std::uint32_t r0 = r0_min;
+  if (s > 0) {
+    const std::uint64_t floor = 1ull << s;
+    while (r0 < floor) r0 *= 2;
+  }
+  p.r0 = r0;
+  REPRO_CHECK(p.valid());
+  return p;
+}
+
+std::uint32_t LayoutParams::range_for_size(std::uint64_t size) const {
+  // Paper: r_i = 2·2^⌈log₂|S_i|⌉, i.e. in [2|S_i|, 4|S_i|). This satisfies
+  // the analysis requirement r ≥ (2+ε)·|S_i| up to the power-of-two rounding
+  // and guarantees at least |S_i| free slots among the 3r positions.
+  std::uint64_t r = (size == 0) ? r0 : 2ull * bits::next_pow2(size);
+  if (r < r0) r = r0;
+  REPRO_CHECK_MSG(r <= 0xffffffffull, "set too large for 32-bit range");
+  return static_cast<std::uint32_t>(r);
+}
+
+std::uint64_t LayoutParams::reconstruct(std::uint64_t pos, std::uint8_t code7,
+                                        std::uint32_t r) const {
+  REPRO_DCHECK(code7 >= 1 && code7 <= 127);
+  // Position decomposes as 3r₀·block + t·r₀ + low.
+  const std::uint64_t block = pos / (3ull * r0);
+  const std::uint64_t low = pos % r0;
+  const std::uint64_t slot = block * r0 + low;  // π_t(x) mod r
+  const std::uint64_t high = static_cast<std::uint64_t>(code7 - 1) << s;
+  // π_t(x) = high | (slot mod 2^s): since 2^s divides r and slot = v mod r,
+  // the low s bits of v equal the low s bits of slot.
+  const std::uint64_t low_s = (s == 0) ? 0 : (slot & ((1ull << s) - 1));
+  (void)r;
+  return high | low_s;
+}
+
+}  // namespace repro::batmap

@@ -1,0 +1,92 @@
+// Geometry of the compressed batmap layout (paper §III-A).
+//
+// A batmap for a set S ⊆ [0, m) consists of 3 logical hash tables of range r
+// (a power of two), interleaved in blocks of r₀ slots each:
+//
+//   [t1: slots 0..r₀)   [t2: 0..r₀)  [t3: 0..r₀)  [t1: r₀..2r₀)  [t2: ...] ...
+//
+// where r₀ is the *global* minimum range shared by all batmaps of a universe.
+// Slot position of element x in table t:
+//
+//   pos = 3r₀·⌊(π_t(x) mod r)/r₀⌋ + (π_t(x) mod r₀) + t·r₀ ,  t ∈ {0,1,2}
+//
+// The key consequence (Lemma, tested in layout_test): for two batmaps with
+// ranges r_i ≤ r_j, the position of x in the smaller is the position in the
+// larger wrapped cyclically:  pos_i = pos_j mod 3r_i.  Hence intersection is
+// a data-independent sweep comparing word w of B_j with word (w mod W_i) of
+// B_i.
+//
+// Each slot stores one byte: indicator bit (MSB) and a 7-bit code
+// (π_t(x) >> s) + 1, with 0x00 reserved for the empty slot ⊥. Position fixes
+// π_t(x) mod r (and 2^s divides r), the code fixes π_t(x) >> s, so
+// byte+position reconstruct π_t(x) exactly and π_t is a bijection — no false
+// matches are possible. Validity requires ((m-1) >> s) + 1 ≤ 127 and
+// r ≥ 2^s; the smallest admissible s therefore forces r₀ ≥ 2^s, which is the
+// space floor the paper observes for very sparse sets (Fig 8).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace repro::batmap {
+
+/// Slot byte value of the empty slot ⊥.
+inline constexpr std::uint8_t kNullSlot = 0x00;
+
+/// Per-universe layout parameters shared by every batmap built against the
+/// same universe [0, m).
+struct LayoutParams {
+  std::uint64_t m = 1;   ///< universe size; elements are 0..m-1
+  unsigned s = 0;        ///< code shift: slot code = (π_t(x) >> s) + 1
+  std::uint32_t r0 = 4;  ///< global minimum hash range (power of two, ≥ 4)
+
+  /// Derives (s, r0) from the universe size. `r0_min` lets callers force a
+  /// larger minimum range (must be a power of two ≥ 4).
+  static LayoutParams for_universe(std::uint64_t m, std::uint32_t r0_min = 4);
+
+  /// Range for a set of `size` elements: ≈ 2·2^⌈log₂ size⌉ clamped below by
+  /// r0 (paper's sizing, satisfying both r ≥ 2·size and r ≥ 2^s).
+  std::uint32_t range_for_size(std::uint64_t size) const;
+
+  /// Slots (== bytes) in a batmap of range r.
+  static std::uint64_t slots(std::uint32_t r) { return 3ull * r; }
+  /// 32-bit words in a batmap of range r.
+  static std::uint64_t words(std::uint32_t r) { return 3ull * r / 4; }
+
+  /// Slot position of permuted value v = π_t(x) in table t ∈ {0,1,2} for
+  /// range r.
+  std::uint64_t position(std::uint64_t v, int t, std::uint32_t r) const {
+    REPRO_DCHECK(t >= 0 && t < 3);
+    REPRO_DCHECK(bits::is_pow2(r) && r >= r0);
+    const std::uint64_t slot = v & (r - 1);          // π_t(x) mod r
+    const std::uint64_t block = slot / r0;           // ⌊slot / r₀⌋
+    const std::uint64_t low = v & (r0 - 1);          // π_t(x) mod r₀
+    return 3ull * r0 * block + low + static_cast<std::uint64_t>(t) * r0;
+  }
+
+  /// 7-bit slot code for permuted value v (1..127).
+  std::uint8_t code(std::uint64_t v) const {
+    const std::uint64_t c = (v >> s) + 1;
+    REPRO_DCHECK(c >= 1 && c <= 127);
+    return static_cast<std::uint8_t>(c);
+  }
+
+  /// Reconstructs π_t(x) from a slot position and its 7-bit code
+  /// (inverse of position()+code(); used by tests and the decoder).
+  std::uint64_t reconstruct(std::uint64_t pos, std::uint8_t code7,
+                            std::uint32_t r) const;
+
+  /// Table index encoded in a position.
+  int table_of(std::uint64_t pos) const {
+    return static_cast<int>((pos / r0) % 3);
+  }
+
+  bool valid() const {
+    return m >= 1 && bits::is_pow2(r0) && r0 >= 4 &&
+           ((m - 1) >> s) + 1 <= 127 && (s == 0 || (1ull << s) <= r0);
+  }
+};
+
+}  // namespace repro::batmap

@@ -1,0 +1,253 @@
+#include "batmap/multiway.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace repro::batmap {
+
+MultiwayContext::MultiwayContext(std::uint64_t universe, int d,
+                                 std::uint64_t seed)
+    : m_(universe), d_(d) {
+  REPRO_CHECK_MSG(universe >= 1, "universe must be non-empty");
+  REPRO_CHECK_MSG(d >= 2 && d <= 15, "d must be in [2, 15] (hole fits 4 bits)");
+  unsigned s = 0;
+  while ((((m_ - 1) >> s) + 1) > 4095) ++s;
+  s_ = s;
+  std::uint32_t r0 = 4;
+  if (s > 0) {
+    const std::uint64_t floor = 1ull << s;
+    while (r0 < floor) r0 *= 2;
+  }
+  r0_ = r0;
+  SplitMix64 sm(seed);
+  perms_.reserve(static_cast<std::size_t>(d + 1));
+  for (int t = 0; t <= d; ++t) {
+    perms_.emplace_back(universe, sm.next());
+  }
+}
+
+std::uint32_t MultiwayContext::range_for_size(std::uint64_t size) const {
+  // Unlike the 2-of-3 case, an element of a d-of-(d+1) map has only ONE
+  // spare table, so any element involved in two unresolvable collisions
+  // fails. Empirically (see bench/ablation_insertion and multiway_test) the
+  // failure rate only vanishes once r = Ω(d·|S|); we use r ∈ [2d|S|, 4d|S|).
+  // This quadratic-in-d space cost is a genuine finding about the paper's
+  // §V proposal, documented in DESIGN.md.
+  std::uint64_t r = (size == 0)
+                        ? r0_
+                        : 2ull * bits::next_pow2(static_cast<std::uint64_t>(d_) *
+                                                 size);
+  if (r < r0_) r = r0_;
+  REPRO_CHECK_MSG(r <= 0xffffffffull, "set too large");
+  return static_cast<std::uint32_t>(r);
+}
+
+GeneralBatmapBuilder::GeneralBatmapBuilder(const MultiwayContext& ctx,
+                                           std::uint32_t range, int max_loop)
+    : ctx_(&ctx), range_(range), max_loop_(max_loop) {
+  REPRO_CHECK(bits::is_pow2(range) && range >= ctx.r0());
+  REPRO_CHECK(max_loop >= 1);
+  values_.assign(static_cast<std::uint64_t>(ctx.tables()) * range, kEmpty);
+}
+
+std::uint64_t GeneralBatmapBuilder::walk(std::uint64_t x, int /*unused*/) {
+  std::uint64_t tau = x;
+  for (int round = 0; round < max_loop_; ++round) {
+    for (int t = 0; t < ctx_->tables(); ++t) {
+      std::uint64_t& slot = values_[position(t, tau)];
+      std::swap(tau, slot);
+      if (tau == kEmpty) return kEmpty;
+    }
+  }
+  return tau;
+}
+
+void GeneralBatmapBuilder::remove_all(std::uint64_t x) {
+  for (int t = 0; t < ctx_->tables(); ++t) {
+    std::uint64_t& slot = values_[position(t, x)];
+    if (slot == x) slot = kEmpty;
+  }
+}
+
+int GeneralBatmapBuilder::copies_placed(std::uint64_t x) const {
+  int copies = 0;
+  for (int t = 0; t < ctx_->tables(); ++t) {
+    copies += (values_[position(t, x)] == x);
+  }
+  return copies;
+}
+
+bool GeneralBatmapBuilder::insert(std::uint64_t x) {
+  REPRO_CHECK_MSG(x < ctx_->universe(), "element outside universe");
+  REPRO_DCHECK(copies_placed(x) == 0);
+  for (int copy = 0; copy < ctx_->d(); ++copy) {
+    const std::uint64_t nestless = walk(x, 0);
+    if (nestless != kEmpty) {
+      // Failure handling mirrors the 2-of-3 builder: drop x entirely, then
+      // give the evicted survivor one repair walk (cascade bounded to the
+      // chain length; evicted elements that cannot be repaired are dropped
+      // and recorded).
+      remove_all(x);
+      failures_.push_back(x);
+      std::uint64_t pending = nestless;
+      for (int rounds = 0; rounds < 8 && pending != x && pending != kEmpty;
+           ++rounds) {
+        const std::uint64_t evicted = walk(pending, 0);
+        if (evicted == kEmpty) return false;
+        if (evicted == pending) break;
+        pending = evicted;
+      }
+      if (pending != x && pending != kEmpty) {
+        remove_all(pending);
+        failures_.push_back(pending);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void GeneralBatmapBuilder::check_invariants() const {
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t p = 0; p < values_.size(); ++p) {
+    const std::uint64_t v = values_[p];
+    if (v == kEmpty) continue;
+    const int t = ctx_->table_of(p);
+    REPRO_CHECK_MSG(position(t, v) == p, "value at wrong position");
+    seen.push_back(v);
+  }
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < seen.size();) {
+    std::size_t j = i;
+    while (j < seen.size() && seen[j] == seen[i]) ++j;
+    REPRO_CHECK_MSG(j - i == static_cast<std::size_t>(ctx_->d()),
+                    "value does not occur exactly d times");
+    i = j;
+  }
+}
+
+GeneralBatmap GeneralBatmapBuilder::seal() const {
+  std::vector<std::uint16_t> slots(values_.size(), 0);
+  std::uint64_t occupied = 0;
+  for (std::uint64_t p = 0; p < values_.size(); ++p) {
+    const std::uint64_t v = values_[p];
+    if (v == kEmpty) continue;
+    ++occupied;
+    // The hole is the unique table without a copy of v.
+    int hole = -1;
+    for (int t = 0; t < ctx_->tables(); ++t) {
+      if (values_[position(t, v)] != v) {
+        REPRO_CHECK_MSG(hole == -1, "more than one hole");
+        hole = t;
+      }
+    }
+    REPRO_CHECK_MSG(hole != -1, "element stored in every table");
+    const int t = ctx_->table_of(p);
+    slots[p] = GeneralBatmap::pack(hole, ctx_->code(ctx_->permuted(t, v)));
+  }
+  return GeneralBatmap(range_, std::move(slots),
+                       occupied / static_cast<std::uint64_t>(ctx_->d()));
+}
+
+GeneralBatmap build_general_batmap(const MultiwayContext& ctx,
+                                   std::span<const std::uint64_t> elements,
+                                   std::vector<std::uint64_t>* failed) {
+  GeneralBatmapBuilder b(ctx, ctx.range_for_size(elements.size()));
+  for (const std::uint64_t x : elements) b.insert(x);
+  if (failed) {
+    failed->insert(failed->end(), b.failures().begin(), b.failures().end());
+  }
+  return b.seal();
+}
+
+std::uint64_t multiway_intersect_count(
+    const MultiwayContext& ctx,
+    std::span<const GeneralBatmap* const> maps) {
+  REPRO_CHECK_MSG(maps.size() >= 2, "need at least two sets");
+  REPRO_CHECK_MSG(static_cast<int>(maps.size()) <= ctx.d(),
+                  "witness guarantee requires k <= d");
+  // Same-range requirement keeps the sweep a plain zip; nested sizes would
+  // wrap exactly as in the 2-of-3 case (same layout algebra).
+  const std::uint32_t r = maps[0]->range();
+  for (const auto* m : maps) {
+    REPRO_CHECK_MSG(m->range() == r, "maps must share a range");
+  }
+  const std::uint64_t slots = maps[0]->slot_count();
+  std::uint64_t count = 0;
+  for (std::uint64_t p = 0; p < slots; ++p) {
+    const std::uint16_t first = maps[0]->slot(p);
+    const std::uint16_t code = GeneralBatmap::code_of(first);
+    if (code == 0) continue;
+    bool all = true;
+    std::uint32_t hole_mask = 1u << GeneralBatmap::hole_of(first);
+    for (std::size_t i = 1; i < maps.size(); ++i) {
+      const std::uint16_t s = maps[i]->slot(p);
+      if (GeneralBatmap::code_of(s) != code) {
+        all = false;
+        break;
+      }
+      hole_mask |= 1u << GeneralBatmap::hole_of(s);
+    }
+    if (!all) continue;
+    // Count only at the FIRST witnessing table: every earlier table must be
+    // some set's hole.
+    const int t = ctx.table_of(p);
+    const std::uint32_t below = (1u << t) - 1;
+    if ((hole_mask & below) == below) ++count;
+  }
+  return count;
+}
+
+std::uint64_t multiway_count_via_counters(
+    const BatmapContext& ctx, const Batmap& base,
+    std::span<const std::uint64_t> base_elements,
+    std::span<const Batmap* const> others) {
+  REPRO_CHECK_MSG(!others.empty(), "need at least one other set");
+  REPRO_CHECK_MSG(base.stored_elements() == base_elements.size(),
+                  "base map has insertion failures; patch before counting");
+  const std::uint64_t base_slots = base.slot_count();
+  std::vector<std::uint16_t> counters(base_slots, 0);
+
+  // One aligned pair sweep per other map, crediting the base position of
+  // the (exactly one) counted match per common element.
+  for (const Batmap* other : others) {
+    const std::uint64_t other_slots = other->slot_count();
+    const std::uint64_t big = std::max(base_slots, other_slots);
+    for (std::uint64_t p = 0; p < big; ++p) {
+      const std::uint64_t pb = p % base_slots;
+      const std::uint64_t po = p % other_slots;
+      const std::uint8_t a = base.slot(pb);
+      const std::uint8_t b = other->slot(po);
+      if (((a ^ b) & 0x7f) == 0 && ((a | b) & 0x80)) {
+        ++counters[pb];
+      }
+    }
+  }
+
+  // Decode pass: element x lies in all sets iff its two occurrence counters
+  // sum to the number of other sets.
+  const auto k_minus_1 = static_cast<std::uint64_t>(others.size());
+  const LayoutParams& prm = ctx.params();
+  std::uint64_t count = 0;
+  for (const std::uint64_t x : base_elements) {
+    std::uint64_t total = 0;
+    int occurrences = 0;
+    for (int t = 0; t < 3; ++t) {
+      const std::uint64_t v = ctx.permuted(t, x);
+      const std::uint64_t p = prm.position(v, t, base.range());
+      const std::uint8_t slot = base.slot(p);
+      if (slot != kNullSlot &&
+          static_cast<std::uint8_t>(slot & 0x7f) == prm.code(v)) {
+        total += counters[p];
+        ++occurrences;
+      }
+    }
+    REPRO_CHECK_MSG(occurrences == 2, "base element not stored twice");
+    if (total == k_minus_1) ++count;
+  }
+  return count;
+}
+
+}  // namespace repro::batmap

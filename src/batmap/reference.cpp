@@ -1,0 +1,33 @@
+#include "batmap/reference.hpp"
+
+#include "util/check.hpp"
+
+namespace repro::batmap {
+
+ReferenceBatmap::ReferenceBatmap(std::uint32_t range,
+                                 std::vector<std::uint64_t> values,
+                                 std::vector<std::uint8_t> last_bits)
+    : range_(range), values_(std::move(values)), last_bits_(std::move(last_bits)) {
+  REPRO_CHECK(values_.size() == LayoutParams::slots(range));
+  REPRO_CHECK(last_bits_.size() == values_.size());
+}
+
+std::uint64_t intersect_count_reference(const ReferenceBatmap& a,
+                                        const ReferenceBatmap& b) {
+  const ReferenceBatmap& big = a.slot_count() >= b.slot_count() ? a : b;
+  const ReferenceBatmap& small = a.slot_count() >= b.slot_count() ? b : a;
+  REPRO_CHECK(small.slot_count() > 0);
+  REPRO_CHECK(big.slot_count() % small.slot_count() == 0);
+  std::uint64_t count = 0;
+  const std::uint64_t ws = small.slot_count();
+  for (std::uint64_t p = 0; p < big.slot_count(); ++p) {
+    const std::uint64_t q = p % ws;
+    if (big.value(p) == ReferenceBatmap::kEmpty ||
+        big.value(p) != small.value(q))
+      continue;
+    if (big.last_bit(p) || small.last_bit(q)) ++count;
+  }
+  return count;
+}
+
+}  // namespace repro::batmap

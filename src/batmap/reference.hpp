@@ -1,0 +1,40 @@
+// Uncompressed batmap used as a correctness oracle: slots store the original
+// element values (64-bit) plus the indicator bit, and intersection counting
+// compares full values. It shares the exact slot geometry with the
+// compressed Batmap, so it validates the layout and indicator-bit logic
+// independently of the 7-bit compression.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "batmap/layout.hpp"
+
+namespace repro::batmap {
+
+class ReferenceBatmap {
+ public:
+  static constexpr std::uint64_t kEmpty = ~0ull;
+
+  ReferenceBatmap() = default;
+  ReferenceBatmap(std::uint32_t range, std::vector<std::uint64_t> values,
+                  std::vector<std::uint8_t> last_bits);
+
+  std::uint32_t range() const { return range_; }
+  std::uint64_t slot_count() const { return values_.size(); }
+
+  std::uint64_t value(std::uint64_t p) const { return values_[p]; }
+  bool last_bit(std::uint64_t p) const { return last_bits_[p] != 0; }
+
+ private:
+  std::uint32_t range_ = 0;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint8_t> last_bits_;
+};
+
+/// Exact |S_a ∩ S_b| over the stored elements — the "A equal and (b_a ∨ b_b)"
+/// counting rule evaluated on uncompressed values.
+std::uint64_t intersect_count_reference(const ReferenceBatmap& a,
+                                        const ReferenceBatmap& b);
+
+}  // namespace repro::batmap

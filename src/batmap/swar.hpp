@@ -1,0 +1,58 @@
+// Branch-free SWAR comparison of batmap words (paper §III-A).
+//
+// A 32-bit word packs 4 slot bytes, each `b:1 | code:7`. For two words x, y:
+//
+//   p  = ((x ^ y) | 0x80808080) - 0x01010101
+//
+// leaves a 0 in each byte's MSB iff the 7 code bits of that byte agree
+// (the OR saturates the MSB so the per-lane subtraction never borrows
+// across lanes), and
+//
+//   p' = ~p & ((x | y) & 0x80808080)
+//
+// has the MSB set iff codes agree AND at least one indicator bit is set —
+// the paper's "count only the last occurrence" rule. The number of matching
+// slots is then the popcount of p' (the paper accumulates the same value
+// with four shift-adds; both forms are provided and tested equal).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bits.hpp"
+
+namespace repro::batmap {
+
+inline constexpr std::uint32_t kMsbMask = 0x80808080u;
+inline constexpr std::uint32_t kLsbMask = 0x01010101u;
+
+/// MSB-per-byte mask of slots that match between words x and y.
+constexpr std::uint32_t swar_match_bits(std::uint32_t x, std::uint32_t y) {
+  const std::uint32_t p = ((x ^ y) | kMsbMask) - kLsbMask;
+  return ~p & ((x | y) & kMsbMask);
+}
+
+/// Number of matching slots (0..4) between words x and y.
+constexpr unsigned swar_match_count(std::uint32_t x, std::uint32_t y) {
+  return bits::popcount(swar_match_bits(x, y));
+}
+
+/// The paper's literal accumulation formula:
+/// ((p'≫7)+(p'≫15)+(p'≫23)+(p'≫31)) ∧ 7. Equals swar_match_count().
+constexpr unsigned swar_match_count_paper(std::uint32_t x, std::uint32_t y) {
+  const std::uint32_t pp = swar_match_bits(x, y);
+  return ((pp >> 7) + (pp >> 15) + (pp >> 23) + (pp >> 31)) & 7u;
+}
+
+/// 64-bit variant used by the wide CPU path: processes 8 slots at once.
+constexpr std::uint64_t swar_match_bits64(std::uint64_t x, std::uint64_t y) {
+  constexpr std::uint64_t msb = 0x8080808080808080ull;
+  constexpr std::uint64_t lsb = 0x0101010101010101ull;
+  const std::uint64_t p = ((x ^ y) | msb) - lsb;
+  return ~p & ((x | y) & msb);
+}
+
+constexpr unsigned swar_match_count64(std::uint64_t x, std::uint64_t y) {
+  return bits::popcount64(swar_match_bits64(x, y));
+}
+
+}  // namespace repro::batmap

@@ -1,0 +1,71 @@
+// Ablation kernel: the same n×n pair comparison WITHOUT the shared-memory
+// staging of §III-B — every thread streams both batmaps straight from
+// global memory.
+//
+// Counts are identical to TileKernel's; the difference is the memory access
+// pattern: each thread's loads walk its own pair's words, so the 16 lanes of
+// a half-warp touch 16 DIFFERENT addresses per instruction instead of 16
+// consecutive ones. The simulator's coalescing model makes the cost
+// measurable (bench/ablation_kernel): transactions blow up by an order of
+// magnitude, which is precisely why the paper stages slices through shared
+// memory.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "batmap/swar.hpp"
+#include "simt/device.hpp"
+
+namespace repro::core {
+
+class DirectKernel {
+ public:
+  static constexpr std::uint32_t kDim = 16;
+
+  struct Shared {};  // no shared memory — that's the point
+
+  DirectKernel(const simt::Buffer<std::uint32_t>& words,
+               const simt::Buffer<std::uint64_t>& offsets,
+               const simt::Buffer<std::uint32_t>& widths,
+               std::uint32_t row_base, std::uint32_t col_base,
+               simt::Buffer<std::uint32_t>& out, std::uint32_t out_pitch)
+      : words_(words),
+        offsets_(offsets),
+        widths_(widths),
+        row_base_(row_base),
+        col_base_(col_base),
+        out_(&out),
+        out_pitch_(out_pitch) {}
+
+  int phases(const simt::GroupInfo&) const { return 1; }
+
+  void run(int, simt::ItemCtx& ctx, Shared&) const {
+    const std::uint32_t row = row_base_ + ctx.global_y();
+    const std::uint32_t col = col_base_ + ctx.global_x();
+    const std::uint32_t wr = widths_[row];
+    const std::uint32_t wc = widths_[col];
+    const std::uint32_t total = std::max(wr, wc);
+    std::uint32_t acc = 0;
+    for (std::uint32_t w = 0; w < total; ++w) {
+      const std::uint32_t a = ctx.load(words_, offsets_[row] + (w % wr));
+      const std::uint32_t b = ctx.load(words_, offsets_[col] + (w % wc));
+      acc += batmap::swar_match_count(a, b);
+    }
+    const std::uint64_t idx =
+        static_cast<std::uint64_t>(ctx.global_y()) * out_pitch_ +
+        ctx.global_x();
+    ctx.store(*out_, idx, acc);
+  }
+
+ private:
+  const simt::Buffer<std::uint32_t>& words_;
+  const simt::Buffer<std::uint64_t>& offsets_;
+  const simt::Buffer<std::uint32_t>& widths_;
+  std::uint32_t row_base_;
+  std::uint32_t col_base_;
+  simt::Buffer<std::uint32_t>* out_;
+  std::uint32_t out_pitch_;
+};
+
+}  // namespace repro::core

@@ -1,0 +1,50 @@
+#include "core/failure_patch.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace repro::core {
+
+FailurePatch::FailurePatch(
+    const mining::TransactionDb& db,
+    const std::vector<std::vector<mining::Tid>>& failed_tids,
+    const std::vector<std::uint32_t>& sorted_index, std::uint32_t tile) {
+  REPRO_CHECK(tile >= 1);
+  // Invert: transaction -> failed items. Failures are rare, so a sparse map
+  // keyed by tid is appropriate.
+  std::map<mining::Tid, std::vector<mining::Item>> by_tid;
+  for (mining::Item i = 0; i < failed_tids.size(); ++i) {
+    for (const mining::Tid b : failed_tids[i]) by_tid[b].push_back(i);
+  }
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (const auto& [b, items_failed] : by_tid) {
+    const auto txn = db.transaction(b);
+    pairs.clear();
+    for (const mining::Item a : items_failed) {
+      for (const mining::Item c : txn) {
+        if (c == a) continue;
+        const std::uint32_t sa = sorted_index[a];
+        const std::uint32_t sc = sorted_index[c];
+        pairs.emplace_back(std::min(sa, sc), std::max(sa, sc));
+      }
+    }
+    // Within one transaction each missed pair is credited exactly once,
+    // even if both endpoints failed.
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    for (const auto& [row, col] : pairs) {
+      buckets_[TileCoord{row / tile, col / tile}].push_back(
+          PatchPair{row, col});
+      ++total_;
+    }
+  }
+}
+
+const std::vector<PatchPair>& FailurePatch::bucket(TileCoord c) const {
+  const auto it = buckets_.find(c);
+  return it == buckets_.end() ? empty_ : it->second;
+}
+
+}  // namespace repro::core

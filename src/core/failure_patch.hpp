@@ -1,0 +1,54 @@
+// Host-side patching of failed cuckoo insertions (paper §III-C).
+//
+// Let F_b be the items whose insertion of transaction b failed, and A_b the
+// items of transaction b. For each such b, the pairs {a, c} with a ∈ F_b,
+// c ∈ A_b, a ≠ c were missed by the device sweep for that transaction and
+// must be credited once. Pairs are bucketed per k×k tile coordinate (p, q)
+// in *sorted-batmap index* space — the paper's M_{p,q} sets — and merged
+// into the tile results Z_{p,q} as they arrive from the device.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mining/transaction_db.hpp"
+
+namespace repro::core {
+
+struct TileCoord {
+  std::uint32_t p, q;  // p <= q
+  auto operator<=>(const TileCoord&) const = default;
+};
+
+/// One missed co-occurrence, in sorted-batmap index space.
+struct PatchPair {
+  std::uint32_t row;  ///< smaller sorted index
+  std::uint32_t col;  ///< larger sorted index
+};
+
+class FailurePatch {
+ public:
+  /// `failed_tids[i]` = transactions whose insertion failed for item i
+  /// (original item ids); `sorted_index[i]` maps item -> sorted batmap index;
+  /// `tile` is the k of the k×k tiling.
+  FailurePatch(const mining::TransactionDb& db,
+               const std::vector<std::vector<mining::Tid>>& failed_tids,
+               const std::vector<std::uint32_t>& sorted_index,
+               std::uint32_t tile);
+
+  /// Pairs to credit for tile (p, q); each entry is +1 support.
+  const std::vector<PatchPair>& bucket(TileCoord c) const;
+
+  std::uint64_t total_patches() const { return total_; }
+  const std::map<TileCoord, std::vector<PatchPair>>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::map<TileCoord, std::vector<PatchPair>> buckets_;
+  std::vector<PatchPair> empty_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace repro::core

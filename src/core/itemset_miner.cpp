@@ -1,0 +1,165 @@
+#include "core/itemset_miner.hpp"
+
+#include <algorithm>
+
+#include "batmap/intersect.hpp"
+#include "batmap/multiway.hpp"
+#include "core/pair_miner.hpp"
+#include "util/check.hpp"
+
+namespace repro::core {
+
+namespace {
+
+using Itemset = std::vector<mining::Item>;
+
+/// Apriori candidate generation: join k-sets sharing a (k-1)-prefix, prune
+/// candidates with an infrequent k-subset. `level` is sorted.
+std::vector<Itemset> generate_candidates(const std::vector<Itemset>& level) {
+  std::vector<Itemset> out;
+  for (std::size_t a = 0; a < level.size(); ++a) {
+    for (std::size_t b = a + 1; b < level.size(); ++b) {
+      const Itemset& x = level[a];
+      const Itemset& y = level[b];
+      if (!std::equal(x.begin(), x.end() - 1, y.begin(), y.end() - 1)) break;
+      Itemset cand(x);
+      cand.push_back(std::max(x.back(), y.back()));
+      cand[cand.size() - 2] = std::min(x.back(), y.back());
+      bool ok = true;
+      Itemset sub(cand.size() - 1);
+      for (std::size_t drop = 0; ok && drop + 2 < cand.size(); ++drop) {
+        std::size_t w = 0;
+        for (std::size_t r = 0; r < cand.size(); ++r) {
+          if (r != drop) sub[w++] = cand[r];
+        }
+        ok = std::binary_search(level.begin(), level.end(), sub);
+      }
+      if (ok) out.push_back(std::move(cand));
+    }
+  }
+  return out;
+}
+
+/// k-way sorted merge intersection size (fallback path).
+std::uint64_t kway_merge_count(
+    const std::vector<std::vector<mining::Tid>>& tidlists,
+    const Itemset& items) {
+  std::vector<std::uint32_t> acc(tidlists[items[0]].begin(),
+                                 tidlists[items[0]].end());
+  for (std::size_t i = 1; i < items.size() && !acc.empty(); ++i) {
+    const auto& other = tidlists[items[i]];
+    std::vector<std::uint32_t> next;
+    std::set_intersection(acc.begin(), acc.end(), other.begin(), other.end(),
+                          std::back_inserter(next));
+    acc = std::move(next);
+  }
+  return acc.size();
+}
+
+}  // namespace
+
+BatmapItemsetMiner::BatmapItemsetMiner(Options opt) : opt_(opt) {
+  REPRO_CHECK(opt.minsup >= 1);
+  REPRO_CHECK(opt.tile >= 16 && opt.tile % 16 == 0);
+}
+
+std::vector<MinedItemset> BatmapItemsetMiner::mine(
+    const mining::TransactionDb& db) const {
+  stats_ = Stats{};
+  std::vector<MinedItemset> out;
+  const auto tidlists = db.vertical();
+  const mining::Item n = db.num_items();
+
+  // Level 1.
+  std::vector<Itemset> level;
+  for (mining::Item i = 0; i < n; ++i) {
+    if (tidlists[i].size() >= opt_.minsup) {
+      out.push_back({{i}, static_cast<std::uint32_t>(tidlists[i].size())});
+      level.push_back({i});
+    }
+  }
+  if (opt_.max_size == 1 || level.empty()) return out;
+
+  // Level 2: the paper's pair pipeline.
+  PairMinerOptions popt;
+  popt.seed = opt_.seed;
+  popt.tile = opt_.tile;
+  popt.minsup = opt_.minsup;
+  const auto pairs = PairMiner(popt).mine(db);
+  REPRO_CHECK(pairs.supports.has_value());
+  std::vector<Itemset> level2;
+  for (std::size_t a = 0; a < level.size(); ++a) {
+    for (std::size_t b = a + 1; b < level.size(); ++b) {
+      const mining::Item i = level[a][0], j = level[b][0];
+      const std::uint32_t sup = pairs.supports->get(i, j);
+      if (sup >= opt_.minsup) {
+        out.push_back({{i, j}, sup});
+        level2.push_back({i, j});
+      }
+    }
+  }
+  level = std::move(level2);
+  std::sort(level.begin(), level.end());
+
+  // Levels >= 3: multiway counter counting over per-item batmaps.
+  const std::uint64_t m = db.num_transactions();
+  batmap::BatmapContext ctx(m, opt_.seed);
+  std::vector<batmap::Batmap> maps(n);
+  std::vector<bool> clean(n, false);
+  std::vector<std::vector<std::uint64_t>> elements(n);
+  if (opt_.max_size == 0 || opt_.max_size >= 3) {
+    for (mining::Item i = 0; i < n; ++i) {
+      if (tidlists[i].size() < opt_.minsup) continue;
+      elements[i].assign(tidlists[i].begin(), tidlists[i].end());
+      std::vector<std::uint64_t> failed;
+      maps[i] = batmap::build_batmap(ctx, elements[i], &failed);
+      clean[i] = failed.empty();
+    }
+  }
+
+  std::size_t k = 3;
+  while (!level.empty() && (opt_.max_size == 0 || k <= opt_.max_size)) {
+    const auto candidates = generate_candidates(level);
+    if (candidates.empty()) break;
+    std::vector<Itemset> next;
+    for (const auto& cand : candidates) {
+      // Base: the item with the smallest tidlist (fewest counters to sum).
+      std::size_t base_pos = 0;
+      bool all_clean = true;
+      for (std::size_t i = 0; i < cand.size(); ++i) {
+        all_clean = all_clean && clean[cand[i]];
+        if (tidlists[cand[i]].size() < tidlists[cand[base_pos]].size()) {
+          base_pos = i;
+        }
+      }
+      std::uint64_t sup = 0;
+      if (all_clean) {
+        std::vector<const batmap::Batmap*> others;
+        for (std::size_t i = 0; i < cand.size(); ++i) {
+          if (i != base_pos) others.push_back(&maps[cand[i]]);
+        }
+        sup = batmap::multiway_count_via_counters(
+            ctx, maps[cand[base_pos]], elements[cand[base_pos]], others);
+        ++stats_.batmap_counted;
+      } else {
+        sup = kway_merge_count(tidlists, cand);
+        ++stats_.merge_fallback;
+      }
+      if (sup >= opt_.minsup) {
+        out.push_back({cand, static_cast<std::uint32_t>(sup)});
+        next.push_back(cand);
+      }
+    }
+    level = std::move(next);
+    std::sort(level.begin(), level.end());
+    ++k;
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const MinedItemset& a, const MinedItemset& b) {
+              return a.items < b.items;
+            });
+  return out;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,96 @@
+// PairMiner: the paper's end-to-end frequent-pair mining pipeline (§III).
+//
+//   1. preprocess (host): vertical tidlists → one batmap per item
+//      (2-of-3 cuckoo placement), sort batmaps by increasing width,
+//      concatenate into the device words buffer.
+//   2. device sweep: k×k tiles over the sorted batmaps, p ≤ q only
+//      (symmetry halves the work, §III-C); within a tile, 16×16 work-groups
+//      run the shared-memory slice kernel (tile_kernel.hpp). Two backends
+//      produce bit-identical counts:
+//        * Backend::Device — the SIMT simulator (faithful, instrumentable),
+//        * Backend::Native — the same tiling as plain threaded loops
+//          (fast; stands in for the real GPU's wall-clock role).
+//   3. postprocess (host): merge the M_{p,q} failed-insertion patches into
+//      each tile's counts, then hand tiles to the consumer.
+//
+// Output modes: materialize the dense triangular support matrix (small n),
+// and/or stream per-tile counts to a visitor (large n — mirrors the paper,
+// which never holds all n² counts at once).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "batmap/builder.hpp"
+#include "batmap/context.hpp"
+#include "mining/pair_support.hpp"
+#include "mining/transaction_db.hpp"
+#include "simt/mem_stats.hpp"
+#include "util/mem_accounting.hpp"
+#include "util/timer.hpp"
+
+namespace repro::core {
+
+enum class Backend {
+  kNative,  ///< threaded CPU loops over the same tiling
+  kDevice,  ///< SIMT simulator (supports MemStats collection)
+};
+
+struct PairMinerOptions {
+  std::uint64_t seed = 0x9d2c5680;
+  Backend backend = Backend::kNative;
+  std::uint32_t tile = 256;        ///< k of the k×k tiling (paper: 2048)
+  std::size_t threads = 1;         ///< host threads (native backend / device groups)
+  bool collect_stats = false;      ///< device backend: run coalescing model
+  bool sort_by_width = true;       ///< ablation: disable the width sort
+  bool materialize = true;         ///< build the dense PairSupports
+  bool sweep = true;               ///< false: preprocess only (memory probes)
+  std::uint32_t minsup = 1;        ///< threshold for frequent-pair counting
+  batmap::BatmapBuilder::Options builder{};
+};
+
+/// One finished tile: raw counts are already patched. Indices are ORIGINAL
+/// item ids.
+struct TileResult {
+  std::uint32_t p, q;  ///< tile coordinates (p <= q)
+  /// Visit every pair of this tile with its exact support.
+  /// fn(item_i, item_j, support) with item_i != item_j, each unordered pair
+  /// exactly once across all tiles.
+  std::function<void(
+      const std::function<void(std::uint32_t, std::uint32_t, std::uint32_t)>&)>
+      for_each_pair;
+};
+
+struct PairMinerResult {
+  std::optional<mining::PairSupports> supports;  ///< when materialize
+  std::uint64_t frequent_pairs = 0;  ///< pairs with support >= minsup
+  std::uint64_t total_support = 0;   ///< Σ supports (fingerprint)
+  std::uint64_t failures = 0;        ///< failed cuckoo insertions
+  std::uint64_t batmap_bytes = 0;    ///< device words buffer size
+  std::uint64_t bytes_compared = 0;  ///< words fed through SWAR × 4 (both inputs)
+  std::uint64_t tiles = 0;
+  double preprocess_seconds = 0;
+  double sweep_seconds = 0;          ///< the paper's "pure pair generation"
+  double postprocess_seconds = 0;
+  simt::MemStats stats;              ///< device backend with collect_stats
+  MemAccount memory;                 ///< per-structure byte accounting
+};
+
+class PairMiner {
+ public:
+  explicit PairMiner(PairMinerOptions opt);
+
+  /// Mines all pair supports of `db`. `visitor` (optional) is called once
+  /// per finished tile.
+  PairMinerResult mine(const mining::TransactionDb& db,
+                       const std::function<void(const TileResult&)>* visitor =
+                           nullptr) const;
+
+  const PairMinerOptions& options() const { return opt_; }
+
+ private:
+  PairMinerOptions opt_;
+};
+
+}  // namespace repro::core

@@ -1,0 +1,139 @@
+// The batmap comparison kernel (paper §III-B), phase-structured for the SIMT
+// simulator.
+//
+// One work-group of 16×16 threads compares the 16 batmaps of its row block
+// against the 16 batmaps of its column block, streaming 16-word slices of
+// each through shared memory:
+//
+//   phase 2s   (load):    thread (lx,ly) copies one word of row batmap ly and
+//                          one word of column batmap ly into shared memory —
+//                          coalesced, since consecutive lx touch consecutive
+//                          words.
+//   phase 2s+1 (compare): thread (lx,ly) owns the pair (row ly, col lx) and
+//                          accumulates SWAR match counts over the 16 words of
+//                          slice s, predicated on w < max(W_row, W_col).
+//   last phase (store):   thread (lx,ly) writes its pair count to the output
+//                          tile.
+//
+// Batmap widths are 3·2^j words, so a slice index taken mod W realizes the
+// cyclic wrap that aligns batmaps of different sizes (see batmap/layout.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "batmap/swar.hpp"
+#include "simt/device.hpp"
+
+namespace repro::core {
+
+class TileKernel {
+ public:
+  static constexpr std::uint32_t kDim = 16;   ///< work-group edge
+  static constexpr std::uint32_t kSlice = 16; ///< words per slice
+
+  struct Shared {
+    std::uint32_t a[kDim][kSlice];   ///< row-batmap slice words
+    std::uint32_t b[kDim][kSlice];   ///< column-batmap slice words
+    std::uint32_t acc[kDim][kDim];   ///< per-pair running match counts
+  };
+  static_assert(sizeof(Shared) <= simt::kSharedMemBytes);
+
+  /// `offsets`/`widths` are indexed by *sorted* batmap index; `row_base` and
+  /// `col_base` are the first sorted indices of this tile's row/column block;
+  /// `out` receives tile-local counts, row-major [row][col] with pitch
+  /// `out_pitch`.
+  TileKernel(const simt::Buffer<std::uint32_t>& words,
+             const simt::Buffer<std::uint64_t>& offsets,
+             const simt::Buffer<std::uint32_t>& widths,
+             std::uint32_t row_base, std::uint32_t col_base,
+             simt::Buffer<std::uint32_t>& out, std::uint32_t out_pitch)
+      : words_(words),
+        offsets_(offsets),
+        widths_(widths),
+        row_base_(row_base),
+        col_base_(col_base),
+        out_(&out),
+        out_pitch_(out_pitch) {}
+
+  int phases(const simt::GroupInfo& g) const {
+    // Slices cover the widest batmap touched by this group.
+    const std::uint32_t maxw = group_max_width(g);
+    const std::uint32_t slices = (maxw + kSlice - 1) / kSlice;
+    return static_cast<int>(2 * slices + 1);
+  }
+
+  void run(int phase, simt::ItemCtx& ctx, Shared& sh) const {
+    const std::uint32_t lx = ctx.local_id().x;
+    const std::uint32_t ly = ctx.local_id().y;
+    const std::uint32_t row = row_base_ + ctx.global_y();
+    const std::uint32_t col = col_base_ + ctx.global_x();
+    const int total = phases(simt::GroupInfo{ctx.group_id(), {}, ctx.local_size()});
+
+    if (phase == total - 1) {
+      // Store phase: one write per pair, coalesced along lx.
+      const std::uint64_t idx =
+          static_cast<std::uint64_t>(ctx.global_y()) * out_pitch_ +
+          ctx.global_x();
+      ctx.store(*out_, idx, sh.acc[ly][lx]);
+      return;
+    }
+
+    const auto slice = static_cast<std::uint32_t>(phase / 2);
+    if (phase % 2 == 0) {
+      // Load phase: thread (lx, ly) fetches word (16·slice + lx) of row
+      // batmap `row_base+16·gy+ly` and of column batmap `col_base+16·gx+ly`
+      // (each wrapped into the batmap's own width).
+      const std::uint32_t row_map =
+          row_base_ + ctx.group_id().y * kDim + ly;
+      const std::uint32_t col_map =
+          col_base_ + ctx.group_id().x * kDim + ly;
+      const std::uint32_t w = slice * kSlice + lx;
+      sh.a[ly][lx] = fetch(ctx, row_map, w);
+      sh.b[ly][lx] = fetch(ctx, col_map, w);
+      return;
+    }
+
+    // Compare phase: pair (row, col), predicated on the pair's true width.
+    const std::uint32_t pair_w =
+        std::max(width(row), width(col));
+    std::uint32_t acc = sh.acc[ly][lx];
+    for (std::uint32_t k = 0; k < kSlice; ++k) {
+      const std::uint32_t w = slice * kSlice + k;
+      const std::uint32_t match =
+          batmap::swar_match_count(sh.a[ly][k], sh.b[lx][k]);
+      // Branch-free predication, as on the real device.
+      acc += match * (w < pair_w ? 1u : 0u);
+    }
+    sh.acc[ly][lx] = acc;
+  }
+
+ private:
+  std::uint32_t width(std::uint32_t sorted_idx) const {
+    return widths_[sorted_idx];
+  }
+
+  std::uint32_t fetch(simt::ItemCtx& ctx, std::uint32_t map,
+                      std::uint32_t w) const {
+    const std::uint32_t ww = w % widths_[map];
+    return ctx.load(words_, offsets_[map] + ww);
+  }
+
+  std::uint32_t group_max_width(const simt::GroupInfo& g) const {
+    std::uint32_t maxw = 1;
+    for (std::uint32_t i = 0; i < kDim; ++i) {
+      maxw = std::max(maxw, widths_[row_base_ + g.group_id.y * kDim + i]);
+      maxw = std::max(maxw, widths_[col_base_ + g.group_id.x * kDim + i]);
+    }
+    return maxw;
+  }
+
+  const simt::Buffer<std::uint32_t>& words_;
+  const simt::Buffer<std::uint64_t>& offsets_;
+  const simt::Buffer<std::uint32_t>& widths_;
+  std::uint32_t row_base_;
+  std::uint32_t col_base_;
+  simt::Buffer<std::uint32_t>* out_;
+  std::uint32_t out_pitch_;
+};
+
+}  // namespace repro::core

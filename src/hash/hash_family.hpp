@@ -1,0 +1,36 @@
+// Simple universal hash families (odd multiply-shift) used where a plain
+// hash (not a permutation) suffices: table sizing sanity checks, test
+// utilities, and the theoretical-analysis benches.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace repro::hash {
+
+/// 2-approximately-universal multiply-shift hash from 64-bit keys to
+/// `out_bits`-bit values (Dietzfelbinger et al.).
+class MultiplyShift {
+ public:
+  MultiplyShift() : a_(0x9e3779b97f4a7c15ULL | 1ULL), out_bits_(32) {}
+
+  MultiplyShift(std::uint64_t seed, unsigned out_bits) : out_bits_(out_bits) {
+    REPRO_CHECK(out_bits >= 1 && out_bits <= 64);
+    SplitMix64 sm(seed);
+    a_ = sm.next() | 1ULL;  // multiplier must be odd
+  }
+
+  std::uint64_t operator()(std::uint64_t x) const {
+    return (a_ * x) >> (64 - out_bits_);
+  }
+
+  unsigned out_bits() const { return out_bits_; }
+
+ private:
+  std::uint64_t a_;
+  unsigned out_bits_;
+};
+
+}  // namespace repro::hash

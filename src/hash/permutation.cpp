@@ -1,0 +1,76 @@
+#include "hash/permutation.hpp"
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace repro::hash {
+
+FeistelPermutation::FeistelPermutation(std::uint64_t domain,
+                                       std::uint64_t seed)
+    : domain_(domain) {
+  REPRO_CHECK_MSG(domain >= 1, "permutation domain must be non-empty");
+  // Cover the domain with an even number of bits, at least 2, so the Feistel
+  // halves are balanced. Cycle-walking brings values back into [0, domain).
+  unsigned bits = bits::bit_width(domain - 1);
+  if (bits < 2) bits = 2;
+  if (bits % 2) ++bits;
+  half_bits_ = bits / 2;
+  half_mask_ = (half_bits_ >= 64) ? ~0ULL : ((1ULL << half_bits_) - 1);
+  SplitMix64 sm(seed ^ 0x5bf03635a1ce9075ULL);
+  for (auto& k : keys_) k = sm.next();
+}
+
+std::uint64_t FeistelPermutation::round_fn(std::uint64_t half,
+                                           std::uint64_t key) const {
+  // One splitmix-style mixing round keyed by `key`; only the low half_bits_
+  // of the result are used by the caller.
+  std::uint64_t z = half + key;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t FeistelPermutation::encrypt_once(std::uint64_t x) const {
+  std::uint64_t left = (x >> half_bits_) & half_mask_;
+  std::uint64_t right = x & half_mask_;
+  for (int r = 0; r < kRounds; ++r) {
+    const std::uint64_t next = left ^ (round_fn(right, keys_[static_cast<std::size_t>(r)]) & half_mask_);
+    left = right;
+    right = next;
+  }
+  return (left << half_bits_) | right;
+}
+
+std::uint64_t FeistelPermutation::decrypt_once(std::uint64_t y) const {
+  std::uint64_t left = (y >> half_bits_) & half_mask_;
+  std::uint64_t right = y & half_mask_;
+  for (int r = kRounds - 1; r >= 0; --r) {
+    const std::uint64_t prev = right ^ (round_fn(left, keys_[static_cast<std::size_t>(r)]) & half_mask_);
+    right = left;
+    left = prev;
+  }
+  return (left << half_bits_) | right;
+}
+
+std::uint64_t FeistelPermutation::operator()(std::uint64_t x) const {
+  REPRO_DCHECK(x < domain_);
+  std::uint64_t y = encrypt_once(x);
+  while (y >= domain_) y = encrypt_once(y);  // cycle-walk
+  return y;
+}
+
+std::uint64_t FeistelPermutation::inverse(std::uint64_t y) const {
+  REPRO_DCHECK(y < domain_);
+  std::uint64_t x = decrypt_once(y);
+  while (x >= domain_) x = decrypt_once(x);
+  return x;
+}
+
+PermutationTriple::PermutationTriple(std::uint64_t domain, std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (int t = 0; t < 3; ++t) {
+    pis_[static_cast<std::size_t>(t)] = FeistelPermutation(domain, sm.next());
+  }
+}
+
+}  // namespace repro::hash

@@ -1,0 +1,65 @@
+// Random permutations π : [0, domain) → [0, domain).
+//
+// The BATMAP compression argument (§III-A of the paper) requires the per-table
+// maps π_t to be *bijections*: a slot byte plus its position must reconstruct
+// π_t(x) exactly, and distinct elements must never produce the same stored
+// representation. We realize π_t as a balanced Feistel network over the
+// smallest even-bit-width power-of-two domain covering `domain`, with
+// cycle-walking to restrict it to [0, domain). This is a standard
+// format-preserving-encryption construction: bijective by design, O(1)
+// evaluation, and seedable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace repro::hash {
+
+class FeistelPermutation {
+ public:
+  /// Identity-sized placeholder (domain 1).
+  FeistelPermutation() : FeistelPermutation(1, 0) {}
+
+  FeistelPermutation(std::uint64_t domain, std::uint64_t seed);
+
+  /// π(x); requires x < domain().
+  std::uint64_t operator()(std::uint64_t x) const;
+
+  /// π⁻¹(y); requires y < domain().
+  std::uint64_t inverse(std::uint64_t y) const;
+
+  std::uint64_t domain() const { return domain_; }
+
+ private:
+  static constexpr int kRounds = 7;
+
+  std::uint64_t encrypt_once(std::uint64_t x) const;
+  std::uint64_t decrypt_once(std::uint64_t y) const;
+  std::uint64_t round_fn(std::uint64_t half, std::uint64_t key) const;
+
+  std::uint64_t domain_ = 1;
+  unsigned half_bits_ = 1;
+  std::uint64_t half_mask_ = 1;
+  std::array<std::uint64_t, kRounds> keys_{};
+};
+
+/// The three shared permutations π_1, π_2, π_3 of the batmap layout.
+class PermutationTriple {
+ public:
+  PermutationTriple() = default;
+  PermutationTriple(std::uint64_t domain, std::uint64_t seed);
+
+  const FeistelPermutation& pi(int t) const {
+    REPRO_DCHECK(t >= 0 && t < 3);
+    return pis_[static_cast<std::size_t>(t)];
+  }
+
+  std::uint64_t domain() const { return pis_[0].domain(); }
+
+ private:
+  std::array<FeistelPermutation, 3> pis_{};
+};
+
+}  // namespace repro::hash

@@ -1,0 +1,89 @@
+#include "matrix/boolean_matmul.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace repro::matrix {
+
+void BoolMatrix::set(std::uint32_t r, std::uint32_t c) {
+  REPRO_CHECK(r < rows_ && c < cols_);
+  auto& row = row_sets_[r];
+  const auto it = std::lower_bound(row.begin(), row.end(), c);
+  if (it == row.end() || *it != c) row.insert(it, c);
+}
+
+bool BoolMatrix::get(std::uint32_t r, std::uint32_t c) const {
+  REPRO_CHECK(r < rows_ && c < cols_);
+  const auto& row = row_sets_[r];
+  return std::binary_search(row.begin(), row.end(), c);
+}
+
+std::vector<std::vector<std::uint64_t>> BoolMatrix::column_sets() const {
+  std::vector<std::vector<std::uint64_t>> cols(cols_);
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    for (const std::uint64_t c : row_sets_[r]) {
+      cols[c].push_back(r);
+    }
+  }
+  return cols;  // rows visited in order, so each list is sorted
+}
+
+std::uint64_t BoolMatrix::nonzeros() const {
+  std::uint64_t nnz = 0;
+  for (const auto& row : row_sets_) nnz += row.size();
+  return nnz;
+}
+
+MatmulResult boolean_product(const BoolMatrix& a, const BoolMatrix& b,
+                             std::uint64_t seed) {
+  REPRO_CHECK_MSG(a.cols() == b.rows(), "inner dimensions must agree");
+  const std::uint32_t inner = a.cols();
+  batmap::BatmapStore::Options opt;
+  opt.seed = seed;
+  batmap::BatmapStore store(std::max<std::uint64_t>(inner, 1), opt);
+
+  // Row sets of a, then column sets of b, in one store.
+  std::vector<std::size_t> row_ids(a.rows());
+  for (std::uint32_t r = 0; r < a.rows(); ++r)
+    row_ids[r] = store.add(a.row_set(r));
+  const auto bcols = b.column_sets();
+  std::vector<std::size_t> col_ids(b.cols());
+  for (std::uint32_t c = 0; c < b.cols(); ++c)
+    col_ids[c] = store.add(bcols[c]);
+
+  MatmulResult out{BoolMatrix(a.rows(), b.cols()), {}, {}};
+  for (std::uint32_t r = 0; r < a.rows(); ++r) {
+    for (std::uint32_t c = 0; c < b.cols(); ++c) {
+      const std::uint64_t w = store.intersection_size(row_ids[r], col_ids[c]);
+      if (w > 0) {
+        out.product.set(r, c);
+        out.entries.emplace_back(r, c);
+        out.witness_counts.push_back(static_cast<std::uint32_t>(w));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> join_project(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& r,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& s,
+    std::uint32_t b_universe, std::uint64_t seed) {
+  std::uint32_t max_a = 0, max_c = 0;
+  for (const auto& [av, bv] : r) {
+    REPRO_CHECK(bv < b_universe);
+    max_a = std::max(max_a, av);
+  }
+  for (const auto& [bv, cv] : s) {
+    REPRO_CHECK(bv < b_universe);
+    max_c = std::max(max_c, cv);
+  }
+  BoolMatrix ra(r.empty() ? 1 : max_a + 1, b_universe);
+  BoolMatrix sb(b_universe, s.empty() ? 1 : max_c + 1);
+  for (const auto& [av, bv] : r) ra.set(av, bv);
+  for (const auto& [bv, cv] : s) sb.set(bv, cv);
+  return boolean_product(ra, sb, seed).entries;
+}
+
+}  // namespace repro::matrix

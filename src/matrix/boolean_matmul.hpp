@@ -1,0 +1,64 @@
+// Sparse boolean matrix multiplication and join-project via batmap
+// intersections — the first two motivating applications of the paper (§I):
+//
+//   (M·M')_{i,j} ≠ 0  ⇔  A_i ∩ B_j ≠ ∅,  A_i = {k : M_{i,k}≠0},
+//                                         B_j = {k : M'_{k,j}≠0}
+//
+// and a duplicate-eliminating join-projection π_{a,c}(R(a,b) ⋈ S(b,c)) is
+// exactly the boolean product of R's a×b matrix with S's b×c matrix
+// (Amossen & Pagh, ICDT'09 [2]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "batmap/intersect.hpp"
+
+namespace repro::matrix {
+
+/// A sparse boolean matrix stored as row sets.
+class BoolMatrix {
+ public:
+  BoolMatrix(std::uint32_t rows, std::uint32_t cols)
+      : rows_(rows), cols_(cols), row_sets_(rows) {}
+
+  void set(std::uint32_t r, std::uint32_t c);
+  bool get(std::uint32_t r, std::uint32_t c) const;
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  /// Sorted column indices of row r.
+  const std::vector<std::uint64_t>& row_set(std::uint32_t r) const {
+    return row_sets_[r];
+  }
+  /// Column sets (transpose view), materialized on demand.
+  std::vector<std::vector<std::uint64_t>> column_sets() const;
+
+  std::uint64_t nonzeros() const;
+
+ private:
+  std::uint32_t rows_, cols_;
+  std::vector<std::vector<std::uint64_t>> row_sets_;  // kept sorted
+};
+
+struct MatmulResult {
+  BoolMatrix product;
+  /// Witness counts: witnesses[i][j] = |A_i ∩ B_j| for nonzero entries only
+  /// (parallel to `entries`).
+  std::vector<std::uint32_t> witness_counts;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+};
+
+/// Boolean product a·b (a.cols() == b.rows()) using batmap intersections.
+MatmulResult boolean_product(const BoolMatrix& a, const BoolMatrix& b,
+                             std::uint64_t seed = 42);
+
+/// Join-project: relations r ⊆ A×B, s ⊆ B×C (pairs of ids); returns the
+/// distinct (a, c) pairs with a shared b. `b_universe` bounds the join
+/// attribute values.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> join_project(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& r,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& s,
+    std::uint32_t b_universe, std::uint64_t seed = 42);
+
+}  // namespace repro::matrix

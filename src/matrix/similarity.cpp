@@ -1,0 +1,86 @@
+#include "matrix/similarity.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace repro::matrix {
+
+namespace {
+
+double jaccard(std::uint64_t inter, std::uint64_t size_a,
+               std::uint64_t size_b) {
+  const std::uint64_t uni = size_a + size_b - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::vector<std::uint64_t> set_sizes(const batmap::BatmapStore& store) {
+  std::vector<std::uint64_t> sizes(store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    sizes[i] = store.elements(i).size();
+  }
+  return sizes;
+}
+
+}  // namespace
+
+std::vector<SimilarPair> jaccard_join(const batmap::BatmapStore& store,
+                                      double tau,
+                                      std::uint64_t* comparisons) {
+  REPRO_CHECK_MSG(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
+  const auto sizes = set_sizes(store);
+  // Order by ascending size: the length filter |A| >= tau·|B| then bounds
+  // each set's candidate window.
+  std::vector<std::size_t> order(store.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return sizes[x] < sizes[y];
+  });
+
+  std::uint64_t swept = 0;
+  std::vector<SimilarPair> out;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t a = order[i];
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      const std::size_t b = order[j];
+      // Length filter: with |A| <= |B|, J <= |A|/|B|.
+      if (static_cast<double>(sizes[a]) <
+          tau * static_cast<double>(sizes[b])) {
+        break;  // sizes only grow from here
+      }
+      const std::uint64_t inter = store.intersection_size(a, b);
+      ++swept;
+      const double sim = jaccard(inter, sizes[a], sizes[b]);
+      if (sim >= tau) {
+        out.push_back({std::min(a, b), std::max(a, b), inter, sim});
+      }
+    }
+  }
+  if (comparisons) *comparisons = swept;
+  std::sort(out.begin(), out.end(), [](const SimilarPair& x,
+                                       const SimilarPair& y) {
+    return x.jaccard > y.jaccard;
+  });
+  return out;
+}
+
+std::vector<SimilarPair> jaccard_top_k(const batmap::BatmapStore& store,
+                                       std::size_t k) {
+  const auto sizes = set_sizes(store);
+  std::vector<SimilarPair> all;
+  for (std::size_t a = 0; a < store.size(); ++a) {
+    for (std::size_t b = a + 1; b < store.size(); ++b) {
+      const std::uint64_t inter = store.intersection_size(a, b);
+      all.push_back({a, b, inter, jaccard(inter, sizes[a], sizes[b])});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const SimilarPair& x,
+                                       const SimilarPair& y) {
+    return x.jaccard > y.jaccard;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace repro::matrix

@@ -1,0 +1,41 @@
+// Set-similarity join on batmaps — a classic downstream application of fast
+// set intersection (SSJoin; cf. the paper's §I "conjunctive queries" and
+// frequent-pair motivations): report all pairs of sets with Jaccard
+// similarity >= tau.
+//
+// J(A, B) = |A∩B| / |A∪B| = |A∩B| / (|A| + |B| − |A∩B|).
+//
+// The batmap gives exact |A∩B| per pair with a data-independent sweep;
+// candidate pruning uses the standard LENGTH FILTER: J(A,B) >= tau implies
+// |A| >= tau·|B| (for |A| <= |B|), so after sorting by size each set only
+// needs to be compared against a contiguous window — which composes
+// naturally with the paper's width-sorted batmap ordering, since batmap
+// width is monotone in set size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "batmap/intersect.hpp"
+
+namespace repro::matrix {
+
+struct SimilarPair {
+  std::size_t a, b;    ///< store ids, a < b
+  std::uint64_t inter; ///< |A ∩ B|
+  double jaccard;
+};
+
+/// All pairs in `store` with Jaccard similarity >= tau (0 < tau <= 1).
+/// Returns pairs sorted by descending similarity. `comparisons` (optional)
+/// receives the number of intersection sweeps actually performed, to
+/// quantify the length-filter pruning.
+std::vector<SimilarPair> jaccard_join(const batmap::BatmapStore& store,
+                                      double tau,
+                                      std::uint64_t* comparisons = nullptr);
+
+/// Top-k most similar pairs (no threshold), by descending Jaccard.
+std::vector<SimilarPair> jaccard_top_k(const batmap::BatmapStore& store,
+                                       std::size_t k);
+
+}  // namespace repro::matrix

@@ -1,0 +1,18 @@
+#include "mining/brute_force.hpp"
+
+namespace repro::mining {
+
+PairSupports brute_force_pair_supports(const TransactionDb& db) {
+  REPRO_CHECK_MSG(db.num_items() >= 2, "need at least two items");
+  PairSupports supports(db.num_items());
+  for (const auto& txn : db.transactions()) {
+    for (std::size_t a = 0; a < txn.size(); ++a) {
+      for (std::size_t b = a + 1; b < txn.size(); ++b) {
+        supports.increment(txn[a], txn[b]);
+      }
+    }
+  }
+  return supports;
+}
+
+}  // namespace repro::mining

@@ -1,0 +1,16 @@
+// Exact brute-force pair supports — the oracle every other implementation is
+// validated against in tests. O(Σ|T|²) time, O(n²) space: only for small
+// instances.
+#pragma once
+
+#include <cstdint>
+
+#include "mining/pair_support.hpp"
+#include "mining/transaction_db.hpp"
+
+namespace repro::mining {
+
+/// Support of every item pair by direct counting over transactions.
+PairSupports brute_force_pair_supports(const TransactionDb& db);
+
+}  // namespace repro::mining

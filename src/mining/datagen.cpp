@@ -1,0 +1,90 @@
+#include "mining/datagen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace repro::mining {
+
+TransactionDb bernoulli_instance(const BernoulliSpec& spec) {
+  REPRO_CHECK(spec.num_items >= 1);
+  REPRO_CHECK(spec.density > 0.0 && spec.density <= 1.0);
+  Xoshiro256 rng(spec.seed);
+  TransactionDb db(spec.num_items);
+  const double p = spec.density;
+  while (db.total_items() < spec.total_items) {
+    std::vector<Item> txn;
+    txn.reserve(static_cast<std::size_t>(p * spec.num_items * 1.3) + 4);
+    if (p >= 0.05) {
+      // Dense regime: straight Bernoulli per item.
+      for (Item i = 0; i < spec.num_items; ++i) {
+        if (rng.bernoulli(p)) txn.push_back(i);
+      }
+    } else {
+      // Sparse regime: geometric gap skipping, identical distribution.
+      const double log1mp = std::log1p(-p);
+      double i = -1.0;
+      for (;;) {
+        const double u = rng.uniform();
+        i += 1.0 + std::floor(std::log1p(-u) / log1mp);
+        if (i >= static_cast<double>(spec.num_items)) break;
+        txn.push_back(static_cast<Item>(i));
+      }
+    }
+    db.add_transaction(std::move(txn));
+  }
+  return db;
+}
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double s) {
+  REPRO_CHECK(n >= 1);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::uint32_t ZipfSampler::sample(double u01) const {
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u01);
+  if (it == cdf_.end()) return static_cast<std::uint32_t>(cdf_.size() - 1);
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+TransactionDb webdocs_like(const WebDocsSpec& spec) {
+  REPRO_CHECK(spec.num_docs >= 1);
+  Xoshiro256 rng(spec.seed);
+  TransactionDb db;
+  // Full vocabulary after num_docs documents.
+  const auto vocab_at = [&](std::size_t t) -> std::uint32_t {
+    const double v = spec.heaps_k *
+                     std::pow(static_cast<double>(t + 1), spec.heaps_beta);
+    return std::max<std::uint32_t>(4, static_cast<std::uint32_t>(v));
+  };
+  const std::uint32_t max_vocab = vocab_at(spec.num_docs - 1);
+  ZipfSampler zipf(max_vocab, spec.zipf_exponent);
+  for (std::size_t t = 0; t < spec.num_docs; ++t) {
+    // Document length: geometric around the mean, at least 1.
+    const double u = rng.uniform();
+    const std::size_t len = 1 + static_cast<std::size_t>(
+        -std::log1p(-u) * (spec.mean_doc_len - 1.0));
+    const std::uint32_t vocab = vocab_at(t);
+    std::vector<Item> doc;
+    doc.reserve(len);
+    for (std::size_t w = 0; w < len; ++w) {
+      // Rank-sampled Zipf word, truncated to the vocabulary available at
+      // time t so early prefixes have few distinct items.
+      std::uint32_t word = zipf.sample(rng.uniform());
+      if (word >= vocab) word = static_cast<std::uint32_t>(rng.below(vocab));
+      doc.push_back(word);
+    }
+    db.add_transaction(std::move(doc));
+  }
+  return db;
+}
+
+}  // namespace repro::mining

@@ -1,0 +1,51 @@
+// Synthetic workload generators matching the paper's experiments.
+//
+// * bernoulli_instance — the paper's main generator (§IV-A): "for each
+//   transaction, include each of the n distinct items with probability p,
+//   and continue adding transactions until the desired total instance size
+//   is reached."
+// * webdocs_like — stand-in for the WebDocs dataset (Fig 10): documents of
+//   Zipf-distributed words with Heaps-law vocabulary growth, so the number
+//   of distinct items grows quickly with the prefix size, which is the
+//   property the paper's Fig 10 exercises.
+#pragma once
+
+#include <cstdint>
+
+#include "mining/transaction_db.hpp"
+
+namespace repro::mining {
+
+struct BernoulliSpec {
+  std::uint32_t num_items = 1000;    ///< n distinct items
+  double density = 0.05;             ///< per-item inclusion probability p
+  std::uint64_t total_items = 100000;///< stop once this many occurrences
+  std::uint64_t seed = 1;
+};
+
+TransactionDb bernoulli_instance(const BernoulliSpec& spec);
+
+struct WebDocsSpec {
+  std::size_t num_docs = 25600;
+  double zipf_exponent = 1.1;   ///< word popularity skew
+  double heaps_k = 8.0;         ///< vocabulary V(t) = k * t^beta
+  double heaps_beta = 0.65;
+  double mean_doc_len = 80.0;   ///< mean words per document
+  std::uint64_t seed = 7;
+};
+
+TransactionDb webdocs_like(const WebDocsSpec& spec);
+
+/// Zipf sampler over [0, n) with exponent `s` (rejection-inversion-free
+/// simple inverse-CDF table; O(n) setup, O(log n) sample).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint32_t n, double s);
+  std::uint32_t sample(double u01) const;  ///< u01 uniform in [0,1)
+  std::uint32_t n() const { return static_cast<std::uint32_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace repro::mining

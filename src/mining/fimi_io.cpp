@@ -1,0 +1,58 @@
+#include "mining/fimi_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace repro::mining {
+
+TransactionDb read_fimi(std::istream& in) {
+  TransactionDb db;
+  std::string line;
+  std::vector<Item> txn;
+  while (std::getline(in, line)) {
+    txn.clear();
+    const char* p = line.c_str();
+    const char* end = p + line.size();
+    while (p < end) {
+      while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+      if (p >= end) break;
+      Item v = 0;
+      bool any = false;
+      while (p < end && *p >= '0' && *p <= '9') {
+        v = v * 10 + static_cast<Item>(*p - '0');
+        ++p;
+        any = true;
+      }
+      REPRO_CHECK_MSG(any, "malformed FIMI line: " + line);
+      txn.push_back(v);
+    }
+    if (!txn.empty()) db.add_transaction(txn);
+  }
+  return db;
+}
+
+TransactionDb read_fimi_file(const std::string& path) {
+  std::ifstream f(path);
+  REPRO_CHECK_MSG(f.good(), "cannot open " + path);
+  return read_fimi(f);
+}
+
+void write_fimi(const TransactionDb& db, std::ostream& out) {
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    const auto txn = db.transaction(t);
+    for (std::size_t i = 0; i < txn.size(); ++i) {
+      out << txn[i] << (i + 1 == txn.size() ? "" : " ");
+    }
+    out << '\n';
+  }
+}
+
+void write_fimi_file(const TransactionDb& db, const std::string& path) {
+  std::ofstream f(path);
+  REPRO_CHECK_MSG(f.good(), "cannot open " + path);
+  write_fimi(db, f);
+}
+
+}  // namespace repro::mining

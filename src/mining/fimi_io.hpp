@@ -1,0 +1,20 @@
+// FIMI text format IO (one transaction per line, space-separated item ids) —
+// the format of the Frequent Itemset Mining Dataset Repository used by the
+// paper's WebDocs experiment. A real WebDocs file can be loaded with
+// read_fimi() and fed to the same harness as the synthetic generator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mining/transaction_db.hpp"
+
+namespace repro::mining {
+
+TransactionDb read_fimi(std::istream& in);
+TransactionDb read_fimi_file(const std::string& path);
+
+void write_fimi(const TransactionDb& db, std::ostream& out);
+void write_fimi_file(const TransactionDb& db, const std::string& path);
+
+}  // namespace repro::mining

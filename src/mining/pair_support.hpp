@@ -1,0 +1,71 @@
+// Triangular pair-support matrix: the common output type of every pair
+// mining implementation in this repo (batmap/GPU, Apriori, FP-growth, Eclat,
+// bitmap, merge). Indexed by unordered item pairs {i, j}, i != j.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace repro::mining {
+
+class PairSupports {
+ public:
+  PairSupports() = default;
+  explicit PairSupports(std::uint32_t num_items)
+      : n_(num_items),
+        counts_(static_cast<std::size_t>(num_items) * (num_items - 1) / 2, 0) {}
+
+  std::uint32_t num_items() const { return n_; }
+
+  std::uint32_t get(std::uint32_t i, std::uint32_t j) const {
+    return counts_[index(i, j)];
+  }
+  void set(std::uint32_t i, std::uint32_t j, std::uint32_t v) {
+    counts_[index(i, j)] = v;
+  }
+  void increment(std::uint32_t i, std::uint32_t j, std::uint32_t by = 1) {
+    counts_[index(i, j)] += by;
+  }
+
+  /// Number of pairs with support >= minsup.
+  std::uint64_t frequent_pairs(std::uint32_t minsup) const {
+    std::uint64_t c = 0;
+    for (const auto v : counts_)
+      if (v >= minsup) ++c;
+    return c;
+  }
+
+  /// Sum of all supports (used as a cheap equality fingerprint in benches).
+  std::uint64_t total_support() const {
+    std::uint64_t s = 0;
+    for (const auto v : counts_) s += v;
+    return s;
+  }
+
+  bool operator==(const PairSupports& o) const {
+    return n_ == o.n_ && counts_ == o.counts_;
+  }
+
+  std::uint64_t memory_bytes() const {
+    return counts_.size() * sizeof(std::uint32_t);
+  }
+
+  /// Linear index of the unordered pair {i, j} in the upper triangle.
+  std::size_t index(std::uint32_t i, std::uint32_t j) const {
+    REPRO_DCHECK(i != j && i < n_ && j < n_);
+    if (i > j) std::swap(i, j);
+    // Row-major upper triangle: offset(i) + (j - i - 1), where offset(i) is
+    // the number of pairs with first element < i.
+    const std::size_t off =
+        static_cast<std::size_t>(i) * (2ull * n_ - i - 1) / 2;
+    return off + (j - i - 1);
+  }
+
+ private:
+  std::uint32_t n_ = 0;
+  std::vector<std::uint32_t> counts_;
+};
+
+}  // namespace repro::mining

@@ -1,0 +1,80 @@
+#include "mining/transaction_db.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace repro::mining {
+
+void TransactionDb::add_transaction(std::vector<Item> items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  if (!items.empty() && items.back() >= num_items_) {
+    num_items_ = items.back() + 1;
+  }
+  total_items_ += items.size();
+  txns_.push_back(std::move(items));
+}
+
+double TransactionDb::density() const {
+  if (txns_.empty() || num_items_ == 0) return 0.0;
+  return static_cast<double>(total_items_) /
+         (static_cast<double>(txns_.size()) * num_items_);
+}
+
+std::vector<std::vector<Tid>> TransactionDb::vertical() const {
+  std::vector<std::vector<Tid>> tidlists(num_items_);
+  // Pre-size to avoid reallocation churn on big instances.
+  std::vector<std::uint32_t> counts(num_items_, 0);
+  for (const auto& txn : txns_)
+    for (const Item i : txn) ++counts[i];
+  for (Item i = 0; i < num_items_; ++i) tidlists[i].reserve(counts[i]);
+  for (std::size_t t = 0; t < txns_.size(); ++t)
+    for (const Item i : txns_[t]) tidlists[i].push_back(static_cast<Tid>(t));
+  return tidlists;
+}
+
+std::vector<std::uint32_t> TransactionDb::item_supports() const {
+  std::vector<std::uint32_t> counts(num_items_, 0);
+  for (const auto& txn : txns_)
+    for (const Item i : txn) ++counts[i];
+  return counts;
+}
+
+TransactionDb TransactionDb::prefix(std::size_t count) const {
+  TransactionDb out;
+  count = std::min(count, txns_.size());
+  for (std::size_t t = 0; t < count; ++t) {
+    out.add_transaction(txns_[t]);
+  }
+  return out;
+}
+
+TransactionDb TransactionDb::filter_infrequent(
+    std::uint32_t minsup, std::vector<Item>* mapping) const {
+  const auto supports = item_supports();
+  std::vector<Item> remap(num_items_, static_cast<Item>(-1));
+  Item next = 0;
+  for (Item i = 0; i < num_items_; ++i) {
+    if (supports[i] >= minsup) remap[i] = next++;
+  }
+  TransactionDb out(next);
+  for (const auto& txn : txns_) {
+    std::vector<Item> kept;
+    kept.reserve(txn.size());
+    for (const Item i : txn) {
+      if (remap[i] != static_cast<Item>(-1)) kept.push_back(remap[i]);
+    }
+    if (!kept.empty()) out.add_transaction(std::move(kept));
+  }
+  if (mapping) *mapping = std::move(remap);
+  return out;
+}
+
+std::uint64_t TransactionDb::memory_bytes() const {
+  std::uint64_t bytes = txns_.size() * sizeof(std::vector<Item>);
+  bytes += total_items_ * sizeof(Item);
+  return bytes;
+}
+
+}  // namespace repro::mining

@@ -1,0 +1,64 @@
+// Horizontal and vertical transaction representations (paper §I.a).
+//
+// Horizontal: transactions stored one by one, each a sorted item list.
+// Vertical: per item i, the tidlist S_i = { t : i ∈ T_t } — the sets whose
+// pairwise intersection sizes are the pair supports.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace repro::mining {
+
+using Item = std::uint32_t;
+using Tid = std::uint32_t;
+
+/// A transaction database over items [0, num_items).
+class TransactionDb {
+ public:
+  TransactionDb() = default;
+  explicit TransactionDb(Item num_items) : num_items_(num_items) {}
+
+  /// Appends a transaction; items are sorted and deduplicated. Items must be
+  /// < num_items (extends num_items if needed).
+  void add_transaction(std::vector<Item> items);
+
+  std::size_t num_transactions() const { return txns_.size(); }
+  Item num_items() const { return num_items_; }
+  /// Total number of item occurrences (the paper's "instance size").
+  std::uint64_t total_items() const { return total_items_; }
+  /// total_items / (num_transactions * num_items) — the paper's density.
+  double density() const;
+
+  std::span<const Item> transaction(std::size_t t) const { return txns_[t]; }
+  const std::vector<std::vector<Item>>& transactions() const { return txns_; }
+
+  /// Vertical representation: tidlists[i] = sorted transaction ids containing
+  /// item i.
+  std::vector<std::vector<Tid>> vertical() const;
+
+  /// Per-item supports |S_i|.
+  std::vector<std::uint32_t> item_supports() const;
+
+  /// A new database containing only the first `count` transactions (the
+  /// paper's WebDocs prefix experiments), with num_items shrunk to the
+  /// largest item present + 1.
+  TransactionDb prefix(std::size_t count) const;
+
+  /// A new database with items of support < minsup removed and remaining
+  /// items re-labelled densely; `mapping` (optional) receives old->new.
+  /// (All frequent-itemset methods preprocess this way — paper §I-B2.)
+  TransactionDb filter_infrequent(std::uint32_t minsup,
+                                  std::vector<Item>* mapping = nullptr) const;
+
+  /// Bytes of the horizontal representation.
+  std::uint64_t memory_bytes() const;
+
+ private:
+  Item num_items_ = 0;
+  std::uint64_t total_items_ = 0;
+  std::vector<std::vector<Item>> txns_;
+};
+
+}  // namespace repro::mining

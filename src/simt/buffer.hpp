@@ -1,0 +1,50 @@
+// Device global-memory buffers for the SIMT simulator.
+//
+// A Buffer<T> models a region of GPU global memory: host code fills it before
+// a launch ("transfer"), kernels read/write it through ItemCtx so accesses
+// can be counted by the coalescing model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace repro::simt {
+
+template <typename T>
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::size_t n, T init = T{}) : data_(n, init) {}
+
+  static Buffer from(std::span<const T> host) {
+    Buffer b;
+    b.data_.assign(host.begin(), host.end());
+    return b;
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t bytes() const { return data_.size() * sizeof(T); }
+
+  /// Host-side access (outside kernels).
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T& operator[](std::size_t i) {
+    REPRO_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    REPRO_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  std::span<const T> view() const { return data_; }
+  std::span<T> mutable_view() { return data_; }
+
+ private:
+  std::vector<T> data_;
+};
+
+}  // namespace repro::simt

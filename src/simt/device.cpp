@@ -1,0 +1,64 @@
+#include "simt/device.hpp"
+
+namespace repro::simt {
+
+Device::Device() : Device(Config{}) {}
+
+Device::Device(Config cfg)
+    : cfg_(cfg), collect_stats_(cfg.collect_stats) {
+  REPRO_CHECK(cfg.threads >= 1);
+  if (cfg.threads > 1) pool_ = std::make_unique<ThreadPool>(cfg.threads);
+}
+
+std::size_t Device::threads() const { return cfg_.threads; }
+
+void Device::validate(const LaunchConfig& cfg) const {
+  REPRO_CHECK_MSG(cfg.local.x >= 1 && cfg.local.y >= 1, "empty work-group");
+  REPRO_CHECK_MSG(cfg.global.x % cfg.local.x == 0 &&
+                      cfg.global.y % cfg.local.y == 0,
+                  "global size must be a multiple of the work-group size");
+  REPRO_CHECK_MSG(cfg.global.x >= cfg.local.x && cfg.global.y >= cfg.local.y,
+                  "global smaller than one work-group");
+}
+
+void Device::dispatch_groups(
+    Dim2 groups,
+    const std::function<void(std::uint32_t, std::uint32_t)>& run_group) {
+  if (!pool_) {
+    for (std::uint32_t gy = 0; gy < groups.y; ++gy)
+      for (std::uint32_t gx = 0; gx < groups.x; ++gx) run_group(gx, gy);
+    return;
+  }
+  for (std::uint32_t gy = 0; gy < groups.y; ++gy) {
+    for (std::uint32_t gx = 0; gx < groups.x; ++gx) {
+      pool_->submit([=, &run_group] { run_group(gx, gy); });
+    }
+  }
+  pool_->wait_idle();
+}
+
+void Device::fold_phase(std::vector<AccessLog>& logs, MemStats& stats) const {
+  // Count scalar ops and bytes, then fold half-warps through the
+  // coalescing model.
+  for (const AccessLog& l : logs) {
+    stats.global_loads += l.load_addrs.size();
+    stats.global_stores += l.store_addrs.size();
+    for (const auto sz : l.load_sizes) stats.load_bytes += sz;
+    for (const auto sz : l.store_sizes) stats.store_bytes += sz;
+  }
+  std::vector<AccessLog*> half;
+  half.reserve(kHalfWarp);
+  for (std::size_t base = 0; base < logs.size(); base += kHalfWarp) {
+    half.clear();
+    const std::size_t end = std::min(logs.size(), base + kHalfWarp);
+    for (std::size_t i = base; i < end; ++i) half.push_back(&logs[i]);
+    fold_half_warp(half, stats);
+  }
+}
+
+void Device::merge_stats(const MemStats& s) {
+  std::lock_guard lock(stats_mutex_);
+  stats_.accumulate(s);
+}
+
+}  // namespace repro::simt

@@ -1,0 +1,183 @@
+// The SIMT device: executes phase-structured kernels over a 2-D grid of
+// work-groups, standing in for the paper's OpenCL device (GeForce GTX 285).
+//
+// Execution model
+// ---------------
+// A launch is a grid of work-groups of `local.x × local.y` work-items
+// covering `global.x × global.y` items (global must be a multiple of local,
+// as in OpenCL). A kernel is phase-structured:
+//
+//   struct MyKernel {
+//     struct Shared { ... };                    // per-group shared memory
+//     int phases(const simt::GroupInfo&) const; // may vary per group
+//     void run(int phase, simt::ItemCtx&, Shared&);
+//   };
+//
+// The device runs all items of a group for phase p, then an implicit
+// barrier, then phase p+1 — exactly the barrier discipline of the paper's
+// kernel (load slice to shared / barrier / compare / barrier / ...). Shared
+// memory is modelled by the kernel-defined `Shared` struct, one instance per
+// group, bounded by kSharedMemBytes (16 KiB, the GTX 285 figure).
+//
+// Work-groups are independent (no inter-group synchronization), so the
+// device may execute them serially or on a thread pool; results are
+// identical as long as distinct groups write disjoint output locations —
+// the same contract real GPUs impose.
+//
+// When `collect_stats` is set the device replays each phase's global-memory
+// accesses through the half-warp coalescing model (see mem_stats.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "simt/buffer.hpp"
+#include "simt/mem_stats.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace repro::simt {
+
+/// Per-group shared-memory budget (GTX 285: 16 KiB per multiprocessor).
+inline constexpr std::size_t kSharedMemBytes = 16 * 1024;
+
+struct Dim2 {
+  std::uint32_t x = 1;
+  std::uint32_t y = 1;
+};
+
+struct LaunchConfig {
+  Dim2 global;  ///< total work-items per dimension
+  Dim2 local;   ///< work-group size per dimension
+};
+
+struct GroupInfo {
+  Dim2 group_id;     ///< work-group coordinate in the grid
+  Dim2 group_count;  ///< number of work-groups per dimension
+  Dim2 local_size;
+};
+
+/// Per-work-item context handed to Kernel::run.
+class ItemCtx {
+ public:
+  ItemCtx(const GroupInfo& g, Dim2 local_id, AccessLog* log)
+      : group_(g), local_(local_id), log_(log) {}
+
+  Dim2 local_id() const { return local_; }
+  Dim2 group_id() const { return group_.group_id; }
+  Dim2 local_size() const { return group_.local_size; }
+  std::uint32_t global_x() const {
+    return group_.group_id.x * group_.local_size.x + local_.x;
+  }
+  std::uint32_t global_y() const {
+    return group_.group_id.y * group_.local_size.y + local_.y;
+  }
+  /// Row-major linear index within the group (defines half-warp packing).
+  std::uint32_t linear_local() const {
+    return local_.y * group_.local_size.x + local_.x;
+  }
+
+  /// Instrumented global-memory read.
+  template <typename T>
+  T load(const Buffer<T>& b, std::size_t i) {
+    if (log_) {
+      log_->load_addrs.push_back(reinterpret_cast<std::uint64_t>(b.data() + i));
+      log_->load_sizes.push_back(sizeof(T));
+    }
+    return b[i];
+  }
+
+  /// Instrumented global-memory write.
+  template <typename T>
+  void store(Buffer<T>& b, std::size_t i, T v) {
+    if (log_) {
+      log_->store_addrs.push_back(
+          reinterpret_cast<std::uint64_t>(b.data() + i));
+      log_->store_sizes.push_back(sizeof(T));
+    }
+    b[i] = v;
+  }
+
+  bool stats_enabled() const { return log_ != nullptr; }
+
+ private:
+  const GroupInfo& group_;
+  Dim2 local_;
+  AccessLog* log_;
+};
+
+class Device {
+ public:
+  struct Config {
+    std::size_t threads = 1;    ///< host threads executing work-groups
+    bool collect_stats = false; ///< run the coalescing model
+  };
+
+  Device();  // default config
+  explicit Device(Config cfg);
+
+  /// Launches `kernel` over the grid. Blocks until completion.
+  template <typename K>
+  void launch(const LaunchConfig& cfg, K& kernel) {
+    static_assert(sizeof(typename K::Shared) <= kSharedMemBytes,
+                  "kernel Shared exceeds device shared memory");
+    validate(cfg);
+    const Dim2 groups{cfg.global.x / cfg.local.x, cfg.global.y / cfg.local.y};
+    auto run_group = [&](std::uint32_t gx, std::uint32_t gy) {
+      GroupInfo info{{gx, gy}, groups, cfg.local};
+      run_one_group(info, kernel);
+    };
+    dispatch_groups(groups, run_group);
+  }
+
+  const MemStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MemStats{}; }
+  std::size_t threads() const;
+
+ private:
+  template <typename K>
+  void run_one_group(const GroupInfo& info, K& kernel) {
+    typename K::Shared shared{};
+    const int phases = kernel.phases(info);
+    const std::uint32_t items = info.local_size.x * info.local_size.y;
+    MemStats local_stats;
+    local_stats.groups_run = 1;
+    local_stats.items_run = items;
+
+    std::vector<AccessLog> logs;
+    if (collect_stats_) logs.resize(items);
+
+    for (int phase = 0; phase < phases; ++phase) {
+      for (std::uint32_t ly = 0; ly < info.local_size.y; ++ly) {
+        for (std::uint32_t lx = 0; lx < info.local_size.x; ++lx) {
+          const std::uint32_t lin = ly * info.local_size.x + lx;
+          AccessLog* log = collect_stats_ ? &logs[lin] : nullptr;
+          ItemCtx ctx(info, Dim2{lx, ly}, log);
+          kernel.run(phase, ctx, shared);
+        }
+      }
+      // Implicit barrier between phases.
+      local_stats.barriers += 1;
+      if (collect_stats_) {
+        fold_phase(logs, local_stats);
+        for (auto& l : logs) l.clear();
+      }
+    }
+    merge_stats(local_stats);
+  }
+
+  void validate(const LaunchConfig& cfg) const;
+  void dispatch_groups(
+      Dim2 groups,
+      const std::function<void(std::uint32_t, std::uint32_t)>& run_group);
+  void fold_phase(std::vector<AccessLog>& logs, MemStats& stats) const;
+  void merge_stats(const MemStats& s);
+
+  Config cfg_;
+  bool collect_stats_;
+  std::unique_ptr<ThreadPool> pool_;  // created when threads > 1
+  std::mutex stats_mutex_;
+  MemStats stats_;
+};
+
+}  // namespace repro::simt

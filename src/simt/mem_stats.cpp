@@ -1,0 +1,86 @@
+#include "simt/mem_stats.hpp"
+
+#include <algorithm>
+
+namespace repro::simt {
+
+void MemStats::accumulate(const MemStats& o) {
+  global_loads += o.global_loads;
+  global_stores += o.global_stores;
+  load_bytes += o.load_bytes;
+  store_bytes += o.store_bytes;
+  load_transactions += o.load_transactions;
+  store_transactions += o.store_transactions;
+  shared_ops += o.shared_ops;
+  divergent_items += o.divergent_items;
+  groups_run += o.groups_run;
+  items_run += o.items_run;
+  barriers += o.barriers;
+}
+
+double MemStats::coalescing_efficiency() const {
+  const std::uint64_t worst = worst_case_transactions();
+  const std::uint64_t actual = load_transactions + store_transactions;
+  if (worst == 0) return 1.0;
+  const std::uint64_t best = (worst + kHalfWarp - 1) / kHalfWarp;
+  if (worst == best) return 1.0;
+  // 1.0 when actual == best, 0.0 when actual == worst.
+  return static_cast<double>(worst - actual) /
+         static_cast<double>(worst - best);
+}
+
+void AccessLog::clear() {
+  load_addrs.clear();
+  load_sizes.clear();
+  store_addrs.clear();
+  store_sizes.clear();
+}
+
+namespace {
+
+void fold_stream(const std::vector<AccessLog*>& items, bool loads,
+                 MemStats& stats) {
+  std::size_t max_ops = 0;
+  for (const AccessLog* log : items) {
+    const auto& addrs = loads ? log->load_addrs : log->store_addrs;
+    max_ops = std::max(max_ops, addrs.size());
+  }
+  std::uint64_t transactions = 0;
+  std::vector<std::uint64_t> segs;
+  segs.reserve(kHalfWarp);
+  for (std::size_t op = 0; op < max_ops; ++op) {
+    segs.clear();
+    for (const AccessLog* log : items) {
+      const auto& addrs = loads ? log->load_addrs : log->store_addrs;
+      const auto& sizes = loads ? log->load_sizes : log->store_sizes;
+      if (op >= addrs.size()) continue;  // divergent lane: inactive
+      const std::uint64_t first = addrs[op] / kSegmentBytes;
+      const std::uint64_t last = (addrs[op] + sizes[op] - 1) / kSegmentBytes;
+      for (std::uint64_t s = first; s <= last; ++s) segs.push_back(s);
+    }
+    std::sort(segs.begin(), segs.end());
+    segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+    transactions += segs.size();
+  }
+  if (loads)
+    stats.load_transactions += transactions;
+  else
+    stats.store_transactions += transactions;
+}
+
+}  // namespace
+
+void fold_half_warp(std::vector<AccessLog*>& items, MemStats& stats) {
+  if (items.empty()) return;
+  // Ragged access streams mean lanes diverged within the half-warp.
+  const std::size_t l0 = items[0]->load_addrs.size();
+  const std::size_t s0 = items[0]->store_addrs.size();
+  for (const AccessLog* log : items) {
+    if (log->load_addrs.size() != l0 || log->store_addrs.size() != s0)
+      ++stats.divergent_items;
+  }
+  fold_stream(items, /*loads=*/true, stats);
+  fold_stream(items, /*loads=*/false, stats);
+}
+
+}  // namespace repro::simt

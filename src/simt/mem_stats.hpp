@@ -1,0 +1,57 @@
+// Coalescing / memory-transaction accounting for the SIMT simulator.
+//
+// Model (per NVIDIA's best-practices guide, the one the paper follows):
+// global accesses of the 16 work-items of a half-warp that fall into the
+// same aligned 64-byte segment are served by ONE memory transaction. The
+// simulator replays the per-item access streams of a phase in lockstep: the
+// i-th global access of every item in a half-warp forms one instruction, and
+// the number of distinct 64-byte segments it touches is the number of
+// transactions it costs. Items issuing fewer accesses than their half-warp
+// peers indicate divergent control flow and are counted separately.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace repro::simt {
+
+struct MemStats {
+  std::uint64_t global_loads = 0;        ///< scalar load operations
+  std::uint64_t global_stores = 0;       ///< scalar store operations
+  std::uint64_t load_bytes = 0;          ///< bytes read by kernels
+  std::uint64_t store_bytes = 0;         ///< bytes written by kernels
+  std::uint64_t load_transactions = 0;   ///< coalesced 64B-segment reads
+  std::uint64_t store_transactions = 0;  ///< coalesced 64B-segment writes
+  std::uint64_t shared_ops = 0;          ///< shared-memory accesses
+  std::uint64_t divergent_items = 0;     ///< items with ragged access streams
+  std::uint64_t groups_run = 0;
+  std::uint64_t items_run = 0;
+  std::uint64_t barriers = 0;            ///< phase boundaries executed
+
+  void accumulate(const MemStats& o);
+
+  /// Transactions if every access cost its own transaction (uncoalesced).
+  std::uint64_t worst_case_transactions() const {
+    return global_loads + global_stores;
+  }
+  /// Fraction of accesses saved by coalescing (1 = perfectly coalesced into
+  /// 1/16th of the transactions, 0 = fully serialized).
+  double coalescing_efficiency() const;
+};
+
+/// Per-item access log for one phase (addresses in bytes).
+struct AccessLog {
+  std::vector<std::uint64_t> load_addrs;
+  std::vector<std::uint32_t> load_sizes;
+  std::vector<std::uint64_t> store_addrs;
+  std::vector<std::uint32_t> store_sizes;
+  void clear();
+};
+
+/// Folds the logs of one half-warp (up to 16 items) into `stats`.
+void fold_half_warp(std::vector<AccessLog*>& items, MemStats& stats);
+
+inline constexpr std::uint32_t kSegmentBytes = 64;
+inline constexpr std::uint32_t kHalfWarp = 16;
+
+}  // namespace repro::simt

@@ -1,0 +1,44 @@
+#include "simt/perf_model.hpp"
+
+namespace repro::simt {
+
+DeviceProfile DeviceProfile::gtx285() {
+  // PCIe 2.0 x16 sustains ~5 GB/s host->device on the paper's era.
+  return DeviceProfile{"GTX285", 159.0, 36.2 / 159.0, 20e-6, 5.0};
+}
+
+DeviceProfile DeviceProfile::gtx285_peak() {
+  return DeviceProfile{"GTX285-peak", 159.0, 1.0, 20e-6, 8.0};
+}
+
+DeviceProfile DeviceProfile::xeon5462(unsigned cores) {
+  // Fig 11: throughput saturates the memory bus near 4 cores at ~7.6 GB/s;
+  // single core measured around 3.5 GB/s on this SWAR kernel.
+  double gbs = 3.5 * static_cast<double>(cores);
+  if (gbs > 7.6) gbs = 7.6;
+  return DeviceProfile{"Xeon5462x" + std::to_string(cores), gbs, 1.0, 0.0};
+}
+
+double PerfModel::projected_seconds(const MemStats& stats,
+                                    std::uint64_t launches) const {
+  const std::uint64_t transactions =
+      stats.load_transactions + stats.store_transactions;
+  const double bytes =
+      static_cast<double>(transactions) * static_cast<double>(kSegmentBytes);
+  return bytes / sustained_bandwidth() +
+         profile_.launch_overhead_s * static_cast<double>(launches);
+}
+
+double PerfModel::transfer_seconds(std::uint64_t bytes) const {
+  if (profile_.transfer_bandwidth_gbs <= 0) return 0.0;
+  return static_cast<double>(bytes) /
+         (profile_.transfer_bandwidth_gbs * 1e9);
+}
+
+double PerfModel::projected_seconds_for_bytes(std::uint64_t bytes,
+                                              std::uint64_t launches) const {
+  return static_cast<double>(bytes) / sustained_bandwidth() +
+         profile_.launch_overhead_s * static_cast<double>(launches);
+}
+
+}  // namespace repro::simt

@@ -1,0 +1,72 @@
+// Analytic performance model turning MemStats into projected device time.
+//
+// The paper's kernel is memory-bound (they report 36.2 GB/s of the GTX 285's
+// 159 GB/s theoretical bandwidth — "a factor of over 4 from the theoretical
+// maximum"). We model projected time as
+//
+//   t = transactions · 64 B / (peak_bandwidth · efficiency)
+//
+// with a per-launch fixed overhead. The default GTX 285 profile uses the
+// paper's own measured efficiency (36.2/159 ≈ 0.23) so projected numbers land
+// in the regime the authors report; profiles for an idealized device and for
+// the Xeon host are provided for the ratio experiments.
+//
+// This model exists because this reproduction runs on a machine with no GPU:
+// wall-clock numbers come from the native CPU backend, while GPU-vs-CPU
+// *ratios* (Fig 6/7, §IV-A/B) are reproduced in shape via these projections.
+// EXPERIMENTS.md reports both series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simt/mem_stats.hpp"
+
+namespace repro::simt {
+
+struct DeviceProfile {
+  std::string name;
+  double peak_bandwidth_gbs = 1.0;  ///< GB/s (1e9 bytes per second)
+  double efficiency = 1.0;          ///< sustained fraction of peak
+  double launch_overhead_s = 0.0;   ///< fixed cost per kernel launch
+  double transfer_bandwidth_gbs = 0.0;  ///< host->device copy GB/s (0 = n/a)
+
+  /// GeForce GTX 285: 159 GB/s peak; the paper sustains 36.2 GB/s on this
+  /// workload, i.e. ~23% efficiency.
+  static DeviceProfile gtx285();
+  /// Idealized device that sustains full peak bandwidth.
+  static DeviceProfile gtx285_peak();
+  /// The paper's host: 2× Xeon 5462. Fig 11 measures ≤ 7.6 GB/s of batmap
+  /// comparison throughput on 8 cores; single-core ≈ 3.5 GB/s.
+  static DeviceProfile xeon5462(unsigned cores);
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(DeviceProfile profile) : profile_(std::move(profile)) {}
+
+  const DeviceProfile& profile() const { return profile_; }
+
+  /// Projected seconds to execute the accesses in `stats` (one launch).
+  double projected_seconds(const MemStats& stats,
+                           std::uint64_t launches = 1) const;
+
+  /// Projected seconds to stream `bytes` through the device at sustained
+  /// bandwidth (used when only the data volume is known analytically).
+  double projected_seconds_for_bytes(std::uint64_t bytes,
+                                     std::uint64_t launches = 1) const;
+
+  /// Seconds to copy `bytes` host->device (the paper transfers all batmaps
+  /// once, §III-B). Zero when the profile has no transfer link.
+  double transfer_seconds(std::uint64_t bytes) const;
+
+  /// Sustained bandwidth in bytes/second.
+  double sustained_bandwidth() const {
+    return profile_.peak_bandwidth_gbs * 1e9 * profile_.efficiency;
+  }
+
+ private:
+  DeviceProfile profile_;
+};
+
+}  // namespace repro::simt

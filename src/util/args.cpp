@@ -1,0 +1,84 @@
+#include "util/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace repro {
+
+Args::Args(int argc, char** argv) : prog_(argc > 0 ? argv[0] : "bench") {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (a.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", a.c_str());
+      std::exit(2);
+    }
+    a = a.substr(2);
+    auto eq = a.find('=');
+    if (eq != std::string::npos) {
+      given_[a.substr(0, eq)] = a.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      given_[a] = argv[++i];
+    } else {
+      given_.insert_or_assign(a, std::string("1"));  // bare boolean flag
+    }
+  }
+}
+
+std::string* Args::find(const std::string& name) {
+  used_[name] = true;
+  auto it = given_.find(name);
+  return it == given_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Args::u64(const std::string& name, std::uint64_t def,
+                        const std::string& help) {
+  help_lines_.push_back("  --" + name + " (default " + std::to_string(def) +
+                        ")  " + help);
+  if (auto* v = find(name)) return std::strtoull(v->c_str(), nullptr, 10);
+  return def;
+}
+
+double Args::f64(const std::string& name, double def, const std::string& help) {
+  std::ostringstream d;
+  d << def;
+  help_lines_.push_back("  --" + name + " (default " + d.str() + ")  " + help);
+  if (auto* v = find(name)) return std::strtod(v->c_str(), nullptr);
+  return def;
+}
+
+bool Args::flag(const std::string& name, bool def, const std::string& help) {
+  help_lines_.push_back("  --" + name + " (default " +
+                        (def ? "true" : "false") + ")  " + help);
+  if (auto* v = find(name)) return *v != "0" && *v != "false";
+  return def;
+}
+
+std::string Args::str(const std::string& name, const std::string& def,
+                      const std::string& help) {
+  help_lines_.push_back("  --" + name + " (default \"" + def + "\")  " + help);
+  if (auto* v = find(name)) return *v;
+  return def;
+}
+
+void Args::finish() {
+  if (help_requested_) {
+    std::printf("usage: %s [flags]\n", prog_.c_str());
+    for (const auto& l : help_lines_) std::printf("%s\n", l.c_str());
+    std::exit(0);
+  }
+  bool bad = false;
+  for (const auto& [k, v] : given_) {
+    if (!used_.count(k)) {
+      std::fprintf(stderr, "unknown flag: --%s\n", k.c_str());
+      bad = true;
+    }
+  }
+  if (bad) std::exit(2);
+}
+
+}  // namespace repro

@@ -1,0 +1,39 @@
+// Minimal command-line flag parser for the benchmark harnesses.
+//
+// Flags are "--name=value" or "--name value"; unknown flags abort with a
+// usage message so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  /// Declare a flag with a default; returns parsed value.
+  std::uint64_t u64(const std::string& name, std::uint64_t def,
+                    const std::string& help = "");
+  double f64(const std::string& name, double def, const std::string& help = "");
+  bool flag(const std::string& name, bool def, const std::string& help = "");
+  std::string str(const std::string& name, const std::string& def,
+                  const std::string& help = "");
+
+  /// Call after all declarations: reports unknown flags and exits(2) if any,
+  /// or prints help and exits(0) when --help was given.
+  void finish();
+
+ private:
+  std::string* find(const std::string& name);
+  std::map<std::string, std::string> given_;
+  std::map<std::string, bool> used_;
+  std::vector<std::string> help_lines_;
+  std::string prog_;
+  bool help_requested_ = false;
+};
+
+}  // namespace repro

@@ -1,0 +1,51 @@
+// Bit manipulation helpers shared by the batmap SWAR kernels, the hash
+// family and the layout computations.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace repro::bits {
+
+/// Smallest power of two >= v (v == 0 yields 1).
+constexpr std::uint64_t next_pow2(std::uint64_t v) {
+  return std::bit_ceil(v == 0 ? std::uint64_t{1} : v);
+}
+
+/// true iff v is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)); v must be > 0.
+constexpr unsigned floor_log2(std::uint64_t v) {
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/// ceil(log2(v)); v must be > 0. ceil_log2(1) == 0.
+constexpr unsigned ceil_log2(std::uint64_t v) {
+  return v <= 1 ? 0u : floor_log2(v - 1) + 1;
+}
+
+/// Number of bits needed to represent v (bit_width); bits(0) == 0.
+constexpr unsigned bit_width(std::uint64_t v) {
+  return static_cast<unsigned>(std::bit_width(v));
+}
+
+/// Population count of a 32-bit word.
+constexpr unsigned popcount(std::uint32_t v) {
+  return static_cast<unsigned>(std::popcount(v));
+}
+constexpr unsigned popcount64(std::uint64_t v) {
+  return static_cast<unsigned>(std::popcount(v));
+}
+
+/// Round v up to a multiple of m (m > 0).
+constexpr std::uint64_t round_up(std::uint64_t v, std::uint64_t m) {
+  return (v + m - 1) / m * m;
+}
+
+/// Integer ceiling division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace repro::bits

@@ -1,0 +1,27 @@
+#include "util/mem_accounting.hpp"
+
+namespace repro {
+
+void MemAccount::add(const std::string& what, std::uint64_t bytes) {
+  for (auto& [name, b] : items_) {
+    if (name == what) {
+      b += bytes;
+      return;
+    }
+  }
+  items_.emplace_back(what, bytes);
+}
+
+std::uint64_t MemAccount::total() const {
+  std::uint64_t t = 0;
+  for (const auto& [name, b] : items_) t += b;
+  return t;
+}
+
+std::uint64_t MemAccount::get(const std::string& what) const {
+  for (const auto& [name, b] : items_)
+    if (name == what) return b;
+  return 0;
+}
+
+}  // namespace repro

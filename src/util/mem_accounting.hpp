@@ -1,0 +1,40 @@
+// Explicit byte accounting for the memory experiments (Fig 5).
+//
+// Rather than hooking the global allocator, every algorithm in this repo
+// reports the bytes held by its major data structures through a MemAccount.
+// This keeps the numbers deterministic, attributable and comparable with the
+// paper's per-algorithm memory plot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Accumulates named byte counts ("batmaps", "tidlists", "pair counters"...).
+class MemAccount {
+ public:
+  void add(const std::string& what, std::uint64_t bytes);
+
+  std::uint64_t total() const;
+  std::uint64_t get(const std::string& what) const;
+
+  /// Peak across add() calls of running total (monotone here: adds only).
+  const std::vector<std::pair<std::string, std::uint64_t>>& items() const {
+    return items_;
+  }
+
+  static double to_gib(std::uint64_t bytes) {
+    return static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0);
+  }
+  static double to_mib(std::uint64_t bytes) {
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> items_;
+};
+
+}  // namespace repro

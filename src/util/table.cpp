@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace repro {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  REPRO_CHECK(!columns_.empty());
+}
+
+Table& Table::row() {
+  REPRO_CHECK_MSG(cells_.empty() || cells_.back().size() == columns_.size(),
+                  "previous row incomplete");
+  cells_.emplace_back();
+  cells_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& v) {
+  REPRO_CHECK_MSG(!cells_.empty(), "row() not called");
+  REPRO_CHECK_MSG(cells_.back().size() < columns_.size(), "row overflow");
+  cells_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::add(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return add(os.str());
+}
+
+Table& Table::add(std::uint64_t v) { return add(std::to_string(v)); }
+Table& Table::add(std::int64_t v) { return add(std::to_string(v)); }
+Table& Table::add(int v) { return add(std::to_string(v)); }
+
+const std::string& Table::cell(std::size_t r, std::size_t c) const {
+  REPRO_CHECK(r < cells_.size() && c < cells_[r].size());
+  return cells_[r][c];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << row[c]
+         << (c + 1 == row.size() ? "" : "  ");
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : cells_) emit(row);
+  os.flush();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << row[c] << (c + 1 == row.size() ? "" : ",");
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : cells_) emit(row);
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  REPRO_CHECK_MSG(f.good(), "cannot open " + path);
+  print_csv(f);
+}
+
+}  // namespace repro

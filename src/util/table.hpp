@@ -1,0 +1,41 @@
+// Plain-text/CSV table emitter used by the benchmark harnesses to print the
+// rows/series corresponding to each figure in the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace repro {
+
+/// A rectangular results table. Cells are strings, numbers or "n/a"-style
+/// markers (the paper's ">1800" rows map to Cell::text).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Starts a fresh row; values are appended with add().
+  Table& row();
+  Table& add(const std::string& v);
+  Table& add(double v, int precision = 3);
+  Table& add(std::uint64_t v);
+  Table& add(std::int64_t v);
+  Table& add(int v);
+
+  std::size_t rows() const { return cells_.size(); }
+  const std::string& cell(std::size_t r, std::size_t c) const;
+
+  /// Pretty-prints with aligned columns.
+  void print(std::ostream& os) const;
+  /// Machine-readable CSV.
+  void print_csv(std::ostream& os) const;
+  /// Writes CSV to `path` (creating parent dir is the caller's business).
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace repro

@@ -1,0 +1,56 @@
+// A small fixed-size thread pool with a parallel_for convenience wrapper.
+//
+// The pool stands in for the paper's 8-core Xeon host (Fig 9, Fig 11) and
+// backs the native CPU execution path of the SIMT device. Determinism note:
+// parallel_for partitions the index space statically, so any reduction that
+// combines per-chunk partial results in chunk order is deterministic
+// regardless of thread scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace repro {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not throw (std::terminate otherwise).
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+  /// Run fn(begin..end) split into `chunks` contiguous ranges
+  /// [lo, hi) across the pool, blocking until all complete.
+  /// chunks == 0 chooses 4x oversubscription.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t chunks = 0);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace repro

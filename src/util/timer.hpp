@@ -1,0 +1,42 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace repro {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Soft deadline used to emulate the paper's 1800 s cancellation limit.
+class Deadline {
+ public:
+  /// limit_seconds <= 0 means "no limit".
+  explicit Deadline(double limit_seconds) : limit_(limit_seconds) {}
+
+  bool expired() const { return limit_ > 0 && timer_.seconds() > limit_; }
+  double limit() const { return limit_; }
+  double elapsed() const { return timer_.seconds(); }
+
+ private:
+  double limit_;
+  Timer timer_;
+};
+
+}  // namespace repro

@@ -1,0 +1,126 @@
+// Tests for the Apriori baseline: pair counting vs brute force, the general
+// levelwise miner vs exhaustive enumeration, and deadline behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/apriori.hpp"
+#include "mining/brute_force.hpp"
+#include "mining/datagen.hpp"
+
+namespace repro::baselines {
+namespace {
+
+/// Exhaustive support of every itemset up to max_size (tiny inputs only).
+std::map<std::vector<mining::Item>, std::uint32_t> enumerate_supports(
+    const mining::TransactionDb& db, std::size_t max_size) {
+  std::map<std::vector<mining::Item>, std::uint32_t> out;
+  const std::uint32_t n = db.num_items();
+  // All non-empty subsets of [0,n) up to max_size via bitmask (n <= 16).
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<mining::Item> set;
+    for (std::uint32_t i = 0; i < n; ++i)
+      if (mask & (1u << i)) set.push_back(i);
+    if (set.size() > max_size) continue;
+    std::uint32_t sup = 0;
+    for (const auto& txn : db.transactions()) {
+      sup += std::includes(txn.begin(), txn.end(), set.begin(), set.end());
+    }
+    out[set] = sup;
+  }
+  return out;
+}
+
+TEST(AprioriPairs, MatchesBruteForce) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 50;
+  spec.density = 0.15;
+  spec.total_items = 4000;
+  spec.seed = 2;
+  const auto db = mining::bernoulli_instance(spec);
+  const auto got = apriori_pair_supports(db);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(*got == mining::brute_force_pair_supports(db));
+}
+
+TEST(AprioriPairs, DeadlineExpiryReturnsNullopt) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 100;
+  spec.density = 0.3;
+  spec.total_items = 200000;
+  const auto db = mining::bernoulli_instance(spec);
+  const Deadline expired(1e-12);
+  EXPECT_FALSE(apriori_pair_supports(db, expired).has_value());
+}
+
+TEST(AprioriPairs, MemoryAccountingQuadratic) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 64;
+  spec.total_items = 2000;
+  const auto db = mining::bernoulli_instance(spec);
+  MemAccount mem;
+  const Deadline no_limit(0);
+  ASSERT_TRUE(apriori_pair_supports(db, no_limit, &mem).has_value());
+  // Triangular uint32 counters: n(n-1)/2 * 4 bytes.
+  EXPECT_EQ(mem.get("apriori pair counters"), 64u * 63 / 2 * 4);
+}
+
+TEST(AprioriMine, MatchesExhaustiveEnumeration) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 10;
+  spec.density = 0.4;
+  spec.total_items = 300;
+  spec.seed = 3;
+  const auto db = mining::bernoulli_instance(spec);
+  const auto oracle = enumerate_supports(db, 10);
+
+  Apriori::Options opt;
+  opt.minsup = 5;
+  const auto got = Apriori(opt).mine(db);
+
+  std::map<std::vector<mining::Item>, std::uint32_t> got_map;
+  for (const auto& fs : got) got_map[fs.items] = fs.support;
+  // Every reported itemset matches the oracle support and passes minsup.
+  for (const auto& [items, sup] : got_map) {
+    ASSERT_TRUE(oracle.count(items));
+    EXPECT_EQ(sup, oracle.at(items));
+    EXPECT_GE(sup, opt.minsup);
+  }
+  // Every oracle-frequent itemset is reported.
+  for (const auto& [items, sup] : oracle) {
+    if (sup >= opt.minsup) {
+      ASSERT_TRUE(got_map.count(items))
+          << "missing itemset of size " << items.size();
+    }
+  }
+}
+
+TEST(AprioriMine, MaxSizeCutsOff) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 8;
+  spec.density = 0.6;
+  spec.total_items = 400;
+  const auto db = mining::bernoulli_instance(spec);
+  Apriori::Options opt;
+  opt.minsup = 2;
+  opt.max_size = 2;
+  const auto got = Apriori(opt).mine(db);
+  for (const auto& fs : got) EXPECT_LE(fs.items.size(), 2u);
+  const bool has_pairs =
+      std::any_of(got.begin(), got.end(),
+                  [](const FrequentItemset& f) { return f.items.size() == 2; });
+  EXPECT_TRUE(has_pairs);
+}
+
+TEST(AprioriMine, EmptyWhenMinsupTooHigh) {
+  mining::TransactionDb db(4);
+  db.add_transaction({0, 1});
+  db.add_transaction({2, 3});
+  Apriori::Options opt;
+  opt.minsup = 100;
+  EXPECT_TRUE(Apriori(opt).mine(db).empty());
+}
+
+}  // namespace
+}  // namespace repro::baselines

@@ -1,0 +1,58 @@
+// Tests for the benchmark flag parser.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/args.hpp"
+
+namespace repro {
+namespace {
+
+Args make(std::vector<const char*> argv) {
+  return Args(static_cast<int>(argv.size()),
+              const_cast<char**>(argv.data()));
+}
+
+TEST(ArgsTest, DefaultsWhenAbsent) {
+  auto a = make({"prog"});
+  EXPECT_EQ(a.u64("n", 42), 42u);
+  EXPECT_DOUBLE_EQ(a.f64("p", 0.5), 0.5);
+  EXPECT_EQ(a.str("name", "x"), "x");
+  EXPECT_FALSE(a.flag("verbose", false));
+}
+
+TEST(ArgsTest, EqualsSyntax) {
+  auto a = make({"prog", "--n=7", "--p=0.25", "--name=hello"});
+  EXPECT_EQ(a.u64("n", 0), 7u);
+  EXPECT_DOUBLE_EQ(a.f64("p", 0), 0.25);
+  EXPECT_EQ(a.str("name", ""), "hello");
+}
+
+TEST(ArgsTest, SpaceSyntax) {
+  auto a = make({"prog", "--n", "9", "--name", "world"});
+  EXPECT_EQ(a.u64("n", 0), 9u);
+  EXPECT_EQ(a.str("name", ""), "world");
+}
+
+TEST(ArgsTest, BareBooleanFlag) {
+  auto a = make({"prog", "--verbose"});
+  EXPECT_TRUE(a.flag("verbose", false));
+}
+
+TEST(ArgsTest, FalseyBooleanValues) {
+  auto a = make({"prog", "--x=0", "--y=false", "--z=1"});
+  EXPECT_FALSE(a.flag("x", true));
+  EXPECT_FALSE(a.flag("y", true));
+  EXPECT_TRUE(a.flag("z", false));
+}
+
+TEST(ArgsTest, MixedFlagsIndependent) {
+  auto a = make({"prog", "--total=100", "--density", "0.01", "--csv=/tmp/x"});
+  EXPECT_EQ(a.u64("total", 1), 100u);
+  EXPECT_DOUBLE_EQ(a.f64("density", 1.0), 0.01);
+  EXPECT_EQ(a.str("csv", ""), "/tmp/x");
+  EXPECT_EQ(a.u64("unrelated", 5), 5u);
+}
+
+}  // namespace
+}  // namespace repro

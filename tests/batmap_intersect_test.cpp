@@ -1,0 +1,167 @@
+// The central correctness property of the paper (§II): for two sets stored
+// as batmaps with shared hash functions, the position-aligned comparison
+// with the indicator-bit rule counts |S_a ∩ S_b| exactly — for equal and
+// nested batmap sizes, compressed and uncompressed alike.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "batmap/builder.hpp"
+#include "batmap/swar.hpp"
+#include "util/rng.hpp"
+
+namespace repro::batmap {
+namespace {
+
+struct TwoSets {
+  std::vector<std::uint64_t> a, b;
+  std::uint64_t expected;  // |a ∩ b|
+};
+
+TwoSets make_sets(std::uint64_t universe, std::size_t size_a,
+                  std::size_t size_b, double overlap, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::set<std::uint64_t> sa, sb;
+  while (sa.size() < size_a) sa.insert(rng.below(universe));
+  // Share ~overlap fraction of b's elements with a.
+  for (const auto x : sa) {
+    if (sb.size() >= size_b) break;
+    if (rng.bernoulli(overlap)) sb.insert(x);
+  }
+  while (sb.size() < size_b) sb.insert(rng.below(universe));
+  std::vector<std::uint64_t> common;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(common));
+  return {{sa.begin(), sa.end()}, {sb.begin(), sb.end()}, common.size()};
+}
+
+struct Param {
+  std::uint64_t universe;
+  std::size_t size_a, size_b;
+  double overlap;
+};
+
+class IntersectP : public ::testing::TestWithParam<Param> {};
+
+TEST_P(IntersectP, CompressedAndReferenceCountExactly) {
+  const auto [universe, size_a, size_b, overlap] = GetParam();
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const BatmapContext ctx(universe, seed * 7919 + 1);
+    const TwoSets ts = make_sets(universe, size_a, size_b, overlap, seed + 5);
+
+    BatmapBuilder ba(ctx, ctx.params().range_for_size(ts.a.size()));
+    for (const auto x : ts.a) ba.insert(x);
+    BatmapBuilder bb(ctx, ctx.params().range_for_size(ts.b.size()));
+    for (const auto x : ts.b) bb.insert(x);
+    if (!ba.failures().empty() || !bb.failures().empty()) {
+      continue;  // patched-count behaviour is covered in batmap_store_test
+    }
+    const Batmap ma = ba.seal();
+    const Batmap mb = bb.seal();
+    EXPECT_EQ(intersect_count(ma, mb), ts.expected)
+        << "universe=" << universe << " |a|=" << size_a << " |b|=" << size_b
+        << " seed=" << seed;
+    // Symmetric.
+    EXPECT_EQ(intersect_count(mb, ma), ts.expected);
+    // Uncompressed oracle agrees.
+    const ReferenceBatmap ra = ba.seal_reference();
+    const ReferenceBatmap rb = bb.seal_reference();
+    EXPECT_EQ(intersect_count_reference(ra, rb), ts.expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntersectP,
+    ::testing::Values(
+        // Equal sizes, varying overlap.
+        Param{1000, 50, 50, 0.0}, Param{1000, 50, 50, 0.5},
+        Param{1000, 50, 50, 1.0},
+        // Nested sizes (different ranges) — the wrap path.
+        Param{10000, 10, 1000, 0.5}, Param{10000, 1000, 10, 0.5},
+        Param{10000, 3, 2000, 1.0}, Param{50000, 100, 5000, 0.3},
+        // Dense sets in a small universe.
+        Param{256, 100, 120, 0.7}, Param{100, 90, 90, 0.9},
+        // Large universe (s > 0 compression shift active).
+        Param{1 << 20, 500, 500, 0.4}, Param{1 << 20, 50, 3000, 0.6},
+        // Tiny sets.
+        Param{1000, 1, 1, 1.0}, Param{1000, 1, 1, 0.0},
+        Param{1000, 2, 3, 0.5}));
+
+TEST(Intersect, EmptySetCountsZero) {
+  const BatmapContext ctx(1000);
+  const Batmap empty = build_batmap(ctx, {});
+  std::vector<std::uint64_t> elems{1, 2, 3, 500, 999};
+  const Batmap some = build_batmap(ctx, elems);
+  EXPECT_EQ(intersect_count(empty, some), 0u);
+  EXPECT_EQ(intersect_count(some, empty), 0u);
+  EXPECT_EQ(intersect_count(empty, empty), 0u);
+}
+
+TEST(Intersect, IdenticalSetsCountFullSize) {
+  const BatmapContext ctx(5000, 11);
+  Xoshiro256 rng(2);
+  std::set<std::uint64_t> s;
+  while (s.size() < 400) s.insert(rng.below(5000));
+  std::vector<std::uint64_t> elems(s.begin(), s.end());
+  const Batmap m1 = build_batmap(ctx, elems);
+  const Batmap m2 = build_batmap(ctx, elems);
+  // Same context/hash functions: identical placement, so the self-count
+  // equals the set size (each element matched at both copies, counted once
+  // by the indicator rule).
+  EXPECT_EQ(intersect_count(m1, m2), 400u);
+  EXPECT_EQ(intersect_count(m1, m1), 400u);
+}
+
+TEST(Intersect, SingletonAcrossAllUniversePositions) {
+  // Every element of a small universe intersects correctly as a singleton —
+  // catches position/code edge cases (v = 0, v = m-1, ...).
+  const std::uint64_t universe = 300;
+  const BatmapContext ctx(universe, 77);
+  std::vector<std::uint64_t> all(universe);
+  for (std::uint64_t x = 0; x < universe; ++x) all[x] = x;
+  const Batmap big = build_batmap(ctx, all);
+  for (std::uint64_t x = 0; x < universe; ++x) {
+    const std::uint64_t one[] = {x};
+    const Batmap single = build_batmap(ctx, one);
+    ASSERT_EQ(intersect_count(big, single), 1u) << "x=" << x;
+  }
+}
+
+TEST(Intersect, DisjointSetsCountZero) {
+  const BatmapContext ctx(10000, 5);
+  std::vector<std::uint64_t> a, b;
+  for (std::uint64_t x = 0; x < 500; ++x) a.push_back(2 * x);
+  for (std::uint64_t x = 0; x < 500; ++x) b.push_back(2 * x + 1);
+  const Batmap ma = build_batmap(ctx, a);
+  const Batmap mb = build_batmap(ctx, b);
+  EXPECT_EQ(intersect_count(ma, mb), 0u);
+}
+
+TEST(Intersect, WordSweepRejectsMismatchedSizes) {
+  std::vector<std::uint32_t> big(12, 0), small(8, 0);
+  EXPECT_THROW(intersect_count_words(big, small), repro::CheckError);
+}
+
+TEST(Intersect, CountsAreStableAcrossContextsInExpectation) {
+  // Different hash seeds give different layouts but the same exact count.
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> sa, sb;
+  while (sa.size() < 200) sa.insert(rng.below(4000));
+  while (sb.size() < 300) sb.insert(rng.below(4000));
+  std::vector<std::uint64_t> a(sa.begin(), sa.end()), b(sb.begin(), sb.end());
+  std::vector<std::uint64_t> common;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(common));
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const BatmapContext ctx(4000, seed);
+    std::vector<std::uint64_t> fa, fb;
+    const Batmap ma = build_batmap(ctx, a, &fa);
+    const Batmap mb = build_batmap(ctx, b, &fb);
+    if (!fa.empty() || !fb.empty()) continue;
+    ASSERT_EQ(intersect_count(ma, mb), common.size()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace repro::batmap

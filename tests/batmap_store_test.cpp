@@ -1,0 +1,135 @@
+// Tests for the BatmapStore public API: exact intersection sizes including
+// failure patching, memory accounting, and input normalization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "batmap/intersect.hpp"
+#include "util/rng.hpp"
+
+namespace repro::batmap {
+namespace {
+
+std::vector<std::uint64_t> random_set(std::uint64_t universe, std::size_t size,
+                                      Xoshiro256& rng) {
+  std::set<std::uint64_t> s;
+  while (s.size() < size) s.insert(rng.below(universe));
+  return {s.begin(), s.end()};
+}
+
+std::uint64_t exact(const std::vector<std::uint64_t>& a,
+                    const std::vector<std::uint64_t>& b) {
+  std::vector<std::uint64_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out.size();
+}
+
+TEST(BatmapStoreTest, ExactOnRandomPairs) {
+  Xoshiro256 rng(1);
+  BatmapStore store(20000);
+  std::vector<std::vector<std::uint64_t>> sets;
+  for (int i = 0; i < 30; ++i) {
+    sets.push_back(random_set(20000, 20 + rng.below(500), rng));
+    EXPECT_EQ(store.add(sets.back()), static_cast<std::size_t>(i));
+  }
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = i; j < sets.size(); ++j) {
+      ASSERT_EQ(store.intersection_size(i, j), exact(sets[i], sets[j]))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(BatmapStoreTest, DeduplicatesInput) {
+  BatmapStore store(100);
+  const std::vector<std::uint64_t> dup{5, 5, 7, 7, 7, 9};
+  const auto id = store.add(dup);
+  EXPECT_EQ(store.elements(id).size(), 3u);
+  EXPECT_EQ(store.map(id).stored_elements(), 3u);
+  EXPECT_EQ(store.intersection_size(id, id), 3u);
+}
+
+TEST(BatmapStoreTest, PatchingUnderForcedFailures) {
+  // Tiny MaxLoop forces many insertion failures; intersection_size must
+  // still be exact thanks to the failure patch.
+  BatmapStore::Options opt;
+  opt.builder.max_loop = 1;
+  opt.builder.max_cascade = 1;
+  Xoshiro256 rng(3);
+  BatmapStore store(5000, opt);
+  std::vector<std::vector<std::uint64_t>> sets;
+  for (int i = 0; i < 20; ++i) {
+    sets.push_back(random_set(5000, 100 + rng.below(400), rng));
+    store.add(sets.back());
+  }
+  EXPECT_GT(store.total_failures(), 0u)
+      << "test needs failures to exercise the patch path";
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = i; j < sets.size(); ++j) {
+      ASSERT_EQ(store.intersection_size(i, j), exact(sets[i], sets[j]))
+          << i << "," << j;
+    }
+  }
+  // And the raw (unpatched) count never overcounts.
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = i + 1; j < sets.size(); ++j) {
+      ASSERT_LE(store.raw_count(i, j), exact(sets[i], sets[j]));
+    }
+  }
+}
+
+TEST(BatmapStoreTest, MemoryAccounting) {
+  BatmapStore store(10000);
+  Xoshiro256 rng(9);
+  store.add(random_set(10000, 100, rng));
+  store.add(random_set(10000, 1000, rng));
+  EXPECT_GT(store.batmap_bytes(), 0u);
+  EXPECT_GE(store.memory_bytes(), store.batmap_bytes());
+  // Batmap bytes are within the paper's sizing: 3·r per set, r < 4|S|
+  // (clamped below by 3·r0).
+  const auto& prm = store.context().params();
+  const std::uint64_t upper =
+      3ull * std::max<std::uint64_t>(4 * 100, prm.r0) +
+      3ull * std::max<std::uint64_t>(4 * 1000, prm.r0);
+  EXPECT_LE(store.batmap_bytes(), upper);
+}
+
+TEST(BatmapStoreTest, SpaceWithinSmallFactorOfInformationMinimum) {
+  // §I: "space usage is within a small factor of the information theoretical
+  // minimum". For |S| elements from [0,m) at density >= 1/256 the batmap is
+  // 3·r <= 12·|S| bytes.
+  BatmapStore store(1 << 16);
+  Xoshiro256 rng(4);
+  const auto s = random_set(1 << 16, 5000, rng);  // density ~7.6%
+  const auto id = store.add(s);
+  EXPECT_LE(store.map(id).memory_bytes(), 12u * 5000);
+}
+
+TEST(BatmapStoreTest, IdsOutOfRangeChecked) {
+  BatmapStore store(100);
+  store.add(std::vector<std::uint64_t>{1, 2, 3});
+  EXPECT_THROW(store.intersection_size(0, 1), repro::CheckError);
+  EXPECT_THROW(store.map(5), repro::CheckError);
+}
+
+TEST(BatmapStoreTest, ManySmallSetsAllPairs) {
+  // Lots of minimum-range batmaps: exercises the r0 floor and the
+  // equal-size fast path.
+  BatmapStore store(512);
+  Xoshiro256 rng(31);
+  std::vector<std::vector<std::uint64_t>> sets;
+  for (int i = 0; i < 40; ++i) {
+    sets.push_back(random_set(512, 1 + rng.below(6), rng));
+    store.add(sets.back());
+  }
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = i; j < sets.size(); ++j) {
+      ASSERT_EQ(store.intersection_size(i, j), exact(sets[i], sets[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::batmap

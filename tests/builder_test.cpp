@@ -1,0 +1,212 @@
+// Tests for the 2-of-3 cuckoo builder (§II-A, §III-C): placement invariants,
+// indicator bits, decode round-trips, failure handling and stats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "batmap/builder.hpp"
+#include "util/rng.hpp"
+
+namespace repro::batmap {
+namespace {
+
+std::vector<std::uint64_t> random_subset(std::uint64_t universe,
+                                         std::size_t size,
+                                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::set<std::uint64_t> s;
+  while (s.size() < size) s.insert(rng.below(universe));
+  return {s.begin(), s.end()};
+}
+
+TEST(Builder, InsertAndContains) {
+  const BatmapContext ctx(1000);
+  BatmapBuilder b(ctx, ctx.params().range_for_size(10));
+  EXPECT_FALSE(b.contains(5));
+  EXPECT_TRUE(b.insert(5));
+  EXPECT_TRUE(b.contains(5));
+  EXPECT_TRUE(b.insert(17));
+  EXPECT_TRUE(b.contains(17));
+  EXPECT_FALSE(b.contains(6));
+  b.check_invariants();
+}
+
+TEST(Builder, RejectsOutOfUniverse) {
+  const BatmapContext ctx(100);
+  BatmapBuilder b(ctx, ctx.params().range_for_size(4));
+  EXPECT_THROW(b.insert(100), repro::CheckError);
+  EXPECT_THROW(b.insert(12345), repro::CheckError);
+}
+
+TEST(Builder, InvariantsAfterManyInserts) {
+  const BatmapContext ctx(100000, 7);
+  for (const std::size_t size : {1u, 5u, 63u, 64u, 500u, 4000u}) {
+    const auto elems = random_subset(100000, size, size);
+    BatmapBuilder b(ctx, ctx.params().range_for_size(size));
+    for (const auto x : elems) b.insert(x);
+    b.check_invariants();
+    EXPECT_EQ(b.stats().inserted + b.stats().failed,
+              size + 0u);  // every element accounted for (failures may add
+                           // evicted ones, but inserted+failed >= size)
+    EXPECT_TRUE(b.failures().empty())
+        << "unexpected failures at size " << size;
+  }
+}
+
+TEST(Builder, SealDecodeRoundTrip) {
+  const BatmapContext ctx(50000, 3);
+  const auto elems = random_subset(50000, 700, 11);
+  BatmapBuilder b(ctx, ctx.params().range_for_size(elems.size()));
+  for (const auto x : elems) b.insert(x);
+  ASSERT_TRUE(b.failures().empty());
+  const Batmap map = b.seal();
+  EXPECT_EQ(map.stored_elements(), elems.size());
+  const auto decoded = map.decode(ctx.params(), ctx);
+  EXPECT_EQ(decoded, elems);
+}
+
+TEST(Builder, SealIsIdempotentSnapshot) {
+  const BatmapContext ctx(1000, 3);
+  BatmapBuilder b(ctx, ctx.params().range_for_size(8));
+  for (const std::uint64_t x : {1ull, 2ull, 3ull}) b.insert(x);
+  const Batmap m1 = b.seal();
+  b.insert(900);
+  const Batmap m2 = b.seal();
+  EXPECT_EQ(m1.stored_elements(), 3u);
+  EXPECT_EQ(m2.stored_elements(), 4u);
+}
+
+TEST(Builder, IndicatorBitsOnePerElement) {
+  // Exactly one of the two copies of each element carries the "last" bit.
+  const BatmapContext ctx(10000, 13);
+  const auto elems = random_subset(10000, 300, 5);
+  BatmapBuilder b(ctx, ctx.params().range_for_size(elems.size()));
+  for (const auto x : elems) b.insert(x);
+  ASSERT_TRUE(b.failures().empty());
+  const ReferenceBatmap ref = b.seal_reference();
+  std::map<std::uint64_t, int> last_bits, copies;
+  for (std::uint64_t p = 0; p < ref.slot_count(); ++p) {
+    if (ref.value(p) == ReferenceBatmap::kEmpty) continue;
+    ++copies[ref.value(p)];
+    last_bits[ref.value(p)] += ref.last_bit(p) ? 1 : 0;
+  }
+  EXPECT_EQ(copies.size(), elems.size());
+  for (const auto& [v, c] : copies) EXPECT_EQ(c, 2) << v;
+  for (const auto& [v, l] : last_bits) EXPECT_EQ(l, 1) << v;
+}
+
+TEST(Builder, CompressedMatchesReferenceSlotwise) {
+  // Each occupied slot byte must decode to the reference value.
+  const BatmapContext ctx(30000, 21);
+  const auto elems = random_subset(30000, 200, 9);
+  BatmapBuilder b(ctx, ctx.params().range_for_size(elems.size()));
+  for (const auto x : elems) b.insert(x);
+  const Batmap map = b.seal();
+  const ReferenceBatmap ref = b.seal_reference();
+  const auto& prm = ctx.params();
+  for (std::uint64_t p = 0; p < map.slot_count(); ++p) {
+    const std::uint8_t byte = map.slot(p);
+    if (ref.value(p) == ReferenceBatmap::kEmpty) {
+      ASSERT_EQ(byte, kNullSlot);
+      continue;
+    }
+    ASSERT_NE(byte, kNullSlot);
+    ASSERT_EQ((byte & 0x80) != 0, ref.last_bit(p));
+    const int t = prm.table_of(p);
+    const std::uint64_t v =
+        prm.reconstruct(p, byte & 0x7f, map.range());
+    ASSERT_EQ(ctx.unpermuted(t, v), ref.value(p));
+  }
+}
+
+TEST(Builder, FailuresUnderPressure) {
+  // A deliberately overloaded table (range < 2|S|) with a tiny MaxLoop must
+  // report failures, keep invariants, and never store failed elements.
+  // (universe 1000 keeps r0 = 8 so an undersized range of 64 is legal.)
+  const BatmapContext ctx(1000, 2);
+  BatmapBuilder::Options opt;
+  opt.max_loop = 2;
+  opt.max_cascade = 2;
+  const std::uint32_t r = 64;  // 3*64 = 192 slots for 2*150 = 300 copies
+  BatmapBuilder b(ctx, r, opt);
+  const auto elems = random_subset(1000, 150, 33);
+  for (const auto x : elems) b.insert(x);
+  EXPECT_GT(b.failures().size(), 0u);
+  b.check_invariants();
+  // The sealed map holds exactly the non-failed elements.
+  const std::set<std::uint64_t> failed(b.failures().begin(),
+                                       b.failures().end());
+  const Batmap map = b.seal();
+  const auto decoded = map.decode(ctx.params(), ctx);
+  for (const auto x : decoded) {
+    EXPECT_FALSE(failed.count(x)) << x;
+  }
+  EXPECT_EQ(decoded.size() + failed.size(), elems.size());
+}
+
+TEST(Builder, FailureListHasNoDuplicates) {
+  const BatmapContext ctx(1000, 2);
+  BatmapBuilder::Options opt;
+  opt.max_loop = 1;
+  opt.max_cascade = 1;
+  BatmapBuilder b(ctx, 64, opt);
+  const auto elems = random_subset(1000, 180, 55);
+  for (const auto x : elems) b.insert(x);
+  auto f = b.failures();
+  std::sort(f.begin(), f.end());
+  EXPECT_TRUE(std::adjacent_find(f.begin(), f.end()) == f.end());
+}
+
+TEST(Builder, StatsAreConsistent) {
+  const BatmapContext ctx(100000, 2);
+  const auto elems = random_subset(100000, 1000, 77);
+  BatmapBuilder b(ctx, ctx.params().range_for_size(elems.size()));
+  for (const auto x : elems) b.insert(x);
+  const auto& st = b.stats();
+  EXPECT_EQ(st.inserted, 1000u);
+  EXPECT_EQ(st.failed, 0u);
+  // Two walks per element minimum.
+  EXPECT_GE(st.walks, 2000u);
+  EXPECT_GE(st.swaps, 2000u);
+  // Expected O(1) moves per insertion: generous upper bound.
+  EXPECT_LT(st.swaps, 2000u * 50);
+}
+
+TEST(Builder, ExpectedConstantMovesPerInsert) {
+  // §II-B: with r >= 2|S| the expected number of moves per insertion is
+  // O(1). Check the empirical average stays small across seeds.
+  double total_ratio = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const BatmapContext ctx(1 << 20, seed);
+    const auto elems = random_subset(1 << 20, 5000, seed + 100);
+    BatmapBuilder b(ctx, ctx.params().range_for_size(elems.size()));
+    for (const auto x : elems) b.insert(x);
+    total_ratio += static_cast<double>(b.stats().swaps) /
+                   static_cast<double>(b.stats().walks);
+  }
+  EXPECT_LT(total_ratio / 5, 8.0);
+}
+
+TEST(BuildBatmapHelper, CollectsFailures) {
+  const BatmapContext ctx(1000, 5);
+  const auto elems = random_subset(1000, 50, 3);
+  std::vector<std::uint64_t> failed;
+  const Batmap map = build_batmap(ctx, elems, &failed);
+  EXPECT_TRUE(failed.empty());
+  EXPECT_EQ(map.stored_elements(), 50u);
+  EXPECT_EQ(map.range(), ctx.params().range_for_size(50));
+}
+
+TEST(BuildBatmapHelper, EmptySet) {
+  const BatmapContext ctx(1000, 5);
+  const Batmap map = build_batmap(ctx, {});
+  EXPECT_EQ(map.stored_elements(), 0u);
+  EXPECT_EQ(map.range(), ctx.params().r0);
+  for (std::uint64_t p = 0; p < map.slot_count(); ++p) {
+    ASSERT_EQ(map.slot(p), kNullSlot);
+  }
+}
+
+}  // namespace
+}  // namespace repro::batmap

@@ -1,0 +1,80 @@
+// Integration test driving the batmap_cli binary end to end (gen -> build ->
+// info -> query -> pairs -> mine). The binary path is injected by CMake.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#ifndef BATMAP_CLI_PATH
+#define BATMAP_CLI_PATH "./batmap_cli"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code;
+  std::string out;
+};
+
+RunResult run(const std::string& args) {
+  const std::string cmd = std::string(BATMAP_CLI_PATH) + " " + args + " 2>&1";
+  std::array<char, 4096> buf{};
+  std::string out;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return {-1, ""};
+  while (fgets(buf.data(), buf.size(), pipe)) out += buf.data();
+  const int status = pclose(pipe);
+  return {WEXITSTATUS(status), out};
+}
+
+TEST(CliTest, FullWorkflow) {
+  const std::string fimi = "/tmp/batmap_cli_test.fimi";
+  const std::string store = "/tmp/batmap_cli_test.store";
+
+  auto gen = run("gen --items 50 --total 5000 --density 0.08 --out " + fimi);
+  ASSERT_EQ(gen.exit_code, 0) << gen.out;
+  EXPECT_NE(gen.out.find("wrote"), std::string::npos);
+
+  auto build = run("build --fimi " + fimi + " --out " + store);
+  ASSERT_EQ(build.exit_code, 0) << build.out;
+  EXPECT_NE(build.out.find("built 50 batmaps"), std::string::npos);
+
+  auto info = run("info --store " + store);
+  ASSERT_EQ(info.exit_code, 0) << info.out;
+  EXPECT_NE(info.out.find("store: 50 sets"), std::string::npos);
+
+  auto query = run("query --store " + store + " --a 1 --b 2");
+  ASSERT_EQ(query.exit_code, 0) << query.out;
+  EXPECT_NE(query.out.find("∩"), std::string::npos);
+
+  auto pairs = run("pairs --fimi " + fimi + " --minsup 5 --top 2");
+  ASSERT_EQ(pairs.exit_code, 0) << pairs.out;
+  EXPECT_NE(pairs.out.find("pairs with support >= 5"), std::string::npos);
+
+  auto mine = run("mine --fimi " + fimi + " --minsup 20 --max-size 2");
+  ASSERT_EQ(mine.exit_code, 0) << mine.out;
+  EXPECT_NE(mine.out.find("frequent itemsets"), std::string::npos);
+
+  auto verify = run("verify --fimi " + fimi);
+  ASSERT_EQ(verify.exit_code, 0) << verify.out;
+  EXPECT_EQ(verify.out.find("MISMATCH"), std::string::npos) << verify.out;
+}
+
+TEST(CliTest, ErrorPaths) {
+  EXPECT_EQ(run("").exit_code, 2);
+  EXPECT_EQ(run("frobnicate").exit_code, 2);
+  EXPECT_EQ(run("build").exit_code, 2);                    // missing --fimi
+  EXPECT_EQ(run("info --store /nonexistent").exit_code, 2);
+  EXPECT_EQ(run("query --store /nonexistent").exit_code, 2);
+}
+
+TEST(CliTest, QueryOutOfRange) {
+  const std::string fimi = "/tmp/batmap_cli_test2.fimi";
+  const std::string store = "/tmp/batmap_cli_test2.store";
+  ASSERT_EQ(run("gen --items 5 --total 100 --out " + fimi).exit_code, 0);
+  ASSERT_EQ(run("build --fimi " + fimi + " --out " + store).exit_code, 0);
+  EXPECT_EQ(run("query --store " + store + " --a 0 --b 99").exit_code, 2);
+}
+
+}  // namespace

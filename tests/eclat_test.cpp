@@ -1,0 +1,77 @@
+// Tests for the Eclat baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/apriori.hpp"
+#include "baselines/eclat.hpp"
+#include "mining/brute_force.hpp"
+#include "mining/datagen.hpp"
+
+namespace repro::baselines {
+namespace {
+
+TEST(EclatPairs, MatchesBruteForce) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 45;
+  spec.density = 0.15;
+  spec.total_items = 3000;
+  spec.seed = 13;
+  const auto db = mining::bernoulli_instance(spec);
+  const auto got = eclat_pair_supports(db);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(*got == mining::brute_force_pair_supports(db));
+}
+
+TEST(EclatPairs, DeadlineExpiry) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 64;
+  spec.total_items = 50000;
+  const auto db = mining::bernoulli_instance(spec);
+  const Deadline expired(1e-12);
+  EXPECT_FALSE(eclat_pair_supports(db, expired).has_value());
+}
+
+TEST(EclatMine, AgreesWithApriori) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 11;
+  spec.density = 0.4;
+  spec.total_items = 500;
+  spec.seed = 17;
+  const auto db = mining::bernoulli_instance(spec);
+  for (const std::uint32_t minsup : {3u, 8u}) {
+    Apriori::Options ao;
+    ao.minsup = minsup;
+    Eclat::Options eo;
+    eo.minsup = minsup;
+    auto a = Apriori(ao).mine(db);
+    auto e = Eclat(eo).mine(db);
+    const auto by_items = [](const FrequentItemset& x,
+                             const FrequentItemset& y) {
+      return x.items < y.items;
+    };
+    std::sort(a.begin(), a.end(), by_items);
+    std::sort(e.begin(), e.end(), by_items);
+    ASSERT_EQ(a.size(), e.size()) << "minsup " << minsup;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].items, e[i].items);
+      ASSERT_EQ(a[i].support, e[i].support);
+    }
+  }
+}
+
+TEST(EclatMine, MaxSizeRespected) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 8;
+  spec.density = 0.5;
+  spec.total_items = 300;
+  const auto db = mining::bernoulli_instance(spec);
+  Eclat::Options opt;
+  opt.minsup = 2;
+  opt.max_size = 2;
+  const auto got = Eclat(opt).mine(db);
+  for (const auto& fs : got) EXPECT_LE(fs.items.size(), 2u);
+}
+
+}  // namespace
+}  // namespace repro::baselines

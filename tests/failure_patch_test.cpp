@@ -1,0 +1,75 @@
+// Tests for the M_{p,q} failure-patch bookkeeping (§III-C).
+#include <gtest/gtest.h>
+
+#include "core/failure_patch.hpp"
+
+namespace repro::core {
+namespace {
+
+TEST(FailurePatchTest, SingleFailureCreditsAllPartners) {
+  // Transaction 0 = {0, 1, 2}; item 1 failed to insert tid 0.
+  mining::TransactionDb db(3);
+  db.add_transaction({0, 1, 2});
+  std::vector<std::vector<mining::Tid>> failed(3);
+  failed[1] = {0};
+  std::vector<std::uint32_t> sorted_index{0, 1, 2};  // identity
+  const FailurePatch patch(db, failed, sorted_index, /*tile=*/16);
+  EXPECT_EQ(patch.total_patches(), 2u);  // pairs {0,1} and {1,2}
+  const auto& bucket = patch.bucket(TileCoord{0, 0});
+  ASSERT_EQ(bucket.size(), 2u);
+  EXPECT_EQ(bucket[0].row, 0u);
+  EXPECT_EQ(bucket[0].col, 1u);
+  EXPECT_EQ(bucket[1].row, 1u);
+  EXPECT_EQ(bucket[1].col, 2u);
+}
+
+TEST(FailurePatchTest, BothEndpointsFailedCreditedOnce) {
+  mining::TransactionDb db(2);
+  db.add_transaction({0, 1});
+  std::vector<std::vector<mining::Tid>> failed(2);
+  failed[0] = {0};
+  failed[1] = {0};
+  std::vector<std::uint32_t> sorted_index{0, 1};
+  const FailurePatch patch(db, failed, sorted_index, 16);
+  EXPECT_EQ(patch.total_patches(), 1u);
+}
+
+TEST(FailurePatchTest, SeparateTransactionsCreditSeparately) {
+  mining::TransactionDb db(2);
+  db.add_transaction({0, 1});
+  db.add_transaction({0, 1});
+  std::vector<std::vector<mining::Tid>> failed(2);
+  failed[0] = {0, 1};  // failed in both transactions
+  std::vector<std::uint32_t> sorted_index{0, 1};
+  const FailurePatch patch(db, failed, sorted_index, 16);
+  EXPECT_EQ(patch.total_patches(), 2u);  // +1 per transaction
+}
+
+TEST(FailurePatchTest, BucketsRespectSortedIndexAndTile) {
+  // Items 0 and 1 map to sorted indices 20 and 3: pair goes to tile (0,1)
+  // with row=3 (smaller sorted index first).
+  mining::TransactionDb db(2);
+  db.add_transaction({0, 1});
+  std::vector<std::vector<mining::Tid>> failed(2);
+  failed[0] = {0};
+  std::vector<std::uint32_t> sorted_index{20, 3};
+  const FailurePatch patch(db, failed, sorted_index, 16);
+  const auto& bucket = patch.bucket(TileCoord{0, 1});
+  ASSERT_EQ(bucket.size(), 1u);
+  EXPECT_EQ(bucket[0].row, 3u);
+  EXPECT_EQ(bucket[0].col, 20u);
+  EXPECT_TRUE(patch.bucket(TileCoord{0, 0}).empty());
+}
+
+TEST(FailurePatchTest, NoFailuresNoBuckets) {
+  mining::TransactionDb db(3);
+  db.add_transaction({0, 1, 2});
+  std::vector<std::vector<mining::Tid>> failed(3);
+  std::vector<std::uint32_t> sorted_index{0, 1, 2};
+  const FailurePatch patch(db, failed, sorted_index, 16);
+  EXPECT_EQ(patch.total_patches(), 0u);
+  EXPECT_TRUE(patch.buckets().empty());
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,138 @@
+// Tests for FP-growth: FP-tree structure, pair supports vs brute force,
+// minsup filtering, and the general miner against Apriori.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/apriori.hpp"
+#include "baselines/fpgrowth.hpp"
+#include "mining/brute_force.hpp"
+#include "mining/datagen.hpp"
+
+namespace repro::baselines {
+namespace {
+
+TEST(FpTreeTest, SharedPrefixesCompress) {
+  mining::TransactionDb db(3);
+  // 100 identical transactions must share one path of 3 nodes.
+  for (int t = 0; t < 100; ++t) db.add_transaction({0, 1, 2});
+  const FpTree tree(db, 1);
+  EXPECT_EQ(tree.num_nodes(), 3u);
+  for (const auto& node : tree.nodes()) EXPECT_EQ(node.count, 100u);
+}
+
+TEST(FpTreeTest, HeaderChainsLinkAllNodes) {
+  mining::TransactionDb db(4);
+  db.add_transaction({0, 1});
+  db.add_transaction({0, 2});
+  db.add_transaction({1, 2, 3});
+  db.add_transaction({3});
+  const FpTree tree(db, 1);
+  // Sum of counts along each item's chain equals the item's support.
+  const auto supports = db.item_supports();
+  for (mining::Item i = 0; i < 4; ++i) {
+    std::uint32_t total = 0;
+    for (std::int32_t nd = tree.header(i); nd != -1;
+         nd = tree.nodes()[static_cast<std::size_t>(nd)].next) {
+      total += tree.nodes()[static_cast<std::size_t>(nd)].count;
+    }
+    EXPECT_EQ(total, supports[i]) << "item " << i;
+    EXPECT_EQ(tree.item_support(i), supports[i]);
+  }
+}
+
+TEST(FpTreeTest, MinsupFiltersItems) {
+  mining::TransactionDb db(3);
+  db.add_transaction({0, 1});
+  db.add_transaction({0, 1});
+  db.add_transaction({0, 2});  // item 2 has support 1
+  const FpTree tree(db, 2);
+  for (const auto& node : tree.nodes()) EXPECT_NE(node.item, 2u);
+  EXPECT_EQ(tree.header(2), -1);
+}
+
+TEST(FpPairs, MatchesBruteForceAtMinsupOne) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 60;
+  spec.density = 0.12;
+  spec.total_items = 5000;
+  spec.seed = 9;
+  const auto db = mining::bernoulli_instance(spec);
+  const auto sparse = fpgrowth_pair_supports(db, 1);
+  ASSERT_TRUE(sparse.has_value());
+  EXPECT_TRUE(to_dense(*sparse, db.num_items()) ==
+              mining::brute_force_pair_supports(db));
+}
+
+TEST(FpPairs, MinsupFilters) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 30;
+  spec.density = 0.2;
+  spec.total_items = 2000;
+  const auto db = mining::bernoulli_instance(spec);
+  const auto oracle = mining::brute_force_pair_supports(db);
+  const std::uint32_t minsup = 10;
+  const auto sparse = fpgrowth_pair_supports(db, minsup);
+  ASSERT_TRUE(sparse.has_value());
+  std::uint64_t oracle_frequent = oracle.frequent_pairs(minsup);
+  EXPECT_EQ(sparse->size(), oracle_frequent);
+  for (const auto& p : *sparse) {
+    EXPECT_GE(p.support, minsup);
+    EXPECT_EQ(p.support, oracle.get(p.i, p.j));
+    EXPECT_LT(p.i, p.j);
+  }
+}
+
+TEST(FpPairs, DeadlineExpiryReturnsNullopt) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 200;
+  spec.density = 0.3;
+  spec.total_items = 300000;
+  const auto db = mining::bernoulli_instance(spec);
+  const Deadline expired(1e-12);
+  EXPECT_FALSE(fpgrowth_pair_supports(db, 1, expired).has_value());
+}
+
+TEST(FpGrowthMine, AgreesWithApriori) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 12;
+  spec.density = 0.35;
+  spec.total_items = 600;
+  spec.seed = 21;
+  const auto db = mining::bernoulli_instance(spec);
+  for (const std::uint32_t minsup : {2u, 5u, 15u}) {
+    Apriori::Options ao;
+    ao.minsup = minsup;
+    FpGrowth::Options fo;
+    fo.minsup = minsup;
+    auto a = Apriori(ao).mine(db);
+    auto f = FpGrowth(fo).mine(db);
+    const auto by_items = [](const FrequentItemset& x,
+                             const FrequentItemset& y) {
+      return x.items < y.items;
+    };
+    std::sort(a.begin(), a.end(), by_items);
+    std::sort(f.begin(), f.end(), by_items);
+    ASSERT_EQ(a.size(), f.size()) << "minsup " << minsup;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].items, f[i].items);
+      ASSERT_EQ(a[i].support, f[i].support);
+    }
+  }
+}
+
+TEST(FpGrowthMine, SingleItemTransactions) {
+  mining::TransactionDb db(3);
+  for (int t = 0; t < 5; ++t) db.add_transaction({0});
+  db.add_transaction({1});
+  FpGrowth::Options opt;
+  opt.minsup = 2;
+  const auto got = FpGrowth(opt).mine(db);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].items, std::vector<mining::Item>{0});
+  EXPECT_EQ(got[0].support, 5u);
+}
+
+}  // namespace
+}  // namespace repro::baselines

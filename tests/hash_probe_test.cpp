@@ -1,0 +1,77 @@
+// Tests for the linear-probing intersection baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/hash_probe.hpp"
+#include "util/rng.hpp"
+
+namespace repro::baselines {
+namespace {
+
+std::vector<std::uint64_t> random_set(std::uint64_t universe,
+                                      std::size_t size, Xoshiro256& rng) {
+  std::set<std::uint64_t> s;
+  while (s.size() < size) s.insert(rng.below(universe));
+  return {s.begin(), s.end()};
+}
+
+TEST(ProbeSetTest, ContainsExactly) {
+  Xoshiro256 rng(1);
+  const auto elems = random_set(100000, 500, rng);
+  const ProbeSet set(elems);
+  EXPECT_EQ(set.size(), 500u);
+  for (const auto x : elems) {
+    ASSERT_TRUE(set.contains(x));
+  }
+  int false_hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = rng.below(100000);
+    const bool truth =
+        std::binary_search(elems.begin(), elems.end(), x);
+    false_hits += (set.contains(x) != truth);
+  }
+  EXPECT_EQ(false_hits, 0);
+}
+
+TEST(ProbeSetTest, IntersectMatchesOracle) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = random_set(10000, 100 + rng.below(1000), rng);
+    const auto b = random_set(10000, 100 + rng.below(1000), rng);
+    std::vector<std::uint64_t> expect;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expect));
+    const ProbeSet ta(a);
+    ASSERT_EQ(intersect_size_probe(ta, b), expect.size()) << trial;
+  }
+}
+
+TEST(ProbeSetTest, ProbeChainsAreIrregular) {
+  // The §II point: even at 50% load, lookups walk data-dependent chains
+  // (probes > lookups), unlike the batmap's fixed-position comparisons.
+  Xoshiro256 rng(3);
+  const auto elems = random_set(1 << 20, 20000, rng);
+  const ProbeSet set(elems);
+  for (const auto x : elems) (void)set.contains(x);
+  EXPECT_GT(set.probes(), static_cast<std::uint64_t>(elems.size()));
+}
+
+TEST(ProbeSetTest, EmptyAndSingleton) {
+  const ProbeSet empty(std::vector<std::uint64_t>{});
+  EXPECT_FALSE(empty.contains(5));
+  const ProbeSet one(std::vector<std::uint64_t>{42});
+  EXPECT_TRUE(one.contains(42));
+  EXPECT_FALSE(one.contains(41));
+  EXPECT_EQ(intersect_size_probe(one, std::vector<std::uint64_t>{41, 42, 43}),
+            1u);
+}
+
+TEST(ProbeSetTest, DuplicateInsertChecked) {
+  const std::vector<std::uint64_t> dup{3, 3};
+  EXPECT_THROW(ProbeSet s(dup), repro::CheckError);
+}
+
+}  // namespace
+}  // namespace repro::baselines

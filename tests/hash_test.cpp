@@ -1,0 +1,122 @@
+// Tests for the hash substrate: Feistel permutations must be exact
+// bijections on arbitrary domains (the batmap compression proof depends on
+// it), invertible, deterministic in the seed, and reasonably uniform.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "hash/hash_family.hpp"
+#include "hash/permutation.hpp"
+#include "util/rng.hpp"
+
+namespace repro::hash {
+namespace {
+
+class PermutationDomains : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationDomains, IsBijection) {
+  const std::uint64_t domain = GetParam();
+  const FeistelPermutation pi(domain, 123);
+  std::vector<bool> hit(domain, false);
+  for (std::uint64_t x = 0; x < domain; ++x) {
+    const std::uint64_t y = pi(x);
+    ASSERT_LT(y, domain);
+    ASSERT_FALSE(hit[y]) << "collision at x=" << x;
+    hit[y] = true;
+  }
+}
+
+TEST_P(PermutationDomains, InverseRoundTrips) {
+  const std::uint64_t domain = GetParam();
+  const FeistelPermutation pi(domain, 99);
+  for (std::uint64_t x = 0; x < domain; ++x) {
+    ASSERT_EQ(pi.inverse(pi(x)), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, PermutationDomains,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 17,
+                                           100, 127, 128, 129, 1000, 4096,
+                                           5000, 65536, 100000));
+
+TEST(Permutation, DeterministicInSeed) {
+  const FeistelPermutation a(1000, 5), b(1000, 5), c(1000, 6);
+  bool all_eq = true, any_diff = false;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    all_eq &= (a(x) == b(x));
+    any_diff |= (a(x) != c(x));
+  }
+  EXPECT_TRUE(all_eq);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Permutation, LargeDomainSpotChecks) {
+  const std::uint64_t domain = 1ull << 40;
+  const FeistelPermutation pi(domain, 321);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = rng.below(domain);
+    const std::uint64_t y = pi(x);
+    ASSERT_LT(y, domain);
+    ASSERT_EQ(pi.inverse(y), x);
+  }
+}
+
+TEST(Permutation, NotIdentityLike) {
+  // A random permutation of [0, 4096) should have very few fixed points.
+  const FeistelPermutation pi(4096, 2024);
+  int fixed = 0;
+  for (std::uint64_t x = 0; x < 4096; ++x) fixed += (pi(x) == x);
+  EXPECT_LT(fixed, 20);
+}
+
+TEST(Permutation, RoughlyUniformBuckets) {
+  // Image of an interval should spread across the domain.
+  const std::uint64_t domain = 1 << 16;
+  const FeistelPermutation pi(domain, 77);
+  std::vector<int> bucket(16, 0);
+  for (std::uint64_t x = 0; x < 4096; ++x) {
+    ++bucket[pi(x) / (domain / 16)];
+  }
+  for (const int b : bucket) {
+    EXPECT_GT(b, 4096 / 16 / 3);
+    EXPECT_LT(b, 4096 / 16 * 3);
+  }
+}
+
+TEST(PermutationTripleTest, ThreeIndependentPermutations) {
+  const PermutationTriple triple(10000, 42);
+  EXPECT_EQ(triple.domain(), 10000u);
+  int agree01 = 0, agree12 = 0;
+  for (std::uint64_t x = 0; x < 10000; ++x) {
+    agree01 += (triple.pi(0)(x) == triple.pi(1)(x));
+    agree12 += (triple.pi(1)(x) == triple.pi(2)(x));
+  }
+  // Independent random permutations agree on ~1 point in expectation.
+  EXPECT_LT(agree01, 20);
+  EXPECT_LT(agree12, 20);
+}
+
+TEST(MultiplyShiftTest, RangeAndSpread) {
+  const MultiplyShift h(9, 10);  // 10-bit output
+  std::vector<int> bucket(1024, 0);
+  for (std::uint64_t x = 0; x < 100000; ++x) {
+    const std::uint64_t y = h(x);
+    ASSERT_LT(y, 1024u);
+    ++bucket[y];
+  }
+  int empty = 0;
+  for (const int b : bucket) empty += (b == 0);
+  EXPECT_LT(empty, 64);  // most buckets hit
+}
+
+TEST(MultiplyShiftTest, SeedsDiffer) {
+  const MultiplyShift a(1, 32), b(2, 32);
+  int agree = 0;
+  for (std::uint64_t x = 1; x <= 1000; ++x) agree += (a(x) == b(x));
+  EXPECT_LT(agree, 5);
+}
+
+}  // namespace
+}  // namespace repro::hash

@@ -1,0 +1,157 @@
+// Tests for the batmap layout geometry (§III-A): shift derivation, range
+// sizing, the position formula, and the central wrap lemma
+// pos_small = pos_big mod 3·r_small that makes nested-size comparison a
+// cyclic sweep.
+#include <gtest/gtest.h>
+
+#include "batmap/context.hpp"
+#include "batmap/layout.hpp"
+#include "util/rng.hpp"
+
+namespace repro::batmap {
+namespace {
+
+TEST(LayoutParams, ShiftDerivation) {
+  // (max value >> s) + 1 must fit in 7 bits, minimal such s.
+  EXPECT_EQ(LayoutParams::for_universe(1).s, 0u);
+  EXPECT_EQ(LayoutParams::for_universe(127).s, 0u);   // (126>>0)+1 = 127 ok
+  EXPECT_EQ(LayoutParams::for_universe(128).s, 1u);   // (127>>0)+1 = 128 too big
+  EXPECT_EQ(LayoutParams::for_universe(254).s, 1u);   // (253>>1)+1 = 127
+  EXPECT_EQ(LayoutParams::for_universe(255).s, 2u);
+  const auto p = LayoutParams::for_universe(50000);
+  EXPECT_LE(((p.m - 1) >> p.s) + 1, 127u);
+  EXPECT_GT(p.s, 0u);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(LayoutParams, R0FloorsAtShift) {
+  // r0 must be >= 2^s for the compression to decode (paper's space floor).
+  const auto p = LayoutParams::for_universe(1 << 20);
+  EXPECT_GE(p.r0, 1u << p.s);
+  EXPECT_TRUE(bits::is_pow2(p.r0));
+  // A caller-supplied larger minimum is respected.
+  const auto p2 = LayoutParams::for_universe(100, 64);
+  EXPECT_GE(p2.r0, 64u);
+}
+
+TEST(LayoutParams, RangeForSize) {
+  const auto p = LayoutParams::for_universe(100);
+  EXPECT_EQ(p.range_for_size(0), p.r0);
+  // Paper sizing: r in [2|S|, 4|S|) (clamped below by r0).
+  for (std::uint64_t sz : {1ull, 2ull, 3ull, 5ull, 100ull, 1000ull}) {
+    const std::uint32_t r = p.range_for_size(sz);
+    EXPECT_TRUE(bits::is_pow2(r));
+    EXPECT_GE(r, p.r0);
+    if (r > p.r0) {
+      EXPECT_GE(r, 2 * sz);
+      EXPECT_LT(r, 4 * sz);
+    }
+  }
+}
+
+TEST(LayoutParams, SlotsAndWordsAligned) {
+  const auto p = LayoutParams::for_universe(1000);
+  for (std::uint32_t r = p.r0; r <= 1024; r *= 2) {
+    EXPECT_EQ(LayoutParams::slots(r), 3ull * r);
+    EXPECT_EQ(LayoutParams::words(r) * 4, LayoutParams::slots(r));
+    EXPECT_EQ(LayoutParams::slots(r) % 4, 0u);  // word-aligned
+  }
+}
+
+TEST(LayoutParams, PositionBasics) {
+  const auto p = LayoutParams::for_universe(100);
+  const std::uint32_t r = 2 * p.r0;
+  for (int t = 0; t < 3; ++t) {
+    for (std::uint64_t v = 0; v < 100; ++v) {
+      const std::uint64_t pos = p.position(v, t, r);
+      ASSERT_LT(pos, LayoutParams::slots(r));
+      ASSERT_EQ(p.table_of(pos), t);
+    }
+  }
+}
+
+TEST(LayoutParams, PositionsDistinctPerTableSlot) {
+  // Distinct (t, v mod r) pairs map to distinct positions.
+  const auto p = LayoutParams::for_universe(100);
+  const std::uint32_t r = 4 * p.r0;
+  std::vector<bool> hit(LayoutParams::slots(r), false);
+  for (int t = 0; t < 3; ++t) {
+    for (std::uint64_t v = 0; v < r; ++v) {
+      const std::uint64_t pos = p.position(v, t, r);
+      ASSERT_FALSE(hit[pos]);
+      hit[pos] = true;
+    }
+  }
+  for (const bool h : hit) EXPECT_TRUE(h);  // layout is a bijection
+}
+
+/// The central lemma: the position of a value in a batmap of range r_small
+/// equals its position in a batmap of range r_big wrapped mod 3·r_small.
+TEST(LayoutParams, WrapLemma) {
+  const auto p = LayoutParams::for_universe(1 << 14);
+  Xoshiro256 rng(17);
+  for (std::uint32_t r_small = p.r0; r_small <= (1u << 12); r_small *= 2) {
+    for (std::uint32_t r_big = r_small; r_big <= (1u << 13); r_big *= 2) {
+      for (int trial = 0; trial < 50; ++trial) {
+        const std::uint64_t v = rng.below(1 << 14);
+        for (int t = 0; t < 3; ++t) {
+          const std::uint64_t pb = p.position(v, t, r_big);
+          const std::uint64_t ps = p.position(v, t, r_small);
+          ASSERT_EQ(ps, pb % (3ull * r_small))
+              << "v=" << v << " t=" << t << " rs=" << r_small
+              << " rb=" << r_big;
+        }
+      }
+    }
+  }
+}
+
+TEST(LayoutParams, ReconstructRoundTrip) {
+  const auto p = LayoutParams::for_universe(50000);
+  Xoshiro256 rng(23);
+  for (std::uint32_t r = p.r0; r <= (1u << 18); r *= 4) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::uint64_t v = rng.below(50000);
+      for (int t = 0; t < 3; ++t) {
+        const std::uint64_t pos = p.position(v, t, r);
+        const std::uint8_t c = p.code(v);
+        ASSERT_GE(c, 1);
+        ASSERT_LE(c, 127);
+        ASSERT_EQ(p.reconstruct(pos, c, r), v);
+      }
+    }
+  }
+}
+
+TEST(LayoutParams, CodePlusPositionInjective) {
+  // Two distinct values never share both position and code (no false
+  // matches after compression) — exhaustive on a small universe.
+  const auto p = LayoutParams::for_universe(2000);
+  const std::uint32_t r = p.range_for_size(100);
+  for (int t = 0; t < 3; ++t) {
+    std::map<std::pair<std::uint64_t, std::uint8_t>, std::uint64_t> seen;
+    for (std::uint64_t v = 0; v < 2000; ++v) {
+      const auto key = std::make_pair(p.position(v, t, r), p.code(v));
+      const auto [it, inserted] = seen.emplace(key, v);
+      ASSERT_TRUE(inserted) << "values " << it->second << " and " << v
+                            << " collide in table " << t;
+    }
+  }
+}
+
+TEST(BatmapContextTest, PermutedRoundTrip) {
+  const BatmapContext ctx(5000, 9);
+  EXPECT_EQ(ctx.universe(), 5000u);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t x = rng.below(5000);
+    for (int t = 0; t < 3; ++t) {
+      const std::uint64_t v = ctx.permuted(t, x);
+      ASSERT_LT(v, 5000u);
+      ASSERT_EQ(ctx.unpermuted(t, v), x);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::batmap

@@ -1,0 +1,122 @@
+// Tests for boolean matrix multiplication and join-project via batmaps.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "matrix/boolean_matmul.hpp"
+#include "util/rng.hpp"
+
+namespace repro::matrix {
+namespace {
+
+BoolMatrix random_matrix(std::uint32_t rows, std::uint32_t cols,
+                         double density, Xoshiro256& rng) {
+  BoolMatrix m(rows, cols);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(density)) m.set(r, c);
+    }
+  }
+  return m;
+}
+
+BoolMatrix naive_product(const BoolMatrix& a, const BoolMatrix& b) {
+  BoolMatrix out(a.rows(), b.cols());
+  for (std::uint32_t i = 0; i < a.rows(); ++i) {
+    for (std::uint32_t j = 0; j < b.cols(); ++j) {
+      for (std::uint32_t k = 0; k < a.cols(); ++k) {
+        if (a.get(i, k) && b.get(k, j)) {
+          out.set(i, j);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(BoolMatrixTest, SetGet) {
+  BoolMatrix m(3, 4);
+  EXPECT_FALSE(m.get(1, 2));
+  m.set(1, 2);
+  m.set(1, 2);  // idempotent
+  EXPECT_TRUE(m.get(1, 2));
+  EXPECT_EQ(m.nonzeros(), 1u);
+  EXPECT_THROW(m.set(3, 0), repro::CheckError);
+}
+
+TEST(BoolMatrixTest, ColumnSetsTranspose) {
+  BoolMatrix m(3, 3);
+  m.set(0, 1);
+  m.set(2, 1);
+  m.set(1, 0);
+  const auto cols = m.column_sets();
+  EXPECT_EQ(cols[0], (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(cols[1], (std::vector<std::uint64_t>{0, 2}));
+  EXPECT_TRUE(cols[2].empty());
+}
+
+TEST(MatmulTest, MatchesNaiveOnRandomMatrices) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto a = random_matrix(12, 20, 0.15, rng);
+    const auto b = random_matrix(20, 9, 0.2, rng);
+    const auto expect = naive_product(a, b);
+    const auto got = boolean_product(a, b, trial);
+    for (std::uint32_t i = 0; i < 12; ++i) {
+      for (std::uint32_t j = 0; j < 9; ++j) {
+        ASSERT_EQ(got.product.get(i, j), expect.get(i, j))
+            << i << "," << j << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(MatmulTest, WitnessCountsAreIntersectionSizes) {
+  // a row i selects columns {0,1,2}; b column j selects rows {1,2,3}:
+  // witnesses = |{1,2}| = 2.
+  BoolMatrix a(1, 4), b(4, 1);
+  for (std::uint32_t k : {0u, 1u, 2u}) a.set(0, k);
+  for (std::uint32_t k : {1u, 2u, 3u}) b.set(k, 0);
+  const auto got = boolean_product(a, b);
+  ASSERT_EQ(got.entries.size(), 1u);
+  EXPECT_EQ(got.witness_counts[0], 2u);
+}
+
+TEST(MatmulTest, DimensionMismatchChecked) {
+  BoolMatrix a(2, 3), b(4, 2);
+  EXPECT_THROW(boolean_product(a, b), repro::CheckError);
+}
+
+TEST(JoinProjectTest, MatchesNaive) {
+  Xoshiro256 rng(11);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> r, s;
+  const std::uint32_t b_universe = 30;
+  for (int i = 0; i < 60; ++i) {
+    r.emplace_back(static_cast<std::uint32_t>(rng.below(15)),
+                   static_cast<std::uint32_t>(rng.below(b_universe)));
+    s.emplace_back(static_cast<std::uint32_t>(rng.below(b_universe)),
+                   static_cast<std::uint32_t>(rng.below(12)));
+  }
+  // Naive join-project.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> expect;
+  for (const auto& [av, bv] : r) {
+    for (const auto& [bv2, cv] : s) {
+      if (bv == bv2) expect.insert({av, cv});
+    }
+  }
+  const auto got = join_project(r, s, b_universe);
+  const std::set<std::pair<std::uint32_t, std::uint32_t>> got_set(
+      got.begin(), got.end());
+  EXPECT_EQ(got_set, expect);
+  EXPECT_EQ(got.size(), got_set.size());  // no duplicates emitted
+}
+
+TEST(JoinProjectTest, ValueOutsideUniverseChecked) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> r{{0, 50}};
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> s{{1, 0}};
+  EXPECT_THROW(join_project(r, s, 10), repro::CheckError);
+}
+
+}  // namespace
+}  // namespace repro::matrix

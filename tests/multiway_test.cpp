@@ -1,0 +1,255 @@
+// Tests for the §V future-work extensions: d-of-(d+1) generalized batmaps
+// (witness + exactly-once counting for k-way intersections) and the
+// pairwise-counter multiway scheme on standard 2-of-3 batmaps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "batmap/multiway.hpp"
+#include "util/rng.hpp"
+
+namespace repro::batmap {
+namespace {
+
+std::vector<std::uint64_t> random_set(std::uint64_t universe, std::size_t size,
+                                      Xoshiro256& rng) {
+  std::set<std::uint64_t> s;
+  while (s.size() < size) s.insert(rng.below(universe));
+  return {s.begin(), s.end()};
+}
+
+/// Exact k-way intersection of sorted vectors.
+std::uint64_t exact_kway(const std::vector<std::vector<std::uint64_t>>& sets) {
+  std::vector<std::uint64_t> acc = sets[0];
+  for (std::size_t i = 1; i < sets.size(); ++i) {
+    std::vector<std::uint64_t> next;
+    std::set_intersection(acc.begin(), acc.end(), sets[i].begin(),
+                          sets[i].end(), std::back_inserter(next));
+    acc = std::move(next);
+  }
+  return acc.size();
+}
+
+TEST(MultiwayContextTest, ParamsValid) {
+  const MultiwayContext ctx(100000, 3);
+  EXPECT_EQ(ctx.d(), 3);
+  EXPECT_EQ(ctx.tables(), 4);
+  EXPECT_LE(((ctx.universe() - 1) >> ctx.shift()) + 1, 4095u);
+  EXPECT_GE(ctx.r0(), 1u << ctx.shift());
+  EXPECT_THROW(MultiwayContext(100, 1), repro::CheckError);
+  EXPECT_THROW(MultiwayContext(100, 16), repro::CheckError);
+}
+
+TEST(MultiwayContextTest, PositionsBijectivePerTable) {
+  const MultiwayContext ctx(1000, 4);
+  const std::uint32_t r = ctx.range_for_size(100);
+  std::vector<bool> hit(static_cast<std::size_t>(ctx.tables()) * r, false);
+  for (int t = 0; t < ctx.tables(); ++t) {
+    for (std::uint64_t v = 0; v < r; ++v) {
+      const std::uint64_t p = ctx.position(v, t, r);
+      ASSERT_LT(p, hit.size());
+      ASSERT_FALSE(hit[p]);
+      hit[p] = true;
+      ASSERT_EQ(ctx.table_of(p), t);
+    }
+  }
+}
+
+TEST(GeneralBuilder, InvariantsAndSeal) {
+  for (const int d : {2, 3, 5}) {
+    const MultiwayContext ctx(50000, d, d * 100);
+    Xoshiro256 rng(d);
+    const auto elems = random_set(50000, 400, rng);
+    GeneralBatmapBuilder b(ctx, ctx.range_for_size(elems.size()));
+    for (const auto x : elems) b.insert(x);
+    EXPECT_TRUE(b.failures().empty()) << "d=" << d;
+    b.check_invariants();
+    const GeneralBatmap map = b.seal();
+    EXPECT_EQ(map.stored_elements(), elems.size());
+    // Every occupied slot decodes to a valid (hole, code) pair.
+    std::uint64_t occupied = 0;
+    for (std::uint64_t p = 0; p < map.slot_count(); ++p) {
+      const std::uint16_t s = map.slot(p);
+      if (s == 0) continue;
+      ++occupied;
+      ASSERT_LE(GeneralBatmap::hole_of(s), d);
+      ASSERT_GE(GeneralBatmap::code_of(s), 1);
+    }
+    EXPECT_EQ(occupied, elems.size() * static_cast<std::uint64_t>(d));
+  }
+}
+
+struct KwayParam {
+  int d;
+  std::size_t k;
+  std::size_t set_size;
+  double overlap;
+};
+
+class KwayP : public ::testing::TestWithParam<KwayParam> {};
+
+TEST_P(KwayP, GeneralBatmapCountsExactly) {
+  const auto [d, k, set_size, overlap] = GetParam();
+  const std::uint64_t universe = 20000;
+  const MultiwayContext ctx(universe, d, 42 + d);
+  Xoshiro256 rng(7 * d + k);
+
+  // Build k sets with a planted common core (~overlap fraction).
+  const auto core = random_set(universe, static_cast<std::size_t>(
+                                             set_size * overlap), rng);
+  std::vector<std::vector<std::uint64_t>> sets(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::set<std::uint64_t> s(core.begin(), core.end());
+    while (s.size() < set_size) s.insert(rng.below(universe));
+    sets[i].assign(s.begin(), s.end());
+  }
+
+  // Same range for all (max of the individual sizes).
+  const std::uint32_t r = ctx.range_for_size(set_size);
+  std::vector<GeneralBatmap> maps;
+  for (const auto& s : sets) {
+    GeneralBatmapBuilder b(ctx, r);
+    for (const auto x : s) b.insert(x);
+    ASSERT_TRUE(b.failures().empty());
+    maps.push_back(b.seal());
+  }
+  std::vector<const GeneralBatmap*> ptrs;
+  for (const auto& m : maps) ptrs.push_back(&m);
+
+  EXPECT_EQ(multiway_intersect_count(ctx, ptrs), exact_kway(sets))
+      << "d=" << d << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KwayP,
+    ::testing::Values(KwayParam{2, 2, 200, 0.5},   // paper's base case
+                      KwayParam{3, 2, 200, 0.5},   // k < d
+                      KwayParam{3, 3, 200, 0.5},   // k == d
+                      KwayParam{4, 3, 300, 0.3},
+                      KwayParam{4, 4, 300, 0.7},
+                      KwayParam{5, 5, 150, 0.9},
+                      KwayParam{7, 6, 100, 0.4},
+                      KwayParam{3, 3, 50, 0.0},    // empty intersection
+                      KwayParam{3, 3, 20, 1.0}));  // identical sets
+
+TEST(Multiway, KAboveDRejected) {
+  const MultiwayContext ctx(1000, 2);
+  Xoshiro256 rng(3);
+  std::vector<GeneralBatmap> maps;
+  const std::uint32_t r = ctx.range_for_size(20);
+  for (int i = 0; i < 3; ++i) {
+    GeneralBatmapBuilder b(ctx, r);
+    for (const auto x : random_set(1000, 20, rng)) b.insert(x);
+    maps.push_back(b.seal());
+  }
+  std::vector<const GeneralBatmap*> ptrs{&maps[0], &maps[1], &maps[2]};
+  EXPECT_THROW(multiway_intersect_count(ctx, ptrs), repro::CheckError);
+}
+
+TEST(Multiway, WitnessGuaranteeHolds) {
+  // For every common element and k <= d, at least one table stores it in
+  // ALL maps (the §V witness property) — verified structurally.
+  const int d = 4;
+  const std::uint64_t universe = 5000;
+  const MultiwayContext ctx(universe, d, 9);
+  Xoshiro256 rng(11);
+  const auto common = random_set(universe, 50, rng);
+  const std::uint32_t r = ctx.range_for_size(200);
+  std::vector<GeneralBatmap> maps;
+  std::vector<std::vector<std::uint64_t>> sets;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::set<std::uint64_t> s(common.begin(), common.end());
+    while (s.size() < 200) s.insert(rng.below(universe));
+    sets.emplace_back(s.begin(), s.end());
+    GeneralBatmapBuilder b(ctx, r);
+    for (const auto x : sets.back()) b.insert(x);
+    ASSERT_TRUE(b.failures().empty());
+    maps.push_back(b.seal());
+  }
+  for (const auto x : common) {
+    int witnesses = 0;
+    for (int t = 0; t < ctx.tables(); ++t) {
+      const std::uint64_t p = ctx.position(ctx.permuted(t, x), t, r);
+      bool all = true;
+      for (const auto& m : maps) {
+        const std::uint16_t s = m.slot(p);
+        all &= (GeneralBatmap::code_of(s) == ctx.code(ctx.permuted(t, x)));
+      }
+      witnesses += all;
+    }
+    ASSERT_GE(witnesses, 1) << "element " << x << " has no witness table";
+  }
+}
+
+TEST(MultiwayCounters, MatchesExactKway) {
+  const std::uint64_t universe = 10000;
+  const BatmapContext ctx(universe, 5);
+  Xoshiro256 rng(13);
+  for (const std::size_t k : {2u, 3u, 5u, 8u}) {
+    const auto core = random_set(universe, 40, rng);
+    std::vector<std::vector<std::uint64_t>> sets(k);
+    std::vector<Batmap> maps(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      std::set<std::uint64_t> s(core.begin(), core.end());
+      while (s.size() < 100 + 50 * i) s.insert(rng.below(universe));
+      sets[i].assign(s.begin(), s.end());
+      std::vector<std::uint64_t> failed;
+      maps[i] = build_batmap(ctx, sets[i], &failed);
+      ASSERT_TRUE(failed.empty());
+    }
+    std::vector<const Batmap*> others;
+    for (std::size_t i = 1; i < k; ++i) others.push_back(&maps[i]);
+    EXPECT_EQ(multiway_count_via_counters(ctx, maps[0], sets[0], others),
+              exact_kway(sets))
+        << "k=" << k;
+  }
+}
+
+TEST(MultiwayCounters, MixedSizesWrapCorrectly) {
+  // Base tiny, others large (and vice versa) — exercises both wrap
+  // directions of the counter sweep.
+  const std::uint64_t universe = 8000;
+  const BatmapContext ctx(universe, 21);
+  Xoshiro256 rng(29);
+  const auto core = random_set(universe, 10, rng);
+  auto make = [&](std::size_t size) {
+    std::set<std::uint64_t> s(core.begin(), core.end());
+    while (s.size() < size) s.insert(rng.below(universe));
+    return std::vector<std::uint64_t>(s.begin(), s.end());
+  };
+  const auto small = make(20);
+  const auto large1 = make(800);
+  const auto large2 = make(1500);
+
+  const Batmap ms = build_batmap(ctx, small);
+  const Batmap ml1 = build_batmap(ctx, large1);
+  const Batmap ml2 = build_batmap(ctx, large2);
+
+  {
+    std::vector<const Batmap*> others{&ml1, &ml2};
+    EXPECT_EQ(multiway_count_via_counters(ctx, ms, small, others),
+              exact_kway({small, large1, large2}));
+  }
+  {
+    std::vector<const Batmap*> others{&ms, &ml2};
+    EXPECT_EQ(multiway_count_via_counters(ctx, ml1, large1, others),
+              exact_kway({large1, small, large2}));
+  }
+}
+
+TEST(MultiwayCounters, PairCaseEqualsPairSweep) {
+  // With k = 2 the counter scheme must agree with intersect_count.
+  const BatmapContext ctx(5000, 3);
+  Xoshiro256 rng(31);
+  const auto a = random_set(5000, 300, rng);
+  const auto b = random_set(5000, 500, rng);
+  const Batmap ma = build_batmap(ctx, a);
+  const Batmap mb = build_batmap(ctx, b);
+  std::vector<const Batmap*> others{&mb};
+  EXPECT_EQ(multiway_count_via_counters(ctx, ma, a, others),
+            intersect_count(ma, mb));
+}
+
+}  // namespace
+}  // namespace repro::batmap

@@ -1,0 +1,66 @@
+// Tests for the analytic device performance model.
+#include <gtest/gtest.h>
+
+#include "simt/perf_model.hpp"
+
+namespace repro::simt {
+namespace {
+
+TEST(PerfModelTest, Gtx285ProfileMatchesPaperNumbers) {
+  const auto p = DeviceProfile::gtx285();
+  EXPECT_DOUBLE_EQ(p.peak_bandwidth_gbs, 159.0);
+  // Paper: sustained 36.2 GB/s => efficiency 36.2/159.
+  const PerfModel model(p);
+  EXPECT_NEAR(model.sustained_bandwidth(), 36.2e9, 1e6);
+}
+
+TEST(PerfModelTest, ProjectedTimeFromBytes) {
+  const PerfModel model(DeviceProfile{"test", 10.0, 0.5, 0.0});
+  // 5 GB/s sustained; 5e9 bytes take 1 second.
+  EXPECT_NEAR(model.projected_seconds_for_bytes(5'000'000'000ull), 1.0, 1e-9);
+}
+
+TEST(PerfModelTest, ProjectedTimeFromTransactions) {
+  const PerfModel model(DeviceProfile{"test", 64.0, 1.0, 0.0});
+  MemStats st;
+  st.load_transactions = 1'000'000;  // 64e6 bytes at 64 GB/s = 1 ms
+  EXPECT_NEAR(model.projected_seconds(st), 1e-3, 1e-9);
+  st.store_transactions = 1'000'000;  // doubles
+  EXPECT_NEAR(model.projected_seconds(st), 2e-3, 1e-9);
+}
+
+TEST(PerfModelTest, LaunchOverheadScales) {
+  const PerfModel model(DeviceProfile{"test", 1.0, 1.0, 0.01});
+  MemStats st;
+  EXPECT_NEAR(model.projected_seconds(st, 5), 0.05, 1e-12);
+}
+
+TEST(PerfModelTest, XeonProfileSaturates) {
+  // Fig 11: throughput plateaus at ~7.6 GB/s near 4 cores.
+  const auto one = DeviceProfile::xeon5462(1);
+  const auto four = DeviceProfile::xeon5462(4);
+  const auto eight = DeviceProfile::xeon5462(8);
+  EXPECT_LT(one.peak_bandwidth_gbs, four.peak_bandwidth_gbs);
+  EXPECT_DOUBLE_EQ(four.peak_bandwidth_gbs, eight.peak_bandwidth_gbs);
+  EXPECT_DOUBLE_EQ(eight.peak_bandwidth_gbs, 7.6);
+}
+
+TEST(PerfModelTest, GpuToCpuRatioInPaperRange) {
+  // Paper: GPU batmap throughput ≈ 5x the 8-core CPU throughput.
+  const PerfModel gpu(DeviceProfile::gtx285());
+  const PerfModel cpu(DeviceProfile::xeon5462(8));
+  const double ratio = gpu.sustained_bandwidth() / cpu.sustained_bandwidth();
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(PerfModelTest, TransferSeconds) {
+  const PerfModel gpu(DeviceProfile::gtx285());
+  // 5 GB at 5 GB/s = 1 s.
+  EXPECT_NEAR(gpu.transfer_seconds(5'000'000'000ull), 1.0, 1e-9);
+  const PerfModel cpu(DeviceProfile::xeon5462(4));
+  EXPECT_DOUBLE_EQ(cpu.transfer_seconds(1'000'000'000ull), 0.0);  // no link
+}
+
+}  // namespace
+}  // namespace repro::simt

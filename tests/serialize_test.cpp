@@ -1,0 +1,107 @@
+// Tests for BatmapStore binary serialization.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "batmap/intersect.hpp"
+#include "util/rng.hpp"
+
+namespace repro::batmap {
+namespace {
+
+BatmapStore make_store(std::uint64_t universe, int sets, Xoshiro256& rng,
+                       std::vector<std::vector<std::uint64_t>>* out_sets) {
+  BatmapStore store(universe);
+  for (int i = 0; i < sets; ++i) {
+    std::set<std::uint64_t> s;
+    const std::size_t size = 5 + rng.below(300);
+    while (s.size() < size) s.insert(rng.below(universe));
+    std::vector<std::uint64_t> v(s.begin(), s.end());
+    store.add(v);
+    if (out_sets) out_sets->push_back(std::move(v));
+  }
+  return store;
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  Xoshiro256 rng(5);
+  std::vector<std::vector<std::uint64_t>> sets;
+  const BatmapStore store = make_store(12000, 15, rng, &sets);
+
+  std::stringstream ss;
+  store.save(ss);
+  const BatmapStore back = BatmapStore::load(ss);
+
+  ASSERT_EQ(back.size(), store.size());
+  EXPECT_EQ(back.universe(), store.universe());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    ASSERT_EQ(back.map(i).range(), store.map(i).range());
+    ASSERT_EQ(back.map(i).stored_elements(), store.map(i).stored_elements());
+    const auto wa = store.map(i).words();
+    const auto wb = back.map(i).words();
+    ASSERT_TRUE(std::equal(wa.begin(), wa.end(), wb.begin(), wb.end()));
+  }
+  // Queries on the loaded store match the original.
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    for (std::size_t j = i; j < store.size(); ++j) {
+      ASSERT_EQ(back.intersection_size(i, j), store.intersection_size(i, j));
+    }
+  }
+}
+
+TEST(Serialize, RoundTripWithFailures) {
+  BatmapStore::Options opt;
+  opt.builder.max_loop = 1;
+  opt.builder.max_cascade = 1;
+  Xoshiro256 rng(9);
+  BatmapStore store(3000, opt);
+  std::vector<std::vector<std::uint64_t>> sets;
+  for (int i = 0; i < 10; ++i) {
+    std::set<std::uint64_t> s;
+    while (s.size() < 200) s.insert(rng.below(3000));
+    sets.emplace_back(s.begin(), s.end());
+    store.add(sets.back());
+  }
+  ASSERT_GT(store.total_failures(), 0u);
+  std::stringstream ss;
+  store.save(ss);
+  const BatmapStore back = BatmapStore::load(ss);
+  EXPECT_EQ(back.total_failures(), store.total_failures());
+  // Patched queries stay exact after reload.
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = i + 1; j < sets.size(); ++j) {
+      std::vector<std::uint64_t> expect;
+      std::set_intersection(sets[i].begin(), sets[i].end(), sets[j].begin(),
+                            sets[j].end(), std::back_inserter(expect));
+      ASSERT_EQ(back.intersection_size(i, j), expect.size());
+    }
+  }
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss("this is not a batmap store");
+  EXPECT_THROW(BatmapStore::load(ss), repro::CheckError);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  Xoshiro256 rng(2);
+  const BatmapStore store = make_store(1000, 3, rng, nullptr);
+  std::stringstream ss;
+  store.save(ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(BatmapStore::load(cut), repro::CheckError);
+}
+
+TEST(Serialize, EmptyStore) {
+  BatmapStore store(100);
+  std::stringstream ss;
+  store.save(ss);
+  const BatmapStore back = BatmapStore::load(ss);
+  EXPECT_EQ(back.size(), 0u);
+  EXPECT_EQ(back.universe(), 100u);
+}
+
+}  // namespace
+}  // namespace repro::batmap

@@ -1,0 +1,127 @@
+// Tests for the Jaccard set-similarity join on batmaps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "matrix/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace repro::matrix {
+namespace {
+
+std::vector<std::uint64_t> random_set(std::uint64_t universe,
+                                      std::size_t size, Xoshiro256& rng) {
+  std::set<std::uint64_t> s;
+  while (s.size() < size) s.insert(rng.below(universe));
+  return {s.begin(), s.end()};
+}
+
+double exact_jaccard(const std::vector<std::uint64_t>& a,
+                     const std::vector<std::uint64_t>& b) {
+  std::vector<std::uint64_t> inter;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(inter));
+  const double uni =
+      static_cast<double>(a.size() + b.size() - inter.size());
+  return uni == 0 ? 1.0 : static_cast<double>(inter.size()) / uni;
+}
+
+TEST(JaccardJoin, MatchesBruteForceThresholding) {
+  Xoshiro256 rng(3);
+  batmap::BatmapStore store(5000);
+  std::vector<std::vector<std::uint64_t>> sets;
+  // A few clusters of near-duplicates plus random noise sets.
+  const auto base1 = random_set(5000, 200, rng);
+  const auto base2 = random_set(5000, 400, rng);
+  for (int v = 0; v < 4; ++v) {
+    auto s = base1;
+    for (int e = 0; e < 5 * v; ++e) s.push_back(rng.below(5000));
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    sets.push_back(s);
+  }
+  for (int v = 0; v < 3; ++v) {
+    auto s = base2;
+    s.resize(s.size() - 10 * static_cast<std::size_t>(v));
+    sets.push_back(s);
+  }
+  for (int v = 0; v < 6; ++v) sets.push_back(random_set(5000, 150, rng));
+  for (const auto& s : sets) store.add(s);
+
+  for (const double tau : {0.5, 0.8, 0.95}) {
+    std::uint64_t comparisons = 0;
+    const auto got = jaccard_join(store, tau, &comparisons);
+    // Brute-force expectation. NOTE: store.add deduplicates/sorts, so use
+    // store.elements as ground truth inputs.
+    std::set<std::pair<std::size_t, std::size_t>> expect;
+    for (std::size_t a = 0; a < sets.size(); ++a) {
+      for (std::size_t b = a + 1; b < sets.size(); ++b) {
+        const std::vector<std::uint64_t> ea(store.elements(a).begin(),
+                                            store.elements(a).end());
+        const std::vector<std::uint64_t> eb(store.elements(b).begin(),
+                                            store.elements(b).end());
+        if (exact_jaccard(ea, eb) >= tau) expect.insert({a, b});
+      }
+    }
+    ASSERT_EQ(got.size(), expect.size()) << "tau " << tau;
+    for (const auto& p : got) {
+      EXPECT_TRUE(expect.count({p.a, p.b}));
+      EXPECT_GE(p.jaccard, tau);
+    }
+    // Pruning must not exceed the full pair count.
+    EXPECT_LE(comparisons, sets.size() * (sets.size() - 1) / 2);
+  }
+}
+
+TEST(JaccardJoin, LengthFilterPrunes) {
+  // Very skewed sizes + high tau: the window filter must skip most pairs.
+  Xoshiro256 rng(9);
+  batmap::BatmapStore store(100000);
+  for (int i = 0; i < 12; ++i) {
+    store.add(random_set(100000, 10u << i, rng));  // sizes 10..20480
+  }
+  std::uint64_t comparisons = 0;
+  (void)jaccard_join(store, 0.9, &comparisons);
+  EXPECT_LT(comparisons, 12u * 11 / 2)
+      << "length filter did not prune size-skewed candidates";
+}
+
+TEST(JaccardJoin, IdenticalSetsScoreOne) {
+  Xoshiro256 rng(5);
+  batmap::BatmapStore store(1000);
+  const auto s = random_set(1000, 100, rng);
+  store.add(s);
+  store.add(s);
+  const auto got = jaccard_join(store, 0.999);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].jaccard, 1.0);
+  EXPECT_EQ(got[0].inter, 100u);
+}
+
+TEST(JaccardJoin, TauValidated) {
+  batmap::BatmapStore store(10);
+  EXPECT_THROW(jaccard_join(store, 0.0), repro::CheckError);
+  EXPECT_THROW(jaccard_join(store, 1.5), repro::CheckError);
+}
+
+TEST(JaccardTopK, OrderedAndBounded) {
+  Xoshiro256 rng(11);
+  batmap::BatmapStore store(2000);
+  const auto base = random_set(2000, 150, rng);
+  for (int v = 0; v < 6; ++v) {
+    auto s = base;
+    s.resize(s.size() - 20 * static_cast<std::size_t>(v));
+    store.add(s);
+  }
+  const auto top = jaccard_top_k(store, 4);
+  ASSERT_EQ(top.size(), 4u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].jaccard, top[i].jaccard);
+  }
+  // The closest pair must be the two largest prefixes of the same base.
+  EXPECT_GT(top[0].jaccard, 0.8);
+}
+
+}  // namespace
+}  // namespace repro::matrix

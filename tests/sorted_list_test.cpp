@@ -1,0 +1,96 @@
+// Tests for the merge/branchless/galloping sorted-list intersections.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "baselines/sorted_list.hpp"
+#include "util/rng.hpp"
+
+namespace repro::baselines {
+namespace {
+
+std::vector<std::uint32_t> random_sorted(std::size_t size,
+                                         std::uint32_t universe,
+                                         Xoshiro256& rng) {
+  std::set<std::uint32_t> s;
+  while (s.size() < size)
+    s.insert(static_cast<std::uint32_t>(rng.below(universe)));
+  return {s.begin(), s.end()};
+}
+
+std::uint64_t oracle(const std::vector<std::uint32_t>& a,
+                     const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out.size();
+}
+
+TEST(SortedList, EdgeCases) {
+  const std::vector<std::uint32_t> empty;
+  const std::vector<std::uint32_t> one{5};
+  const std::vector<std::uint32_t> several{1, 5, 9};
+  for (auto* fn : {intersect_size_merge, intersect_size_branchless,
+                   intersect_size_galloping}) {
+    EXPECT_EQ(fn(empty, empty), 0u);
+    EXPECT_EQ(fn(empty, several), 0u);
+    EXPECT_EQ(fn(several, empty), 0u);
+    EXPECT_EQ(fn(one, several), 1u);
+    EXPECT_EQ(fn(several, several), 3u);
+  }
+}
+
+struct SizePair {
+  std::size_t a, b;
+};
+
+class SortedListP : public ::testing::TestWithParam<SizePair> {};
+
+TEST_P(SortedListP, AllVariantsMatchOracle) {
+  const auto [sa, sb] = GetParam();
+  Xoshiro256 rng(sa * 131 + sb);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = random_sorted(sa, 10000, rng);
+    const auto b = random_sorted(sb, 10000, rng);
+    const std::uint64_t expect = oracle(a, b);
+    ASSERT_EQ(intersect_size_merge(a, b), expect);
+    ASSERT_EQ(intersect_size_branchless(a, b), expect);
+    ASSERT_EQ(intersect_size_galloping(a, b), expect);
+    // Symmetry.
+    ASSERT_EQ(intersect_size_merge(b, a), expect);
+    ASSERT_EQ(intersect_size_galloping(b, a), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortedListP,
+                         ::testing::Values(SizePair{1, 1}, SizePair{1, 100},
+                                           SizePair{10, 10},
+                                           SizePair{100, 100},
+                                           SizePair{5, 2000},
+                                           SizePair{500, 700},
+                                           SizePair{2000, 2000}));
+
+TEST(SortedList, IntersectIntoMaterializes) {
+  const std::vector<std::uint32_t> a{1, 3, 5, 7, 9};
+  const std::vector<std::uint32_t> b{2, 3, 4, 7, 10};
+  std::vector<std::uint32_t> out(5);
+  const std::size_t k = intersect_into(a, b, out.data());
+  ASSERT_EQ(k, 2u);
+  EXPECT_EQ(out[0], 3u);
+  EXPECT_EQ(out[1], 7u);
+}
+
+TEST(SortedList, GallopingSkewedIsExact) {
+  // Heavy skew: tiny needle in a huge haystack (the galloping sweet spot).
+  Xoshiro256 rng(99);
+  std::vector<std::uint32_t> hay(100000);
+  for (std::uint32_t i = 0; i < hay.size(); ++i) hay[i] = 3 * i;
+  const auto needle = random_sorted(50, 300000, rng);
+  EXPECT_EQ(intersect_size_galloping(needle, hay),
+            intersect_size_merge(needle, hay));
+}
+
+}  // namespace
+}  // namespace repro::baselines

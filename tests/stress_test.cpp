@@ -1,0 +1,193 @@
+// Randomized differential stress suite: hammers the full stack across many
+// seeds, small universes (exhaustive corner pressure), forced failure rates,
+// and erase/rebuild cycles. Complements property_test.cpp with deeper
+// randomized coverage of the batmap core.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "batmap/builder.hpp"
+#include "batmap/intersect.hpp"
+#include "core/pair_miner.hpp"
+#include "mining/brute_force.hpp"
+#include "mining/datagen.hpp"
+#include "util/rng.hpp"
+
+namespace repro {
+namespace {
+
+using batmap::Batmap;
+using batmap::BatmapBuilder;
+using batmap::BatmapContext;
+using batmap::BatmapStore;
+using batmap::build_batmap;
+
+std::vector<std::uint64_t> random_set(std::uint64_t universe,
+                                      std::size_t size, Xoshiro256& rng) {
+  std::set<std::uint64_t> s;
+  while (s.size() < size) s.insert(rng.below(universe));
+  return {s.begin(), s.end()};
+}
+
+std::uint64_t exact(const std::vector<std::uint64_t>& a,
+                    const std::vector<std::uint64_t>& b) {
+  std::vector<std::uint64_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out.size();
+}
+
+/// Seeds drive everything: universe size, set sizes, overlap structure.
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, RandomPairsAlwaysExact) {
+  Xoshiro256 rng(GetParam());
+  const std::uint64_t universe = 16 + rng.below(30000);
+  BatmapStore store(universe);
+  std::vector<std::vector<std::uint64_t>> sets;
+  const int count = 4 + static_cast<int>(rng.below(10));
+  for (int i = 0; i < count; ++i) {
+    const std::size_t size =
+        1 + static_cast<std::size_t>(rng.below(std::min<std::uint64_t>(
+                universe, 1 + rng.below(2000))));
+    sets.push_back(random_set(universe, size, rng));
+    store.add(sets.back());
+  }
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = i; j < sets.size(); ++j) {
+      ASSERT_EQ(store.intersection_size(i, j), exact(sets[i], sets[j]))
+          << "seed=" << GetParam() << " pair " << i << "," << j
+          << " universe=" << universe;
+    }
+  }
+}
+
+TEST_P(SeedSweep, TinyUniverseDenseSets) {
+  // Universes below 128 keep s = 0 (no compression shift): stress the
+  // layout floor and dense occupancy.
+  Xoshiro256 rng(GetParam() * 31 + 7);
+  const std::uint64_t universe = 2 + rng.below(126);
+  BatmapStore store(universe);
+  std::vector<std::vector<std::uint64_t>> sets;
+  for (int i = 0; i < 8; ++i) {
+    const std::size_t size = 1 + rng.below(universe);
+    sets.push_back(random_set(universe, size, rng));
+    store.add(sets.back());
+  }
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = i; j < sets.size(); ++j) {
+      ASSERT_EQ(store.intersection_size(i, j), exact(sets[i], sets[j]))
+          << "seed=" << GetParam() << " universe=" << universe;
+    }
+  }
+}
+
+TEST_P(SeedSweep, ForcedFailurePressureStaysExact) {
+  Xoshiro256 rng(GetParam() * 131 + 13);
+  BatmapStore::Options opt;
+  opt.builder.max_loop = 1 + static_cast<int>(rng.below(3));
+  opt.builder.max_cascade = 1 + static_cast<int>(rng.below(3));
+  const std::uint64_t universe = 500 + rng.below(4000);
+  BatmapStore store(universe, opt);
+  std::vector<std::vector<std::uint64_t>> sets;
+  for (int i = 0; i < 8; ++i) {
+    sets.push_back(random_set(universe, 50 + rng.below(500), rng));
+    store.add(sets.back());
+  }
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = i; j < sets.size(); ++j) {
+      ASSERT_EQ(store.intersection_size(i, j), exact(sets[i], sets[j]))
+          << "seed=" << GetParam();
+    }
+  }
+}
+
+TEST_P(SeedSweep, PairMinerMatchesBruteForce) {
+  Xoshiro256 rng(GetParam() * 17 + 3);
+  mining::BernoulliSpec spec;
+  spec.num_items = 10 + static_cast<std::uint32_t>(rng.below(80));
+  spec.density = 0.02 + rng.uniform() * 0.4;
+  spec.total_items = 500 + rng.below(4000);
+  spec.seed = GetParam();
+  const auto db = mining::bernoulli_instance(spec);
+  core::PairMinerOptions opt;
+  opt.tile = 16u * (1 + static_cast<std::uint32_t>(rng.below(4)));
+  opt.builder.max_loop = 1 + static_cast<int>(rng.below(100));
+  const auto res = core::PairMiner(opt).mine(db);
+  ASSERT_TRUE(res.supports.has_value());
+  ASSERT_TRUE(*res.supports == mining::brute_force_pair_supports(db))
+      << "seed=" << GetParam() << " n=" << spec.num_items
+      << " tile=" << opt.tile;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(EraseTest, EraseRemovesBothCopies) {
+  const BatmapContext ctx(1000, 3);
+  BatmapBuilder b(ctx, ctx.params().range_for_size(50));
+  Xoshiro256 rng(5);
+  const auto elems = random_set(1000, 50, rng);
+  for (const auto x : elems) b.insert(x);
+  ASSERT_TRUE(b.contains(elems[10]));
+  EXPECT_TRUE(b.erase(elems[10]));
+  EXPECT_FALSE(b.contains(elems[10]));
+  EXPECT_FALSE(b.erase(elems[10]));  // idempotent
+  b.check_invariants();
+  const Batmap map = b.seal();
+  EXPECT_EQ(map.stored_elements(), 49u);
+}
+
+TEST(EraseTest, EraseThenReinsertRoundTrips) {
+  const BatmapContext ctx(5000, 9);
+  BatmapBuilder b(ctx, ctx.params().range_for_size(200));
+  Xoshiro256 rng(11);
+  const auto elems = random_set(5000, 200, rng);
+  for (const auto x : elems) b.insert(x);
+  // Erase half, reinsert them, expect the same decoded set.
+  for (std::size_t i = 0; i < elems.size(); i += 2) b.erase(elems[i]);
+  b.check_invariants();
+  for (std::size_t i = 0; i < elems.size(); i += 2) b.insert(elems[i]);
+  b.check_invariants();
+  const auto decoded = b.seal().decode(ctx.params(), ctx);
+  EXPECT_EQ(decoded, elems);
+}
+
+TEST(EraseTest, IntersectionTracksErasures) {
+  const BatmapContext ctx(2000, 13);
+  Xoshiro256 rng(17);
+  auto a = random_set(2000, 300, rng);
+  const auto bset = random_set(2000, 300, rng);
+  BatmapBuilder ba(ctx, ctx.params().range_for_size(a.size()));
+  for (const auto x : a) ba.insert(x);
+  const Batmap mb = build_batmap(ctx, bset);
+  // Erase the first 50 common elements from a and re-seal.
+  std::vector<std::uint64_t> common;
+  std::set_intersection(a.begin(), a.end(), bset.begin(), bset.end(),
+                        std::back_inserter(common));
+  const std::size_t drop = std::min<std::size_t>(50, common.size());
+  for (std::size_t i = 0; i < drop; ++i) ba.erase(common[i]);
+  EXPECT_EQ(intersect_count(ba.seal(), mb), common.size() - drop);
+}
+
+TEST(StressDeterminism, SameSeedSameEverything) {
+  // The whole pipeline is deterministic given (data seed, hash seed).
+  mining::BernoulliSpec spec;
+  spec.num_items = 40;
+  spec.density = 0.1;
+  spec.total_items = 3000;
+  spec.seed = 42;
+  const auto db = mining::bernoulli_instance(spec);
+  core::PairMinerOptions opt;
+  opt.tile = 32;
+  const auto r1 = core::PairMiner(opt).mine(db);
+  const auto r2 = core::PairMiner(opt).mine(db);
+  ASSERT_TRUE(r1.supports && r2.supports);
+  EXPECT_TRUE(*r1.supports == *r2.supports);
+  EXPECT_EQ(r1.failures, r2.failures);
+  EXPECT_EQ(r1.batmap_bytes, r2.batmap_bytes);
+  EXPECT_EQ(r1.bytes_compared, r2.bytes_compared);
+}
+
+}  // namespace
+}  // namespace repro

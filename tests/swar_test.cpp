@@ -1,0 +1,105 @@
+// Tests for the branch-free SWAR slot comparison (§III-A): equivalence with
+// a naive per-byte evaluation of the counting rule, the paper's shift-add
+// accumulation formula, and the 64-bit widening.
+#include <gtest/gtest.h>
+
+#include "batmap/swar.hpp"
+#include "util/rng.hpp"
+
+namespace repro::batmap {
+namespace {
+
+/// Naive evaluation of the paper's rule: count byte lanes where the 7 code
+/// bits agree AND at least one indicator (MSB) is set.
+unsigned naive_count32(std::uint32_t x, std::uint32_t y) {
+  unsigned c = 0;
+  for (int lane = 0; lane < 4; ++lane) {
+    const auto bx = static_cast<std::uint8_t>(x >> (8 * lane));
+    const auto by = static_cast<std::uint8_t>(y >> (8 * lane));
+    if ((bx & 0x7f) == (by & 0x7f) && ((bx | by) & 0x80)) ++c;
+  }
+  return c;
+}
+
+TEST(Swar, KnownCases) {
+  EXPECT_EQ(swar_match_count(0, 0), 0u);               // ⊥ vs ⊥: no count
+  EXPECT_EQ(swar_match_count(0x80, 0x00), 1u);         // code 0... both lanes 0
+  EXPECT_EQ(swar_match_count(0x81, 0x01), 1u);         // same code, one bit set
+  EXPECT_EQ(swar_match_count(0x81, 0x81), 1u);         // same code, both set
+  EXPECT_EQ(swar_match_count(0x01, 0x01), 0u);         // same code, no bits
+  EXPECT_EQ(swar_match_count(0x82, 0x01), 0u);         // different codes
+  EXPECT_EQ(swar_match_count(0x81818181u, 0x01010101u), 4u);
+  EXPECT_EQ(swar_match_count(0x81818181u, 0x01010102u), 3u);
+}
+
+TEST(Swar, NullSlotNeverCounts) {
+  // ⊥ (0x00) vs any occupied slot byte (code >= 1) never matches codes;
+  // vs another ⊥ the indicator rule suppresses the count.
+  for (unsigned code = 1; code <= 127; ++code) {
+    for (unsigned b : {0u, 0x80u}) {
+      const auto slot = static_cast<std::uint32_t>(code | b);
+      EXPECT_EQ(swar_match_count(slot, 0x00), 0u) << code << " " << b;
+    }
+  }
+  EXPECT_EQ(swar_match_count(0x00000000u, 0x00000000u), 0u);
+}
+
+TEST(Swar, MatchesNaiveOnRandomWords) {
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 200000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next());
+    const auto y = static_cast<std::uint32_t>(rng.next());
+    ASSERT_EQ(swar_match_count(x, y), naive_count32(x, y))
+        << std::hex << x << " vs " << y;
+  }
+}
+
+TEST(Swar, PaperShiftAddFormulaAgrees) {
+  Xoshiro256 rng(37);
+  for (int i = 0; i < 100000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next());
+    const auto y = static_cast<std::uint32_t>(rng.next());
+    ASSERT_EQ(swar_match_count_paper(x, y), swar_match_count(x, y));
+  }
+}
+
+TEST(Swar, ExhaustiveSingleLane) {
+  // All 2^16 combinations of one byte lane, embedded at each lane position.
+  for (int lane = 0; lane < 4; ++lane) {
+    for (unsigned a = 0; a < 256; ++a) {
+      for (unsigned b = 0; b < 256; ++b) {
+        const std::uint32_t x = a << (8 * lane);
+        const std::uint32_t y = b << (8 * lane);
+        const unsigned expect =
+            ((a & 0x7f) == (b & 0x7f) && ((a | b) & 0x80)) ? 1 : 0;
+        // Other lanes are 0x00 vs 0x00: codes agree but no indicator.
+        ASSERT_EQ(swar_match_count(x, y), expect);
+      }
+    }
+  }
+}
+
+TEST(Swar, SixtyFourBitAgreesWithTwoThirtyTwos) {
+  Xoshiro256 rng(41);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t x = rng.next();
+    const std::uint64_t y = rng.next();
+    const unsigned lo = swar_match_count(static_cast<std::uint32_t>(x),
+                                         static_cast<std::uint32_t>(y));
+    const unsigned hi = swar_match_count(static_cast<std::uint32_t>(x >> 32),
+                                         static_cast<std::uint32_t>(y >> 32));
+    ASSERT_EQ(swar_match_count64(x, y), lo + hi);
+  }
+}
+
+TEST(Swar, MatchBitsOnlyInMsbPositions) {
+  Xoshiro256 rng(43);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next());
+    const auto y = static_cast<std::uint32_t>(rng.next());
+    EXPECT_EQ(swar_match_bits(x, y) & ~kMsbMask, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace repro::batmap

@@ -1,0 +1,91 @@
+// Tests for the host thread pool backing the native backend and the
+// core-scaling experiments.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace repro {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  ThreadPool def(0);
+  EXPECT_GE(def.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(7, 8, [&](std::size_t lo, std::size_t hi) {
+    total += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForExplicitChunks) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(
+      0, 10000,
+      [&](std::size_t lo, std::size_t hi) {
+        std::uint64_t local = 0;
+        for (std::size_t i = lo; i < hi; ++i) local += i;
+        sum += local;
+      },
+      7);
+  EXPECT_EQ(sum.load(), 10000ull * 9999 / 2);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnFreshPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> c{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) pool.submit([&] { ++c; });
+    pool.wait_idle();
+    EXPECT_EQ(c.load(), (round + 1) * 20);
+  }
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,127 @@
+// Tests for TransactionDb and FIMI IO.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mining/fimi_io.hpp"
+#include "util/check.hpp"
+#include "mining/transaction_db.hpp"
+
+namespace repro::mining {
+namespace {
+
+TEST(TransactionDbTest, AddSortsAndDedupes) {
+  TransactionDb db;
+  db.add_transaction({5, 1, 5, 3, 1});
+  ASSERT_EQ(db.num_transactions(), 1u);
+  const auto txn = db.transaction(0);
+  EXPECT_EQ(std::vector<Item>(txn.begin(), txn.end()),
+            (std::vector<Item>{1, 3, 5}));
+  EXPECT_EQ(db.num_items(), 6u);  // max item + 1
+  EXPECT_EQ(db.total_items(), 3u);
+}
+
+TEST(TransactionDbTest, Density) {
+  TransactionDb db(10);
+  db.add_transaction({0, 1, 2, 3, 4});  // 5 of 10
+  db.add_transaction({0});              // 1 of 10
+  EXPECT_DOUBLE_EQ(db.density(), 6.0 / 20.0);
+}
+
+TEST(TransactionDbTest, VerticalInvertsHorizontal) {
+  TransactionDb db(4);
+  db.add_transaction({0, 2});
+  db.add_transaction({1, 2, 3});
+  db.add_transaction({0, 1});
+  const auto v = db.vertical();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], (std::vector<Tid>{0, 2}));
+  EXPECT_EQ(v[1], (std::vector<Tid>{1, 2}));
+  EXPECT_EQ(v[2], (std::vector<Tid>{0, 1}));
+  EXPECT_EQ(v[3], (std::vector<Tid>{1}));
+  // Round trip: total size preserved.
+  std::uint64_t total = 0;
+  for (const auto& l : v) total += l.size();
+  EXPECT_EQ(total, db.total_items());
+}
+
+TEST(TransactionDbTest, ItemSupports) {
+  TransactionDb db(3);
+  db.add_transaction({0, 1});
+  db.add_transaction({0});
+  db.add_transaction({0, 2});
+  const auto s = db.item_supports();
+  EXPECT_EQ(s, (std::vector<std::uint32_t>{3, 1, 1}));
+}
+
+TEST(TransactionDbTest, PrefixShrinks) {
+  TransactionDb db(100);
+  db.add_transaction({0, 1});
+  db.add_transaction({50});
+  db.add_transaction({99});
+  const auto p = db.prefix(2);
+  EXPECT_EQ(p.num_transactions(), 2u);
+  EXPECT_EQ(p.num_items(), 51u);  // shrinks to max present + 1
+  EXPECT_EQ(db.prefix(10).num_transactions(), 3u);
+}
+
+TEST(TransactionDbTest, FilterInfrequentRelabels) {
+  TransactionDb db(5);
+  db.add_transaction({0, 1, 4});
+  db.add_transaction({0, 4});
+  db.add_transaction({0, 2});
+  // supports: 0->3, 1->1, 2->1, 3->0, 4->2. minsup 2 keeps {0,4}.
+  std::vector<Item> mapping;
+  const auto f = db.filter_infrequent(2, &mapping);
+  EXPECT_EQ(f.num_items(), 2u);
+  EXPECT_EQ(mapping[0], 0u);
+  EXPECT_EQ(mapping[4], 1u);
+  EXPECT_EQ(mapping[1], static_cast<Item>(-1));
+  EXPECT_EQ(f.num_transactions(), 3u);  // third keeps {0}
+  const auto t0 = f.transaction(0);
+  EXPECT_EQ(std::vector<Item>(t0.begin(), t0.end()),
+            (std::vector<Item>{0, 1}));
+}
+
+TEST(FimiIo, RoundTrip) {
+  TransactionDb db(7);
+  db.add_transaction({1, 3, 6});
+  db.add_transaction({0});
+  db.add_transaction({2, 4, 5, 6});
+  std::stringstream ss;
+  write_fimi(db, ss);
+  const auto back = read_fimi(ss);
+  ASSERT_EQ(back.num_transactions(), db.num_transactions());
+  for (std::size_t t = 0; t < db.num_transactions(); ++t) {
+    const auto a = db.transaction(t);
+    const auto b = back.transaction(t);
+    EXPECT_EQ(std::vector<Item>(a.begin(), a.end()),
+              std::vector<Item>(b.begin(), b.end()));
+  }
+}
+
+TEST(FimiIo, SkipsBlankLinesAndWhitespace) {
+  std::stringstream ss("1 2 3\n\n  7   9 \n");
+  const auto db = read_fimi(ss);
+  EXPECT_EQ(db.num_transactions(), 2u);
+  EXPECT_EQ(db.total_items(), 5u);
+}
+
+TEST(FimiIo, MalformedLineThrows) {
+  std::stringstream ss("1 2 x\n");
+  EXPECT_THROW(read_fimi(ss), repro::CheckError);
+}
+
+TEST(FimiIo, FileRoundTrip) {
+  TransactionDb db(4);
+  db.add_transaction({0, 3});
+  db.add_transaction({1, 2});
+  const std::string path = "/tmp/repro_fimi_test.dat";
+  write_fimi_file(db, path);
+  const auto back = read_fimi_file(path);
+  EXPECT_EQ(back.num_transactions(), 2u);
+  EXPECT_EQ(back.total_items(), 4u);
+}
+
+}  // namespace
+}  // namespace repro::mining

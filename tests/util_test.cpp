@@ -1,0 +1,178 @@
+// Unit tests for util: bit helpers, RNG determinism and distribution sanity,
+// table emitter, memory accounting, check macros.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+#include "util/mem_accounting.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace repro {
+namespace {
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(bits::next_pow2(0), 1u);
+  EXPECT_EQ(bits::next_pow2(1), 1u);
+  EXPECT_EQ(bits::next_pow2(2), 2u);
+  EXPECT_EQ(bits::next_pow2(3), 4u);
+  EXPECT_EQ(bits::next_pow2(4), 4u);
+  EXPECT_EQ(bits::next_pow2(5), 8u);
+  EXPECT_EQ(bits::next_pow2(1023), 1024u);
+  EXPECT_EQ(bits::next_pow2(1ull << 40), 1ull << 40);
+  EXPECT_EQ(bits::next_pow2((1ull << 40) + 1), 1ull << 41);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(bits::is_pow2(0));
+  EXPECT_TRUE(bits::is_pow2(1));
+  EXPECT_TRUE(bits::is_pow2(2));
+  EXPECT_FALSE(bits::is_pow2(3));
+  EXPECT_TRUE(bits::is_pow2(1ull << 63));
+  EXPECT_FALSE(bits::is_pow2((1ull << 63) + 1));
+}
+
+TEST(Bits, Logs) {
+  EXPECT_EQ(bits::floor_log2(1), 0u);
+  EXPECT_EQ(bits::floor_log2(2), 1u);
+  EXPECT_EQ(bits::floor_log2(3), 1u);
+  EXPECT_EQ(bits::floor_log2(1024), 10u);
+  EXPECT_EQ(bits::ceil_log2(1), 0u);
+  EXPECT_EQ(bits::ceil_log2(2), 1u);
+  EXPECT_EQ(bits::ceil_log2(3), 2u);
+  EXPECT_EQ(bits::ceil_log2(1025), 11u);
+}
+
+TEST(Bits, BitWidth) {
+  EXPECT_EQ(bits::bit_width(0), 0u);
+  EXPECT_EQ(bits::bit_width(1), 1u);
+  EXPECT_EQ(bits::bit_width(127), 7u);
+  EXPECT_EQ(bits::bit_width(128), 8u);
+}
+
+TEST(Bits, RoundUpCeilDiv) {
+  EXPECT_EQ(bits::round_up(0, 16), 0u);
+  EXPECT_EQ(bits::round_up(1, 16), 16u);
+  EXPECT_EQ(bits::round_up(16, 16), 16u);
+  EXPECT_EQ(bits::round_up(17, 16), 32u);
+  EXPECT_EQ(bits::ceil_div(0, 4), 0u);
+  EXPECT_EQ(bits::ceil_div(1, 4), 1u);
+  EXPECT_EQ(bits::ceil_div(8, 4), 2u);
+  EXPECT_EQ(bits::ceil_div(9, 4), 3u);
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42), c(43);
+  bool all_equal = true, any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    all_equal &= (va == b.next());
+    any_diff |= (va != c.next());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);  // all 8 values hit in 1000 draws (whp)
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate) {
+  Xoshiro256 rng(5);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Table, PrintAndCells) {
+  Table t({"a", "bb"});
+  t.row().add("x").add(std::uint64_t{12});
+  t.row().add(1.5, 1).add("y");
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cell(0, 0), "x");
+  EXPECT_EQ(t.cell(0, 1), "12");
+  EXPECT_EQ(t.cell(1, 0), "1.5");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("bb"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "a,bb\nx,12\n1.5,y\n");
+}
+
+TEST(Table, IncompleteRowChecked) {
+  Table t({"a", "b"});
+  t.row().add("only one");
+  EXPECT_THROW(t.row(), CheckError);
+}
+
+TEST(Table, OverflowChecked) {
+  Table t({"a"});
+  t.row().add("x");
+  EXPECT_THROW(t.add("y"), CheckError);
+}
+
+TEST(MemAccountTest, AccumulatesByName) {
+  MemAccount m;
+  m.add("x", 10);
+  m.add("y", 5);
+  m.add("x", 7);
+  EXPECT_EQ(m.get("x"), 17u);
+  EXPECT_EQ(m.get("y"), 5u);
+  EXPECT_EQ(m.get("zzz"), 0u);
+  EXPECT_EQ(m.total(), 22u);
+  EXPECT_DOUBLE_EQ(MemAccount::to_mib(1024 * 1024), 1.0);
+  EXPECT_DOUBLE_EQ(MemAccount::to_gib(1ull << 30), 1.0);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    REPRO_CHECK_MSG(1 == 2, "custom context");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(TimerTest, DeadlineSemantics) {
+  const Deadline unlimited(0);
+  EXPECT_FALSE(unlimited.expired());
+  const Deadline tiny(1e-9);
+  // Spin a little to pass 1 ns.
+  volatile int x = 0;
+  for (int i = 0; i < 10000; ++i) x = x + i;
+  EXPECT_TRUE(tiny.expired());
+  EXPECT_GE(unlimited.elapsed(), 0.0);
+}
+
+}  // namespace
+}  // namespace repro

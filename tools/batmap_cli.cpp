@@ -1,0 +1,261 @@
+// batmap_cli — command-line front end for the library.
+//
+//   batmap_cli gen   --items N --density P --total N --out data.fimi [--seed S]
+//   batmap_cli build --fimi data.fimi --out store.bin [--seed S]
+//   batmap_cli info  --store store.bin
+//   batmap_cli query --store store.bin --a I --b J
+//   batmap_cli pairs --fimi data.fimi --minsup S [--top K]
+//   batmap_cli mine  --fimi data.fimi --minsup S [--max-size K]
+//
+// `gen` writes a synthetic FIMI file; `build` turns a FIMI file's VERTICAL
+// representation (one batmap per item over transaction ids) into a saved
+// BatmapStore; `query` answers exact |S_a ∩ S_b| from a saved store;
+// `pairs` runs the frequent-pair pipeline; `mine` runs the general itemset
+// miner.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "batmap/intersect.hpp"
+#include "core/itemset_miner.hpp"
+#include "baselines/apriori.hpp"
+#include "baselines/bitmap.hpp"
+#include "baselines/fpgrowth.hpp"
+#include "core/pair_miner.hpp"
+#include "mining/brute_force.hpp"
+#include "mining/datagen.hpp"
+#include "mining/fimi_io.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
+
+using namespace repro;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: batmap_cli <gen|build|info|query|pairs|mine|verify> [flags]\n"
+               "run a subcommand with --help for its flags\n");
+  return 2;
+}
+
+int cmd_gen(Args& args) {
+  const std::uint64_t items = args.u64("items", 1000, "distinct items");
+  const double density = args.f64("density", 0.05, "item density");
+  const std::uint64_t total = args.u64("total", 100000, "instance size");
+  const std::uint64_t seed = args.u64("seed", 1, "generator seed");
+  const std::string out = args.str("out", "data.fimi", "output path");
+  args.finish();
+  mining::BernoulliSpec spec;
+  spec.num_items = static_cast<std::uint32_t>(items);
+  spec.density = density;
+  spec.total_items = total;
+  spec.seed = seed;
+  const auto db = mining::bernoulli_instance(spec);
+  mining::write_fimi_file(db, out);
+  std::printf("wrote %zu transactions (%llu item occurrences, %u items) to %s\n",
+              db.num_transactions(),
+              static_cast<unsigned long long>(db.total_items()),
+              db.num_items(), out.c_str());
+  return 0;
+}
+
+int cmd_build(Args& args) {
+  const std::string fimi = args.str("fimi", "", "input FIMI file");
+  const std::string out = args.str("out", "store.bin", "output store path");
+  const std::uint64_t seed = args.u64("seed", 0x9d2c5680, "hash seed");
+  args.finish();
+  if (fimi.empty()) {
+    std::fprintf(stderr, "build: --fimi is required\n");
+    return 2;
+  }
+  const auto db = mining::read_fimi_file(fimi);
+  Timer t;
+  batmap::BatmapStore::Options opt;
+  opt.seed = seed;
+  batmap::BatmapStore store(db.num_transactions(), opt);
+  const auto tidlists = db.vertical();
+  for (const auto& list : tidlists) {
+    std::vector<std::uint64_t> ids(list.begin(), list.end());
+    store.add(ids);
+  }
+  std::ofstream f(out, std::ios::binary);
+  store.save(f);
+  std::printf("built %zu batmaps over %zu transactions in %.3fs "
+              "(%.1f MiB batmaps, %llu insertion failures) -> %s\n",
+              store.size(), db.num_transactions(), t.seconds(),
+              static_cast<double>(store.batmap_bytes()) / (1 << 20),
+              static_cast<unsigned long long>(store.total_failures()),
+              out.c_str());
+  return 0;
+}
+
+int cmd_info(Args& args) {
+  const std::string path = args.str("store", "store.bin", "store path");
+  args.finish();
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  const auto store = batmap::BatmapStore::load(f);
+  std::printf("store: %zu sets over universe [0, %llu)\n", store.size(),
+              static_cast<unsigned long long>(store.universe()));
+  std::printf("batmap bytes: %llu, total bytes: %llu, failures: %llu\n",
+              static_cast<unsigned long long>(store.batmap_bytes()),
+              static_cast<unsigned long long>(store.memory_bytes()),
+              static_cast<unsigned long long>(store.total_failures()));
+  std::uint64_t elems = 0;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    elems += store.map(i).stored_elements();
+  }
+  std::printf("stored elements: %llu (%.2f bytes/element)\n",
+              static_cast<unsigned long long>(elems),
+              elems ? static_cast<double>(store.batmap_bytes()) /
+                          static_cast<double>(elems)
+                    : 0.0);
+  return 0;
+}
+
+int cmd_query(Args& args) {
+  const std::string path = args.str("store", "store.bin", "store path");
+  const std::uint64_t a = args.u64("a", 0, "first set id");
+  const std::uint64_t b = args.u64("b", 1, "second set id");
+  args.finish();
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  const auto store = batmap::BatmapStore::load(f);
+  if (a >= store.size() || b >= store.size()) {
+    std::fprintf(stderr, "set id out of range (store has %zu sets)\n",
+                 store.size());
+    return 2;
+  }
+  std::printf("|S_%llu| = %llu, |S_%llu| = %llu, |S_%llu ∩ S_%llu| = %llu\n",
+              static_cast<unsigned long long>(a),
+              static_cast<unsigned long long>(store.map(a).stored_elements() +
+                                              store.failures(a).size()),
+              static_cast<unsigned long long>(b),
+              static_cast<unsigned long long>(store.map(b).stored_elements() +
+                                              store.failures(b).size()),
+              static_cast<unsigned long long>(a),
+              static_cast<unsigned long long>(b),
+              static_cast<unsigned long long>(store.intersection_size(
+                  static_cast<std::size_t>(a), static_cast<std::size_t>(b))));
+  return 0;
+}
+
+int cmd_pairs(Args& args) {
+  const std::string fimi = args.str("fimi", "", "input FIMI file");
+  const std::uint64_t minsup = args.u64("minsup", 2, "support threshold");
+  const std::uint64_t top = args.u64("top", 10, "pairs to print");
+  args.finish();
+  if (fimi.empty()) {
+    std::fprintf(stderr, "pairs: --fimi is required\n");
+    return 2;
+  }
+  const auto db = mining::read_fimi_file(fimi);
+  core::PairMinerOptions opt;
+  opt.minsup = static_cast<std::uint32_t>(minsup);
+  opt.tile = 2048;
+  const auto res = core::PairMiner(opt).mine(db);
+  std::printf("pairs with support >= %llu: %llu (pre %.3fs, sweep %.3fs, "
+              "post %.3fs, %llu failures patched)\n",
+              static_cast<unsigned long long>(minsup),
+              static_cast<unsigned long long>(res.frequent_pairs),
+              res.preprocess_seconds, res.sweep_seconds,
+              res.postprocess_seconds,
+              static_cast<unsigned long long>(res.failures));
+  // Top pairs by support.
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> best;
+  const auto& sup = *res.supports;
+  for (std::uint32_t i = 0; i < db.num_items(); ++i) {
+    for (std::uint32_t j = i + 1; j < db.num_items(); ++j) {
+      if (sup.get(i, j) >= minsup) best.emplace_back(sup.get(i, j), i, j);
+    }
+  }
+  std::sort(best.rbegin(), best.rend());
+  for (std::size_t r = 0; r < std::min<std::size_t>(top, best.size()); ++r) {
+    const auto& [s, i, j] = best[r];
+    std::printf("  {%u, %u}: %u\n", i, j, s);
+  }
+  return 0;
+}
+
+int cmd_mine(Args& args) {
+  const std::string fimi = args.str("fimi", "", "input FIMI file");
+  const std::uint64_t minsup = args.u64("minsup", 2, "support threshold");
+  const std::uint64_t max_size = args.u64("max-size", 0, "max itemset size (0=unbounded)");
+  args.finish();
+  if (fimi.empty()) {
+    std::fprintf(stderr, "mine: --fimi is required\n");
+    return 2;
+  }
+  const auto db = mining::read_fimi_file(fimi);
+  core::BatmapItemsetMiner::Options opt;
+  opt.minsup = static_cast<std::uint32_t>(minsup);
+  opt.max_size = max_size;
+  core::BatmapItemsetMiner miner(opt);
+  Timer t;
+  const auto itemsets = miner.mine(db);
+  std::printf("%zu frequent itemsets (minsup %llu) in %.3fs "
+              "(%llu batmap-counted, %llu merge-fallback)\n",
+              itemsets.size(), static_cast<unsigned long long>(minsup),
+              t.seconds(),
+              static_cast<unsigned long long>(miner.stats().batmap_counted),
+              static_cast<unsigned long long>(miner.stats().merge_fallback));
+  std::size_t by_size[16] = {};
+  for (const auto& s : itemsets) {
+    if (s.items.size() < 16) ++by_size[s.items.size()];
+  }
+  for (std::size_t k = 1; k < 16; ++k) {
+    if (by_size[k]) std::printf("  size %zu: %zu\n", k, by_size[k]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int cmd_verify(Args& args) {
+  const std::string fimi = args.str("fimi", "", "input FIMI file");
+  args.finish();
+  if (fimi.empty()) {
+    std::fprintf(stderr, "verify: --fimi is required\n");
+    return 2;
+  }
+  const auto db = mining::read_fimi_file(fimi);
+  if (db.num_items() < 2) {
+    std::fprintf(stderr, "need at least two items\n");
+    return 2;
+  }
+  const auto oracle = mining::brute_force_pair_supports(db);
+  core::PairMinerOptions opt;
+  const auto batmap_res = core::PairMiner(opt).mine(db);
+  const bool batmap_ok = *batmap_res.supports == oracle;
+  const auto ap = baselines::apriori_pair_supports(db);
+  const bool ap_ok = ap.has_value() && *ap == oracle;
+  const auto fp = baselines::fpgrowth_pair_supports(db, 1);
+  const bool fp_ok =
+      fp.has_value() && baselines::to_dense(*fp, db.num_items()) == oracle;
+  const bool bm_ok = baselines::BitmapIndex(db).all_pair_supports() == oracle;
+  std::printf("batmap:   %s\napriori:  %s\nfpgrowth: %s\nbitmap:   %s\n",
+              batmap_ok ? "OK" : "MISMATCH", ap_ok ? "OK" : "MISMATCH",
+              fp_ok ? "OK" : "MISMATCH", bm_ok ? "OK" : "MISMATCH");
+  return (batmap_ok && ap_ok && fp_ok && bm_ok) ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  Args args(argc - 1, argv + 1);
+  if (cmd == "gen") return cmd_gen(args);
+  if (cmd == "build") return cmd_build(args);
+  if (cmd == "info") return cmd_info(args);
+  if (cmd == "query") return cmd_query(args);
+  if (cmd == "pairs") return cmd_pairs(args);
+  if (cmd == "mine") return cmd_mine(args);
+  if (cmd == "verify") return cmd_verify(args);
+  return usage();
+}
