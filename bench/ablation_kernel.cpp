@@ -6,6 +6,7 @@
 #include <set>
 
 #include "batmap/builder.hpp"
+#include "batmap/simd.hpp"
 #include "core/direct_kernel.hpp"
 #include "core/tile_kernel.hpp"
 #include "harness.hpp"
@@ -20,6 +21,8 @@ int main(int argc, char** argv) {
   const std::uint64_t set_size = args.u64("set-size", 300, "elements per set");
   const std::uint64_t universe = args.u64("universe", 8192, "universe m");
   const std::string csv = args.str("csv", "", "CSV output path");
+  const std::uint64_t reps =
+      args.u64("reps", 25, "host-tier sweep repetitions");
   args.finish();
 
   const batmap::BatmapContext ctx(universe, 5);
@@ -85,5 +88,50 @@ int main(int argc, char** argv) {
             << " (must be 0)\n"
             << "(the staged kernel trades 16x fewer global loads AND "
                "near-perfect coalescing; direct reads serialize half-warps)\n";
+
+  // ---- host kernel tiers: scalar SWAR vs each dispatched SIMD variant ----
+  // The same all-pairs sweep on the host CPU, once per supported tier; all
+  // tiers must agree on the total count, only the wall clock moves.
+  std::cout << "\n=== Host kernel tiers: all-pairs CPU sweep over the same "
+               "maps (" << reps << " reps) ===\n";
+  std::uint64_t sweep_bytes = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = i + 1; j < n; ++j) {
+      sweep_bytes +=
+          8ull * std::max(maps[i].word_count(), maps[j].word_count());
+    }
+  }
+  Table host({"tier", "sweep_ms", "GB_per_s", "speedup_vs_scalar"});
+  double scalar_seconds = 0;
+  std::uint64_t reference_total = 0;
+  bool totals_agree = true;
+  for (const batmap::simd::Tier tier : batmap::simd::supported_tiers()) {
+    batmap::simd::force_tier(tier);
+    Timer timer;
+    std::uint64_t total = 0;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        for (std::uint64_t j = i + 1; j < n; ++j) {
+          total += batmap::intersect_count(maps[i], maps[j]);
+        }
+      }
+    }
+    const double seconds = timer.seconds();
+    if (tier == batmap::simd::Tier::kScalar) {
+      scalar_seconds = seconds;
+      reference_total = total;
+    }
+    totals_agree = totals_agree && total == reference_total;
+    host.row()
+        .add(batmap::simd::tier_name(tier))
+        .add(seconds * 1e3 / static_cast<double>(reps), 3)
+        .add(static_cast<double>(reps) * static_cast<double>(sweep_bytes) /
+                 1e9 / seconds,
+             3)
+        .add(scalar_seconds / seconds, 2);
+  }
+  batmap::simd::clear_forced_tier();
+  bench::emit(host, csv.empty() ? csv : csv + ".host");
+  std::cout << "tier totals agree: " << (totals_agree ? "yes" : "NO") << "\n";
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "baselines/hash_probe.hpp"
 #include "baselines/sorted_list.hpp"
 #include "batmap/builder.hpp"
+#include "batmap/simd.hpp"
 #include "batmap/swar.hpp"
 #include "mining/datagen.hpp"
 #include "util/rng.hpp"
@@ -167,5 +168,61 @@ void BM_BitmapIntersect(benchmark::State& state) {
                           static_cast<std::int64_t>(idx.words_per_row() * 16));
 }
 BENCHMARK(BM_BitmapIntersect)->Range(1 << 12, 1 << 18);
+
+// ---- dispatched SIMD tiers (batmap/simd.hpp) -------------------------------
+// One benchmark per tier the CPU supports, same byte accounting as
+// BM_SwarWordCompare64 (the seed's scalar fast path) so speedups read off
+// directly as bytes/second ratios.
+
+void simd_match_bench(benchmark::State& state, batmap::simd::Tier tier) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_words(n, 21), b = random_words(n, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        batmap::simd::match_count_tier(tier, a.data(), b.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 8);
+}
+
+void simd_strip_bench(benchmark::State& state, batmap::simd::Tier tier) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto row = random_words(n, 31);
+  const std::vector<std::uint32_t> cols[batmap::simd::kStripCols] = {
+      random_words(n, 32), random_words(n, 33), random_words(n, 34),
+      random_words(n, 35)};
+  const std::uint32_t* col_ptrs[batmap::simd::kStripCols] = {
+      cols[0].data(), cols[1].data(), cols[2].data(), cols[3].data()};
+  batmap::simd::force_tier(tier);
+  for (auto _ : state) {
+    std::uint64_t acc[batmap::simd::kStripCols] = {};
+    batmap::simd::match_count_strip(row.data(), n, col_ptrs, acc);
+    benchmark::DoNotOptimize(acc[0] + acc[1] + acc[2] + acc[3]);
+  }
+  batmap::simd::clear_forced_tier();
+  // One row read serves kStripCols pairs: account row + columns once each.
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(n) * 4 * (1 + batmap::simd::kStripCols));
+}
+
+const int kRegisterSimdBenches = [] {
+  namespace simd = repro::batmap::simd;
+  for (const simd::Tier t : simd::supported_tiers()) {
+    const std::string match_name =
+        std::string("BM_SimdMatchCount/") + simd::tier_name(t);
+    benchmark::RegisterBenchmark(
+        match_name.c_str(),
+        [t](benchmark::State& s) { simd_match_bench(s, t); })
+        ->Range(1 << 10, 1 << 20);
+    const std::string strip_name =
+        std::string("BM_SimdStrip/") + simd::tier_name(t);
+    benchmark::RegisterBenchmark(
+        strip_name.c_str(),
+        [t](benchmark::State& s) { simd_strip_bench(s, t); })
+        ->Range(1 << 10, 1 << 18);
+  }
+  return 0;
+}();
 
 }  // namespace

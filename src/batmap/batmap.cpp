@@ -1,10 +1,9 @@
 #include "batmap/batmap.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 #include "batmap/context.hpp"
-#include "batmap/swar.hpp"
+#include "batmap/simd.hpp"
 
 namespace repro::batmap {
 
@@ -36,28 +35,11 @@ std::uint64_t intersect_count_words(std::span<const std::uint32_t> big_words,
                                     std::span<const std::uint32_t> small_words) {
   REPRO_CHECK(!small_words.empty());
   REPRO_CHECK(big_words.size() % small_words.size() == 0);
-  const std::size_t wb = big_words.size();
-  const std::size_t ws = small_words.size();
-  std::uint64_t count = 0;
-  // The small map tiles the big one cyclically; iterate tile-by-tile so the
-  // inner loop has no modulo. Words are processed two at a time through the
-  // 64-bit SWAR kernel (unaligned loads via memcpy compile to plain movq);
-  // widths 3·2^j are odd only for the minimal width 3, handled by the tail.
-  const std::size_t pairs = ws / 2;
-  for (std::size_t base = 0; base < wb; base += ws) {
-    const std::uint32_t* bw = big_words.data() + base;
-    const std::uint32_t* sw = small_words.data();
-    for (std::size_t w = 0; w < pairs; ++w) {
-      std::uint64_t x, y;
-      std::memcpy(&x, bw + 2 * w, 8);
-      std::memcpy(&y, sw + 2 * w, 8);
-      count += swar_match_count64(x, y);
-    }
-    if (ws & 1) {
-      count += swar_match_count(bw[ws - 1], sw[ws - 1]);
-    }
-  }
-  return count;
+  // The small map tiles the big one cyclically; the dispatched kernel
+  // (scalar SWAR / SSE2 / AVX2 / AVX-512, see batmap/simd.hpp) sweeps each
+  // tile without a modulo in the inner loop.
+  return simd::match_count_cyclic(big_words.data(), big_words.size(),
+                                  small_words.data(), small_words.size());
 }
 
 std::uint64_t intersect_count(const Batmap& a, const Batmap& b) {

@@ -75,36 +75,76 @@ std::uint64_t BatmapStore::total_failures() const {
 }
 
 namespace {
-/// |list ∩ a ∩ b| for a sorted failure list and sorted element lists.
+
+/// First index i' >= i with v[i'] >= x (galloping from i: exponential probe
+/// then binary search within the bracketed range). Across a sorted probe
+/// sequence the cursors only move forward, so a whole failure list costs a
+/// single linear/galloping merge instead of per-element binary searches.
+std::size_t gallop_to(std::span<const std::uint64_t> v, std::size_t i,
+                      std::uint64_t x) {
+  if (i >= v.size() || v[i] >= x) return i;
+  std::size_t lo = i;          // v[lo] < x
+  std::size_t hi = i + 1;
+  std::size_t step = 1;
+  while (hi < v.size() && v[hi] < x) {
+    lo = hi;
+    hi += step;
+    step *= 2;
+  }
+  hi = std::min(hi, v.size());
+  return static_cast<std::size_t>(
+      std::lower_bound(v.begin() + lo, v.begin() + hi, x) - v.begin());
+}
+
+/// |list ∩ a ∩ b| for sorted lists, one forward merge pass.
 std::uint64_t count_in_both(std::span<const std::uint64_t> list,
                             std::span<const std::uint64_t> a,
                             std::span<const std::uint64_t> b) {
   std::uint64_t c = 0;
+  std::size_t ia = 0, ib = 0;
   for (const std::uint64_t x : list) {
-    if (std::binary_search(a.begin(), a.end(), x) &&
-        std::binary_search(b.begin(), b.end(), x))
-      ++c;
+    ia = gallop_to(a, ia, x);
+    if (ia == a.size()) break;
+    if (a[ia] != x) continue;
+    ib = gallop_to(b, ib, x);
+    if (ib == b.size()) break;
+    if (b[ib] == x) ++c;
   }
   return c;
 }
+
 }  // namespace
+
+std::uint64_t failure_patch_correction(
+    std::span<const std::uint64_t> failed_a,
+    std::span<const std::uint64_t> sorted_a,
+    std::span<const std::uint64_t> failed_b,
+    std::span<const std::uint64_t> sorted_b) {
+  // An element in both failure lists must be counted once, hence the
+  // exclusion of duplicates from the second pass.
+  std::uint64_t c = count_in_both(failed_a, sorted_a, sorted_b);
+  std::size_t ifa = 0, isa = 0, isb = 0;
+  for (const std::uint64_t x : failed_b) {
+    ifa = gallop_to(failed_a, ifa, x);
+    if (ifa < failed_a.size() && failed_a[ifa] == x) continue;
+    isa = gallop_to(sorted_a, isa, x);
+    if (isa == sorted_a.size()) break;
+    if (sorted_a[isa] != x) continue;
+    isb = gallop_to(sorted_b, isb, x);
+    if (isb == sorted_b.size()) break;
+    if (sorted_b[isb] == x) ++c;
+  }
+  return c;
+}
 
 std::uint64_t patched_intersect_count(
     const Batmap& map_a, std::span<const std::uint64_t> failed_a,
     std::span<const std::uint64_t> sorted_a, const Batmap& map_b,
     std::span<const std::uint64_t> failed_b,
     std::span<const std::uint64_t> sorted_b) {
-  std::uint64_t count = intersect_count(map_a, map_b);
-  // Patch elements missing from either map. An element in both failure lists
-  // must be counted once, hence the exclusion of duplicates.
-  count += count_in_both(failed_a, sorted_a, sorted_b);
-  for (const std::uint64_t x : failed_b) {
-    if (std::binary_search(failed_a.begin(), failed_a.end(), x)) continue;
-    if (std::binary_search(sorted_a.begin(), sorted_a.end(), x) &&
-        std::binary_search(sorted_b.begin(), sorted_b.end(), x))
-      ++count;
-  }
-  return count;
+  // Patch elements missing from either map.
+  return intersect_count(map_a, map_b) +
+         failure_patch_correction(failed_a, sorted_a, failed_b, sorted_b);
 }
 
 namespace {
@@ -126,7 +166,7 @@ T read_pod(std::istream& in) {
 }
 
 template <typename T>
-void write_vec(std::ostream& out, const std::vector<T>& v) {
+void write_span(std::ostream& out, std::span<const T> v) {
   write_pod<std::uint64_t>(out, v.size());
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(T)));
@@ -154,10 +194,9 @@ void BatmapStore::save(std::ostream& out) const {
   for (std::size_t i = 0; i < maps_.size(); ++i) {
     write_pod<std::uint32_t>(out, maps_[i].range());
     write_pod<std::uint64_t>(out, maps_[i].stored_elements());
-    write_vec(out, std::vector<std::uint32_t>(maps_[i].words().begin(),
-                                              maps_[i].words().end()));
-    write_vec(out, failed_[i]);
-    write_vec(out, elements_[i]);
+    write_span(out, maps_[i].words());  // streamed straight from the map
+    write_span<std::uint64_t>(out, failed_[i]);
+    write_span<std::uint64_t>(out, elements_[i]);
   }
   REPRO_CHECK_MSG(out.good(), "write failed");
 }

@@ -42,6 +42,8 @@ class BatmapStore {
   const BatmapContext& context() const { return ctx_; }
 
   const Batmap& map(std::size_t id) const;
+  /// All batmaps, in id order (contiguous; feed to pack_sorted_maps).
+  std::span<const Batmap> maps() const { return maps_; }
   std::span<const std::uint64_t> failures(std::size_t id) const;
   std::span<const std::uint64_t> elements(std::size_t id) const;
 
@@ -81,5 +83,13 @@ std::uint64_t patched_intersect_count(
     std::span<const std::uint64_t> sorted_a, const Batmap& map_b,
     std::span<const std::uint64_t> failed_b,
     std::span<const std::uint64_t> sorted_b);
+
+/// The failure correction alone: |(F_a ∪ F_b) ∩ S_a ∩ S_b| over sorted
+/// lists, by galloping merge. patched count = raw sweep count + this
+/// (zero whenever both failure lists are empty — the usual case).
+std::uint64_t failure_patch_correction(std::span<const std::uint64_t> failed_a,
+                                       std::span<const std::uint64_t> sorted_a,
+                                       std::span<const std::uint64_t> failed_b,
+                                       std::span<const std::uint64_t> sorted_b);
 
 }  // namespace repro::batmap

@@ -1,0 +1,446 @@
+#include "batmap/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "batmap/swar.hpp"
+#include "util/bits.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define REPRO_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define REPRO_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace repro::batmap::simd {
+
+namespace {
+
+// ---- scalar (portable fallback) --------------------------------------------
+
+std::uint64_t match_scalar(const std::uint32_t* a, const std::uint32_t* b,
+                           std::size_t n) {
+  std::uint64_t count = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a + i, 8);
+    std::memcpy(&y, b + i, 8);
+    count += swar_match_count64(x, y);
+  }
+  if (i < n) count += swar_match_count(a[i], b[i]);
+  return count;
+}
+
+void strip_scalar(const std::uint32_t* row, std::size_t n,
+                  const std::uint32_t* const cols[kStripCols],
+                  std::uint64_t counts[kStripCols]) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    std::uint64_t r;
+    std::memcpy(&r, row + i, 8);
+    for (std::size_t j = 0; j < kStripCols; ++j) {
+      std::uint64_t c;
+      std::memcpy(&c, cols[j] + i, 8);
+      counts[j] += swar_match_count64(r, c);
+    }
+  }
+  if (i < n) {
+    for (std::size_t j = 0; j < kStripCols; ++j) {
+      counts[j] += swar_match_count(row[i], cols[j][i]);
+    }
+  }
+}
+
+#if REPRO_SIMD_X86
+
+// ---- SSE2 (x86-64 baseline) -------------------------------------------------
+
+/// MSB of each byte set iff the slot bytes of x and y match.
+inline __m128i match_mask128(__m128i x, __m128i y, __m128i low7) {
+  const __m128i eq =
+      _mm_cmpeq_epi8(_mm_and_si128(x, low7), _mm_and_si128(y, low7));
+  return _mm_and_si128(eq, _mm_or_si128(x, y));
+}
+
+std::uint64_t match_sse2(const std::uint32_t* a, const std::uint32_t* b,
+                         std::size_t n) {
+  const __m128i low7 = _mm_set1_epi8(0x7f);
+  std::uint64_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i m0 = match_mask128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)), low7);
+    const __m128i m1 = match_mask128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i + 4)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i + 4)), low7);
+    const auto bits0 = static_cast<std::uint32_t>(_mm_movemask_epi8(m0));
+    const auto bits1 = static_cast<std::uint32_t>(_mm_movemask_epi8(m1));
+    count += bits::popcount(bits0 | (bits1 << 16));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m128i m = match_mask128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)), low7);
+    count += bits::popcount(static_cast<std::uint32_t>(_mm_movemask_epi8(m)));
+  }
+  return count + match_scalar(a + i, b + i, n - i);
+}
+
+void strip_sse2(const std::uint32_t* row, std::size_t n,
+                const std::uint32_t* const cols[kStripCols],
+                std::uint64_t counts[kStripCols]) {
+  const __m128i low7 = _mm_set1_epi8(0x7f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i r =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + i));
+    const __m128i r7 = _mm_and_si128(r, low7);
+    for (std::size_t j = 0; j < kStripCols; ++j) {
+      const __m128i c =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols[j] + i));
+      const __m128i eq = _mm_cmpeq_epi8(r7, _mm_and_si128(c, low7));
+      const __m128i m = _mm_and_si128(eq, _mm_or_si128(r, c));
+      counts[j] +=
+          bits::popcount(static_cast<std::uint32_t>(_mm_movemask_epi8(m)));
+    }
+  }
+  if (i < n) {
+    const std::uint32_t* tails[kStripCols] = {cols[0] + i, cols[1] + i,
+                                              cols[2] + i, cols[3] + i};
+    strip_scalar(row + i, n - i, tails, counts);
+  }
+}
+
+// ---- AVX2 -------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline __m256i match_mask256(__m256i x,
+                                                             __m256i y,
+                                                             __m256i low7) {
+  const __m256i eq =
+      _mm256_cmpeq_epi8(_mm256_and_si256(x, low7), _mm256_and_si256(y, low7));
+  return _mm256_and_si256(eq, _mm256_or_si256(x, y));
+}
+
+__attribute__((target("avx2"))) std::uint64_t match_avx2(
+    const std::uint32_t* a, const std::uint32_t* b, std::size_t n) {
+  const __m256i low7 = _mm256_set1_epi8(0x7f);
+  std::uint64_t count = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i m0 = match_mask256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)), low7);
+    const __m256i m1 = match_mask256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 8)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 8)), low7);
+    const auto bits0 = static_cast<std::uint32_t>(_mm256_movemask_epi8(m0));
+    const auto bits1 = static_cast<std::uint32_t>(_mm256_movemask_epi8(m1));
+    count += bits::popcount64(bits0 |
+                              (static_cast<std::uint64_t>(bits1) << 32));
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256i m = match_mask256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)), low7);
+    count +=
+        bits::popcount(static_cast<std::uint32_t>(_mm256_movemask_epi8(m)));
+  }
+  return count + match_sse2(a + i, b + i, n - i);
+}
+
+__attribute__((target("avx2"))) void strip_avx2(
+    const std::uint32_t* row, std::size_t n,
+    const std::uint32_t* const cols[kStripCols],
+    std::uint64_t counts[kStripCols]) {
+  const __m256i low7 = _mm256_set1_epi8(0x7f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i));
+    const __m256i r7 = _mm256_and_si256(r, low7);
+    for (std::size_t j = 0; j < kStripCols; ++j) {
+      const __m256i c =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols[j] + i));
+      const __m256i eq = _mm256_cmpeq_epi8(r7, _mm256_and_si256(c, low7));
+      const __m256i m = _mm256_and_si256(eq, _mm256_or_si256(r, c));
+      counts[j] +=
+          bits::popcount(static_cast<std::uint32_t>(_mm256_movemask_epi8(m)));
+    }
+  }
+  if (i < n) {
+    const std::uint32_t* tails[kStripCols] = {cols[0] + i, cols[1] + i,
+                                              cols[2] + i, cols[3] + i};
+    strip_sse2(row + i, n - i, tails, counts);
+  }
+}
+
+// ---- AVX-512BW --------------------------------------------------------------
+
+__attribute__((target("avx512f,avx512bw"))) std::uint64_t match_avx512(
+    const std::uint32_t* a, const std::uint32_t* b, std::size_t n) {
+  const __m512i low7 = _mm512_set1_epi8(0x7f);
+  std::uint64_t count = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i x = _mm512_loadu_si512(a + i);
+    const __m512i y = _mm512_loadu_si512(b + i);
+    const __mmask64 eq = _mm512_cmpeq_epi8_mask(_mm512_and_si512(x, low7),
+                                                _mm512_and_si512(y, low7));
+    const __mmask64 ind = _mm512_movepi8_mask(_mm512_or_si512(x, y));
+    count += bits::popcount64(eq & ind);
+  }
+  return count + match_sse2(a + i, b + i, n - i);
+}
+
+__attribute__((target("avx512f,avx512bw"))) void strip_avx512(
+    const std::uint32_t* row, std::size_t n,
+    const std::uint32_t* const cols[kStripCols],
+    std::uint64_t counts[kStripCols]) {
+  const __m512i low7 = _mm512_set1_epi8(0x7f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i r = _mm512_loadu_si512(row + i);
+    const __m512i r7 = _mm512_and_si512(r, low7);
+    for (std::size_t j = 0; j < kStripCols; ++j) {
+      const __m512i c = _mm512_loadu_si512(cols[j] + i);
+      const __mmask64 eq =
+          _mm512_cmpeq_epi8_mask(r7, _mm512_and_si512(c, low7));
+      const __mmask64 ind = _mm512_movepi8_mask(_mm512_or_si512(r, c));
+      counts[j] += bits::popcount64(eq & ind);
+    }
+  }
+  if (i < n) {
+    const std::uint32_t* tails[kStripCols] = {cols[0] + i, cols[1] + i,
+                                              cols[2] + i, cols[3] + i};
+    strip_sse2(row + i, n - i, tails, counts);
+  }
+}
+
+#endif  // REPRO_SIMD_X86
+
+#if REPRO_SIMD_NEON
+
+std::uint64_t match_neon(const std::uint32_t* a, const std::uint32_t* b,
+                         std::size_t n) {
+  const uint8x16_t low7 = vdupq_n_u8(0x7f);
+  std::uint64_t count = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint8x16_t x = vld1q_u8(reinterpret_cast<const std::uint8_t*>(a + i));
+    const uint8x16_t y = vld1q_u8(reinterpret_cast<const std::uint8_t*>(b + i));
+    const uint8x16_t eq = vceqq_u8(vandq_u8(x, low7), vandq_u8(y, low7));
+    const uint8x16_t m = vandq_u8(eq, vorrq_u8(x, y));
+    count += vaddvq_u8(vshrq_n_u8(m, 7));
+  }
+  return count + match_scalar(a + i, b + i, n - i);
+}
+
+void strip_neon(const std::uint32_t* row, std::size_t n,
+                const std::uint32_t* const cols[kStripCols],
+                std::uint64_t counts[kStripCols]) {
+  const uint8x16_t low7 = vdupq_n_u8(0x7f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint8x16_t r =
+        vld1q_u8(reinterpret_cast<const std::uint8_t*>(row + i));
+    const uint8x16_t r7 = vandq_u8(r, low7);
+    for (std::size_t j = 0; j < kStripCols; ++j) {
+      const uint8x16_t c =
+          vld1q_u8(reinterpret_cast<const std::uint8_t*>(cols[j] + i));
+      const uint8x16_t eq = vceqq_u8(r7, vandq_u8(c, low7));
+      const uint8x16_t m = vandq_u8(eq, vorrq_u8(r, c));
+      counts[j] += vaddvq_u8(vshrq_n_u8(m, 7));
+    }
+  }
+  if (i < n) {
+    const std::uint32_t* tails[kStripCols] = {cols[0] + i, cols[1] + i,
+                                              cols[2] + i, cols[3] + i};
+    strip_scalar(row + i, n - i, tails, counts);
+  }
+}
+
+#endif  // REPRO_SIMD_NEON
+
+// ---- dispatch ---------------------------------------------------------------
+
+using MatchFn = std::uint64_t (*)(const std::uint32_t*, const std::uint32_t*,
+                                  std::size_t);
+using StripFn = void (*)(const std::uint32_t*, std::size_t,
+                         const std::uint32_t* const[kStripCols],
+                         std::uint64_t[kStripCols]);
+
+struct Kernels {
+  MatchFn match;
+  StripFn strip;
+};
+
+bool tier_supported(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return true;
+#if REPRO_SIMD_X86
+    case Tier::kSse2:
+      return true;
+    case Tier::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case Tier::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw");
+#endif
+#if REPRO_SIMD_NEON
+    case Tier::kNeon:
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
+
+Kernels kernels_for(Tier t) {
+  switch (t) {
+#if REPRO_SIMD_X86
+    case Tier::kSse2:
+      return {match_sse2, strip_sse2};
+    case Tier::kAvx2:
+      return {match_avx2, strip_avx2};
+    case Tier::kAvx512:
+      return {match_avx512, strip_avx512};
+#endif
+#if REPRO_SIMD_NEON
+    case Tier::kNeon:
+      return {match_neon, strip_neon};
+#endif
+    default:
+      return {match_scalar, strip_scalar};
+  }
+}
+
+/// -1: no override; otherwise the forced tier.
+std::atomic<int> g_forced{-1};
+
+bool parse_tier(std::string_view s, Tier* out) {
+  if (s == "scalar" || s == "swar") return *out = Tier::kScalar, true;
+  if (s == "sse2") return *out = Tier::kSse2, true;
+  if (s == "avx2") return *out = Tier::kAvx2, true;
+  if (s == "avx512") return *out = Tier::kAvx512, true;
+  if (s == "neon") return *out = Tier::kNeon, true;
+  return false;
+}
+
+Tier env_or_best() {
+  static const Tier chosen = [] {
+    const Tier best = best_tier();
+    if (const char* e = std::getenv("REPRO_KERNEL")) {
+      Tier t;
+      if (!parse_tier(e, &t)) {
+        std::fprintf(stderr,
+                     "REPRO_KERNEL=%s not recognized "
+                     "(want scalar|sse2|avx2|avx512|neon); using %s\n",
+                     e, tier_name(best));
+      } else if (!tier_supported(t)) {
+        std::fprintf(stderr,
+                     "REPRO_KERNEL=%s not supported on this CPU/build; "
+                     "using %s\n",
+                     e, tier_name(best));
+      } else {
+        return t;
+      }
+    }
+    return best;
+  }();
+  return chosen;
+}
+
+}  // namespace
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+    case Tier::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::span<const Tier> supported_tiers() {
+  static const std::vector<Tier> tiers = [] {
+    std::vector<Tier> v;
+    for (const Tier t : {Tier::kScalar, Tier::kSse2, Tier::kAvx2,
+                         Tier::kAvx512, Tier::kNeon}) {
+      if (tier_supported(t)) v.push_back(t);
+    }
+    return v;
+  }();
+  return tiers;
+}
+
+Tier best_tier() {
+#if REPRO_SIMD_X86
+  if (tier_supported(Tier::kAvx512)) return Tier::kAvx512;
+  if (tier_supported(Tier::kAvx2)) return Tier::kAvx2;
+  return Tier::kSse2;
+#elif REPRO_SIMD_NEON
+  return Tier::kNeon;
+#else
+  return Tier::kScalar;
+#endif
+}
+
+Tier active_tier() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Tier>(forced);
+  return env_or_best();
+}
+
+Tier force_tier(Tier t) {
+  if (tier_supported(t)) {
+    g_forced.store(static_cast<int>(t), std::memory_order_relaxed);
+  }
+  return active_tier();
+}
+
+void clear_forced_tier() { g_forced.store(-1, std::memory_order_relaxed); }
+
+std::uint64_t match_count_tier(Tier t, const std::uint32_t* a,
+                               const std::uint32_t* b, std::size_t n) {
+  if (!tier_supported(t)) t = Tier::kScalar;
+  return kernels_for(t).match(a, b, n);
+}
+
+std::uint64_t match_count(const std::uint32_t* a, const std::uint32_t* b,
+                          std::size_t n) {
+  return kernels_for(active_tier()).match(a, b, n);
+}
+
+std::uint64_t match_count_cyclic(const std::uint32_t* big, std::size_t wb,
+                                 const std::uint32_t* small, std::size_t ws) {
+  const MatchFn match = kernels_for(active_tier()).match;
+  std::uint64_t count = 0;
+  for (std::size_t base = 0; base < wb; base += ws) {
+    count += match(big + base, small, ws);
+  }
+  return count;
+}
+
+void match_count_strip(const std::uint32_t* row, std::size_t n,
+                       const std::uint32_t* const cols[kStripCols],
+                       std::uint64_t counts[kStripCols]) {
+  kernels_for(active_tier()).strip(row, n, cols, counts);
+}
+
+}  // namespace repro::batmap::simd

@@ -1,0 +1,87 @@
+// Vectorized batch-intersect kernels: the SWAR match-count of swar.hpp
+// widened to SSE2 / AVX2 / AVX-512BW (x86) or NEON (aarch64) lanes, with
+// runtime CPU dispatch and the portable 64-bit SWAR loop as fallback.
+//
+// The slot-match rule vectorizes per byte lane: two slot bytes match iff
+// their low 7 code bits agree AND at least one indicator (MSB) is set, so
+//
+//   match = cmpeq_epi8(x & 0x7f, y & 0x7f) & (x | y)
+//
+// leaves the MSB of each matching byte set; movemask/movepi8_mask extracts
+// exactly those MSBs and a popcount yields the per-vector match count. This
+// is the same computation the scalar SWAR performs with adds and masks, one
+// cache line at a time instead of one word.
+//
+// Dispatch: the widest tier supported by both the build and the running CPU
+// is selected once; `REPRO_KERNEL=scalar|sse2|avx2|avx512|neon` (or
+// force_tier(), for tests and benches) overrides it. All tiers produce
+// bit-identical counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace repro::batmap::simd {
+
+enum class Tier : int {
+  kScalar = 0,  ///< portable 64-bit SWAR (always available)
+  kSse2 = 1,    ///< 16 slot bytes per compare (x86-64 baseline)
+  kAvx2 = 2,    ///< 32 slot bytes per compare
+  kAvx512 = 3,  ///< 64 slot bytes per compare (AVX-512F+BW)
+  kNeon = 4,    ///< 16 slot bytes per compare (aarch64)
+};
+
+const char* tier_name(Tier t);
+
+/// Tiers usable on this build+CPU, narrowest (kScalar) first.
+std::span<const Tier> supported_tiers();
+
+/// Widest supported tier.
+Tier best_tier();
+
+/// Tier the dispatched entry points use: best_tier() unless overridden by
+/// the REPRO_KERNEL environment variable or force_tier().
+Tier active_tier();
+
+/// Force the dispatched tier (tests/ablations). Unsupported tiers are
+/// ignored; returns the tier now in effect. Not safe concurrently with
+/// running kernels.
+Tier force_tier(Tier t);
+
+/// Drop a force_tier() override (reverts to env/auto selection).
+void clear_forced_tier();
+
+// ---- per-tier entry points (for tests and ablations) -----------------------
+
+/// Matching slots between equal-length word spans via a specific tier.
+/// Calling an unsupported tier falls back to scalar.
+std::uint64_t match_count_tier(Tier t, const std::uint32_t* a,
+                               const std::uint32_t* b, std::size_t n);
+
+// ---- dispatched entry points ------------------------------------------------
+
+/// Matching slots between equal-length word spans a and b.
+std::uint64_t match_count(const std::uint32_t* a, const std::uint32_t* b,
+                          std::size_t n);
+
+inline std::uint64_t match_count(std::span<const std::uint32_t> a,
+                                 std::span<const std::uint32_t> b) {
+  return match_count(a.data(), b.data(), a.size());
+}
+
+/// The batmap sweep: word i of the larger span against word (i mod ws) of
+/// the smaller. wb must be a multiple of ws (layout widths are 3·2^j).
+std::uint64_t match_count_cyclic(const std::uint32_t* big, std::size_t wb,
+                                 const std::uint32_t* small, std::size_t ws);
+
+/// Register-blocked strip kernel: one row span against kStripCols column
+/// spans of the same length n. Each row vector is loaded once and compared
+/// against all columns before moving on, so a strip costs one row read
+/// instead of kStripCols. Adds into counts[0..kStripCols).
+inline constexpr std::size_t kStripCols = 4;
+void match_count_strip(const std::uint32_t* row, std::size_t n,
+                       const std::uint32_t* const cols[kStripCols],
+                       std::uint64_t counts[kStripCols]);
+
+}  // namespace repro::batmap::simd

@@ -80,11 +80,13 @@ std::vector<MinedItemset> BatmapItemsetMiner::mine(
   }
   if (opt_.max_size == 1 || level.empty()) return out;
 
-  // Level 2: the paper's pair pipeline.
+  // Level 2: the paper's pair pipeline (batmap build + tile sweep both run
+  // on the sweep engine's pool).
   PairMinerOptions popt;
   popt.seed = opt_.seed;
   popt.tile = opt_.tile;
   popt.minsup = opt_.minsup;
+  popt.threads = opt_.threads;
   const auto pairs = PairMiner(popt).mine(db);
   REPRO_CHECK(pairs.supports.has_value());
   std::vector<Itemset> level2;

@@ -33,6 +33,7 @@ class BatmapItemsetMiner {
     std::size_t max_size = 0;  ///< 0 = unbounded
     std::uint64_t seed = 0x9d2c5680;
     std::uint32_t tile = 256;
+    std::size_t threads = 1;  ///< host threads for the level-2 pair sweep
   };
 
   explicit BatmapItemsetMiner(Options opt);

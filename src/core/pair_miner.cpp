@@ -1,102 +1,10 @@
 #include "core/pair_miner.hpp"
 
 #include <algorithm>
-#include <cstring>
-#include <numeric>
 
-#include "batmap/swar.hpp"
 #include "core/failure_patch.hpp"
-#include "core/tile_kernel.hpp"
-#include "simt/device.hpp"
-#include "util/bits.hpp"
-#include "util/thread_pool.hpp"
 
 namespace repro::core {
-
-namespace {
-
-/// Sorted-order views of the per-item batmaps, concatenated device-style.
-struct SortedMaps {
-  std::vector<std::uint32_t> order;         ///< sorted idx -> original item
-  std::vector<std::uint32_t> sorted_index;  ///< original item -> sorted idx
-  std::vector<std::uint32_t> words;         ///< concatenated batmap words
-  std::vector<std::uint64_t> offsets;       ///< sorted idx (padded) -> word offset
-  std::vector<std::uint32_t> widths;        ///< sorted idx (padded) -> word count
-  std::uint32_t n = 0;                      ///< real batmap count
-  std::uint32_t n_pad = 0;                  ///< padded to a multiple of 16
-};
-
-SortedMaps pack_sorted(const std::vector<batmap::Batmap>& maps,
-                       bool sort_by_width) {
-  SortedMaps sm;
-  sm.n = static_cast<std::uint32_t>(maps.size());
-  sm.n_pad = static_cast<std::uint32_t>(bits::round_up(sm.n, 16));
-  sm.order.resize(sm.n);
-  std::iota(sm.order.begin(), sm.order.end(), 0u);
-  if (sort_by_width) {
-    std::stable_sort(sm.order.begin(), sm.order.end(),
-                     [&](std::uint32_t a, std::uint32_t b) {
-                       return maps[a].word_count() < maps[b].word_count();
-                     });
-  }
-  sm.sorted_index.resize(sm.n);
-  for (std::uint32_t si = 0; si < sm.n; ++si)
-    sm.sorted_index[sm.order[si]] = si;
-
-  std::uint64_t total_words = 0;
-  std::uint32_t min_width = ~0u;
-  for (const auto& m : maps) {
-    total_words += m.word_count();
-    min_width = std::min(min_width,
-                         static_cast<std::uint32_t>(m.word_count()));
-  }
-  // A zeroed batmap of minimal width backs the padding slots: it matches
-  // nothing and keeps the kernel's control flow identical for every lane.
-  sm.words.reserve(total_words + min_width);
-  sm.offsets.resize(sm.n_pad);
-  sm.widths.resize(sm.n_pad);
-  for (std::uint32_t si = 0; si < sm.n; ++si) {
-    const auto& m = maps[sm.order[si]];
-    sm.offsets[si] = sm.words.size();
-    sm.widths[si] = static_cast<std::uint32_t>(m.word_count());
-    sm.words.insert(sm.words.end(), m.words().begin(), m.words().end());
-  }
-  const std::uint64_t null_off = sm.words.size();
-  sm.words.insert(sm.words.end(), min_width, 0u);
-  for (std::uint32_t si = sm.n; si < sm.n_pad; ++si) {
-    sm.offsets[si] = null_off;
-    sm.widths[si] = min_width;
-  }
-  return sm;
-}
-
-/// Native counting of one pair in sorted-index space. Shares the 64-bit
-/// fast-path structure of batmap::intersect_count_words.
-std::uint32_t count_pair(const SortedMaps& sm, std::uint32_t a,
-                         std::uint32_t b) {
-  std::uint32_t big = a, small = b;
-  if (sm.widths[big] < sm.widths[small]) std::swap(big, small);
-  const std::uint32_t* sw = sm.words.data() + sm.offsets[small];
-  const std::uint32_t wb = sm.widths[big];
-  const std::uint32_t ws = sm.widths[small];
-  const std::uint32_t pairs = ws / 2;
-  std::uint32_t count = 0;
-  for (std::uint32_t base = 0; base < wb; base += ws) {
-    const std::uint32_t* bw = sm.words.data() + sm.offsets[big] + base;
-    for (std::uint32_t w = 0; w < pairs; ++w) {
-      std::uint64_t x, y;
-      std::memcpy(&x, bw + 2 * w, 8);
-      std::memcpy(&y, sw + 2 * w, 8);
-      count += batmap::swar_match_count64(x, y);
-    }
-    if (ws & 1) {
-      count += batmap::swar_match_count(bw[ws - 1], sw[ws - 1]);
-    }
-  }
-  return count;
-}
-
-}  // namespace
 
 PairMiner::PairMiner(PairMinerOptions opt) : opt_(opt) {
   REPRO_CHECK_MSG(opt_.tile >= 16 && opt_.tile % 16 == 0,
@@ -112,6 +20,11 @@ PairMinerResult PairMiner::mine(
   PairMinerResult res;
   Timer timer;
 
+  // The engine carries the host pool plus every per-tile buffer; it is
+  // created first so preprocessing and the sweep share one set of workers.
+  SweepEngine engine(
+      {opt_.backend, opt_.tile, opt_.threads, opt_.collect_stats});
+
   // ---- 1. Preprocess: tidlists -> batmaps -> width sort -> pack ----
   const std::uint32_t n = db.num_items();
   const std::uint64_t m = db.num_transactions();
@@ -124,11 +37,10 @@ PairMinerResult PairMiner::mine(
   }
 
   // Per-item batmap construction is embarrassingly parallel (the context is
-  // shared read-only) — split across the host pool.
+  // shared read-only) — split across the engine's pool.
   std::vector<batmap::Batmap> maps(n);
   std::vector<std::vector<mining::Tid>> failed_tids(n);
-  ThreadPool build_pool(opt_.threads);
-  build_pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+  engine.pool().parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
     std::vector<std::uint64_t> scratch;
     for (std::size_t i = lo; i < hi; ++i) {
       scratch.assign(tidlists[i].begin(), tidlists[i].end());
@@ -140,7 +52,7 @@ PairMinerResult PairMiner::mine(
   });
   for (const auto& ft : failed_tids) res.failures += ft.size();
 
-  SortedMaps sm = pack_sorted(maps, opt_.sort_by_width);
+  PackedMaps sm = pack_sorted_maps(maps, opt_.sort_by_width);
   maps.clear();
   maps.shrink_to_fit();
   res.batmap_bytes = sm.words.size() * 4ull;
@@ -157,107 +69,45 @@ PairMinerResult PairMiner::mine(
     res.supports.emplace(n);
     res.memory.add("pair supports", res.supports->memory_bytes());
   }
-  const std::uint32_t k = opt_.tile;
-  const std::uint32_t tiles = static_cast<std::uint32_t>(bits::ceil_div(n, k));
-  std::vector<std::uint32_t> counts;  // row-major tile counts
-  ThreadPool pool(opt_.threads);
+  engine.bind(sm);
 
-  simt::Device device(simt::Device::Config{opt_.threads, opt_.collect_stats});
-  simt::Buffer<std::uint32_t> dev_words;
-  simt::Buffer<std::uint64_t> dev_offsets;
-  simt::Buffer<std::uint32_t> dev_widths;
-  if (opt_.backend == Backend::kDevice) {
-    // One transfer of all batmaps to the device, as in the paper.
-    dev_words = simt::Buffer<std::uint32_t>::from(sm.words);
-    dev_offsets = simt::Buffer<std::uint64_t>::from(sm.offsets);
-    dev_widths = simt::Buffer<std::uint32_t>::from(sm.widths);
-  }
-
-  double sweep_seconds = 0;
   double post_seconds = 0;
-  for (std::uint32_t p = 0; p < tiles; ++p) {
-    for (std::uint32_t q = p; q < tiles; ++q) {
-      const std::uint32_t row0 = p * k;
-      const std::uint32_t col0 = q * k;
-      const std::uint32_t rows = static_cast<std::uint32_t>(
-          bits::round_up(std::min(k, sm.n - row0), 16));
-      const std::uint32_t cols = static_cast<std::uint32_t>(
-          bits::round_up(std::min(k, sm.n - col0), 16));
-      Timer t_sweep;
-      counts.assign(static_cast<std::size_t>(rows) * cols, 0u);
-
-      if (opt_.backend == Backend::kDevice) {
-        simt::Buffer<std::uint32_t> out(counts.size());
-        TileKernel kernel(dev_words, dev_offsets, dev_widths, row0, col0, out,
-                          cols);
-        device.launch({{cols, rows}, {TileKernel::kDim, TileKernel::kDim}},
-                      kernel);
-        std::copy(out.view().begin(), out.view().end(), counts.begin());
-      } else {
-        pool.parallel_for(0, rows, [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t lr = lo; lr < hi; ++lr) {
-            const std::uint32_t sr = row0 + static_cast<std::uint32_t>(lr);
-            if (sr >= sm.n) continue;
-            std::uint32_t* out_row = counts.data() + lr * cols;
-            for (std::uint32_t lc = 0; lc < cols; ++lc) {
-              const std::uint32_t sc = col0 + lc;
-              if (sc >= sm.n) continue;
-              if (p == q && sr >= sc) continue;  // diagonal: upper triangle
-              out_row[lc] = count_pair(sm, sr, sc);
-            }
-          }
-        });
-      }
-      sweep_seconds += t_sweep.seconds();
-
-      // Patch M_{p,q} into Z_{p,q} (paper §III-C), then consume the tile.
-      Timer t_post;
-      for (const PatchPair& pp : patch.bucket(TileCoord{p, q})) {
-        const std::uint32_t lr = pp.row - row0;
-        const std::uint32_t lc = pp.col - col0;
-        counts[static_cast<std::size_t>(lr) * cols + lc] += 1;
-      }
-      ++res.tiles;
-
-      auto for_each_pair = [&](const std::function<void(
-                                   std::uint32_t, std::uint32_t,
-                                   std::uint32_t)>& fn) {
-        for (std::uint32_t lr = 0; lr < rows; ++lr) {
-          const std::uint32_t sr = row0 + lr;
-          if (sr >= sm.n) continue;
-          for (std::uint32_t lc = 0; lc < cols; ++lc) {
-            const std::uint32_t sc = col0 + lc;
-            if (sc >= sm.n) continue;
-            if (p == q && sr >= sc) continue;
-            fn(sm.order[sr], sm.order[sc],
-               counts[static_cast<std::size_t>(lr) * cols + lc]);
-          }
-        }
-      };
-
-      for_each_pair([&](std::uint32_t i, std::uint32_t j, std::uint32_t sup) {
-        res.total_support += sup;
-        if (sup >= opt_.minsup) ++res.frequent_pairs;
-        if (res.supports) res.supports->set(i, j, sup);
-        // Account the bytes both inputs contribute to this pair's sweep.
-        const std::uint32_t wmax = std::max(sm.widths[sm.sorted_index[i]],
-                                            sm.widths[sm.sorted_index[j]]);
-        res.bytes_compared += 8ull * wmax;
-      });
-
-      if (visitor) {
-        TileResult tr;
-        tr.p = p;
-        tr.q = q;
-        tr.for_each_pair = for_each_pair;
-        (*visitor)(tr);
-      }
-      post_seconds += t_post.seconds();
+  engine.sweep_triangular([&](SweepEngine::TileView& tv) {
+    // Patch M_{p,q} into Z_{p,q} (paper §III-C), then consume the tile.
+    Timer t_post;
+    for (const PatchPair& pp : patch.bucket(TileCoord{tv.p, tv.q})) {
+      tv.counts[static_cast<std::size_t>(pp.row - tv.row0) * tv.pitch +
+                (pp.col - tv.col0)] += 1;
     }
-  }
-  res.sweep_seconds = sweep_seconds;
+
+    tv.for_each_pair([&](std::uint32_t i, std::uint32_t j,
+                         std::uint32_t sup) {
+      res.total_support += sup;
+      if (sup >= opt_.minsup) ++res.frequent_pairs;
+      if (res.supports) res.supports->set(i, j, sup);
+      // Account the bytes both inputs contribute to this pair's sweep.
+      const std::uint32_t wmax = std::max(sm.widths[sm.sorted_index[i]],
+                                          sm.widths[sm.sorted_index[j]]);
+      res.bytes_compared += 8ull * wmax;
+    });
+
+    if (visitor) {
+      TileResult tr;
+      tr.p = tv.p;
+      tr.q = tv.q;
+      tr.for_each_pair =
+          [&tv](const std::function<void(std::uint32_t, std::uint32_t,
+                                         std::uint32_t)>& fn) {
+            tv.for_each_pair(fn);
+          };
+      (*visitor)(tr);
+    }
+    post_seconds += t_post.seconds();
+  });
+  res.tiles = engine.tiles_swept();
+  res.sweep_seconds = engine.sweep_seconds();
   res.postprocess_seconds = post_seconds;
-  if (opt_.backend == Backend::kDevice) res.stats = device.stats();
+  if (opt_.backend == Backend::kDevice) res.stats = engine.device_stats();
   return res;
 }
 

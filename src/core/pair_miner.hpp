@@ -4,12 +4,14 @@
 //      (2-of-3 cuckoo placement), sort batmaps by increasing width,
 //      concatenate into the device words buffer.
 //   2. device sweep: k×k tiles over the sorted batmaps, p ≤ q only
-//      (symmetry halves the work, §III-C); within a tile, 16×16 work-groups
-//      run the shared-memory slice kernel (tile_kernel.hpp). Two backends
-//      produce bit-identical counts:
-//        * Backend::Device — the SIMT simulator (faithful, instrumentable),
-//        * Backend::Native — the same tiling as plain threaded loops
-//          (fast; stands in for the real GPU's wall-clock role).
+//      (symmetry halves the work, §III-C), executed by the shared
+//      SweepEngine (core/sweep_engine.hpp). Two backends produce
+//      bit-identical counts:
+//        * Backend::kDevice — the SIMT simulator's 16×16 shared-memory
+//          slice kernel (faithful, instrumentable),
+//        * Backend::kNative — register-blocked threaded CPU loops over the
+//          same tiling, on the dispatched SIMD kernels (fast; stands in
+//          for the real GPU's wall-clock role).
 //   3. postprocess (host): merge the M_{p,q} failed-insertion patches into
 //      each tile's counts, then hand tiles to the consumer.
 //
@@ -24,6 +26,7 @@
 
 #include "batmap/builder.hpp"
 #include "batmap/context.hpp"
+#include "core/sweep_engine.hpp"
 #include "mining/pair_support.hpp"
 #include "mining/transaction_db.hpp"
 #include "simt/mem_stats.hpp"
@@ -31,11 +34,6 @@
 #include "util/timer.hpp"
 
 namespace repro::core {
-
-enum class Backend {
-  kNative,  ///< threaded CPU loops over the same tiling
-  kDevice,  ///< SIMT simulator (supports MemStats collection)
-};
 
 struct PairMinerOptions {
   std::uint64_t seed = 0x9d2c5680;

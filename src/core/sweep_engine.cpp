@@ -1,0 +1,184 @@
+#include "core/sweep_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "batmap/simd.hpp"
+#include "core/tile_kernel.hpp"
+
+namespace repro::core {
+
+PackedMaps pack_sorted_maps(std::span<const batmap::Batmap> maps,
+                            bool sort_by_width) {
+  PackedMaps sm;
+  sm.n = static_cast<std::uint32_t>(maps.size());
+  if (sm.n == 0) return sm;
+  sm.n_pad = static_cast<std::uint32_t>(bits::round_up(sm.n, 16));
+  sm.order.resize(sm.n);
+  std::iota(sm.order.begin(), sm.order.end(), 0u);
+  if (sort_by_width) {
+    std::stable_sort(sm.order.begin(), sm.order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return maps[a].word_count() < maps[b].word_count();
+                     });
+  }
+  sm.sorted_index.resize(sm.n);
+  for (std::uint32_t si = 0; si < sm.n; ++si)
+    sm.sorted_index[sm.order[si]] = si;
+
+  std::uint64_t total_words = 0;
+  std::uint32_t min_width = ~0u;
+  for (const auto& m : maps) {
+    total_words += m.word_count();
+    min_width =
+        std::min(min_width, static_cast<std::uint32_t>(m.word_count()));
+  }
+  // A zeroed batmap of minimal width backs the padding slots: it matches
+  // nothing and keeps the kernel's control flow identical for every lane.
+  sm.words.reserve(total_words + min_width);
+  sm.offsets.resize(sm.n_pad);
+  sm.widths.resize(sm.n_pad);
+  for (std::uint32_t si = 0; si < sm.n; ++si) {
+    const auto& m = maps[sm.order[si]];
+    sm.offsets[si] = sm.words.size();
+    sm.widths[si] = static_cast<std::uint32_t>(m.word_count());
+    sm.words.insert(sm.words.end(), m.words().begin(), m.words().end());
+  }
+  const std::uint64_t null_off = sm.words.size();
+  sm.words.insert(sm.words.end(), min_width, 0u);
+  for (std::uint32_t si = sm.n; si < sm.n_pad; ++si) {
+    sm.offsets[si] = null_off;
+    sm.widths[si] = min_width;
+  }
+  return sm;
+}
+
+SweepEngine::SweepEngine(Options opt) : opt_(opt), pool_(opt.threads) {
+  REPRO_CHECK_MSG(opt_.tile >= 16 && opt_.tile % 16 == 0,
+                  "tile must be a positive multiple of 16");
+}
+
+SweepEngine::~SweepEngine() = default;
+
+void SweepEngine::bind(const PackedMaps& sm) {
+  sm_ = &sm;
+  tiles_ = 0;
+  sweep_seconds_ = 0;
+  if (opt_.backend == Backend::kDevice) {
+    // One transfer of all batmaps to the device, as in the paper; the
+    // output buffer is sized once for the largest (k×k) tile.
+    device_ = std::make_unique<simt::Device>(
+        simt::Device::Config{opt_.threads, opt_.collect_stats});
+    dev_words_ = simt::Buffer<std::uint32_t>::from(sm.words);
+    dev_offsets_ = simt::Buffer<std::uint64_t>::from(sm.offsets);
+    dev_widths_ = simt::Buffer<std::uint32_t>::from(sm.widths);
+    dev_out_ = simt::Buffer<std::uint32_t>(
+        static_cast<std::size_t>(opt_.tile) * opt_.tile);
+  }
+}
+
+const simt::MemStats& SweepEngine::device_stats() const {
+  static const simt::MemStats empty{};
+  return device_ ? device_->stats() : empty;
+}
+
+SweepEngine::TileView SweepEngine::fill_tile(std::uint32_t p, std::uint32_t q,
+                                             std::uint32_t row0,
+                                             std::uint32_t col0,
+                                             std::uint32_t row_end,
+                                             std::uint32_t col_end,
+                                             bool diagonal) {
+  const std::uint32_t k = opt_.tile;
+  const std::uint32_t rows_real = std::min(k, row_end - row0);
+  const std::uint32_t cols_real = std::min(k, col_end - col0);
+  const auto rows_pad =
+      static_cast<std::uint32_t>(bits::round_up(rows_real, 16));
+  const auto cols_pad =
+      static_cast<std::uint32_t>(bits::round_up(cols_real, 16));
+  Timer t;
+  counts_.assign(static_cast<std::size_t>(rows_pad) * cols_pad, 0u);
+  if (opt_.backend == Backend::kDevice) {
+    fill_device(row0, col0, rows_pad, cols_pad);
+  } else {
+    fill_native(row0, col0, rows_real, cols_real, cols_pad, diagonal);
+  }
+  sweep_seconds_ += t.seconds();
+  ++tiles_;
+  return TileView{p,        q,
+                  row0,     col0,
+                  row0 + rows_real, col0 + cols_real,
+                  cols_pad, diagonal,
+                  counts_.data(), sm_};
+}
+
+void SweepEngine::fill_native(std::uint32_t row0, std::uint32_t col0,
+                              std::uint32_t rows_real,
+                              std::uint32_t cols_real, std::uint32_t pitch,
+                              bool diagonal) {
+  namespace simd = batmap::simd;
+  const PackedMaps& sm = *sm_;
+  const std::uint32_t* words = sm.words.data();
+  pool_.parallel_for(0, rows_real, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t lr = lo; lr < hi; ++lr) {
+      const auto sr = row0 + static_cast<std::uint32_t>(lr);
+      const std::uint32_t wr = sm.widths[sr];
+      const std::uint32_t* row_words = words + sm.offsets[sr];
+      std::uint32_t* out_row = counts_.data() + lr * pitch;
+      // Diagonal tiles: only columns strictly right of the diagonal.
+      std::uint32_t lc =
+          diagonal ? static_cast<std::uint32_t>(lr) + 1 : 0;
+      while (lc < cols_real) {
+        const std::uint32_t sc = col0 + lc;
+        // Register-blocked strip: kStripCols columns of one width, each at
+        // least as wide as the row (the usual case under the width sort).
+        // One pass loads each row vector once and compares it against all
+        // strip columns; the row tiles wider columns cyclically, base by
+        // base. Layout widths are 3·2^j, so wr always divides wc.
+        if (lc + simd::kStripCols <= cols_real) {
+          const std::uint32_t wc = sm.widths[sc];
+          bool stripable = wc >= wr && wc % wr == 0;
+          for (std::size_t j = 1; stripable && j < simd::kStripCols; ++j) {
+            stripable = sm.widths[sc + j] == wc;
+          }
+          if (stripable) {
+            std::uint64_t acc[simd::kStripCols] = {};
+            const std::uint32_t* cw[simd::kStripCols];
+            for (std::size_t j = 0; j < simd::kStripCols; ++j) {
+              cw[j] = words + sm.offsets[sc + j];
+            }
+            for (std::uint32_t base = 0; base < wc; base += wr) {
+              const std::uint32_t* cb[simd::kStripCols] = {
+                  cw[0] + base, cw[1] + base, cw[2] + base, cw[3] + base};
+              simd::match_count_strip(row_words, wr, cb, acc);
+            }
+            for (std::size_t j = 0; j < simd::kStripCols; ++j) {
+              out_row[lc + j] = static_cast<std::uint32_t>(acc[j]);
+            }
+            lc += simd::kStripCols;
+            continue;
+          }
+        }
+        // Fallback: one pair via the dispatched cyclic kernel.
+        const std::uint32_t wc = sm.widths[sc];
+        const std::uint32_t* col_words = words + sm.offsets[sc];
+        out_row[lc] = static_cast<std::uint32_t>(
+            wr >= wc ? simd::match_count_cyclic(row_words, wr, col_words, wc)
+                     : simd::match_count_cyclic(col_words, wc, row_words, wr));
+        ++lc;
+      }
+    }
+  });
+}
+
+void SweepEngine::fill_device(std::uint32_t row0, std::uint32_t col0,
+                              std::uint32_t rows_pad,
+                              std::uint32_t cols_pad) {
+  TileKernel kernel(dev_words_, dev_offsets_, dev_widths_, row0, col0,
+                    dev_out_, cols_pad);
+  device_->launch({{cols_pad, rows_pad}, {TileKernel::kDim, TileKernel::kDim}},
+                  kernel);
+  std::copy_n(dev_out_.view().begin(),
+              static_cast<std::size_t>(rows_pad) * cols_pad, counts_.begin());
+}
+
+}  // namespace repro::core

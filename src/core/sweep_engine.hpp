@@ -1,0 +1,178 @@
+// SweepEngine: the shared tile-sweep hot loop behind every batmap frontend
+// (pair miner, boolean matmul, itemset miner).
+//
+// The engine owns everything that should persist across tiles — the host
+// ThreadPool, the tile counts buffer, and (device backend) the uploaded
+// batmap words plus the output buffer — so a sweep allocates once, not once
+// per tile. Two execution paths produce bit-identical counts:
+//
+//   * Backend::kNative — threaded CPU loops, register-blocked: each row
+//     batmap is intersected against a strip of kStripCols equal-width column
+//     batmaps per pass (batmap/simd.hpp strip kernel), so the row's words
+//     are read once per strip instead of once per pair. Pairs that don't
+//     fit a strip (mixed widths, tile edges, the diagonal) fall back to the
+//     dispatched cyclic kernel.
+//   * Backend::kDevice — the SIMT simulator's 16×16 shared-memory staged
+//     kernel (core/tile_kernel.hpp), instrumentable with the coalescing
+//     model.
+//
+// Tile consumption is a templated visitor: consume(TileView&) inlines into
+// the sweep loop — no std::function per pair.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "batmap/batmap.hpp"
+#include "simt/device.hpp"
+#include "util/bits.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace repro::core {
+
+enum class Backend {
+  kNative,  ///< threaded CPU loops over the same tiling
+  kDevice,  ///< SIMT simulator (supports MemStats collection)
+};
+
+/// Width-sorted batmaps concatenated device-style, padded to a multiple of
+/// 16 with zeroed minimal-width maps so every kernel lane has a real target.
+struct PackedMaps {
+  std::vector<std::uint32_t> order;         ///< sorted idx -> original id
+  std::vector<std::uint32_t> sorted_index;  ///< original id -> sorted idx
+  std::vector<std::uint32_t> words;         ///< concatenated batmap words
+  std::vector<std::uint64_t> offsets;       ///< sorted idx (padded) -> offset
+  std::vector<std::uint32_t> widths;        ///< sorted idx (padded) -> words
+  std::uint32_t n = 0;                      ///< real batmap count
+  std::uint32_t n_pad = 0;                  ///< padded to a multiple of 16
+};
+
+/// Packs `maps` (optionally sorted by increasing width) for the sweep.
+PackedMaps pack_sorted_maps(std::span<const batmap::Batmap> maps,
+                            bool sort_by_width);
+
+class SweepEngine {
+ public:
+  struct Options {
+    Backend backend = Backend::kNative;
+    std::uint32_t tile = 256;    ///< k of the k×k tiling (multiple of 16)
+    std::size_t threads = 1;     ///< host threads (native) / device groups
+    bool collect_stats = false;  ///< device backend: run coalescing model
+  };
+
+  /// One finished tile of raw (unpatched) counts. Valid only inside the
+  /// consume callback; `counts` is mutable so callers can patch in place
+  /// before reading.
+  struct TileView {
+    std::uint32_t p, q;        ///< tile coordinates within this sweep
+    std::uint32_t row0, col0;  ///< first sorted row/col index
+    std::uint32_t row_lim, col_lim;  ///< one past the last real index
+    std::uint32_t pitch;       ///< counts row stride (padded column count)
+    bool diagonal;             ///< triangular sweep, p == q
+    std::uint32_t* counts;     ///< row-major [row][col] tile counts
+    const PackedMaps* sm;
+
+    /// Visits every real pair of this tile as fn(id_row, id_col, count)
+    /// with ORIGINAL (pre-sort) ids; diagonal tiles yield only sr < sc.
+    template <typename Fn>
+    void for_each_pair(Fn&& fn) const {
+      for (std::uint32_t sr = row0; sr < row_lim; ++sr) {
+        const std::uint32_t* crow =
+            counts + static_cast<std::size_t>(sr - row0) * pitch;
+        for (std::uint32_t sc = diagonal ? sr + 1 : col0; sc < col_lim;
+             ++sc) {
+          fn(sm->order[sr], sm->order[sc], crow[sc - col0]);
+        }
+      }
+    }
+  };
+
+  explicit SweepEngine(Options opt);
+  ~SweepEngine();
+
+  /// The engine's host pool — shared with callers so preprocessing (batmap
+  /// construction) and the sweep reuse one set of workers.
+  ThreadPool& pool() { return pool_; }
+
+  /// Attaches packed maps (caller keeps them alive for the sweep) and
+  /// resets the per-sweep stats; device backend uploads the maps once here.
+  void bind(const PackedMaps& sm);
+  void bind(PackedMaps&&) = delete;  // binding a temporary would dangle
+
+  /// Sweeps all p <= q tiles of the bound maps (the pair miner's symmetric
+  /// sweep). consume(TileView&) is invoked once per tile, inlined.
+  template <typename Consume>
+  void sweep_triangular(Consume&& consume) {
+    REPRO_CHECK_MSG(sm_ != nullptr, "bind() before sweep");
+    const std::uint32_t n = sm_->n;
+    const std::uint32_t k = opt_.tile;
+    const auto tiles = static_cast<std::uint32_t>(bits::ceil_div(n, k));
+    for (std::uint32_t p = 0; p < tiles; ++p) {
+      for (std::uint32_t q = p; q < tiles; ++q) {
+        TileView tv = fill_tile(p, q, p * k, q * k, n, n, p == q);
+        consume(tv);
+      }
+    }
+  }
+
+  /// Sweeps the rectangle rows [row_begin,row_end) × cols [col_begin,
+  /// col_end) in sorted-index space (boolean matmul: row sets × column
+  /// sets). Device backend requires 16-aligned region origins.
+  template <typename Consume>
+  void sweep_rect(std::uint32_t row_begin, std::uint32_t row_end,
+                  std::uint32_t col_begin, std::uint32_t col_end,
+                  Consume&& consume) {
+    REPRO_CHECK_MSG(sm_ != nullptr, "bind() before sweep");
+    REPRO_CHECK(row_end <= sm_->n && col_end <= sm_->n);
+    REPRO_CHECK_MSG(opt_.backend == Backend::kNative ||
+                        (row_begin % 16 == 0 && col_begin % 16 == 0),
+                    "device rect sweep needs 16-aligned region origins");
+    const std::uint32_t k = opt_.tile;
+    const auto pt = static_cast<std::uint32_t>(
+        row_end > row_begin ? bits::ceil_div(row_end - row_begin, k) : 0);
+    const auto qt = static_cast<std::uint32_t>(
+        col_end > col_begin ? bits::ceil_div(col_end - col_begin, k) : 0);
+    for (std::uint32_t p = 0; p < pt; ++p) {
+      for (std::uint32_t q = 0; q < qt; ++q) {
+        TileView tv = fill_tile(p, q, row_begin + p * k, col_begin + q * k,
+                                row_end, col_end, false);
+        consume(tv);
+      }
+    }
+  }
+
+  double sweep_seconds() const { return sweep_seconds_; }
+  std::uint64_t tiles_swept() const { return tiles_; }
+  const simt::MemStats& device_stats() const;
+
+ private:
+  /// Computes one tile's raw counts into counts_ and describes it.
+  TileView fill_tile(std::uint32_t p, std::uint32_t q, std::uint32_t row0,
+                     std::uint32_t col0, std::uint32_t row_end,
+                     std::uint32_t col_end, bool diagonal);
+  void fill_native(std::uint32_t row0, std::uint32_t col0,
+                   std::uint32_t rows_real, std::uint32_t cols_real,
+                   std::uint32_t pitch, bool diagonal);
+  void fill_device(std::uint32_t row0, std::uint32_t col0,
+                   std::uint32_t rows_pad, std::uint32_t cols_pad);
+
+  Options opt_;
+  ThreadPool pool_;
+  const PackedMaps* sm_ = nullptr;
+  std::vector<std::uint32_t> counts_;  ///< reused tile counts buffer
+
+  std::unique_ptr<simt::Device> device_;  ///< device backend only
+  simt::Buffer<std::uint32_t> dev_words_;
+  simt::Buffer<std::uint64_t> dev_offsets_;
+  simt::Buffer<std::uint32_t> dev_widths_;
+  simt::Buffer<std::uint32_t> dev_out_;  ///< reused k×k output buffer
+
+  double sweep_seconds_ = 0;
+  std::uint64_t tiles_ = 0;
+};
+
+}  // namespace repro::core

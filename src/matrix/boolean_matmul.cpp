@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/sweep_engine.hpp"
 #include "util/check.hpp"
 
 namespace repro::matrix {
@@ -43,25 +44,56 @@ MatmulResult boolean_product(const BoolMatrix& a, const BoolMatrix& b,
   opt.seed = seed;
   batmap::BatmapStore store(std::max<std::uint64_t>(inner, 1), opt);
 
-  // Row sets of a, then column sets of b, in one store.
-  std::vector<std::size_t> row_ids(a.rows());
-  for (std::uint32_t r = 0; r < a.rows(); ++r)
-    row_ids[r] = store.add(a.row_set(r));
+  // Row sets of a (ids [0, R)), then column sets of b (ids [R, R+C)).
+  for (std::uint32_t r = 0; r < a.rows(); ++r) store.add(a.row_set(r));
   const auto bcols = b.column_sets();
-  std::vector<std::size_t> col_ids(b.cols());
-  for (std::uint32_t c = 0; c < b.cols(); ++c)
-    col_ids[c] = store.add(bcols[c]);
+  for (std::uint32_t c = 0; c < b.cols(); ++c) store.add(bcols[c]);
 
   MatmulResult out{BoolMatrix(a.rows(), b.cols()), {}, {}};
-  for (std::uint32_t r = 0; r < a.rows(); ++r) {
-    for (std::uint32_t c = 0; c < b.cols(); ++c) {
-      const std::uint64_t w = store.intersection_size(row_ids[r], col_ids[c]);
-      if (w > 0) {
-        out.product.set(r, c);
-        out.entries.emplace_back(r, c);
-        out.witness_counts.push_back(static_cast<std::uint32_t>(w));
+  if (a.rows() == 0 || b.cols() == 0) return out;
+
+  // The sweep engine batch-intersects row sets against column sets: rows
+  // occupy store ids [0, R), columns [R, R + C), packed unsorted so the
+  // sorted index IS the store id, then swept as one R × C rectangle through
+  // the vectorized tile kernels instead of one scalar pair at a time.
+  const auto R = a.rows();
+  const auto C = b.cols();
+  const core::PackedMaps sm =
+      core::pack_sorted_maps(store.maps(), /*sort_by_width=*/false);
+  core::SweepEngine engine({core::Backend::kNative, /*tile=*/256,
+                            /*threads=*/1, /*collect_stats=*/false});
+  engine.bind(sm);
+
+  // Raw sweep counts miss elements whose cuckoo insertion failed (rare);
+  // patch those pairs with the merge-based correction.
+  const bool any_failures = store.total_failures() > 0;
+  struct Entry {
+    std::uint32_t r, c, w;
+  };
+  std::vector<Entry> nonzero;
+  engine.sweep_rect(0, R, R, R + C, [&](core::SweepEngine::TileView& tv) {
+    tv.for_each_pair([&](std::uint32_t ri, std::uint32_t ci,
+                         std::uint32_t cnt) {
+      std::uint64_t w = cnt;
+      if (any_failures) {
+        w += batmap::failure_patch_correction(
+            store.failures(ri), store.elements(ri), store.failures(ci),
+            store.elements(ci));
       }
-    }
+      if (w > 0) {
+        nonzero.push_back(
+            {ri, ci - R, static_cast<std::uint32_t>(w)});
+      }
+    });
+  });
+  // Tiles arrive block-by-block; restore the row-major entry order.
+  std::sort(nonzero.begin(), nonzero.end(), [](const Entry& x, const Entry& y) {
+    return x.r != y.r ? x.r < y.r : x.c < y.c;
+  });
+  for (const Entry& e : nonzero) {
+    out.product.set(e.r, e.c);
+    out.entries.emplace_back(e.r, e.c);
+    out.witness_counts.push_back(e.w);
   }
   return out;
 }
