@@ -70,30 +70,51 @@ int main(int argc, char** argv) {
   t.row().add("paper gap to peak (factor)").add(159.0 / 36.2, 2);
 
   if (device_stats) {
-    // Instrumented device run on a 32-batmap sub-sample to measure
-    // coalescing of the real kernel.
-    auto sub = db;  // copy; keep first 32 items only
-    std::vector<mining::Item> keep;
-    mining::TransactionDb small(32);
+    // Instrumented device runs on a 128-batmap sub-sample: the coalescing
+    // model replays both tile kernels, showing how much the strip kernel's
+    // shared staging cuts global transactions per pair vs per-pair slices.
+    const std::uint32_t sub_items = 128;
+    mining::TransactionDb small(sub_items);
     for (std::size_t tt = 0; tt < db.num_transactions(); ++tt) {
       const auto txn = db.transaction(tt);
       std::vector<mining::Item> f;
       for (const auto i : txn)
-        if (i < 32) f.push_back(i);
+        if (i < sub_items) f.push_back(i);
       if (!f.empty()) small.add_transaction(std::move(f));
     }
     core::PairMinerOptions dopt;
     dopt.backend = core::Backend::kDevice;
     dopt.collect_stats = true;
     dopt.materialize = false;
-    dopt.tile = 32;
-    const auto dres = core::PairMiner(dopt).mine(small);
-    t.row()
-        .add("device coalescing efficiency (32-map sample)")
-        .add(dres.stats.coalescing_efficiency(), 3);
-    t.row()
-        .add("device divergent lanes (should be 0)")
-        .add(dres.stats.divergent_items);
+    dopt.tile = 64;
+    for (const bool strip : {false, true}) {
+      dopt.device_strip = strip;
+      const auto dres = core::PairMiner(dopt).mine(small);
+      const std::string label =
+          strip ? "strip kernel" : "per-pair kernel";
+      // Denominator = pair slots the device actually computed (the
+      // triangular sweep's diagonal tiles run full k×k blocks). This is a
+      // whole-sweep average — diagonal tiles always take the per-pair
+      // kernel, so the strip delta here is diluted vs the pinned per-tile
+      // figures (0.4375 vs 0.296875) in tests/perf_model_test.cpp.
+      const std::uint64_t computed_slots =
+          dres.tiles * static_cast<std::uint64_t>(dopt.tile) * dopt.tile;
+      t.row()
+          .add("device txns/computed pair, " + label + " (128-map sample)")
+          .add(dres.stats.transactions_per_pair(computed_slots), 4);
+      t.row()
+          .add("device coalescing efficiency, " + label)
+          .add(dres.stats.coalescing_efficiency(), 3);
+      if (strip) {
+        t.row()
+            .add("device strip-kernel tiles (of " +
+                 std::to_string(dres.tiles) + ")")
+            .add(dres.strip_tiles);
+      }
+      t.row()
+          .add("device divergent lanes, " + label + " (should be 0)")
+          .add(dres.stats.divergent_items);
+    }
   }
   bench::emit(t, csv);
   std::cout << "(paper: 36.2 GB/s, 3.68e9 elements/s, >4x below peak "

@@ -1,0 +1,47 @@
+#include "batmap/strip.hpp"
+
+namespace repro::batmap {
+
+std::uint32_t uniform_width(std::span<const std::uint32_t> widths,
+                            std::size_t col, std::size_t cols) {
+  if (cols == 0 || col + cols > widths.size()) return 0;
+  const std::uint32_t wc = widths[col];
+  for (std::size_t j = 1; j < cols; ++j) {
+    if (widths[col + j] != wc) return 0;
+  }
+  return wc;
+}
+
+bool strip_compatible(std::span<const std::uint32_t> widths, std::uint32_t wr,
+                      std::size_t col, std::size_t cols) {
+  const std::uint32_t wc = uniform_width(widths, col, cols);
+  return wc != 0 && wr != 0 && wc >= wr && wc % wr == 0;
+}
+
+bool strip_tile_compatible(std::span<const std::uint32_t> widths,
+                           std::size_t row_begin, std::size_t row_end,
+                           std::size_t col_begin, std::size_t col_end) {
+  if (row_end <= row_begin || row_end > widths.size()) return false;
+  const std::uint32_t wc =
+      uniform_width(widths, col_begin, col_end - col_begin);
+  if (wc == 0) return false;
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    const std::uint32_t wr = widths[r];
+    if (wr == 0 || wc < wr || wc % wr != 0) return false;
+  }
+  return true;
+}
+
+std::vector<WidthRun> width_runs(std::span<const std::uint32_t> widths) {
+  std::vector<WidthRun> runs;
+  std::size_t i = 0;
+  while (i < widths.size()) {
+    std::size_t j = i + 1;
+    while (j < widths.size() && widths[j] == widths[i]) ++j;
+    runs.push_back(WidthRun{i, j, widths[i]});
+    i = j;
+  }
+  return runs;
+}
+
+}  // namespace repro::batmap

@@ -1,0 +1,54 @@
+// Strip slicing over width-sorted batmap collections.
+//
+// A "strip" is a run of consecutive (sorted) batmaps that one row batmap can
+// be intersected against in a single register- or shared-memory-blocked
+// pass: all strip members share one width wc that the row width wr tiles
+// (wc >= wr and wr | wc — layout ranges are powers of two scaled by 3, so
+// equal-or-wider always divides, but the rule checks it rather than assume).
+//
+// Both sweep backends decide strip eligibility through these helpers so the
+// native register-blocked kernel (batmap/simd.hpp) and the SIMT device strip
+// kernel (core/strip_kernel.hpp) agree on the fallback rules by
+// construction: the device tile predicate is the per-row rule applied to a
+// whole tile's column block (see strip_tile_compatible).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace repro::batmap {
+
+/// Width shared by columns [col, col + cols) of `widths`, or 0 if they are
+/// not all equal. (0 is never a real batmap width.)
+std::uint32_t uniform_width(std::span<const std::uint32_t> widths,
+                            std::size_t col, std::size_t cols);
+
+/// True iff columns [col, col + cols) form one strip for a row of width
+/// `wr`: uniform column width wc with wc >= wr and wc % wr == 0.
+bool strip_compatible(std::span<const std::uint32_t> widths, std::uint32_t wr,
+                      std::size_t col, std::size_t cols);
+
+/// The device tile predicate: every row in [row_begin, row_end) can strip
+/// the whole column block [col_begin, col_end). Equivalent to
+/// strip_compatible(widths, widths[r], col_begin, col_end - col_begin) for
+/// every r (asserted in tile_kernel_test), but checks column uniformity
+/// once instead of once per row.
+bool strip_tile_compatible(std::span<const std::uint32_t> widths,
+                           std::size_t row_begin, std::size_t row_end,
+                           std::size_t col_begin, std::size_t col_end);
+
+/// A maximal run of equal-width batmaps in a width array.
+struct WidthRun {
+  std::size_t begin = 0;        ///< first index of the run
+  std::size_t end = 0;          ///< one past the last index
+  std::uint32_t width = 0;      ///< shared word count
+  std::size_t size() const { return end - begin; }
+};
+
+/// Decomposes `widths` into its maximal equal-width runs (width-sorted
+/// collections yield one run per distinct width). Used by diagnostics and
+/// tests to predict which tiles take the strip path.
+std::vector<WidthRun> width_runs(std::span<const std::uint32_t> widths);
+
+}  // namespace repro::batmap

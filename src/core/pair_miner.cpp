@@ -22,8 +22,8 @@ PairMinerResult PairMiner::mine(
 
   // The engine carries the host pool plus every per-tile buffer; it is
   // created first so preprocessing and the sweep share one set of workers.
-  SweepEngine engine(
-      {opt_.backend, opt_.tile, opt_.threads, opt_.collect_stats});
+  SweepEngine engine({opt_.backend, opt_.tile, opt_.threads,
+                      opt_.collect_stats, opt_.device_strip});
 
   // ---- 1. Preprocess: tidlists -> batmaps -> width sort -> pack ----
   const std::uint32_t n = db.num_items();
@@ -105,6 +105,7 @@ PairMinerResult PairMiner::mine(
     post_seconds += t_post.seconds();
   });
   res.tiles = engine.tiles_swept();
+  res.strip_tiles = engine.strip_tiles_swept();
   res.sweep_seconds = engine.sweep_seconds();
   res.postprocess_seconds = post_seconds;
   if (opt_.backend == Backend::kDevice) res.stats = engine.device_stats();

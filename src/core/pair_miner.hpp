@@ -7,8 +7,10 @@
 //      (symmetry halves the work, §III-C), executed by the shared
 //      SweepEngine (core/sweep_engine.hpp). Two backends produce
 //      bit-identical counts:
-//        * Backend::kDevice — the SIMT simulator's 16×16 shared-memory
-//          slice kernel (faithful, instrumentable),
+//        * Backend::kDevice — the SIMT simulator's shared-memory staged
+//          kernels (faithful, instrumentable): the register-blocked strip
+//          kernel on uniform-width tiles, the per-pair slice kernel on
+//          mixed widths / edges / the diagonal,
 //        * Backend::kNative — register-blocked threaded CPU loops over the
 //          same tiling, on the dispatched SIMD kernels (fast; stands in
 //          for the real GPU's wall-clock role).
@@ -41,6 +43,8 @@ struct PairMinerOptions {
   std::uint32_t tile = 256;        ///< k of the k×k tiling (paper: 2048)
   std::size_t threads = 1;         ///< host threads (native backend / device groups)
   bool collect_stats = false;      ///< device backend: run coalescing model
+  bool device_strip = true;        ///< device backend: strip kernel on
+                                   ///< eligible tiles (false: per-pair only)
   bool sort_by_width = true;       ///< ablation: disable the width sort
   bool materialize = true;         ///< build the dense PairSupports
   bool sweep = true;               ///< false: preprocess only (memory probes)
@@ -68,6 +72,7 @@ struct PairMinerResult {
   std::uint64_t batmap_bytes = 0;    ///< device words buffer size
   std::uint64_t bytes_compared = 0;  ///< words fed through SWAR × 4 (both inputs)
   std::uint64_t tiles = 0;
+  std::uint64_t strip_tiles = 0;     ///< device tiles run by the strip kernel
   double preprocess_seconds = 0;
   double sweep_seconds = 0;          ///< the paper's "pure pair generation"
   double postprocess_seconds = 0;

@@ -1,0 +1,160 @@
+// The register-blocked strip kernel for the SIMT device: the device-side
+// counterpart of the native strip sweep in SweepEngine::fill_native.
+//
+// One work-group of 16×16 threads covers a 16-row × 64-column block of
+// pairs: the 16 row batmaps of its row block against a strip of
+// kStripCols (4) column blocks of 16 batmaps each. Phases:
+//
+//   phase 2s   (load):    thread (lx,ly) stages one word of row batmap ly
+//                          and one word of each of the 4 column batmaps
+//                          {ly, ly+16, ly+32, ly+48} into shared memory —
+//                          5 coalesced loads (consecutive lx touch
+//                          consecutive words of the same map).
+//   phase 2s+1 (compare): thread (lx,ly) owns the 4 pairs
+//                          (row ly, col j·16+lx), j ∈ [0,4): each staged
+//                          row word is read from shared ONCE and compared
+//                          against all 4 column words before moving on —
+//                          the same register blocking as the native strip
+//                          kernel (batmap/simd.hpp match_count_strip).
+//   last phase (store):   thread (lx,ly) writes its 4 pair counts,
+//                          coalesced along lx.
+//
+// Why it beats the per-pair TileKernel: a load phase stages 16 row maps for
+// 64 columns' worth of pairs, so the row block is fetched from global memory
+// once per 1024 pairs instead of once per 256. Per slice a group issues
+// 5·256 = 1280 loads (80 transactions, 64B-aligned) for 1024 pairs, where
+// four per-pair groups covering the same block issue 2048 loads (128
+// transactions) — 1.25 vs 2 loads/pair, measured by the coalescing model in
+// perf_model_test.
+//
+// Shared-memory budget (GTX 285: 16 KiB per group):
+//   a[16][16] + b[64][16] + acc[16][64] = (256 + 1024 + 1024)·4 B = 9 KiB.
+//
+// Correctness is width-agnostic (wrapped fetch + per-pair width
+// predication, exactly as TileKernel), but the SweepEngine only dispatches
+// it on tiles that pass batmap::strip_tile_compatible — uniform column
+// width the row widths tile — mirroring the native fallback rules; mixed
+// widths would degrade the staging win, not the counts.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "batmap/swar.hpp"
+#include "core/tile_kernel.hpp"
+#include "simt/device.hpp"
+
+namespace repro::core {
+
+class StripTileKernel {
+ public:
+  static constexpr std::uint32_t kDim = 16;       ///< work-group edge
+  static constexpr std::uint32_t kSlice = 16;     ///< words per slice
+  static constexpr std::uint32_t kStripCols = 4;  ///< column blocks per group
+  /// Columns of pairs one group covers (the strip span).
+  static constexpr std::uint32_t kSpanCols = kDim * kStripCols;
+
+  struct Shared {
+    std::uint32_t a[kDim][kSlice];       ///< row-batmap slice words
+    std::uint32_t b[kSpanCols][kSlice];  ///< 4 column blocks' slice words
+    std::uint32_t acc[kDim][kSpanCols];  ///< per-pair running match counts
+  };
+  static_assert(sizeof(Shared) <= simt::kSharedMemBytes,
+                "strip kernel exceeds the 16 KiB GTX 285 budget");
+
+  /// Same contract as TileKernel, except the group grid must be launched as
+  /// {cols_pad / kStripCols, rows_pad} global over {kDim, kDim} local, i.e.
+  /// one group per 16×64 pair block (cols_pad must divide by kSpanCols).
+  StripTileKernel(const simt::Buffer<std::uint32_t>& words,
+                  const simt::Buffer<std::uint64_t>& offsets,
+                  const simt::Buffer<std::uint32_t>& widths,
+                  std::uint32_t row_base, std::uint32_t col_base,
+                  simt::Buffer<std::uint32_t>& out, std::uint32_t out_pitch)
+      : maps_{words, offsets, widths},
+        row_base_(row_base),
+        col_base_(col_base),
+        out_(&out),
+        out_pitch_(out_pitch) {}
+
+  int phases(const simt::GroupInfo& g) const {
+    // Slices cover the widest batmap touched by this group (same rule as
+    // TileKernel, over the wider 16×64 group footprint).
+    const std::uint32_t maxw =
+        maps_.max_width(row_base_ + g.group_id.y * kDim, kDim,
+                        col_base_ + g.group_id.x * kSpanCols, kSpanCols);
+    const std::uint32_t slices = (maxw + kSlice - 1) / kSlice;
+    return static_cast<int>(2 * slices + 1);
+  }
+
+  void run(int phase, simt::ItemCtx& ctx, Shared& sh) const {
+    const std::uint32_t lx = ctx.local_id().x;
+    const std::uint32_t ly = ctx.local_id().y;
+    const std::uint32_t gx = ctx.group_id().x;
+    const std::uint32_t gy = ctx.group_id().y;
+    // Tile-local coordinates of this thread's row and first column.
+    const std::uint32_t tile_row = gy * kDim + ly;
+    const std::uint32_t tile_col0 = gx * kSpanCols + lx;
+
+    if (phase == ctx.phase_count() - 1) {
+      // Store phase: 4 writes per thread, coalesced along lx per block.
+      ctx.shared_access(kStripCols);  // acc reads
+      for (std::uint32_t j = 0; j < kStripCols; ++j) {
+        const std::uint64_t idx =
+            static_cast<std::uint64_t>(tile_row) * out_pitch_ + tile_col0 +
+            j * kDim;
+        ctx.store(*out_, idx, sh.acc[ly][lx + j * kDim]);
+      }
+      return;
+    }
+
+    const auto slice = static_cast<std::uint32_t>(phase / 2);
+    const std::uint32_t w = slice * kSlice + lx;
+    if (phase % 2 == 0) {
+      // Load phase: one row word plus one word of each column block, all
+      // wrapped into their map's own width.
+      const std::uint32_t row_map = row_base_ + gy * kDim + ly;
+      sh.a[ly][lx] = maps_.fetch(ctx, row_map, w);
+      for (std::uint32_t j = 0; j < kStripCols; ++j) {
+        const std::uint32_t col_map =
+            col_base_ + gx * kSpanCols + j * kDim + ly;
+        sh.b[j * kDim + ly][lx] = maps_.fetch(ctx, col_map, w);
+      }
+      ctx.shared_access(1 + kStripCols);  // shared writes
+      return;
+    }
+
+    // Compare phase: 4 pairs per thread, the row slice word read once per k.
+    const std::uint32_t row = row_base_ + gy * kDim + ly;
+    const std::uint32_t wr = maps_.width(row);
+    std::uint32_t pair_w[kStripCols];
+    std::uint32_t acc[kStripCols];
+    for (std::uint32_t j = 0; j < kStripCols; ++j) {
+      const std::uint32_t col = col_base_ + gx * kSpanCols + j * kDim + lx;
+      pair_w[j] = std::max(wr, maps_.width(col));
+      acc[j] = sh.acc[ly][lx + j * kDim];
+    }
+    for (std::uint32_t k = 0; k < kSlice; ++k) {
+      const std::uint32_t av = sh.a[ly][k];  // one shared read, 4 pairs
+      const std::uint32_t wk = slice * kSlice + k;
+      for (std::uint32_t j = 0; j < kStripCols; ++j) {
+        const std::uint32_t match =
+            batmap::swar_match_count(av, sh.b[j * kDim + lx][k]);
+        acc[j] += match * (wk < pair_w[j] ? 1u : 0u);
+      }
+    }
+    for (std::uint32_t j = 0; j < kStripCols; ++j) {
+      sh.acc[ly][lx + j * kDim] = acc[j];
+    }
+    // kSlice row reads + kSlice·kStripCols column reads + acc r/w.
+    ctx.shared_access(kSlice + kSlice * kStripCols + 2 * kStripCols);
+  }
+
+ private:
+  DeviceMapsRef maps_;
+  std::uint32_t row_base_;
+  std::uint32_t col_base_;
+  simt::Buffer<std::uint32_t>* out_;
+  std::uint32_t out_pitch_;
+};
+
+}  // namespace repro::core

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
 #include "batmap/simd.hpp"
+#include "batmap/strip.hpp"
+#include "core/strip_kernel.hpp"
 #include "core/tile_kernel.hpp"
 
 namespace repro::core {
@@ -63,6 +66,7 @@ SweepEngine::~SweepEngine() = default;
 void SweepEngine::bind(const PackedMaps& sm) {
   sm_ = &sm;
   tiles_ = 0;
+  strip_tiles_ = 0;
   sweep_seconds_ = 0;
   if (opt_.backend == Backend::kDevice) {
     // One transfer of all batmaps to the device, as in the paper; the
@@ -98,7 +102,7 @@ SweepEngine::TileView SweepEngine::fill_tile(std::uint32_t p, std::uint32_t q,
   Timer t;
   counts_.assign(static_cast<std::size_t>(rows_pad) * cols_pad, 0u);
   if (opt_.backend == Backend::kDevice) {
-    fill_device(row0, col0, rows_pad, cols_pad);
+    fill_device(row0, col0, rows_pad, cols_pad, diagonal);
   } else {
     fill_native(row0, col0, rows_real, cols_real, cols_pad, diagonal);
   }
@@ -133,30 +137,26 @@ void SweepEngine::fill_native(std::uint32_t row0, std::uint32_t col0,
         // least as wide as the row (the usual case under the width sort).
         // One pass loads each row vector once and compares it against all
         // strip columns; the row tiles wider columns cyclically, base by
-        // base. Layout widths are 3·2^j, so wr always divides wc.
-        if (lc + simd::kStripCols <= cols_real) {
+        // base. Eligibility is the shared rule the device strip kernel also
+        // dispatches on (batmap/strip.hpp).
+        if (lc + simd::kStripCols <= cols_real &&
+            batmap::strip_compatible(sm.widths, wr, sc, simd::kStripCols)) {
           const std::uint32_t wc = sm.widths[sc];
-          bool stripable = wc >= wr && wc % wr == 0;
-          for (std::size_t j = 1; stripable && j < simd::kStripCols; ++j) {
-            stripable = sm.widths[sc + j] == wc;
+          std::uint64_t acc[simd::kStripCols] = {};
+          const std::uint32_t* cw[simd::kStripCols];
+          for (std::size_t j = 0; j < simd::kStripCols; ++j) {
+            cw[j] = words + sm.offsets[sc + j];
           }
-          if (stripable) {
-            std::uint64_t acc[simd::kStripCols] = {};
-            const std::uint32_t* cw[simd::kStripCols];
-            for (std::size_t j = 0; j < simd::kStripCols; ++j) {
-              cw[j] = words + sm.offsets[sc + j];
-            }
-            for (std::uint32_t base = 0; base < wc; base += wr) {
-              const std::uint32_t* cb[simd::kStripCols] = {
-                  cw[0] + base, cw[1] + base, cw[2] + base, cw[3] + base};
-              simd::match_count_strip(row_words, wr, cb, acc);
-            }
-            for (std::size_t j = 0; j < simd::kStripCols; ++j) {
-              out_row[lc + j] = static_cast<std::uint32_t>(acc[j]);
-            }
-            lc += simd::kStripCols;
-            continue;
+          for (std::uint32_t base = 0; base < wc; base += wr) {
+            const std::uint32_t* cb[simd::kStripCols] = {
+                cw[0] + base, cw[1] + base, cw[2] + base, cw[3] + base};
+            simd::match_count_strip(row_words, wr, cb, acc);
           }
+          for (std::size_t j = 0; j < simd::kStripCols; ++j) {
+            out_row[lc + j] = static_cast<std::uint32_t>(acc[j]);
+          }
+          lc += simd::kStripCols;
+          continue;
         }
         // Fallback: one pair via the dispatched cyclic kernel.
         const std::uint32_t wc = sm.widths[sc];
@@ -170,13 +170,47 @@ void SweepEngine::fill_native(std::uint32_t row0, std::uint32_t col0,
   });
 }
 
+bool SweepEngine::device_strip_eligible(std::uint32_t row0,
+                                        std::uint32_t rows_pad,
+                                        std::uint32_t col0,
+                                        std::uint32_t cols_pad,
+                                        bool diagonal) const {
+  // Mirrors the native fallback rules: diagonal tiles sweep ragged
+  // triangles, edge tiles may not fill a whole strip span, and mixed widths
+  // defeat the staging win. Eligibility itself is the shared predicate.
+  if (!opt_.device_strip || diagonal) return false;
+  if (cols_pad % StripTileKernel::kSpanCols != 0) return false;
+  return batmap::strip_tile_compatible(sm_->widths, row0, row0 + rows_pad,
+                                       col0, col0 + cols_pad);
+}
+
+void SweepEngine::check_rect_region(std::uint32_t row_begin,
+                                    std::uint32_t col_begin) const {
+  if (opt_.backend != Backend::kDevice) return;
+  REPRO_CHECK_MSG(
+      row_begin % 16 == 0 && col_begin % 16 == 0,
+      "device rect sweep requires 16-aligned region origins, got rows at " +
+          std::to_string(row_begin) + ", cols at " + std::to_string(col_begin));
+}
+
 void SweepEngine::fill_device(std::uint32_t row0, std::uint32_t col0,
-                              std::uint32_t rows_pad,
-                              std::uint32_t cols_pad) {
-  TileKernel kernel(dev_words_, dev_offsets_, dev_widths_, row0, col0,
-                    dev_out_, cols_pad);
-  device_->launch({{cols_pad, rows_pad}, {TileKernel::kDim, TileKernel::kDim}},
-                  kernel);
+                              std::uint32_t rows_pad, std::uint32_t cols_pad,
+                              bool diagonal) {
+  if (device_strip_eligible(row0, rows_pad, col0, cols_pad, diagonal)) {
+    StripTileKernel kernel(dev_words_, dev_offsets_, dev_widths_, row0, col0,
+                           dev_out_, cols_pad);
+    // One group per 16×kSpanCols pair block: global.x counts kStripCols
+    // pairs per work-item.
+    device_->launch({{cols_pad / StripTileKernel::kStripCols, rows_pad},
+                     {StripTileKernel::kDim, StripTileKernel::kDim}},
+                    kernel);
+    ++strip_tiles_;
+  } else {
+    TileKernel kernel(dev_words_, dev_offsets_, dev_widths_, row0, col0,
+                      dev_out_, cols_pad);
+    device_->launch(
+        {{cols_pad, rows_pad}, {TileKernel::kDim, TileKernel::kDim}}, kernel);
+  }
   std::copy_n(dev_out_.view().begin(),
               static_cast<std::size_t>(rows_pad) * cols_pad, counts_.begin());
 }

@@ -12,9 +12,15 @@
 //     are read once per strip instead of once per pair. Pairs that don't
 //     fit a strip (mixed widths, tile edges, the diagonal) fall back to the
 //     dispatched cyclic kernel.
-//   * Backend::kDevice — the SIMT simulator's 16×16 shared-memory staged
-//     kernel (core/tile_kernel.hpp), instrumentable with the coalescing
-//     model.
+//   * Backend::kDevice — the SIMT simulator's shared-memory staged kernels
+//     (instrumentable with the coalescing model). Uniform-width tiles run
+//     the register-blocked strip kernel (core/strip_kernel.hpp: one 16-row
+//     slice staged per phase, intersected against a strip of
+//     StripTileKernel::kStripCols column blocks); mixed widths, ragged tile
+//     edges, and diagonal tiles fall back to the per-pair kernel
+//     (core/tile_kernel.hpp) — the same fallback rules as the native strip
+//     path, decided by the shared batmap::strip_* predicates so the two
+//     backends agree by construction.
 //
 // Tile consumption is a templated visitor: consume(TileView&) inlines into
 // the sweep loop — no std::function per pair.
@@ -62,6 +68,9 @@ class SweepEngine {
     std::uint32_t tile = 256;    ///< k of the k×k tiling (multiple of 16)
     std::size_t threads = 1;     ///< host threads (native) / device groups
     bool collect_stats = false;  ///< device backend: run coalescing model
+    /// Device backend: dispatch the strip kernel on eligible tiles. false
+    /// forces the per-pair kernel everywhere (ablations / stats baselines).
+    bool device_strip = true;
   };
 
   /// One finished tile of raw (unpatched) counts. Valid only inside the
@@ -121,16 +130,16 @@ class SweepEngine {
 
   /// Sweeps the rectangle rows [row_begin,row_end) × cols [col_begin,
   /// col_end) in sorted-index space (boolean matmul: row sets × column
-  /// sets). Device backend requires 16-aligned region origins.
+  /// sets). The device backend requires 16-aligned region origins (the
+  /// kernels address whole 16-map blocks); violations throw CheckError
+  /// before any tile is swept.
   template <typename Consume>
   void sweep_rect(std::uint32_t row_begin, std::uint32_t row_end,
                   std::uint32_t col_begin, std::uint32_t col_end,
                   Consume&& consume) {
     REPRO_CHECK_MSG(sm_ != nullptr, "bind() before sweep");
     REPRO_CHECK(row_end <= sm_->n && col_end <= sm_->n);
-    REPRO_CHECK_MSG(opt_.backend == Backend::kNative ||
-                        (row_begin % 16 == 0 && col_begin % 16 == 0),
-                    "device rect sweep needs 16-aligned region origins");
+    check_rect_region(row_begin, col_begin);
     const std::uint32_t k = opt_.tile;
     const auto pt = static_cast<std::uint32_t>(
         row_end > row_begin ? bits::ceil_div(row_end - row_begin, k) : 0);
@@ -147,6 +156,8 @@ class SweepEngine {
 
   double sweep_seconds() const { return sweep_seconds_; }
   std::uint64_t tiles_swept() const { return tiles_; }
+  /// Device backend: tiles that took the strip kernel (0 on native).
+  std::uint64_t strip_tiles_swept() const { return strip_tiles_; }
   const simt::MemStats& device_stats() const;
 
  private:
@@ -158,7 +169,18 @@ class SweepEngine {
                    std::uint32_t rows_real, std::uint32_t cols_real,
                    std::uint32_t pitch, bool diagonal);
   void fill_device(std::uint32_t row0, std::uint32_t col0,
-                   std::uint32_t rows_pad, std::uint32_t cols_pad);
+                   std::uint32_t rows_pad, std::uint32_t cols_pad,
+                   bool diagonal);
+  /// True iff the tile passes the shared strip-eligibility rules for the
+  /// device strip kernel (uniform-width column block every row width tiles,
+  /// full strip span, not diagonal).
+  bool device_strip_eligible(std::uint32_t row0, std::uint32_t rows_pad,
+                             std::uint32_t col0, std::uint32_t cols_pad,
+                             bool diagonal) const;
+  /// Device rect sweeps address whole 16-map blocks; throws CheckError on
+  /// misaligned origins (native accepts any origin).
+  void check_rect_region(std::uint32_t row_begin,
+                         std::uint32_t col_begin) const;
 
   Options opt_;
   ThreadPool pool_;
@@ -173,6 +195,7 @@ class SweepEngine {
 
   double sweep_seconds_ = 0;
   std::uint64_t tiles_ = 0;
+  std::uint64_t strip_tiles_ = 0;
 };
 
 }  // namespace repro::core

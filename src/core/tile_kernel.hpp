@@ -17,14 +17,56 @@
 //
 // Batmap widths are 3·2^j words, so a slice index taken mod W realizes the
 // cyclic wrap that aligns batmaps of different sizes (see batmap/layout.hpp).
+//
+// This is the per-pair kernel: every pair costs one row load and one column
+// load per slice. The register-blocked strip variant that amortizes row
+// loads over kStripCols column blocks lives in core/strip_kernel.hpp; the
+// SweepEngine picks between them per tile (see sweep_engine.hpp).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "batmap/swar.hpp"
 #include "simt/device.hpp"
 
 namespace repro::core {
+
+/// Device-resident packed batmap collection (the three buffers uploaded by
+/// SweepEngine::bind), with the wrapped-fetch addressing both tile kernels
+/// share. `offsets`/`widths` are indexed by *sorted* batmap index.
+struct DeviceMapsRef {
+  const simt::Buffer<std::uint32_t>& words;
+  const simt::Buffer<std::uint64_t>& offsets;
+  const simt::Buffer<std::uint32_t>& widths;
+
+  std::uint32_t width(std::uint32_t sorted_idx) const {
+    return widths[sorted_idx];
+  }
+
+  /// Word w of batmap `map`, wrapped into the map's own width — the cyclic
+  /// alignment of layout.hpp. Instrumented as one global load.
+  std::uint32_t fetch(simt::ItemCtx& ctx, std::uint32_t map,
+                      std::uint32_t w) const {
+    const std::uint32_t ww = w % widths[map];
+    return ctx.load(words, offsets[map] + ww);
+  }
+
+  /// Widest batmap among rows [row_base, row_base+nrows) and columns
+  /// [col_base, col_base+ncols) — sets the slice count of a group, for both
+  /// the per-pair (16×16) and strip (16×64) group shapes.
+  std::uint32_t max_width(std::uint32_t row_base, std::uint32_t nrows,
+                          std::uint32_t col_base, std::uint32_t ncols) const {
+    std::uint32_t maxw = 1;
+    for (std::uint32_t i = 0; i < nrows; ++i) {
+      maxw = std::max(maxw, widths[row_base + i]);
+    }
+    for (std::uint32_t i = 0; i < ncols; ++i) {
+      maxw = std::max(maxw, widths[col_base + i]);
+    }
+    return maxw;
+  }
+};
 
 class TileKernel {
  public:
@@ -38,18 +80,15 @@ class TileKernel {
   };
   static_assert(sizeof(Shared) <= simt::kSharedMemBytes);
 
-  /// `offsets`/`widths` are indexed by *sorted* batmap index; `row_base` and
-  /// `col_base` are the first sorted indices of this tile's row/column block;
-  /// `out` receives tile-local counts, row-major [row][col] with pitch
-  /// `out_pitch`.
+  /// `row_base` and `col_base` are the first sorted indices of this tile's
+  /// row/column block; `out` receives tile-local counts, row-major
+  /// [row][col] with pitch `out_pitch`.
   TileKernel(const simt::Buffer<std::uint32_t>& words,
              const simt::Buffer<std::uint64_t>& offsets,
              const simt::Buffer<std::uint32_t>& widths,
              std::uint32_t row_base, std::uint32_t col_base,
              simt::Buffer<std::uint32_t>& out, std::uint32_t out_pitch)
-      : words_(words),
-        offsets_(offsets),
-        widths_(widths),
+      : maps_{words, offsets, widths},
         row_base_(row_base),
         col_base_(col_base),
         out_(&out),
@@ -57,7 +96,9 @@ class TileKernel {
 
   int phases(const simt::GroupInfo& g) const {
     // Slices cover the widest batmap touched by this group.
-    const std::uint32_t maxw = group_max_width(g);
+    const std::uint32_t maxw =
+        maps_.max_width(row_base_ + g.group_id.y * kDim, kDim,
+                        col_base_ + g.group_id.x * kDim, kDim);
     const std::uint32_t slices = (maxw + kSlice - 1) / kSlice;
     return static_cast<int>(2 * slices + 1);
   }
@@ -67,13 +108,13 @@ class TileKernel {
     const std::uint32_t ly = ctx.local_id().y;
     const std::uint32_t row = row_base_ + ctx.global_y();
     const std::uint32_t col = col_base_ + ctx.global_x();
-    const int total = phases(simt::GroupInfo{ctx.group_id(), {}, ctx.local_size()});
 
-    if (phase == total - 1) {
+    if (phase == ctx.phase_count() - 1) {
       // Store phase: one write per pair, coalesced along lx.
       const std::uint64_t idx =
           static_cast<std::uint64_t>(ctx.global_y()) * out_pitch_ +
           ctx.global_x();
+      ctx.shared_access(1);  // read acc
       ctx.store(*out_, idx, sh.acc[ly][lx]);
       return;
     }
@@ -88,14 +129,15 @@ class TileKernel {
       const std::uint32_t col_map =
           col_base_ + ctx.group_id().x * kDim + ly;
       const std::uint32_t w = slice * kSlice + lx;
-      sh.a[ly][lx] = fetch(ctx, row_map, w);
-      sh.b[ly][lx] = fetch(ctx, col_map, w);
+      sh.a[ly][lx] = maps_.fetch(ctx, row_map, w);
+      sh.b[ly][lx] = maps_.fetch(ctx, col_map, w);
+      ctx.shared_access(2);  // two shared writes
       return;
     }
 
     // Compare phase: pair (row, col), predicated on the pair's true width.
     const std::uint32_t pair_w =
-        std::max(width(row), width(col));
+        std::max(maps_.width(row), maps_.width(col));
     std::uint32_t acc = sh.acc[ly][lx];
     for (std::uint32_t k = 0; k < kSlice; ++k) {
       const std::uint32_t w = slice * kSlice + k;
@@ -105,31 +147,12 @@ class TileKernel {
       acc += match * (w < pair_w ? 1u : 0u);
     }
     sh.acc[ly][lx] = acc;
+    // 2·kSlice slice-word reads plus the accumulator read-modify-write.
+    ctx.shared_access(2 * kSlice + 2);
   }
 
  private:
-  std::uint32_t width(std::uint32_t sorted_idx) const {
-    return widths_[sorted_idx];
-  }
-
-  std::uint32_t fetch(simt::ItemCtx& ctx, std::uint32_t map,
-                      std::uint32_t w) const {
-    const std::uint32_t ww = w % widths_[map];
-    return ctx.load(words_, offsets_[map] + ww);
-  }
-
-  std::uint32_t group_max_width(const simt::GroupInfo& g) const {
-    std::uint32_t maxw = 1;
-    for (std::uint32_t i = 0; i < kDim; ++i) {
-      maxw = std::max(maxw, widths_[row_base_ + g.group_id.y * kDim + i]);
-      maxw = std::max(maxw, widths_[col_base_ + g.group_id.x * kDim + i]);
-    }
-    return maxw;
-  }
-
-  const simt::Buffer<std::uint32_t>& words_;
-  const simt::Buffer<std::uint64_t>& offsets_;
-  const simt::Buffer<std::uint32_t>& widths_;
+  DeviceMapsRef maps_;
   std::uint32_t row_base_;
   std::uint32_t col_base_;
   simt::Buffer<std::uint32_t>* out_;

@@ -3,15 +3,49 @@
 // A Buffer<T> models a region of GPU global memory: host code fills it before
 // a launch ("transfer"), kernels read/write it through ItemCtx so accesses
 // can be counted by the coalescing model.
+//
+// Storage is aligned to the coalescing segment size (64 B), matching real
+// device allocators (cudaMalloc/clCreateBuffer return segment-aligned
+// regions). This also makes the transaction counts of mem_stats.hpp
+// deterministic — a half-warp reading 16 consecutive words from a 64B-aligned
+// base is exactly one transaction, never two — so tests can pin them.
 #pragma once
 
 #include <cstdint>
+#include <new>
 #include <span>
 #include <vector>
 
+#include "simt/mem_stats.hpp"
 #include "util/check.hpp"
 
 namespace repro::simt {
+
+namespace detail {
+
+/// Minimal allocator handing out kSegmentBytes-aligned storage.
+template <typename T>
+struct SegmentAlignedAlloc {
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{kSegmentBytes};
+
+  SegmentAlignedAlloc() = default;
+  template <typename U>
+  SegmentAlignedAlloc(const SegmentAlignedAlloc<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), kAlign);
+  }
+  template <typename U>
+  bool operator==(const SegmentAlignedAlloc<U>&) const {
+    return true;
+  }
+};
+
+}  // namespace detail
 
 template <typename T>
 class Buffer {
@@ -44,7 +78,7 @@ class Buffer {
   std::span<T> mutable_view() { return data_; }
 
  private:
-  std::vector<T> data_;
+  std::vector<T, detail::SegmentAlignedAlloc<T>> data_;
 };
 
 }  // namespace repro::simt

@@ -43,6 +43,7 @@ void Device::fold_phase(std::vector<AccessLog>& logs, MemStats& stats) const {
   for (const AccessLog& l : logs) {
     stats.global_loads += l.load_addrs.size();
     stats.global_stores += l.store_addrs.size();
+    stats.shared_ops += l.shared_ops;
     for (const auto sz : l.load_sizes) stats.load_bytes += sz;
     for (const auto sz : l.store_sizes) stats.store_bytes += sz;
   }

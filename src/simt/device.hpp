@@ -60,8 +60,13 @@ struct GroupInfo {
 /// Per-work-item context handed to Kernel::run.
 class ItemCtx {
  public:
-  ItemCtx(const GroupInfo& g, Dim2 local_id, AccessLog* log)
-      : group_(g), local_(local_id), log_(log) {}
+  ItemCtx(const GroupInfo& g, Dim2 local_id, int phase_count, AccessLog* log)
+      : group_(g), local_(local_id), phase_count_(phase_count), log_(log) {}
+
+  /// Total phases of this group's launch (the device already evaluated
+  /// Kernel::phases once per group; kernels detect their final phase with
+  /// this instead of rescanning widths per item).
+  int phase_count() const { return phase_count_; }
 
   Dim2 local_id() const { return local_; }
   Dim2 group_id() const { return group_.group_id; }
@@ -98,11 +103,21 @@ class ItemCtx {
     b[i] = v;
   }
 
+  /// Counts `n` shared-memory accesses (reads or writes of the kernel's
+  /// Shared struct) for the stats model. Shared traffic is not replayed
+  /// through the coalescing model — on the GTX 285 shared memory has no
+  /// transaction granularity — but the tally shows how much global traffic
+  /// a staged kernel converted into on-chip accesses.
+  void shared_access(std::size_t n = 1) {
+    if (log_) log_->shared_ops += n;
+  }
+
   bool stats_enabled() const { return log_ != nullptr; }
 
  private:
   const GroupInfo& group_;
   Dim2 local_;
+  int phase_count_;
   AccessLog* log_;
 };
 
@@ -152,7 +167,7 @@ class Device {
         for (std::uint32_t lx = 0; lx < info.local_size.x; ++lx) {
           const std::uint32_t lin = ly * info.local_size.x + lx;
           AccessLog* log = collect_stats_ ? &logs[lin] : nullptr;
-          ItemCtx ctx(info, Dim2{lx, ly}, log);
+          ItemCtx ctx(info, Dim2{lx, ly}, phases, log);
           kernel.run(phase, ctx, shared);
         }
       }

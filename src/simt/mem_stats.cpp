@@ -34,6 +34,7 @@ void AccessLog::clear() {
   load_sizes.clear();
   store_addrs.clear();
   store_sizes.clear();
+  shared_ops = 0;
 }
 
 namespace {

@@ -30,6 +30,15 @@ struct MemStats {
 
   void accumulate(const MemStats& o);
 
+  /// Global-memory transactions (loads + stores) amortized over `pairs`
+  /// batmap comparisons — the figure of merit for the tile kernels: shared
+  /// staging exists to shrink this.
+  double transactions_per_pair(std::uint64_t pairs) const {
+    if (pairs == 0) return 0.0;
+    return static_cast<double>(load_transactions + store_transactions) /
+           static_cast<double>(pairs);
+  }
+
   /// Transactions if every access cost its own transaction (uncoalesced).
   std::uint64_t worst_case_transactions() const {
     return global_loads + global_stores;
@@ -45,6 +54,7 @@ struct AccessLog {
   std::vector<std::uint32_t> load_sizes;
   std::vector<std::uint64_t> store_addrs;
   std::vector<std::uint32_t> store_sizes;
+  std::uint64_t shared_ops = 0;  ///< shared-memory accesses this phase
   void clear();
 };
 

@@ -1,0 +1,253 @@
+// Cross-backend differential harness: the native sweep (under every
+// dispatched REPRO_KERNEL tier) and the SIMT device sweep (strip kernel and
+// per-pair kernel) must produce bit-identical counts on randomized
+// workloads — seeds × densities × tile shapes, triangular and rect sweeps,
+// with and without forced cuckoo insertion failures.
+//
+// This is the contract the repo's three-kernel-tiers × two-backends matrix
+// rests on; diff-smoke (see CMakeLists) runs exactly this binary, also under
+// the asan-ubsan preset.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "batmap/builder.hpp"
+#include "batmap/intersect.hpp"
+#include "batmap/simd.hpp"
+#include "core/pair_miner.hpp"
+#include "core/sweep_engine.hpp"
+#include "mining/datagen.hpp"
+#include "util/rng.hpp"
+
+namespace repro {
+namespace {
+
+using core::Backend;
+using core::PackedMaps;
+using core::SweepEngine;
+
+class BackendDiffTest : public ::testing::Test {
+ protected:
+  void TearDown() override { batmap::simd::clear_forced_tier(); }
+};
+
+mining::TransactionDb make_db(std::uint64_t seed, double density,
+                              std::uint32_t items, std::uint64_t total) {
+  mining::BernoulliSpec spec;
+  spec.num_items = items;
+  spec.density = density;
+  spec.total_items = total;
+  spec.seed = seed;
+  return mining::bernoulli_instance(spec);
+}
+
+/// Mines with the given backend/tile and returns the materialized supports.
+core::PairMinerResult mine(const mining::TransactionDb& db, Backend backend,
+                           std::uint32_t tile, bool device_strip = true,
+                           int max_loop = 128) {
+  core::PairMinerOptions opt;
+  opt.backend = backend;
+  opt.tile = tile;
+  opt.device_strip = device_strip;
+  opt.builder.max_loop = max_loop;
+  return core::PairMiner(opt).mine(db);
+}
+
+TEST_F(BackendDiffTest, TriangularSweepAllTiersAllBackends) {
+  for (const std::uint64_t seed : {1ull, 77ull}) {
+    for (const double density : {0.03, 0.15}) {
+      for (const std::uint32_t tile : {16u, 48u, 256u}) {
+        const auto db = make_db(seed, density, /*items=*/40, /*total=*/3000);
+        const std::string label = "seed=" + std::to_string(seed) +
+                                  " density=" + std::to_string(density) +
+                                  " tile=" + std::to_string(tile);
+
+        const auto reference = mine(db, Backend::kNative, tile);
+        ASSERT_TRUE(reference.supports) << label;
+
+        // Native, every dispatched SIMD tier.
+        for (const auto tier : batmap::simd::supported_tiers()) {
+          batmap::simd::force_tier(tier);
+          const auto r = mine(db, Backend::kNative, tile);
+          ASSERT_TRUE(r.supports);
+          EXPECT_TRUE(*r.supports == *reference.supports)
+              << label << " tier=" << batmap::simd::tier_name(tier);
+          EXPECT_EQ(r.total_support, reference.total_support);
+        }
+        batmap::simd::clear_forced_tier();
+
+        // Device, strip dispatch on and forced off.
+        for (const bool strip : {true, false}) {
+          const auto d = mine(db, Backend::kDevice, tile, strip);
+          ASSERT_TRUE(d.supports);
+          EXPECT_TRUE(*d.supports == *reference.supports)
+              << label << " device strip=" << strip;
+          EXPECT_EQ(d.total_support, reference.total_support);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(BackendDiffTest, UniformWidthsTakeTheStripPathAndMatch) {
+  // Every item with exactly the same support ⇒ one batmap width everywhere
+  // ⇒ all non-diagonal device tiles are strip-eligible. Transaction t holds
+  // the 12 items {t, t+1, ..., t+11} mod 128, so over 384 transactions each
+  // item appears exactly 36 times.
+  mining::TransactionDb db(128);
+  for (std::uint32_t t = 0; t < 384; ++t) {
+    std::vector<mining::Item> txn;
+    for (std::uint32_t k = 0; k < 12; ++k) {
+      txn.push_back((t + k) % 128);
+    }
+    std::sort(txn.begin(), txn.end());
+    db.add_transaction(std::move(txn));
+  }
+  const auto native = mine(db, Backend::kNative, /*tile=*/64);
+  const auto device = mine(db, Backend::kDevice, /*tile=*/64);
+  ASSERT_TRUE(native.supports && device.supports);
+  EXPECT_TRUE(*native.supports == *device.supports);
+  // 128 maps / 64-tile ⇒ 2×2 tile grid: the off-diagonal tile strips, the
+  // two diagonal tiles fall back.
+  EXPECT_GT(device.strip_tiles, 0u) << "strip kernel never dispatched";
+  EXPECT_LT(device.strip_tiles, device.tiles);
+  EXPECT_EQ(native.strip_tiles, 0u);
+}
+
+TEST_F(BackendDiffTest, ForcedFailuresArePatchedIdenticallyAcrossBackends) {
+  // max_loop=1 makes cuckoo walks give up almost immediately, flooding the
+  // failure-patch path (paper §III-C) on both backends.
+  const auto db = make_db(/*seed=*/5, /*density=*/0.2, /*items=*/32,
+                          /*total=*/2500);
+  const auto native =
+      mine(db, Backend::kNative, /*tile=*/16, true, /*max_loop=*/1);
+  const auto device =
+      mine(db, Backend::kDevice, /*tile=*/16, true, /*max_loop=*/1);
+  ASSERT_GT(native.failures, 0u) << "workload did not force any failures";
+  EXPECT_EQ(native.failures, device.failures);
+  ASSERT_TRUE(native.supports && device.supports);
+  EXPECT_TRUE(*native.supports == *device.supports);
+  EXPECT_EQ(native.total_support, device.total_support);
+}
+
+/// Sweeps rows × cols of `sm` with both backends over the same rect region
+/// and returns each backend's flattened counts.
+std::vector<std::uint32_t> rect_counts(const PackedMaps& sm, Backend backend,
+                                       std::uint32_t tile, std::uint32_t rb,
+                                       std::uint32_t re, std::uint32_t cb,
+                                       std::uint32_t ce,
+                                       std::uint64_t* strip_tiles = nullptr) {
+  SweepEngine engine({backend, tile, /*threads=*/1, /*collect_stats=*/false});
+  engine.bind(sm);
+  std::vector<std::uint32_t> flat;
+  engine.sweep_rect(rb, re, cb, ce, [&](SweepEngine::TileView& tv) {
+    tv.for_each_pair([&](std::uint32_t i, std::uint32_t j, std::uint32_t c) {
+      flat.push_back(i);
+      flat.push_back(j);
+      flat.push_back(c);
+    });
+  });
+  if (strip_tiles) *strip_tiles = engine.strip_tiles_swept();
+  return flat;
+}
+
+TEST_F(BackendDiffTest, RectSweepMatchesAcrossBackendsMixedWidths) {
+  const batmap::BatmapContext ctx(4096, 11);
+  Xoshiro256 rng(9);
+  std::vector<batmap::Batmap> maps;
+  for (int i = 0; i < 96; ++i) {
+    std::set<std::uint64_t> s;
+    const std::size_t size = 4 + rng.below(300);  // wide width mix
+    while (s.size() < size) s.insert(rng.below(4096));
+    std::vector<std::uint64_t> v(s.begin(), s.end());
+    maps.push_back(batmap::build_batmap(ctx, v));
+  }
+  for (const bool sort_by_width : {false, true}) {
+    const PackedMaps sm = core::pack_sorted_maps(maps, sort_by_width);
+    for (const std::uint32_t tile : {16u, 64u}) {
+      // A few 16-aligned regions, including ragged (non-multiple) ends.
+      const std::uint32_t regions[][4] = {
+          {0, 96, 0, 96}, {16, 80, 32, 96}, {0, 40, 48, 90}};
+      for (const auto& r : regions) {
+        const auto n = rect_counts(sm, Backend::kNative, tile, r[0], r[1],
+                                   r[2], r[3]);
+        const auto d = rect_counts(sm, Backend::kDevice, tile, r[0], r[1],
+                                   r[2], r[3]);
+        EXPECT_EQ(n, d) << "sort=" << sort_by_width << " tile=" << tile
+                        << " region rows [" << r[0] << ',' << r[1]
+                        << ") cols [" << r[2] << ',' << r[3] << ')';
+      }
+    }
+  }
+}
+
+TEST_F(BackendDiffTest, RectSweepUniformWidthsStripPathMatches) {
+  const batmap::BatmapContext ctx(2048, 3);
+  Xoshiro256 rng(31);
+  std::vector<batmap::Batmap> maps;
+  for (int i = 0; i < 128; ++i) {
+    std::set<std::uint64_t> s;
+    while (s.size() < 60) s.insert(rng.below(2048));  // equal sizes
+    std::vector<std::uint64_t> v(s.begin(), s.end());
+    maps.push_back(batmap::build_batmap(ctx, v));
+  }
+  const PackedMaps sm = core::pack_sorted_maps(maps, true);
+  std::uint64_t strip_tiles = 0;
+  const auto n =
+      rect_counts(sm, Backend::kNative, 64, 0, 128, 0, 128);
+  const auto d =
+      rect_counts(sm, Backend::kDevice, 64, 0, 128, 0, 128, &strip_tiles);
+  EXPECT_EQ(n, d);
+  EXPECT_EQ(strip_tiles, 4u) << "all 2×2 uniform rect tiles should strip";
+}
+
+TEST_F(BackendDiffTest, FailurePatchCorrectionOnRectSweep) {
+  // The matmul-style correction (batmap::failure_patch_correction) applied
+  // on top of raw rect counts must yield exact intersections for BOTH
+  // backends, even when insertions are forced to fail.
+  batmap::BatmapStore::Options sopt;
+  sopt.builder.max_loop = 1;
+  batmap::BatmapStore store(1024, sopt);
+  Xoshiro256 rng(13);
+  std::vector<std::vector<std::uint64_t>> sets;
+  for (int i = 0; i < 32; ++i) {
+    std::set<std::uint64_t> s;
+    const std::size_t size = 20 + rng.below(120);
+    while (s.size() < size) s.insert(rng.below(1024));
+    sets.emplace_back(s.begin(), s.end());
+    store.add(sets.back());
+  }
+  ASSERT_GT(store.total_failures(), 0u);
+
+  const PackedMaps sm = core::pack_sorted_maps(store.maps(), false);
+  for (const Backend backend : {Backend::kNative, Backend::kDevice}) {
+    SweepEngine engine({backend, 16, 1, false});
+    engine.bind(sm);
+    engine.sweep_rect(0, 16, 16, 32, [&](SweepEngine::TileView& tv) {
+      tv.for_each_pair(
+          [&](std::uint32_t a, std::uint32_t b, std::uint32_t raw) {
+            const std::uint64_t patched =
+                raw + batmap::failure_patch_correction(
+                          store.failures(a), store.elements(a),
+                          store.failures(b), store.elements(b));
+            // Oracle: exact sorted-set intersection.
+            std::uint64_t exact = 0;
+            std::size_t x = 0, y = 0;
+            while (x < sets[a].size() && y < sets[b].size()) {
+              if (sets[a][x] < sets[b][y]) ++x;
+              else if (sets[b][y] < sets[a][x]) ++y;
+              else ++exact, ++x, ++y;
+            }
+            EXPECT_EQ(patched, exact)
+                << "backend=" << static_cast<int>(backend) << " pair (" << a
+                << ',' << b << ')';
+          });
+    });
+  }
+}
+
+}  // namespace
+}  // namespace repro

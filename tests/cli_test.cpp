@@ -43,6 +43,7 @@ TEST(CliTest, FullWorkflow) {
   auto info = run("info --store " + store);
   ASSERT_EQ(info.exit_code, 0) << info.out;
   EXPECT_NE(info.out.find("store: 50 sets"), std::string::npos);
+  EXPECT_NE(info.out.find("width runs (sorted):"), std::string::npos);
 
   auto query = run("query --store " + store + " --a 1 --b 2");
   ASSERT_EQ(query.exit_code, 0) << query.out;
@@ -61,12 +62,40 @@ TEST(CliTest, FullWorkflow) {
   EXPECT_EQ(verify.out.find("MISMATCH"), std::string::npos) << verify.out;
 }
 
+TEST(CliTest, PairsDeviceBackendMatchesNative) {
+  const std::string fimi = "/tmp/batmap_cli_test3.fimi";
+  ASSERT_EQ(
+      run("gen --items 40 --total 3000 --density 0.1 --out " + fimi).exit_code,
+      0);
+  auto native = run("pairs --fimi " + fimi + " --minsup 4 --top 3");
+  ASSERT_EQ(native.exit_code, 0) << native.out;
+  auto device =
+      run("pairs --fimi " + fimi + " --minsup 4 --top 3 --backend device");
+  ASSERT_EQ(device.exit_code, 0) << device.out;
+  // Identical frequent-pair headline and identical top pairs: both backends
+  // produce bit-identical counts.
+  const auto headline = [](const std::string& out) {
+    return out.substr(0, out.find(" (pre"));
+  };
+  EXPECT_EQ(headline(native.out), headline(device.out))
+      << native.out << "\nvs\n"
+      << device.out;
+  const auto top = [](const std::string& out) {
+    return out.substr(out.find("\n  {"));
+  };
+  ASSERT_NE(native.out.find("\n  {"), std::string::npos) << native.out;
+  ASSERT_NE(device.out.find("\n  {"), std::string::npos) << device.out;
+  EXPECT_EQ(top(native.out), top(device.out));
+  EXPECT_NE(device.out.find("device sweep:"), std::string::npos) << device.out;
+}
+
 TEST(CliTest, ErrorPaths) {
   EXPECT_EQ(run("").exit_code, 2);
   EXPECT_EQ(run("frobnicate").exit_code, 2);
   EXPECT_EQ(run("build").exit_code, 2);                    // missing --fimi
   EXPECT_EQ(run("info --store /nonexistent").exit_code, 2);
   EXPECT_EQ(run("query --store /nonexistent").exit_code, 2);
+  EXPECT_EQ(run("pairs --fimi /dev/null --backend warp").exit_code, 2);
 }
 
 TEST(CliTest, QueryOutOfRange) {

@@ -1,7 +1,15 @@
-// Tests for the analytic device performance model.
+// Tests for the analytic device performance model, plus the coalescing-model
+// regression pinning transactions-per-pair of both device tile kernels on a
+// fixed workload.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
+#include "batmap/builder.hpp"
+#include "core/sweep_engine.hpp"
 #include "simt/perf_model.hpp"
+#include "util/rng.hpp"
 
 namespace repro::simt {
 namespace {
@@ -60,6 +68,117 @@ TEST(PerfModelTest, TransferSeconds) {
   EXPECT_NEAR(gpu.transfer_seconds(5'000'000'000ull), 1.0, 1e-9);
   const PerfModel cpu(DeviceProfile::xeon5462(4));
   EXPECT_DOUBLE_EQ(cpu.transfer_seconds(1'000'000'000ull), 0.0);  // no link
+}
+
+// ---- coalescing-model regression -------------------------------------------
+//
+// Fixed workload: 64 batmaps of identical width 48 words (sets of 25
+// elements in a 4096 universe: range 64, 3·64/4 = 48), swept as ONE
+// non-diagonal 64×64 device tile. Buffers are 64B-aligned (simt/buffer.hpp)
+// and map widths are 192 B — a multiple of the segment size — so every
+// half-warp slice access is exactly one transaction and the totals below
+// are exact. If a change to the kernels, the access replay, or the buffer
+// alignment moves them, this test fails so the change is made deliberately.
+//
+// Per-pair kernel (16 groups of 16×16, 3 slices of the 48-word maps):
+//   loads:  16 groups · 3 slices · 256 items · 2          = 24576
+//   l-txns: 16 groups · 3 slices · 16 half-warps · 2 ops  = 1536
+//   stores: 16 groups · 256                               = 4096 (256 txns)
+// Strip kernel (4 groups of 16 rows × 64 cols):
+//   loads:  4 groups · 3 slices · 256 items · 5           = 15360
+//   l-txns: 4 groups · 3 slices · 16 half-warps · 5 ops   = 960
+//   stores: 4 groups · 256 · 4                            = 4096 (256 txns)
+//
+// 4096 pairs each: 0.4375 vs 0.296875 transactions/pair — the strip
+// kernel's staging win the paper's coalescing figures rest on.
+
+struct FixedWorkload {
+  std::vector<batmap::Batmap> maps;
+  core::PackedMaps sm;
+};
+
+FixedWorkload uniform_workload() {
+  FixedWorkload w;
+  const batmap::BatmapContext ctx(4096, 19);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 64; ++i) {
+    std::set<std::uint64_t> s;
+    while (s.size() < 25) s.insert(rng.below(4096));
+    std::vector<std::uint64_t> v(s.begin(), s.end());
+    w.maps.push_back(batmap::build_batmap(ctx, v));
+  }
+  w.sm = core::pack_sorted_maps(w.maps, true);
+  return w;
+}
+
+MemStats sweep_device_stats(const FixedWorkload& w, bool device_strip,
+                            std::uint64_t* strip_tiles = nullptr) {
+  core::SweepEngine engine({core::Backend::kDevice, /*tile=*/64,
+                            /*threads=*/1, /*collect_stats=*/true,
+                            device_strip});
+  engine.bind(w.sm);
+  engine.sweep_rect(0, 64, 0, 64,
+                    [](core::SweepEngine::TileView&) {});
+  if (strip_tiles) *strip_tiles = engine.strip_tiles_swept();
+  return engine.device_stats();
+}
+
+TEST(CoalescingRegressionTest, WorkloadIsTheOneTheNumbersAssume) {
+  const auto w = uniform_workload();
+  for (const auto& m : w.maps) {
+    ASSERT_EQ(m.word_count(), 48u);  // 3 slices of 16
+  }
+  ASSERT_EQ(w.sm.n_pad, 64u);  // no padding slots
+}
+
+TEST(CoalescingRegressionTest, PerPairKernelTransactionsPinned) {
+  const auto w = uniform_workload();
+  std::uint64_t strip_tiles = 1;
+  const MemStats st = sweep_device_stats(w, /*device_strip=*/false,
+                                         &strip_tiles);
+  EXPECT_EQ(strip_tiles, 0u);
+  EXPECT_EQ(st.global_loads, 24576u);
+  EXPECT_EQ(st.load_transactions, 1536u);
+  EXPECT_EQ(st.global_stores, 4096u);
+  EXPECT_EQ(st.store_transactions, 256u);
+  EXPECT_EQ(st.divergent_items, 0u);
+  EXPECT_DOUBLE_EQ(st.transactions_per_pair(4096), 0.4375);
+}
+
+TEST(CoalescingRegressionTest, StripKernelTransactionsPinned) {
+  const auto w = uniform_workload();
+  std::uint64_t strip_tiles = 0;
+  const MemStats st = sweep_device_stats(w, /*device_strip=*/true,
+                                         &strip_tiles);
+  EXPECT_EQ(strip_tiles, 1u);
+  EXPECT_EQ(st.global_loads, 15360u);
+  EXPECT_EQ(st.load_transactions, 960u);
+  EXPECT_EQ(st.global_stores, 4096u);
+  EXPECT_EQ(st.store_transactions, 256u);
+  EXPECT_EQ(st.divergent_items, 0u);
+  EXPECT_DOUBLE_EQ(st.transactions_per_pair(4096), 0.296875);
+}
+
+TEST(CoalescingRegressionTest, StripStrictlyBeatsPerPairPerPair) {
+  // The acceptance criterion: on a uniform-width tile the strip kernel
+  // costs strictly fewer global-memory transactions per pair.
+  const auto w = uniform_workload();
+  const MemStats per_pair = sweep_device_stats(w, false);
+  const MemStats strip = sweep_device_stats(w, true);
+  EXPECT_LT(strip.load_transactions, per_pair.load_transactions);
+  EXPECT_LT(strip.transactions_per_pair(4096),
+            per_pair.transactions_per_pair(4096));
+  // And it trades that global traffic for on-chip shared accesses.
+  EXPECT_GT(strip.shared_ops, 0u);
+  EXPECT_GT(per_pair.shared_ops, 0u);
+}
+
+TEST(MemStatsTest, TransactionsPerPair) {
+  MemStats st;
+  st.load_transactions = 6;
+  st.store_transactions = 2;
+  EXPECT_DOUBLE_EQ(st.transactions_per_pair(4), 2.0);
+  EXPECT_DOUBLE_EQ(st.transactions_per_pair(0), 0.0);
 }
 
 }  // namespace

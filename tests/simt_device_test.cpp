@@ -153,6 +153,14 @@ struct StrideKernel {
   }
 };
 
+TEST(BufferTest, StorageIsSegmentAligned) {
+  // Buffers model device global memory: segment-aligned like cudaMalloc,
+  // which also makes the transaction counts below exact.
+  Buffer<std::uint32_t> a(3), b(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % kSegmentBytes, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kSegmentBytes, 0u);
+}
+
 TEST(DeviceStats, CoalescedLoadsAreOneTransactionPerHalfWarp) {
   Device dev(Device::Config{1, true});
   Buffer<std::uint32_t> in(4096, 1u);
@@ -160,11 +168,10 @@ TEST(DeviceStats, CoalescedLoadsAreOneTransactionPerHalfWarp) {
   dev.launch({{64, 1}, {16, 1}}, k);
   const MemStats& st = dev.stats();
   EXPECT_EQ(st.global_loads, 64u);
-  // 16 consecutive 4-byte loads = one 64B segment per half-warp...
-  // data() alignment may straddle a boundary, so allow 1-2 per half-warp.
-  EXPECT_LE(st.load_transactions, 8u);
-  EXPECT_GE(st.load_transactions, 4u);
-  EXPECT_GT(st.coalescing_efficiency(), 0.85);
+  // 16 consecutive 4-byte loads from a 64B-aligned buffer = exactly one
+  // segment per half-warp.
+  EXPECT_EQ(st.load_transactions, 4u);
+  EXPECT_DOUBLE_EQ(st.coalescing_efficiency(), 1.0);
 }
 
 TEST(DeviceStats, StridedLoadsSerialize) {
@@ -212,6 +219,45 @@ TEST(DeviceStats, CountsGroupsItemsBarriers) {
   EXPECT_EQ(st.store_bytes, 64u * 4);
   dev.reset_stats();
   EXPECT_EQ(dev.stats().groups_run, 0u);
+}
+
+/// Phase 0 stages into shared (counted); phase 1 reads it back out.
+struct SharedOpsKernel {
+  struct Shared {
+    std::uint32_t vals[16];
+  };
+  const Buffer<std::uint32_t>* in;
+  Buffer<std::uint32_t>* out;
+  int phases(const GroupInfo&) const { return 2; }
+  void run(int phase, ItemCtx& ctx, Shared& sh) const {
+    const std::uint32_t lin = ctx.linear_local();
+    if (phase == 0) {
+      sh.vals[lin] = ctx.load(*in, ctx.global_x());
+      ctx.shared_access(1);  // the shared write
+    } else {
+      ctx.shared_access(1);  // the shared read
+      ctx.store(*out, ctx.global_x(), sh.vals[lin] + 1);
+    }
+  }
+};
+
+TEST(DeviceStats, SharedAccessesAreCounted) {
+  Device dev(Device::Config{1, true});
+  Buffer<std::uint32_t> in(16, 7u), out(16, 0u);
+  SharedOpsKernel k{&in, &out};
+  dev.launch({{16, 1}, {16, 1}}, k);
+  // One shared write + one shared read per item.
+  EXPECT_EQ(dev.stats().shared_ops, 32u);
+  EXPECT_EQ(out[3], 8u);
+}
+
+TEST(DeviceStats, SharedAccessesNotCountedWithoutStats) {
+  Device dev;  // collect_stats off
+  Buffer<std::uint32_t> in(16, 7u), out(16, 0u);
+  SharedOpsKernel k{&in, &out};
+  dev.launch({{16, 1}, {16, 1}}, k);
+  EXPECT_EQ(dev.stats().shared_ops, 0u);
+  EXPECT_EQ(out[3], 8u);  // results unaffected by instrumentation
 }
 
 TEST(MemStatsTest, AccumulateAddsFields) {

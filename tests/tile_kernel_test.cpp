@@ -1,11 +1,16 @@
-// Focused tests for the TileKernel on the SIMT device: counts must equal
-// the host-side batmap sweep for every pair, across mixed widths, wrapping
-// and padding.
+// Focused tests for the SIMT device tile kernels: counts must equal the
+// host-side batmap sweep for every pair, across mixed widths, wrapping and
+// padding — for the per-pair TileKernel and the register-blocked
+// StripTileKernel — plus the shared strip-eligibility predicates and the
+// SweepEngine's device dispatch/validation rules.
 #include <gtest/gtest.h>
 
 #include <set>
 
 #include "batmap/builder.hpp"
+#include "batmap/strip.hpp"
+#include "core/strip_kernel.hpp"
+#include "core/sweep_engine.hpp"
 #include "core/tile_kernel.hpp"
 #include "simt/device.hpp"
 #include "util/bits.hpp"
@@ -133,6 +138,173 @@ TEST(TileKernelTest, SharedMemoryWithinDeviceBudget) {
   EXPECT_LE(sizeof(TileKernel::Shared), simt::kSharedMemBytes);
   // The paper's 16×16 staging uses 2 KiB of slice data + accumulators.
   EXPECT_EQ(sizeof(TileKernel::Shared), (16 * 16 * 3) * sizeof(std::uint32_t));
+}
+
+TEST(StripKernelTest, SharedMemoryWithinDeviceBudget) {
+  EXPECT_LE(sizeof(StripTileKernel::Shared), simt::kSharedMemBytes);
+  // 16×16 row slice + 64×16 column slices + 16×64 accumulators = 9 KiB.
+  EXPECT_EQ(sizeof(StripTileKernel::Shared),
+            (16 * 16 + 64 * 16 + 16 * 64) * sizeof(std::uint32_t));
+}
+
+TEST(StripKernelTest, MatchesHostSweepUniformWidths) {
+  // One group's worth: 16 rows × 64 columns, all batmaps the same width.
+  const std::uint64_t universe = 2048;
+  const batmap::BatmapContext ctx(universe, 17);
+  Xoshiro256 rng(3);
+  std::vector<std::vector<std::uint64_t>> sets;
+  for (int i = 0; i < 80; ++i) {
+    std::set<std::uint64_t> s;
+    while (s.size() < 70) s.insert(rng.below(universe));
+    sets.emplace_back(s.begin(), s.end());
+  }
+  Packed p = pack(ctx, sets, 80);
+  // Rows are maps [0,16), columns maps [16,80).
+  simt::Buffer<std::uint32_t> out(16 * 64, 0u);
+  StripTileKernel kernel(p.words, p.offsets, p.widths, /*row_base=*/0,
+                         /*col_base=*/16, out, /*out_pitch=*/64);
+  simt::Device dev;
+  dev.launch({{64 / StripTileKernel::kStripCols, 16}, {16, 16}}, kernel);
+  for (std::uint32_t r = 0; r < 16; ++r) {
+    for (std::uint32_t c = 0; c < 64; ++c) {
+      ASSERT_EQ(out[r * 64 + c],
+                batmap::intersect_count(p.maps[r], p.maps[16 + c]))
+          << r << "," << c;
+    }
+  }
+}
+
+TEST(StripKernelTest, WrappedWidthsStillExact) {
+  // The strip kernel's math is width-agnostic (wrapped fetch + predication)
+  // even though the engine only dispatches it on uniform tiles: columns
+  // twice as wide as rows must still count exactly.
+  const batmap::BatmapContext ctx(4096, 23);
+  Xoshiro256 rng(8);
+  std::vector<std::vector<std::uint64_t>> sets;
+  for (int i = 0; i < 16; ++i) {  // rows: small sets
+    std::set<std::uint64_t> s;
+    while (s.size() < 30) s.insert(rng.below(4096));
+    sets.emplace_back(s.begin(), s.end());
+  }
+  for (int i = 0; i < 64; ++i) {  // cols: 4× larger sets (wider maps)
+    std::set<std::uint64_t> s;
+    while (s.size() < 120) s.insert(rng.below(4096));
+    sets.emplace_back(s.begin(), s.end());
+  }
+  Packed p = pack(ctx, sets, 80);
+  ASSERT_LT(p.maps[0].word_count(), p.maps[16].word_count());
+  simt::Buffer<std::uint32_t> out(16 * 64, 0u);
+  StripTileKernel kernel(p.words, p.offsets, p.widths, 0, 16, out, 64);
+  simt::Device dev;
+  dev.launch({{64 / StripTileKernel::kStripCols, 16}, {16, 16}}, kernel);
+  for (std::uint32_t r = 0; r < 16; ++r) {
+    for (std::uint32_t c = 0; c < 64; ++c) {
+      ASSERT_EQ(out[r * 64 + c],
+                batmap::intersect_count(p.maps[r], p.maps[16 + c]))
+          << r << "," << c;
+    }
+  }
+}
+
+TEST(StripKernelTest, PaddingLanesCountZero) {
+  const batmap::BatmapContext ctx(1000, 29);
+  Xoshiro256 rng(6);
+  std::vector<std::vector<std::uint64_t>> sets;
+  for (int i = 0; i < 40; ++i) {  // 40 real maps, padded to 80
+    std::set<std::uint64_t> s;
+    while (s.size() < 50) s.insert(rng.below(1000));
+    sets.emplace_back(s.begin(), s.end());
+  }
+  Packed p = pack(ctx, sets, 80);
+  simt::Buffer<std::uint32_t> out(16 * 64, 123u);
+  StripTileKernel kernel(p.words, p.offsets, p.widths, 0, 16, out, 64);
+  simt::Device dev;
+  dev.launch({{64 / StripTileKernel::kStripCols, 16}, {16, 16}}, kernel);
+  for (std::uint32_t r = 0; r < 16; ++r) {
+    for (std::uint32_t c = 0; c < 64; ++c) {
+      if (16 + c >= 40) {
+        ASSERT_EQ(out[r * 64 + c], 0u) << r << "," << c;
+      }
+    }
+  }
+}
+
+// ---- shared strip predicates -----------------------------------------------
+
+TEST(StripPredicateTest, TilePredicateAgreesWithPerRowRule) {
+  // strip_tile_compatible must equal strip_compatible applied per row over
+  // the whole column block — the "agree by construction" contract between
+  // the native and device dispatch rules.
+  Xoshiro256 rng(77);
+  const std::uint32_t candidates[] = {12, 24, 48, 96};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint32_t> widths(32);
+    for (auto& w : widths) w = candidates[rng.below(4)];
+    if (trial % 4 == 0) {  // force some uniform blocks
+      std::fill(widths.begin() + 8, widths.end(), candidates[rng.below(4)]);
+    }
+    for (const std::size_t cb : {0ul, 8ul, 16ul}) {
+      const std::size_t ce = cb + 16;
+      bool per_row = true;
+      for (std::size_t r = 0; r < 8; ++r) {
+        per_row = per_row &&
+                  batmap::strip_compatible(widths, widths[r], cb, ce - cb);
+      }
+      EXPECT_EQ(batmap::strip_tile_compatible(widths, 0, 8, cb, ce), per_row)
+          << "trial " << trial << " cols [" << cb << ',' << ce << ')';
+    }
+  }
+}
+
+TEST(StripPredicateTest, RulesMatchDocumentedSemantics) {
+  const std::vector<std::uint32_t> w = {12, 12, 24, 24, 24, 24, 48, 96};
+  EXPECT_EQ(batmap::uniform_width(w, 2, 4), 24u);
+  EXPECT_EQ(batmap::uniform_width(w, 0, 3), 0u);   // mixed
+  EXPECT_EQ(batmap::uniform_width(w, 6, 4), 0u);   // out of range
+  EXPECT_TRUE(batmap::strip_compatible(w, 12, 2, 4));   // 12 | 24
+  EXPECT_TRUE(batmap::strip_compatible(w, 24, 2, 4));   // equal widths
+  EXPECT_FALSE(batmap::strip_compatible(w, 48, 2, 4));  // row wider than cols
+  EXPECT_FALSE(batmap::strip_compatible(w, 0, 2, 4));   // degenerate row
+
+  const auto runs = batmap::width_runs(w);
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[1].begin, 2u);
+  EXPECT_EQ(runs[1].end, 6u);
+  EXPECT_EQ(runs[1].width, 24u);
+  EXPECT_EQ(runs[1].size(), 4u);
+}
+
+// ---- engine-level device dispatch ------------------------------------------
+
+TEST(SweepEngineDeviceTest, RectSweepRejectsMisalignedOriginsWithClearError) {
+  const batmap::BatmapContext ctx(512, 5);
+  std::vector<batmap::Batmap> maps;
+  for (int i = 0; i < 32; ++i) {
+    std::vector<std::uint64_t> v{static_cast<std::uint64_t>(i)};
+    maps.push_back(batmap::build_batmap(ctx, v));
+  }
+  const PackedMaps sm = pack_sorted_maps(maps, true);
+  const auto consume = [](SweepEngine::TileView&) {};
+
+  SweepEngine device({Backend::kDevice, 16, 1, false});
+  device.bind(sm);
+  try {
+    device.sweep_rect(8, 32, 0, 32, consume);
+    FAIL() << "misaligned row origin must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("16-aligned"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("rows at 8"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(device.sweep_rect(0, 32, 24, 32, consume), CheckError);
+  // Aligned origins (any end) are accepted.
+  EXPECT_NO_THROW(device.sweep_rect(16, 31, 0, 27, consume));
+
+  // The native backend accepts arbitrary origins.
+  SweepEngine native({Backend::kNative, 16, 1, false});
+  native.bind(sm);
+  EXPECT_NO_THROW(native.sweep_rect(8, 32, 3, 32, consume));
 }
 
 }  // namespace

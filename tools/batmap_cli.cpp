@@ -4,7 +4,7 @@
 //   batmap_cli build --fimi data.fimi --out store.bin [--seed S]
 //   batmap_cli info  --store store.bin
 //   batmap_cli query --store store.bin --a I --b J
-//   batmap_cli pairs --fimi data.fimi --minsup S [--top K]
+//   batmap_cli pairs --fimi data.fimi --minsup S [--top K] [--backend native|device]
 //   batmap_cli mine  --fimi data.fimi --minsup S [--max-size K]
 //
 // `gen` writes a synthetic FIMI file; `build` turns a FIMI file's VERTICAL
@@ -12,11 +12,14 @@
 // BatmapStore; `query` answers exact |S_a ∩ S_b| from a saved store;
 // `pairs` runs the frequent-pair pipeline; `mine` runs the general itemset
 // miner.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <vector>
 
 #include "batmap/intersect.hpp"
+#include "batmap/strip.hpp"
 #include "core/itemset_miner.hpp"
 #include "baselines/apriori.hpp"
 #include "baselines/bitmap.hpp"
@@ -114,6 +117,22 @@ int cmd_info(Args& args) {
               elems ? static_cast<double>(store.batmap_bytes()) /
                           static_cast<double>(elems)
                     : 0.0);
+  // Width-run decomposition of the width-sorted maps: long uniform runs are
+  // what lets the device sweep dispatch its strip kernel (batmap/strip.hpp).
+  std::vector<std::uint32_t> widths;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    widths.push_back(static_cast<std::uint32_t>(store.map(i).word_count()));
+  }
+  std::sort(widths.begin(), widths.end());
+  const auto runs = batmap::width_runs(widths);
+  std::size_t largest = 0;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].size() > runs[largest].size()) largest = i;
+  }
+  if (!runs.empty()) {
+    std::printf("width runs (sorted): %zu, largest %zu maps x %u words\n",
+                runs.size(), runs[largest].size(), runs[largest].width);
+  }
   return 0;
 }
 
@@ -151,15 +170,24 @@ int cmd_pairs(Args& args) {
   const std::string fimi = args.str("fimi", "", "input FIMI file");
   const std::uint64_t minsup = args.u64("minsup", 2, "support threshold");
   const std::uint64_t top = args.u64("top", 10, "pairs to print");
+  const std::string backend =
+      args.str("backend", "native", "sweep backend: native|device");
   args.finish();
   if (fimi.empty()) {
     std::fprintf(stderr, "pairs: --fimi is required\n");
     return 2;
   }
+  if (backend != "native" && backend != "device") {
+    std::fprintf(stderr, "pairs: --backend must be native or device\n");
+    return 2;
+  }
   const auto db = mining::read_fimi_file(fimi);
   core::PairMinerOptions opt;
   opt.minsup = static_cast<std::uint32_t>(minsup);
-  opt.tile = 2048;
+  opt.backend =
+      backend == "device" ? core::Backend::kDevice : core::Backend::kNative;
+  // The simulated device is slow; keep its tiles small enough to matter.
+  opt.tile = backend == "device" ? 256 : 2048;
   const auto res = core::PairMiner(opt).mine(db);
   std::printf("pairs with support >= %llu: %llu (pre %.3fs, sweep %.3fs, "
               "post %.3fs, %llu failures patched)\n",
@@ -168,6 +196,11 @@ int cmd_pairs(Args& args) {
               res.preprocess_seconds, res.sweep_seconds,
               res.postprocess_seconds,
               static_cast<unsigned long long>(res.failures));
+  if (backend == "device") {
+    std::printf("device sweep: %llu tiles (%llu strip-kernel)\n",
+                static_cast<unsigned long long>(res.tiles),
+                static_cast<unsigned long long>(res.strip_tiles));
+  }
   // Top pairs by support.
   std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> best;
   const auto& sup = *res.supports;
