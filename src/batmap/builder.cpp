@@ -4,16 +4,32 @@
 
 namespace repro::batmap {
 
+namespace {
+void check_builder_args(const BatmapContext& ctx, std::uint32_t range,
+                        const BatmapBuilder::Options& opt) {
+  REPRO_CHECK_MSG(bits::is_pow2(range) && range >= ctx.params().r0,
+                  "range must be a power of two >= r0");
+  REPRO_CHECK(opt.max_loop >= 1 && opt.max_cascade >= 1);
+}
+}  // namespace
+
 BatmapBuilder::BatmapBuilder(const BatmapContext& ctx, std::uint32_t range)
     : BatmapBuilder(ctx, range, Options{}) {}
 
 BatmapBuilder::BatmapBuilder(const BatmapContext& ctx, std::uint32_t range,
                              Options opt)
     : ctx_(&ctx), range_(range), opt_(opt) {
-  REPRO_CHECK_MSG(bits::is_pow2(range) && range >= ctx.params().r0,
-                  "range must be a power of two >= r0");
-  REPRO_CHECK(opt.max_loop >= 1 && opt.max_cascade >= 1);
-  slots_.assign(LayoutParams::slots(range_), kEmpty);
+  check_builder_args(ctx, range, opt);
+  owned_slots_.assign(LayoutParams::slots(range_), kEmpty);
+  slots_ = owned_slots_;
+}
+
+BatmapBuilder::BatmapBuilder(const BatmapContext& ctx, std::uint32_t range,
+                             Options opt, util::Arena& arena)
+    : ctx_(&ctx), range_(range), opt_(opt) {
+  check_builder_args(ctx, range, opt);
+  slots_ = arena.alloc_array<std::uint64_t>(LayoutParams::slots(range_));
+  std::fill(slots_.begin(), slots_.end(), kEmpty);
 }
 
 bool BatmapBuilder::contains(std::uint64_t x) const {
@@ -180,6 +196,25 @@ Batmap build_batmap(const BatmapContext& ctx,
     failed->insert(failed->end(), b.failures().begin(), b.failures().end());
   }
   return b.seal();
+}
+
+Batmap build_batmap_arena(const BatmapContext& ctx,
+                          std::span<const std::uint64_t> elements,
+                          util::Arena& arena,
+                          std::vector<std::uint64_t>* failed,
+                          BatmapBuilder::Options opt) {
+  Batmap out;
+  {
+    BatmapBuilder b(ctx, ctx.params().range_for_size(elements.size()), opt,
+                    arena);
+    for (const std::uint64_t x : elements) b.insert(x);
+    if (failed) {
+      failed->insert(failed->end(), b.failures().begin(), b.failures().end());
+    }
+    out = b.seal();
+  }
+  arena.reset();
+  return out;
 }
 
 }  // namespace repro::batmap

@@ -16,6 +16,7 @@
 #include "batmap/batmap.hpp"
 #include "batmap/context.hpp"
 #include "batmap/reference.hpp"
+#include "util/arena.hpp"
 
 namespace repro::batmap {
 
@@ -40,6 +41,19 @@ class BatmapBuilder {
   /// params().range_for_size). The context outlives the builder.
   BatmapBuilder(const BatmapContext& ctx, std::uint32_t range);
   BatmapBuilder(const BatmapContext& ctx, std::uint32_t range, Options opt);
+  /// Arena-backed builder: the cuckoo slot table lives in `arena` instead
+  /// of a per-builder heap vector, so a shard constructing many batmaps
+  /// allocates once and calls arena.reset() between rows. The arena must
+  /// outlive the builder, and resetting it invalidates the builder.
+  BatmapBuilder(const BatmapContext& ctx, std::uint32_t range, Options opt,
+                util::Arena& arena);
+
+  // slots_ aliases either owned_slots_ or arena memory; a compiler-
+  // generated copy/move would leave it pointing into the source builder.
+  BatmapBuilder(const BatmapBuilder&) = delete;
+  BatmapBuilder& operator=(const BatmapBuilder&) = delete;
+  BatmapBuilder(BatmapBuilder&&) = delete;
+  BatmapBuilder& operator=(BatmapBuilder&&) = delete;
 
   /// Inserts element x < universe. Elements must be distinct across calls.
   /// Returns false iff x was recorded as failed. Note a failure may also
@@ -92,7 +106,8 @@ class BatmapBuilder {
   const BatmapContext* ctx_;
   std::uint32_t range_;
   Options opt_;
-  std::vector<std::uint64_t> slots_;  ///< element value per position, kEmpty=⊥
+  std::vector<std::uint64_t> owned_slots_;  ///< backing store, heap mode only
+  std::span<std::uint64_t> slots_;  ///< element value per position, kEmpty=⊥
   std::vector<std::uint64_t> failures_;
   Stats stats_;
 };
@@ -103,5 +118,15 @@ Batmap build_batmap(const BatmapContext& ctx,
                     std::span<const std::uint64_t> elements,
                     std::vector<std::uint64_t>* failed = nullptr,
                     BatmapBuilder::Options opt = BatmapBuilder::Options{});
+
+/// As above, with the builder's slot table taken from (and returned to)
+/// `arena`: the arena is reset() after sealing, so per-row construction
+/// scratch is recycled instead of reallocated. Only the sealed Batmap owns
+/// heap memory on return.
+Batmap build_batmap_arena(const BatmapContext& ctx,
+                          std::span<const std::uint64_t> elements,
+                          util::Arena& arena,
+                          std::vector<std::uint64_t>* failed = nullptr,
+                          BatmapBuilder::Options opt = BatmapBuilder::Options{});
 
 }  // namespace repro::batmap

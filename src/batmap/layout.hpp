@@ -54,6 +54,11 @@ struct LayoutParams {
   static std::uint64_t slots(std::uint32_t r) { return 3ull * r; }
   /// 32-bit words in a batmap of range r.
   static std::uint64_t words(std::uint32_t r) { return 3ull * r / 4; }
+  /// Bytes of the builder's uncompressed slot table (one uint64 per slot)
+  /// for range r — the arena budget of one in-flight construction.
+  static std::uint64_t slot_table_bytes(std::uint32_t r) {
+    return slots(r) * sizeof(std::uint64_t);
+  }
 
   /// Slot position of permuted value v = π_t(x) in table t ∈ {0,1,2} for
   /// range r.

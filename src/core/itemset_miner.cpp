@@ -5,6 +5,7 @@
 #include "batmap/intersect.hpp"
 #include "batmap/multiway.hpp"
 #include "core/pair_miner.hpp"
+#include "util/arena.hpp"
 #include "util/check.hpp"
 
 namespace repro::core {
@@ -87,6 +88,7 @@ std::vector<MinedItemset> BatmapItemsetMiner::mine(
   popt.tile = opt_.tile;
   popt.minsup = opt_.minsup;
   popt.threads = opt_.threads;
+  popt.shards = opt_.shards;
   const auto pairs = PairMiner(popt).mine(db);
   REPRO_CHECK(pairs.supports.has_value());
   std::vector<Itemset> level2;
@@ -110,11 +112,12 @@ std::vector<MinedItemset> BatmapItemsetMiner::mine(
   std::vector<bool> clean(n, false);
   std::vector<std::vector<std::uint64_t>> elements(n);
   if (opt_.max_size == 0 || opt_.max_size >= 3) {
+    util::Arena arena;  // one slot-table arena recycled across all items
     for (mining::Item i = 0; i < n; ++i) {
       if (tidlists[i].size() < opt_.minsup) continue;
       elements[i].assign(tidlists[i].begin(), tidlists[i].end());
       std::vector<std::uint64_t> failed;
-      maps[i] = batmap::build_batmap(ctx, elements[i], &failed);
+      maps[i] = batmap::build_batmap_arena(ctx, elements[i], arena, &failed);
       clean[i] = failed.empty();
     }
   }

@@ -34,6 +34,7 @@ class BatmapItemsetMiner {
     std::uint64_t seed = 0x9d2c5680;
     std::uint32_t tile = 256;
     std::size_t threads = 1;  ///< host threads for the level-2 pair sweep
+    std::size_t shards = 0;   ///< level-2 sweep shards (PairMinerOptions)
   };
 
   explicit BatmapItemsetMiner(Options opt);

@@ -1,8 +1,10 @@
 #include "core/pair_miner.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "core/failure_patch.hpp"
+#include "util/arena.hpp"
 
 namespace repro::core {
 
@@ -23,7 +25,8 @@ PairMinerResult PairMiner::mine(
   // The engine carries the host pool plus every per-tile buffer; it is
   // created first so preprocessing and the sweep share one set of workers.
   SweepEngine engine({opt_.backend, opt_.tile, opt_.threads,
-                      opt_.collect_stats, opt_.device_strip});
+                      opt_.collect_stats, opt_.device_strip, opt_.shards,
+                      opt_.pin_threads});
 
   // ---- 1. Preprocess: tidlists -> batmaps -> width sort -> pack ----
   const std::uint32_t n = db.num_items();
@@ -37,19 +40,33 @@ PairMinerResult PairMiner::mine(
   }
 
   // Per-item batmap construction is embarrassingly parallel (the context is
-  // shared read-only) — split across the engine's pool.
+  // shared read-only) — split across the engine's pool, one chunk per
+  // worker so each holds a single arena: the cuckoo slot table of every row
+  // in the chunk reuses the same warm block instead of a fresh heap
+  // allocation per item.
   std::vector<batmap::Batmap> maps(n);
   std::vector<std::vector<mining::Tid>> failed_tids(n);
-  engine.pool().parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
-    std::vector<std::uint64_t> scratch;
-    for (std::size_t i = lo; i < hi; ++i) {
-      scratch.assign(tidlists[i].begin(), tidlists[i].end());
-      std::vector<std::uint64_t> failed;
-      maps[i] = batmap::build_batmap(ctx, scratch, &failed, opt_.builder);
-      for (const std::uint64_t f : failed)
-        failed_tids[i].push_back(static_cast<mining::Tid>(f));
-    }
-  });
+  engine.pool().parallel_for(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        // Size the first block for the chunk's widest slot table so the
+        // warm-up pass allocates once instead of growing geometrically.
+        std::size_t max_len = 0;
+        for (std::size_t i = lo; i < hi; ++i)
+          max_len = std::max(max_len, tidlists[i].size());
+        util::Arena arena(batmap::LayoutParams::slot_table_bytes(
+            ctx.params().range_for_size(max_len)));
+        std::vector<std::uint64_t> scratch;
+        for (std::size_t i = lo; i < hi; ++i) {
+          scratch.assign(tidlists[i].begin(), tidlists[i].end());
+          std::vector<std::uint64_t> failed;
+          maps[i] = batmap::build_batmap_arena(ctx, scratch, arena, &failed,
+                                               opt_.builder);
+          for (const std::uint64_t f : failed)
+            failed_tids[i].push_back(static_cast<mining::Tid>(f));
+        }
+      },
+      /*chunks=*/engine.pool().size());
   for (const auto& ft : failed_tids) res.failures += ft.size();
 
   PackedMaps sm = pack_sorted_maps(maps, opt_.sort_by_width);
@@ -71,8 +88,21 @@ PairMinerResult PairMiner::mine(
   }
   engine.bind(sm);
 
-  double post_seconds = 0;
+  // Sharded sweeps invoke consume concurrently, one call per shard at a
+  // time: scalar tallies go into per-shard, cacheline-padded accumulators
+  // that merge once after the sweep. The dense supports matrix needs no
+  // synchronization (each unordered pair belongs to exactly one tile), and
+  // the external visitor is serialized by a mutex.
+  struct alignas(64) ShardTally {
+    std::uint64_t total_support = 0;
+    std::uint64_t frequent_pairs = 0;
+    std::uint64_t bytes_compared = 0;
+    double post_seconds = 0;
+  };
+  std::vector<ShardTally> tallies(engine.shard_count());
+  std::mutex visitor_mu;
   engine.sweep_triangular([&](SweepEngine::TileView& tv) {
+    ShardTally& tally = tallies[tv.shard];
     // Patch M_{p,q} into Z_{p,q} (paper §III-C), then consume the tile.
     Timer t_post;
     for (const PatchPair& pp : patch.bucket(TileCoord{tv.p, tv.q})) {
@@ -82,16 +112,17 @@ PairMinerResult PairMiner::mine(
 
     tv.for_each_pair([&](std::uint32_t i, std::uint32_t j,
                          std::uint32_t sup) {
-      res.total_support += sup;
-      if (sup >= opt_.minsup) ++res.frequent_pairs;
+      tally.total_support += sup;
+      if (sup >= opt_.minsup) ++tally.frequent_pairs;
       if (res.supports) res.supports->set(i, j, sup);
       // Account the bytes both inputs contribute to this pair's sweep.
       const std::uint32_t wmax = std::max(sm.widths[sm.sorted_index[i]],
                                           sm.widths[sm.sorted_index[j]]);
-      res.bytes_compared += 8ull * wmax;
+      tally.bytes_compared += 8ull * wmax;
     });
 
     if (visitor) {
+      std::lock_guard lock(visitor_mu);
       TileResult tr;
       tr.p = tv.p;
       tr.q = tv.q;
@@ -102,10 +133,18 @@ PairMinerResult PairMiner::mine(
           };
       (*visitor)(tr);
     }
-    post_seconds += t_post.seconds();
+    tally.post_seconds += t_post.seconds();
   });
+  double post_seconds = 0;
+  for (const ShardTally& tally : tallies) {
+    res.total_support += tally.total_support;
+    res.frequent_pairs += tally.frequent_pairs;
+    res.bytes_compared += tally.bytes_compared;
+    post_seconds += tally.post_seconds;
+  }
   res.tiles = engine.tiles_swept();
   res.strip_tiles = engine.strip_tiles_swept();
+  res.tiles_stolen = engine.tiles_stolen();
   res.sweep_seconds = engine.sweep_seconds();
   res.postprocess_seconds = post_seconds;
   if (opt_.backend == Backend::kDevice) res.stats = engine.device_stats();

@@ -49,6 +49,10 @@ struct PairMinerOptions {
   bool materialize = true;         ///< build the dense PairSupports
   bool sweep = true;               ///< false: preprocess only (memory probes)
   std::uint32_t minsup = 1;        ///< threshold for frequent-pair counting
+  /// Native sweep shards: 0 = one per thread, 1 = flat pre-shard path,
+  /// N > 1 = N row-band shards with work stealing (SweepEngine::Options).
+  std::size_t shards = 0;
+  bool pin_threads = false;        ///< pin shard workers (Linux, best-effort)
   batmap::BatmapBuilder::Options builder{};
 };
 
@@ -73,6 +77,7 @@ struct PairMinerResult {
   std::uint64_t bytes_compared = 0;  ///< words fed through SWAR × 4 (both inputs)
   std::uint64_t tiles = 0;
   std::uint64_t strip_tiles = 0;     ///< device tiles run by the strip kernel
+  std::uint64_t tiles_stolen = 0;    ///< sharded sweeps: cross-shard steals
   double preprocess_seconds = 0;
   double sweep_seconds = 0;          ///< the paper's "pure pair generation"
   double postprocess_seconds = 0;

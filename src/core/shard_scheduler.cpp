@@ -1,0 +1,211 @@
+#include "core/shard_scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "util/check.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace repro::core {
+
+namespace {
+
+#ifdef __linux__
+/// The worker's affinity mask before pinning, so unpin restores exactly
+/// what the operator (taskset, container cpuset) had imposed rather than
+/// widening to all CPUs.
+thread_local cpu_set_t g_saved_affinity;
+thread_local bool g_affinity_saved = false;
+#endif
+
+void pin_current_thread(std::size_t slot) {
+#ifdef __linux__
+  g_affinity_saved = pthread_getaffinity_np(pthread_self(),
+                                            sizeof(g_saved_affinity),
+                                            &g_saved_affinity) == 0;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned cpu = static_cast<unsigned>(slot) % hw;
+  // Only pin onto a CPU the thread may already use, and only when the
+  // original mask was readable (otherwise unpin could not restore it) —
+  // a restricted cpuset or exotic topology just leaves the thread
+  // unpinned (best-effort).
+  if (g_affinity_saved && CPU_ISSET(cpu, &g_saved_affinity)) {
+    CPU_SET(cpu, &set);
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
+#else
+  (void)slot;
+#endif
+}
+
+/// Pool workers outlive the run; restore the saved mask so later,
+/// unrelated tasks are not stuck on one CPU.
+void unpin_current_thread() {
+#ifdef __linux__
+  if (g_affinity_saved) {
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(g_saved_affinity),
+                                 &g_saved_affinity);
+    g_affinity_saved = false;
+  }
+#endif
+}
+
+}  // namespace
+
+ShardScheduler::ShardScheduler(ThreadPool& pool, Options opt)
+    : pool_(pool),
+      opt_(opt),
+      shards_(opt.shards == 0 ? std::max<std::size_t>(1, pool.size())
+                              : opt.shards) {}
+
+void ShardScheduler::make_bands(
+    std::uint32_t rows,
+    const std::function<std::uint64_t(std::uint32_t)>& cost) {
+  const std::size_t S = shards_.size();
+  std::uint64_t remaining = 0;
+  for (std::uint32_t p = 0; p < rows; ++p) remaining += cost(p);
+  bands_.assign(S + 1, rows);
+  std::uint32_t p = 0;
+  for (std::size_t s = 0; s < S; ++s) {
+    bands_[s] = p;
+    if (s + 1 == S) break;  // last band takes the rest
+    // Equalize the *remaining* cost over the remaining shards, so rounding
+    // error from earlier bands is absorbed instead of compounding.
+    const std::uint64_t target =
+        (remaining + (S - s) - 1) / (S - s);
+    std::uint64_t acc = 0;
+    while (p < rows && acc < target) {
+      acc += cost(p);
+      ++p;
+    }
+    remaining -= acc;
+  }
+  bands_[S] = rows;
+}
+
+bool ShardScheduler::pop(std::size_t self, TileTask& out) {
+  for (;;) {
+    {
+      Shard& s = shards_[self];
+      std::lock_guard lock(s.mu);
+      if (!s.queue.empty()) {
+        out = s.queue.front();
+        s.queue.pop_front();
+        return true;
+      }
+    }
+    // Steal from the back of the fullest other band: the back is the work
+    // its owner would reach last (coldest for the owner), and the fullest
+    // victim is the likeliest critical path.
+    const std::size_t S = shards_.size();
+    std::size_t victim = S;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < S; ++i) {
+      if (i == self) continue;
+      Shard& v = shards_[i];
+      std::lock_guard lock(v.mu);
+      if (v.queue.size() > best) {
+        best = v.queue.size();
+        victim = i;
+      }
+    }
+    if (victim == S) return false;  // every queue empty: we are done
+    Shard& v = shards_[victim];
+    std::lock_guard lock(v.mu);
+    if (v.queue.empty()) continue;  // raced with another thief; rescan
+    out = v.queue.back();
+    v.queue.pop_back();
+    return true;
+  }
+}
+
+void ShardScheduler::run(const Body& body) {
+  const std::size_t S = shards_.size();
+  for (auto& s : shards_) {
+    s.executed = 0;
+    s.stolen = 0;
+  }
+  // Pool tasks must not throw (std::terminate); catch the first body
+  // exception here, make every worker bail out, and rethrow after the join.
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  for (std::size_t self = 0; self < S; ++self) {
+    pool_.submit([this, self, &body, &abort, &first_error, &error_mu] {
+      if (opt_.pin_threads) pin_current_thread(self);
+      Shard& me = shards_[self];
+      TileTask t;
+      while (!abort.load(std::memory_order_relaxed) && pop(self, t)) {
+        try {
+          body(self, t);
+        } catch (...) {
+          std::lock_guard lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+          abort.store(true, std::memory_order_relaxed);
+          break;
+        }
+        ++me.executed;  // owner-only writes; read after wait_idle()
+        if (t.owner != self) ++me.stolen;
+      }
+      if (opt_.pin_threads) unpin_current_thread();
+    });
+  }
+  pool_.wait_idle();
+  if (first_error) {
+    for (auto& s : shards_) {
+      std::lock_guard lock(s.mu);
+      s.queue.clear();
+    }
+    std::rethrow_exception(first_error);
+  }
+  stats_ = Stats{};
+  stats_.shard_tiles.resize(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    stats_.shard_tiles[s] = shards_[s].executed;
+    stats_.tiles += shards_[s].executed;
+    stats_.steals += shards_[s].stolen;
+  }
+}
+
+void ShardScheduler::run_triangular(std::uint32_t tiles, const Body& body) {
+  make_bands(tiles, [tiles](std::uint32_t p) {
+    return static_cast<std::uint64_t>(tiles - p);
+  });
+  const std::size_t S = shards_.size();
+  for (std::size_t s = 0; s < S; ++s) {
+    shards_[s].queue.clear();
+    for (std::uint32_t p = bands_[s]; p < bands_[s + 1]; ++p) {
+      for (std::uint32_t q = p; q < tiles; ++q) {
+        shards_[s].queue.push_back({p, q, static_cast<std::uint32_t>(s)});
+      }
+    }
+  }
+  run(body);
+}
+
+void ShardScheduler::run_rect(std::uint32_t tile_rows, std::uint32_t tile_cols,
+                              const Body& body) {
+  make_bands(tile_rows, [tile_cols](std::uint32_t) {
+    return static_cast<std::uint64_t>(tile_cols);
+  });
+  const std::size_t S = shards_.size();
+  for (std::size_t s = 0; s < S; ++s) {
+    shards_[s].queue.clear();
+    for (std::uint32_t p = bands_[s]; p < bands_[s + 1]; ++p) {
+      for (std::uint32_t q = 0; q < tile_cols; ++q) {
+        shards_[s].queue.push_back({p, q, static_cast<std::uint32_t>(s)});
+      }
+    }
+  }
+  run(body);
+}
+
+}  // namespace repro::core

@@ -1,0 +1,104 @@
+// ShardScheduler: the two-level scheduler behind SweepEngine's sharded
+// native sweep.
+//
+// Level 1 partitions the tile grid into contiguous row-band shards balanced
+// by tile count (an upper-triangular grid's rows shrink as p grows, so bands
+// get wider toward the bottom). Level 2 gives every shard its own task deque
+// and runs one worker per shard on the host pool: a worker drains its own
+// band front-to-back — tiles of one band share row batmaps, so this keeps a
+// shard's working set hot and, on a NUMA machine with pinning, resident on
+// the worker's node — and steals from the back of the fullest other band
+// once its own is empty, so a skewed band (the wide bottom rows, or a
+// machine whose cores run at different speeds) cannot become the critical
+// path.
+//
+// All tasks exist before the workers start and none are ever re-enqueued,
+// so one full empty scan is a termination proof — no idle spinning, no
+// generation counters. Determinism: each tile is executed exactly once and
+// carries all of its own state, so results are independent of which shard
+// ran it; only per-shard statistics vary run to run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace repro::core {
+
+/// One tile of sweep work, in tile coordinates.
+struct TileTask {
+  std::uint32_t p, q;
+  std::uint32_t owner;  ///< shard whose band the tile belongs to
+};
+
+class ShardScheduler {
+ public:
+  struct Options {
+    /// Shard count; 0 means one shard per pool worker.
+    std::size_t shards = 0;
+    /// Best-effort: pin each shard worker to one logical CPU so a shard's
+    /// queue, counts buffer, and arena stay on one core's cache (and one
+    /// NUMA node's memory under first-touch). No-op off Linux.
+    bool pin_threads = false;
+  };
+
+  struct Stats {
+    std::uint64_t tiles = 0;
+    std::uint64_t steals = 0;  ///< tiles executed by a non-owner shard
+    std::vector<std::uint64_t> shard_tiles;  ///< tiles executed, per shard
+  };
+
+  ShardScheduler(ThreadPool& pool, Options opt);
+
+  std::size_t shards() const { return shards_.size(); }
+
+  /// fn(shard, task): `shard` is the executing shard slot — per-shard
+  /// buffers are indexed by it — which differs from task.owner for stolen
+  /// tiles. Must be safe to run concurrently for distinct tasks. If a body
+  /// throws, remaining tiles are abandoned and the first exception is
+  /// rethrown from run_* on the calling thread.
+  using Body = std::function<void(std::size_t, const TileTask&)>;
+
+  /// Runs body over all tiles p <= q of a `tiles`×`tiles` triangular grid.
+  void run_triangular(std::uint32_t tiles, const Body& body);
+
+  /// Runs body over all tiles of a `tile_rows`×`tile_cols` grid.
+  void run_rect(std::uint32_t tile_rows, std::uint32_t tile_cols,
+                const Body& body);
+
+  /// Statistics of the last run_* call.
+  const Stats& stats() const { return stats_; }
+
+  /// Band boundaries of the last run: shard s owned tile rows
+  /// [bands()[s], bands()[s+1]). Exposed for tests and the README math.
+  const std::vector<std::uint32_t>& bands() const { return bands_; }
+
+ private:
+  /// One shard's queue, padded so neighbouring shards' locks never share a
+  /// cache line.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::deque<TileTask> queue;
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;
+  };
+
+  /// Splits `rows` tile rows into bands with ~equal total tile cost, where
+  /// row p costs cost(p) tiles, and fills bands_.
+  void make_bands(std::uint32_t rows,
+                  const std::function<std::uint64_t(std::uint32_t)>& cost);
+  void run(const Body& body);
+  bool pop(std::size_t self, TileTask& out);
+
+  ThreadPool& pool_;
+  Options opt_;
+  std::vector<Shard> shards_;
+  std::vector<std::uint32_t> bands_;
+  Stats stats_;
+};
+
+}  // namespace repro::core

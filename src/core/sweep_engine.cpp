@@ -67,6 +67,7 @@ void SweepEngine::bind(const PackedMaps& sm) {
   sm_ = &sm;
   tiles_ = 0;
   strip_tiles_ = 0;
+  steals_ = 0;
   sweep_seconds_ = 0;
   if (opt_.backend == Backend::kDevice) {
     // One transfer of all batmaps to the device, as in the paper; the
@@ -119,55 +120,114 @@ void SweepEngine::fill_native(std::uint32_t row0, std::uint32_t col0,
                               std::uint32_t rows_real,
                               std::uint32_t cols_real, std::uint32_t pitch,
                               bool diagonal) {
+  pool_.parallel_for(0, rows_real, [&](std::size_t lo, std::size_t hi) {
+    fill_native_rows(counts_.data(), pitch, row0, col0, lo, hi, cols_real,
+                     diagonal);
+  });
+}
+
+void SweepEngine::fill_native_rows(std::uint32_t* counts, std::uint32_t pitch,
+                                   std::uint32_t row0, std::uint32_t col0,
+                                   std::size_t lr_lo, std::size_t lr_hi,
+                                   std::uint32_t cols_real, bool diagonal) {
   namespace simd = batmap::simd;
   const PackedMaps& sm = *sm_;
   const std::uint32_t* words = sm.words.data();
-  pool_.parallel_for(0, rows_real, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t lr = lo; lr < hi; ++lr) {
-      const auto sr = row0 + static_cast<std::uint32_t>(lr);
-      const std::uint32_t wr = sm.widths[sr];
-      const std::uint32_t* row_words = words + sm.offsets[sr];
-      std::uint32_t* out_row = counts_.data() + lr * pitch;
-      // Diagonal tiles: only columns strictly right of the diagonal.
-      std::uint32_t lc =
-          diagonal ? static_cast<std::uint32_t>(lr) + 1 : 0;
-      while (lc < cols_real) {
-        const std::uint32_t sc = col0 + lc;
-        // Register-blocked strip: kStripCols columns of one width, each at
-        // least as wide as the row (the usual case under the width sort).
-        // One pass loads each row vector once and compares it against all
-        // strip columns; the row tiles wider columns cyclically, base by
-        // base. Eligibility is the shared rule the device strip kernel also
-        // dispatches on (batmap/strip.hpp).
-        if (lc + simd::kStripCols <= cols_real &&
-            batmap::strip_compatible(sm.widths, wr, sc, simd::kStripCols)) {
-          const std::uint32_t wc = sm.widths[sc];
-          std::uint64_t acc[simd::kStripCols] = {};
-          const std::uint32_t* cw[simd::kStripCols];
-          for (std::size_t j = 0; j < simd::kStripCols; ++j) {
-            cw[j] = words + sm.offsets[sc + j];
-          }
-          for (std::uint32_t base = 0; base < wc; base += wr) {
-            const std::uint32_t* cb[simd::kStripCols] = {
-                cw[0] + base, cw[1] + base, cw[2] + base, cw[3] + base};
-            simd::match_count_strip(row_words, wr, cb, acc);
-          }
-          for (std::size_t j = 0; j < simd::kStripCols; ++j) {
-            out_row[lc + j] = static_cast<std::uint32_t>(acc[j]);
-          }
-          lc += simd::kStripCols;
-          continue;
-        }
-        // Fallback: one pair via the dispatched cyclic kernel.
+  for (std::size_t lr = lr_lo; lr < lr_hi; ++lr) {
+    const auto sr = row0 + static_cast<std::uint32_t>(lr);
+    const std::uint32_t wr = sm.widths[sr];
+    const std::uint32_t* row_words = words + sm.offsets[sr];
+    std::uint32_t* out_row = counts + lr * pitch;
+    // Diagonal tiles: only columns strictly right of the diagonal.
+    std::uint32_t lc = diagonal ? static_cast<std::uint32_t>(lr) + 1 : 0;
+    while (lc < cols_real) {
+      const std::uint32_t sc = col0 + lc;
+      // Register-blocked strip: kStripCols columns of one width, each at
+      // least as wide as the row (the usual case under the width sort).
+      // One pass loads each row vector once and compares it against all
+      // strip columns; the row tiles wider columns cyclically, base by
+      // base. Eligibility is the shared rule the device strip kernel also
+      // dispatches on (batmap/strip.hpp).
+      if (lc + simd::kStripCols <= cols_real &&
+          batmap::strip_compatible(sm.widths, wr, sc, simd::kStripCols)) {
         const std::uint32_t wc = sm.widths[sc];
-        const std::uint32_t* col_words = words + sm.offsets[sc];
-        out_row[lc] = static_cast<std::uint32_t>(
-            wr >= wc ? simd::match_count_cyclic(row_words, wr, col_words, wc)
-                     : simd::match_count_cyclic(col_words, wc, row_words, wr));
-        ++lc;
+        std::uint64_t acc[simd::kStripCols] = {};
+        const std::uint32_t* cw[simd::kStripCols];
+        for (std::size_t j = 0; j < simd::kStripCols; ++j) {
+          cw[j] = words + sm.offsets[sc + j];
+        }
+        for (std::uint32_t base = 0; base < wc; base += wr) {
+          const std::uint32_t* cb[simd::kStripCols] = {
+              cw[0] + base, cw[1] + base, cw[2] + base, cw[3] + base};
+          simd::match_count_strip(row_words, wr, cb, acc);
+        }
+        for (std::size_t j = 0; j < simd::kStripCols; ++j) {
+          out_row[lc + j] = static_cast<std::uint32_t>(acc[j]);
+        }
+        lc += simd::kStripCols;
+        continue;
       }
+      // Fallback: one pair via the dispatched cyclic kernel.
+      const std::uint32_t wc = sm.widths[sc];
+      const std::uint32_t* col_words = words + sm.offsets[sc];
+      out_row[lc] = static_cast<std::uint32_t>(
+          wr >= wc ? simd::match_count_cyclic(row_words, wr, col_words, wc)
+                   : simd::match_count_cyclic(col_words, wc, row_words, wr));
+      ++lc;
     }
-  });
+  }
+}
+
+SweepEngine::TileView SweepEngine::fill_tile_sharded(
+    std::uint32_t shard, std::uint32_t p, std::uint32_t q, std::uint32_t row0,
+    std::uint32_t col0, std::uint32_t row_end, std::uint32_t col_end,
+    bool diagonal) {
+  ShardSlot& slot = shard_slots_[shard];
+  const std::uint32_t k = opt_.tile;
+  const std::uint32_t rows_real = std::min(k, row_end - row0);
+  const std::uint32_t cols_real = std::min(k, col_end - col0);
+  const auto rows_pad =
+      static_cast<std::uint32_t>(bits::round_up(rows_real, 16));
+  const auto cols_pad =
+      static_cast<std::uint32_t>(bits::round_up(cols_real, 16));
+  Timer t;
+  std::fill_n(slot.counts.data(),
+              static_cast<std::size_t>(rows_pad) * cols_pad, 0u);
+  // The whole tile runs on the calling shard worker: parallelism is across
+  // tiles, so there is no per-tile fork/join barrier to pay.
+  fill_native_rows(slot.counts.data(), cols_pad, row0, col0, 0, rows_real,
+                   cols_real, diagonal);
+  slot.seconds += t.seconds();
+  ++slot.tiles;
+  return TileView{p,        q,
+                  row0,     col0,
+                  row0 + rows_real, col0 + cols_real,
+                  cols_pad, diagonal,
+                  slot.counts.data(), sm_, shard};
+}
+
+void SweepEngine::prepare_shard_slots(std::size_t shards) {
+  REPRO_CHECK_MSG(opt_.backend == Backend::kNative,
+                  "sharded sweeps are native-only");
+  if (shard_slots_.size() < shards) {
+    shard_slots_.resize(shards);
+  }
+  const std::size_t tile_counts = static_cast<std::size_t>(opt_.tile) * opt_.tile;
+  for (auto& slot : shard_slots_) {
+    if (slot.counts.size() < tile_counts) {
+      slot.counts = slot.arena.alloc_array<std::uint32_t>(tile_counts);
+    }
+    slot.tiles = 0;
+    slot.seconds = 0;
+  }
+}
+
+void SweepEngine::finish_sharded(const ShardScheduler& sched) {
+  for (const auto& slot : shard_slots_) {
+    tiles_ += slot.tiles;
+    sweep_seconds_ += slot.seconds;
+  }
+  steals_ += sched.stats().steals;
 }
 
 bool SweepEngine::device_strip_eligible(std::uint32_t row0,

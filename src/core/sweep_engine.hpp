@@ -22,17 +22,29 @@
 //     path, decided by the shared batmap::strip_* predicates so the two
 //     backends agree by construction.
 //
+// Native sweeps scale past one socket through the two-level sharded
+// scheduler (core/shard_scheduler.hpp): with Options::shards != 1 the tile
+// grid is split into row-band shards, each shard worker fills whole tiles
+// serially into its own 64B-aligned arena-backed counts buffer (no shared
+// cachelines between shards, no per-tile parallel_for barrier), and idle
+// shards steal tiles from the fullest band. Counts are bit-identical to the
+// flat sweep for every shard count; consume runs concurrently and must be
+// thread-safe (key per-shard state by TileView::shard).
+//
 // Tile consumption is a templated visitor: consume(TileView&) inlines into
 // the sweep loop — no std::function per pair.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "batmap/batmap.hpp"
+#include "core/shard_scheduler.hpp"
 #include "simt/device.hpp"
+#include "util/arena.hpp"
 #include "util/bits.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -71,6 +83,16 @@ class SweepEngine {
     /// Device backend: dispatch the strip kernel on eligible tiles. false
     /// forces the per-pair kernel everywhere (ablations / stats baselines).
     bool device_strip = true;
+    /// Native backend: shard count for the two-level sharded sweep.
+    /// 0 = one shard per host thread; 1 = the flat path (per-tile
+    /// parallel_for, the pre-shard baseline); N > 1 = N row-band shards
+    /// with work stealing. With shards > 1 the consume callback runs
+    /// concurrently (one invocation per shard at a time) and must be
+    /// thread-safe; key per-shard state by TileView::shard.
+    std::size_t shards = 0;
+    /// Sharded sweeps: pin each shard worker to one logical CPU
+    /// (best-effort, Linux only) so shard buffers stay node-local.
+    bool pin_threads = false;
   };
 
   /// One finished tile of raw (unpatched) counts. Valid only inside the
@@ -84,6 +106,9 @@ class SweepEngine {
     bool diagonal;             ///< triangular sweep, p == q
     std::uint32_t* counts;     ///< row-major [row][col] tile counts
     const PackedMaps* sm;
+    /// Executing shard slot, < shard_count(); 0 on unsharded sweeps. Index
+    /// per-shard consumer state by this (a stolen tile reports the thief).
+    std::uint32_t shard = 0;
 
     /// Visits every real pair of this tile as fn(id_row, id_col, count)
     /// with ORIGINAL (pre-sort) ids; diagonal tiles yield only sr < sc.
@@ -107,19 +132,43 @@ class SweepEngine {
   /// construction) and the sweep reuse one set of workers.
   ThreadPool& pool() { return pool_; }
 
+  /// Effective shard count of native sweeps (>= 1). Consumers that keep
+  /// per-shard accumulators size them with this; TileView::shard is always
+  /// smaller. Device sweeps are never sharded (the simulator is serial).
+  std::size_t shard_count() const {
+    if (opt_.backend != Backend::kNative) return 1;
+    return opt_.shards == 0 ? std::max<std::size_t>(1, pool_.size())
+                            : opt_.shards;
+  }
+
   /// Attaches packed maps (caller keeps them alive for the sweep) and
   /// resets the per-sweep stats; device backend uploads the maps once here.
   void bind(const PackedMaps& sm);
   void bind(PackedMaps&&) = delete;  // binding a temporary would dangle
 
   /// Sweeps all p <= q tiles of the bound maps (the pair miner's symmetric
-  /// sweep). consume(TileView&) is invoked once per tile, inlined.
+  /// sweep). consume(TileView&) is invoked once per tile, inlined. With
+  /// shard_count() > 1 tiles run concurrently across row-band shards
+  /// (consume must be thread-safe — see Options::shards); pair counts are
+  /// bit-identical to the unsharded sweep for every shard count.
   template <typename Consume>
   void sweep_triangular(Consume&& consume) {
     REPRO_CHECK_MSG(sm_ != nullptr, "bind() before sweep");
     const std::uint32_t n = sm_->n;
     const std::uint32_t k = opt_.tile;
     const auto tiles = static_cast<std::uint32_t>(bits::ceil_div(n, k));
+    if (shard_count() > 1) {
+      ShardScheduler sched(pool_, {shard_count(), opt_.pin_threads});
+      prepare_shard_slots(sched.shards());
+      sched.run_triangular(tiles, [&](std::size_t shard, const TileTask& t) {
+        TileView tv = fill_tile_sharded(static_cast<std::uint32_t>(shard),
+                                        t.p, t.q, t.p * k, t.q * k, n, n,
+                                        t.p == t.q);
+        consume(tv);
+      });
+      finish_sharded(sched);
+      return;
+    }
     for (std::uint32_t p = 0; p < tiles; ++p) {
       for (std::uint32_t q = p; q < tiles; ++q) {
         TileView tv = fill_tile(p, q, p * k, q * k, n, n, p == q);
@@ -145,6 +194,18 @@ class SweepEngine {
         row_end > row_begin ? bits::ceil_div(row_end - row_begin, k) : 0);
     const auto qt = static_cast<std::uint32_t>(
         col_end > col_begin ? bits::ceil_div(col_end - col_begin, k) : 0);
+    if (shard_count() > 1) {
+      ShardScheduler sched(pool_, {shard_count(), opt_.pin_threads});
+      prepare_shard_slots(sched.shards());
+      sched.run_rect(pt, qt, [&](std::size_t shard, const TileTask& t) {
+        TileView tv = fill_tile_sharded(
+            static_cast<std::uint32_t>(shard), t.p, t.q, row_begin + t.p * k,
+            col_begin + t.q * k, row_end, col_end, false);
+        consume(tv);
+      });
+      finish_sharded(sched);
+      return;
+    }
     for (std::uint32_t p = 0; p < pt; ++p) {
       for (std::uint32_t q = 0; q < qt; ++q) {
         TileView tv = fill_tile(p, q, row_begin + p * k, col_begin + q * k,
@@ -154,20 +215,52 @@ class SweepEngine {
     }
   }
 
+  /// Summed per-tile fill time. On sharded sweeps this is aggregate CPU
+  /// time across shards (tiles fill concurrently), not wall-clock.
   double sweep_seconds() const { return sweep_seconds_; }
   std::uint64_t tiles_swept() const { return tiles_; }
   /// Device backend: tiles that took the strip kernel (0 on native).
   std::uint64_t strip_tiles_swept() const { return strip_tiles_; }
+  /// Sharded sweeps: tiles executed by a shard other than their owner.
+  std::uint64_t tiles_stolen() const { return steals_; }
   const simt::MemStats& device_stats() const;
 
  private:
+  /// One shard's private sweep state: a 64B-aligned arena-backed counts
+  /// buffer (no cacheline sharing with other shards) plus local stats that
+  /// merge into the engine totals once per sweep.
+  struct alignas(64) ShardSlot {
+    util::Arena arena;
+    std::span<std::uint32_t> counts;  ///< tile × tile, from the arena
+    std::uint64_t tiles = 0;
+    double seconds = 0;
+  };
+
   /// Computes one tile's raw counts into counts_ and describes it.
   TileView fill_tile(std::uint32_t p, std::uint32_t q, std::uint32_t row0,
                      std::uint32_t col0, std::uint32_t row_end,
                      std::uint32_t col_end, bool diagonal);
+  /// Sharded variant: fills the tile serially on the calling shard worker,
+  /// into that shard's private counts buffer.
+  TileView fill_tile_sharded(std::uint32_t shard, std::uint32_t p,
+                             std::uint32_t q, std::uint32_t row0,
+                             std::uint32_t col0, std::uint32_t row_end,
+                             std::uint32_t col_end, bool diagonal);
+  /// Ensures `shards` ShardSlots exist with counts buffers and zeroed
+  /// per-sweep stats.
+  void prepare_shard_slots(std::size_t shards);
+  /// Merges per-shard stats and the scheduler's steal counts.
+  void finish_sharded(const ShardScheduler& sched);
   void fill_native(std::uint32_t row0, std::uint32_t col0,
                    std::uint32_t rows_real, std::uint32_t cols_real,
                    std::uint32_t pitch, bool diagonal);
+  /// The native row loop shared by the flat (parallel_for over rows) and
+  /// sharded (whole tile on one worker) paths; fills counts rows
+  /// [lr_lo, lr_hi) of the tile at (row0, col0).
+  void fill_native_rows(std::uint32_t* counts, std::uint32_t pitch,
+                        std::uint32_t row0, std::uint32_t col0,
+                        std::size_t lr_lo, std::size_t lr_hi,
+                        std::uint32_t cols_real, bool diagonal);
   void fill_device(std::uint32_t row0, std::uint32_t col0,
                    std::uint32_t rows_pad, std::uint32_t cols_pad,
                    bool diagonal);
@@ -185,7 +278,8 @@ class SweepEngine {
   Options opt_;
   ThreadPool pool_;
   const PackedMaps* sm_ = nullptr;
-  std::vector<std::uint32_t> counts_;  ///< reused tile counts buffer
+  std::vector<std::uint32_t> counts_;  ///< reused tile counts buffer (flat)
+  std::vector<ShardSlot> shard_slots_;  ///< reused across sharded sweeps
 
   std::unique_ptr<simt::Device> device_;  ///< device backend only
   simt::Buffer<std::uint32_t> dev_words_;
@@ -196,6 +290,7 @@ class SweepEngine {
   double sweep_seconds_ = 0;
   std::uint64_t tiles_ = 0;
   std::uint64_t strip_tiles_ = 0;
+  std::uint64_t steals_ = 0;
 };
 
 }  // namespace repro::core

@@ -1,34 +1,68 @@
 #include "mining/fimi_io.hpp"
 
 #include <fstream>
-#include <sstream>
+#include <istream>
 
 #include "util/check.hpp"
 
 namespace repro::mining {
 
+namespace {
+
+/// Parses one FIMI line into `txn` (cleared first). Blank/whitespace-only
+/// lines parse to an empty transaction, which callers skip.
+void parse_fimi_line(const std::string& line, std::vector<Item>& txn) {
+  txn.clear();
+  const char* p = line.c_str();
+  const char* end = p + line.size();
+  while (p < end) {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+    if (p >= end) break;
+    Item v = 0;
+    bool any = false;
+    while (p < end && *p >= '0' && *p <= '9') {
+      v = v * 10 + static_cast<Item>(*p - '0');
+      ++p;
+      any = true;
+    }
+    REPRO_CHECK_MSG(any, "malformed FIMI line: " + line);
+    txn.push_back(v);
+  }
+}
+
+}  // namespace
+
+FimiChunkReader::FimiChunkReader(std::istream& in,
+                                 std::size_t chunk_transactions)
+    : in_(&in), chunk_transactions_(chunk_transactions) {
+  REPRO_CHECK_MSG(chunk_transactions_ >= 1,
+                  "chunk size must be at least one transaction");
+}
+
+std::size_t FimiChunkReader::read_into(TransactionDb& db) {
+  std::size_t appended = 0;
+  while (appended < chunk_transactions_ && std::getline(*in_, line_)) {
+    parse_fimi_line(line_, txn_);
+    if (txn_.empty()) continue;
+    db.add_transaction(txn_);
+    ++appended;
+  }
+  if (appended < chunk_transactions_) done_ = true;
+  transactions_read_ += appended;
+  return appended;
+}
+
+TransactionDb FimiChunkReader::next_chunk() {
+  TransactionDb db;
+  db.reserve(std::min(chunk_transactions_, std::size_t{1} << 20));
+  read_into(db);
+  return db;
+}
+
 TransactionDb read_fimi(std::istream& in) {
   TransactionDb db;
-  std::string line;
-  std::vector<Item> txn;
-  while (std::getline(in, line)) {
-    txn.clear();
-    const char* p = line.c_str();
-    const char* end = p + line.size();
-    while (p < end) {
-      while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
-      if (p >= end) break;
-      Item v = 0;
-      bool any = false;
-      while (p < end && *p >= '0' && *p <= '9') {
-        v = v * 10 + static_cast<Item>(*p - '0');
-        ++p;
-        any = true;
-      }
-      REPRO_CHECK_MSG(any, "malformed FIMI line: " + line);
-      txn.push_back(v);
-    }
-    if (!txn.empty()) db.add_transaction(txn);
+  FimiChunkReader reader(in);
+  while (reader.read_into(db) > 0) {
   }
   return db;
 }

@@ -2,14 +2,58 @@
 // the format of the Frequent Itemset Mining Dataset Repository used by the
 // paper's WebDocs experiment. A real WebDocs file can be loaded with
 // read_fimi() and fed to the same harness as the synthetic generator.
+//
+// Loading is chunked: FimiChunkReader parses a bounded number of
+// transactions per call, so a multi-gigabyte instance can stream through a
+// pipeline — one shard appending tidlists or building its batmap slice
+// while the next chunk is still being parsed — instead of forcing the whole
+// file into memory before any work starts. read_fimi() is the convenience
+// wrapper that drains the reader into one TransactionDb.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
 #include "mining/transaction_db.hpp"
 
 namespace repro::mining {
+
+/// Streams a FIMI text stream as TransactionDb chunks of bounded size.
+class FimiChunkReader {
+ public:
+  static constexpr std::size_t kDefaultChunkTransactions = 1 << 16;
+
+  /// The stream must outlive the reader. `chunk_transactions` bounds the
+  /// transactions parsed per next_chunk() call (>= 1).
+  explicit FimiChunkReader(
+      std::istream& in,
+      std::size_t chunk_transactions = kDefaultChunkTransactions);
+
+  /// Parses up to chunk_transactions() more transactions. Returns an empty
+  /// db at end of stream. Item universes may differ between chunks (each
+  /// chunk's num_items() is its own max item + 1); append() normalizes.
+  TransactionDb next_chunk();
+
+  /// Appends up to chunk_transactions() more transactions into `db`.
+  /// Returns the number appended; 0 at end of stream.
+  std::size_t read_into(TransactionDb& db);
+
+  /// True once the underlying stream is exhausted.
+  bool done() const { return done_; }
+
+  std::size_t chunk_transactions() const { return chunk_transactions_; }
+  /// Transactions parsed so far across all chunks.
+  std::size_t transactions_read() const { return transactions_read_; }
+
+ private:
+  std::istream* in_;
+  std::size_t chunk_transactions_;
+  std::size_t transactions_read_ = 0;
+  bool done_ = false;
+  std::string line_;            // reused line buffer
+  std::vector<Item> txn_;       // reused parse buffer
+};
 
 TransactionDb read_fimi(std::istream& in);
 TransactionDb read_fimi_file(const std::string& path);

@@ -16,6 +16,19 @@ void TransactionDb::add_transaction(std::vector<Item> items) {
   txns_.push_back(std::move(items));
 }
 
+void TransactionDb::append(TransactionDb&& other) {
+  num_items_ = std::max(num_items_, other.num_items_);
+  total_items_ += other.total_items_;
+  if (txns_.empty()) {
+    txns_ = std::move(other.txns_);
+  } else {
+    txns_.reserve(txns_.size() + other.txns_.size());
+    for (auto& txn : other.txns_) txns_.push_back(std::move(txn));
+  }
+  other.txns_.clear();
+  other.total_items_ = 0;
+}
+
 double TransactionDb::density() const {
   if (txns_.empty() || num_items_ == 0) return 0.0;
   return static_cast<double>(total_items_) /

@@ -24,6 +24,15 @@ class TransactionDb {
   /// < num_items (extends num_items if needed).
   void add_transaction(std::vector<Item> items);
 
+  /// Appends every transaction of `other` (chunk assembly for streaming
+  /// readers). Equivalent to add_transaction on each, but moves the already
+  /// sorted/deduplicated rows instead of re-normalizing them.
+  void append(TransactionDb&& other);
+
+  /// Grows the transaction capacity (streaming readers that know a chunk
+  /// size avoid reallocation churn).
+  void reserve(std::size_t transactions) { txns_.reserve(transactions); }
+
   std::size_t num_transactions() const { return txns_.size(); }
   Item num_items() const { return num_items_; }
   /// Total number of item occurrences (the paper's "instance size").

@@ -1,0 +1,130 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace repro::util {
+
+namespace {
+/// Geometric growth stops doubling here; larger requests still get a block
+/// of exactly their size (which reset() then retains — see below).
+constexpr std::size_t kMaxBlockBytes = std::size_t{1} << 23;
+}  // namespace
+
+/// Header at the front of every block; data starts at the next 64 B
+/// boundary after it, so the header burns one cache line per block.
+struct Arena::Block {
+  Block* prev;
+  std::size_t bytes;  ///< usable data bytes
+
+  static constexpr std::size_t header_bytes() {
+    static_assert(sizeof(Block) <= kBlockAlign);
+    return kBlockAlign;
+  }
+  std::byte* data() { return reinterpret_cast<std::byte*>(this) + header_bytes(); }
+};
+
+Arena::Arena(std::size_t first_block_bytes)
+    : next_block_bytes_(std::max<std::size_t>(first_block_bytes, kBlockAlign)) {}
+
+Arena::~Arena() { release(); }
+
+Arena::Arena(Arena&& other) noexcept
+    : head_(std::exchange(other.head_, nullptr)),
+      cursor_(std::exchange(other.cursor_, nullptr)),
+      limit_(std::exchange(other.limit_, nullptr)),
+      next_block_bytes_(other.next_block_bytes_),
+      used_(std::exchange(other.used_, 0)),
+      reserved_(std::exchange(other.reserved_, 0)),
+      block_count_(std::exchange(other.block_count_, 0)) {}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+  if (this != &other) {
+    release();
+    head_ = std::exchange(other.head_, nullptr);
+    cursor_ = std::exchange(other.cursor_, nullptr);
+    limit_ = std::exchange(other.limit_, nullptr);
+    next_block_bytes_ = other.next_block_bytes_;
+    used_ = std::exchange(other.used_, 0);
+    reserved_ = std::exchange(other.reserved_, 0);
+    block_count_ = std::exchange(other.block_count_, 0);
+  }
+  return *this;
+}
+
+void Arena::grow(std::size_t bytes) {
+  const std::size_t data_bytes =
+      std::max(bits::round_up(bytes, kBlockAlign), next_block_bytes_);
+  auto* raw = static_cast<std::byte*>(::operator new(
+      Block::header_bytes() + data_bytes, std::align_val_t{kBlockAlign}));
+  auto* b = new (raw) Block{head_, data_bytes};
+  head_ = b;
+  cursor_ = b->data();
+  limit_ = cursor_ + data_bytes;
+  reserved_ += data_bytes;
+  ++block_count_;
+  next_block_bytes_ = std::min(data_bytes * 2, kMaxBlockBytes);
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  REPRO_DCHECK(bits::is_pow2(align) && align <= kBlockAlign);
+  if (bytes == 0) bytes = align;  // keep successive pointers distinct
+  auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+  const std::size_t pad = (align - addr % align) % align;
+  if (cursor_ == nullptr ||
+      bytes + pad > static_cast<std::size_t>(limit_ - cursor_)) {
+    grow(bytes);  // fresh blocks are 64 B aligned; no pad needed
+    std::byte* out = cursor_;
+    cursor_ += bytes;
+    used_ += bytes;
+    return out;
+  }
+  std::byte* out = cursor_ + pad;
+  cursor_ = out + bytes;
+  used_ += bytes + pad;
+  return out;
+}
+
+void Arena::reset() {
+  if (head_ == nullptr) return;
+  // Keep only the largest block, so the steady state after one warm-up
+  // pass is a single block every later pass reuses without touching the
+  // heap. (Not simply the newest: an oversize request bigger than the
+  // doubling cap allocates an exact-size block that a later, capped block
+  // would otherwise displace.)
+  Block* keep = head_;
+  for (Block* b = head_->prev; b != nullptr; b = b->prev) {
+    if (b->bytes > keep->bytes) keep = b;
+  }
+  for (Block* b = head_; b != nullptr;) {
+    Block* prev = b->prev;
+    if (b != keep) ::operator delete(b, std::align_val_t{kBlockAlign});
+    b = prev;
+  }
+  keep->prev = nullptr;
+  head_ = keep;
+  cursor_ = keep->data();
+  limit_ = cursor_ + keep->bytes;
+  used_ = 0;
+  reserved_ = keep->bytes;
+  block_count_ = 1;
+}
+
+void Arena::release() {
+  for (Block* b = head_; b != nullptr;) {
+    Block* prev = b->prev;
+    ::operator delete(b, std::align_val_t{kBlockAlign});
+    b = prev;
+  }
+  head_ = nullptr;
+  cursor_ = limit_ = nullptr;
+  used_ = reserved_ = 0;
+  block_count_ = 0;
+}
+
+}  // namespace repro::util

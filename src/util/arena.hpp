@@ -1,0 +1,83 @@
+// Arena: a growable bump allocator backed by 64-byte-aligned blocks.
+//
+// The sweep shards and the batmap build loop allocate short-lived,
+// similarly-sized scratch (cuckoo slot tables, tile count buffers) millions
+// of times per run; going through the global allocator for each row both
+// serializes threads on the heap lock and scatters hot buffers across the
+// address space. An Arena instead hands out bump-pointer spans from large
+// blocks owned by one shard: allocation is a pointer increment, reset()
+// makes every byte reusable without returning blocks to the OS, and the 64 B
+// base alignment keeps distinct shards' buffers on distinct cache lines
+// (and SIMD loads aligned).
+//
+// Not thread-safe by design — one arena per shard/worker is the whole point.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+namespace repro::util {
+
+class Arena {
+ public:
+  /// Every block (and therefore every allocation with the default
+  /// alignment) starts on a 64-byte boundary — one x86 cache line.
+  static constexpr std::size_t kBlockAlign = 64;
+
+  /// `first_block_bytes` sizes the first block lazily allocated on demand;
+  /// later blocks double until kMaxBlockBytes.
+  explicit Arena(std::size_t first_block_bytes = 1 << 16);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&& other) noexcept;
+  Arena& operator=(Arena&& other) noexcept;
+
+  /// Returns `bytes` bytes aligned to `align` (a power of two <= 64).
+  /// Never returns nullptr; bytes == 0 yields a distinct valid pointer.
+  void* allocate(std::size_t bytes, std::size_t align = kBlockAlign);
+
+  /// Typed helper: an uninitialized span of `count` Ts (T trivially
+  /// destructible — the arena never runs destructors).
+  template <typename T>
+  std::span<T> alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without destructors");
+    return {static_cast<T*>(allocate(count * sizeof(T), alignof(T) > kBlockAlign
+                                                            ? alignof(T)
+                                                            : kBlockAlign)),
+            count};
+  }
+
+  /// Forgets every allocation but keeps the blocks: the next allocations
+  /// reuse the same memory. Outstanding pointers become invalid.
+  void reset();
+
+  /// Returns all blocks to the OS (implies reset()).
+  void release();
+
+  /// Bytes handed out since construction / the last reset().
+  std::size_t bytes_used() const { return used_; }
+  /// Bytes owned across all blocks (the arena's footprint).
+  std::size_t bytes_reserved() const { return reserved_; }
+  std::size_t block_count() const { return block_count_; }
+
+ private:
+  struct Block;  // header at the front of each 64B-aligned allocation
+
+  /// Makes `bytes` more space available, growing geometrically.
+  void grow(std::size_t bytes);
+
+  Block* head_ = nullptr;     ///< current block (bump target)
+  std::byte* cursor_ = nullptr;
+  std::byte* limit_ = nullptr;
+  std::size_t next_block_bytes_;
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;
+  std::size_t block_count_ = 0;
+};
+
+}  // namespace repro::util

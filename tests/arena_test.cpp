@@ -1,0 +1,154 @@
+// Tests for the shard arena allocator: alignment, growth, reset-reuse, and
+// the builder integration that replaces per-row slot-table allocations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "batmap/builder.hpp"
+#include "batmap/context.hpp"
+#include "util/arena.hpp"
+
+namespace repro::util {
+namespace {
+
+bool aligned(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+TEST(ArenaTest, DefaultAllocationsAreCachelineAligned) {
+  Arena arena;
+  for (int i = 0; i < 20; ++i) {
+    void* p = arena.allocate(1 + i * 7);
+    EXPECT_TRUE(aligned(p, Arena::kBlockAlign)) << i;
+  }
+}
+
+TEST(ArenaTest, RespectsSmallerAlignments) {
+  Arena arena;
+  (void)arena.allocate(1);  // misalign the cursor
+  void* p4 = arena.allocate(4, 4);
+  EXPECT_TRUE(aligned(p4, 4));
+  (void)arena.allocate(3, 1);
+  void* p8 = arena.allocate(8, 8);
+  EXPECT_TRUE(aligned(p8, 8));
+}
+
+TEST(ArenaTest, AllocationsDoNotOverlap) {
+  Arena arena(128);  // small first block forces growth
+  std::vector<std::span<std::uint8_t>> spans;
+  for (int i = 0; i < 50; ++i) {
+    auto s = arena.alloc_array<std::uint8_t>(37);
+    std::memset(s.data(), i, s.size());
+    spans.push_back(s);
+  }
+  for (int i = 0; i < 50; ++i) {
+    for (const std::uint8_t b : spans[i]) {
+      ASSERT_EQ(b, i);  // a later allocation never clobbered an earlier one
+    }
+  }
+  EXPECT_GT(arena.block_count(), 1u);
+}
+
+TEST(ArenaTest, ZeroByteAllocationsAreDistinct) {
+  Arena arena;
+  void* a = arena.allocate(0);
+  void* b = arena.allocate(0);
+  EXPECT_NE(a, b);
+}
+
+TEST(ArenaTest, ResetReusesMemoryWithoutReallocating) {
+  Arena arena(1 << 12);
+  void* first = arena.allocate(256);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // Single-block arena: the bump pointer rewinds to the same address.
+  EXPECT_EQ(arena.allocate(256), first);
+}
+
+TEST(ArenaTest, ResetKeepsOnlyTheLargestBlock) {
+  Arena arena(64);
+  for (int i = 0; i < 40; ++i) (void)arena.allocate(200);
+  const std::size_t grown = arena.bytes_reserved();
+  ASSERT_GT(arena.block_count(), 1u);
+  arena.reset();
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_LT(arena.bytes_reserved(), grown);
+  // Steady state: a same-shaped second pass fits the retained block.
+  const std::size_t reserved = arena.bytes_reserved();
+  for (int i = 0; i < 8; ++i) (void)arena.allocate(200);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaTest, ResetKeepsOversizeBlockOverNewerCappedOne) {
+  // An oversize request (beyond the doubling cap) gets an exact-size block;
+  // a later allocation appends a smaller, capped block. reset() must keep
+  // the big one — otherwise every pass re-allocates it from the heap.
+  constexpr std::size_t kBig = 12u << 20;  // > the 8 MiB doubling cap
+  Arena arena(64);
+  (void)arena.allocate(kBig);
+  (void)arena.allocate(1024);  // forces a second (capped, smaller) block
+  ASSERT_GT(arena.block_count(), 1u);
+  arena.reset();
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_GE(arena.bytes_reserved(), kBig);
+  const std::size_t reserved = arena.bytes_reserved();
+  (void)arena.allocate(kBig);  // fits the retained block: no heap traffic
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaTest, OversizedRequestGetsOwnBlock) {
+  Arena arena(64);
+  auto big = arena.alloc_array<std::uint64_t>(1 << 16);
+  std::memset(big.data(), 0xab, big.size_bytes());
+  EXPECT_GE(arena.bytes_reserved(), big.size_bytes());
+}
+
+TEST(ArenaTest, ReleaseReturnsEverything) {
+  Arena arena;
+  (void)arena.allocate(1000);
+  arena.release();
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.block_count(), 0u);
+  // Still usable after release.
+  EXPECT_NE(arena.allocate(16), nullptr);
+}
+
+TEST(ArenaTest, MoveTransfersOwnership) {
+  Arena a(1 << 12);
+  auto s = a.alloc_array<std::uint32_t>(100);
+  s[0] = 42;
+  Arena b(std::move(a));
+  EXPECT_EQ(s[0], 42u);  // memory survived the move
+  EXPECT_EQ(a.bytes_reserved(), 0u);
+  EXPECT_GT(b.bytes_reserved(), 0u);
+}
+
+// The arena-backed builder must produce exactly the batmap the heap-backed
+// builder produces, across arena reuse.
+TEST(ArenaTest, ArenaBuilderMatchesHeapBuilder) {
+  batmap::BatmapContext ctx(4096, 7);
+  Arena arena;
+  for (std::uint64_t round = 0; round < 6; ++round) {
+    std::vector<std::uint64_t> elements;
+    for (std::uint64_t x = round; x < 4096; x += 5 + round) {
+      elements.push_back(x);
+    }
+    std::vector<std::uint64_t> failed_heap, failed_arena;
+    const batmap::Batmap heap =
+        batmap::build_batmap(ctx, elements, &failed_heap);
+    const batmap::Batmap from_arena =
+        batmap::build_batmap_arena(ctx, elements, arena, &failed_arena);
+    EXPECT_TRUE(std::ranges::equal(heap.words(), from_arena.words()))
+        << "round " << round;
+    EXPECT_EQ(failed_heap, failed_arena) << "round " << round;
+    EXPECT_EQ(arena.bytes_used(), 0u);  // build_batmap_arena resets
+  }
+  // All six rounds ran from one retained block after warm-up.
+  EXPECT_EQ(arena.block_count(), 1u);
+}
+
+}  // namespace
+}  // namespace repro::util

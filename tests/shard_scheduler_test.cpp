@@ -1,0 +1,219 @@
+// Tests for the two-level sharded sweep scheduler: exact tile coverage,
+// band balance, work stealing under skew, and end-to-end determinism —
+// identical pair counts for every (threads, shards) combination.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/pair_miner.hpp"
+#include "core/shard_scheduler.hpp"
+#include "mining/brute_force.hpp"
+#include "mining/datagen.hpp"
+#include "util/thread_pool.hpp"
+
+namespace repro::core {
+namespace {
+
+using PQ = std::pair<std::uint32_t, std::uint32_t>;
+
+std::multiset<PQ> collect_triangular(std::size_t threads, std::size_t shards,
+                                     std::uint32_t tiles,
+                                     ShardScheduler::Stats* stats = nullptr) {
+  ThreadPool pool(threads);
+  ShardScheduler sched(pool, {shards, false});
+  std::mutex mu;
+  std::multiset<PQ> seen;
+  sched.run_triangular(tiles, [&](std::size_t, const TileTask& t) {
+    std::lock_guard lock(mu);
+    seen.insert({t.p, t.q});
+  });
+  if (stats) *stats = sched.stats();
+  return seen;
+}
+
+TEST(ShardSchedulerTest, TriangularCoversEveryTileExactlyOnce) {
+  for (const std::uint32_t tiles : {0u, 1u, 2u, 5u, 13u}) {
+    std::multiset<PQ> expected;
+    for (std::uint32_t p = 0; p < tiles; ++p) {
+      for (std::uint32_t q = p; q < tiles; ++q) expected.insert({p, q});
+    }
+    for (const std::size_t shards : {1u, 2u, 3u, 8u, 32u}) {
+      ShardScheduler::Stats stats;
+      const auto seen = collect_triangular(2, shards, tiles, &stats);
+      EXPECT_EQ(seen, expected) << "tiles=" << tiles << " shards=" << shards;
+      EXPECT_EQ(stats.tiles, expected.size());
+    }
+  }
+}
+
+TEST(ShardSchedulerTest, RectCoversEveryTileExactlyOnce) {
+  ThreadPool pool(3);
+  ShardScheduler sched(pool, {4, false});
+  std::mutex mu;
+  std::multiset<PQ> seen;
+  sched.run_rect(5, 7, [&](std::size_t, const TileTask& t) {
+    std::lock_guard lock(mu);
+    seen.insert({t.p, t.q});
+  });
+  std::multiset<PQ> expected;
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    for (std::uint32_t q = 0; q < 7; ++q) expected.insert({p, q});
+  }
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(sched.stats().tiles, 35u);
+}
+
+TEST(ShardSchedulerTest, MoreShardsThanRowsStillCovers) {
+  const auto seen = collect_triangular(4, 16, 3);
+  EXPECT_EQ(seen.size(), 6u);  // 3+2+1 tiles, each exactly once
+}
+
+TEST(ShardSchedulerTest, BandsPartitionTheRowRange) {
+  ThreadPool pool(1);
+  ShardScheduler sched(pool, {4, false});
+  sched.run_triangular(13, [](std::size_t, const TileTask&) {});
+  const auto& bands = sched.bands();
+  ASSERT_EQ(bands.size(), 5u);
+  EXPECT_EQ(bands.front(), 0u);
+  EXPECT_EQ(bands.back(), 13u);
+  for (std::size_t s = 0; s + 1 < bands.size(); ++s) {
+    EXPECT_LE(bands[s], bands[s + 1]);
+  }
+  // Triangular cost balance: the first band must take fewer rows than the
+  // last (top rows are the widest), never the other way around.
+  EXPECT_LE(bands[1] - bands[0], bands[4] - bands[3]);
+}
+
+TEST(ShardSchedulerTest, SkewedWorkloadTriggersStealing) {
+  // Two shards; every band-0 tile is slow. Worker 1 drains its own band
+  // quickly and must steal the slow band's tail for the run to balance.
+  ThreadPool pool(2);
+  ShardScheduler sched(pool, {2, false});
+  sched.run_triangular(8, [&](std::size_t, const TileTask& t) {
+    if (t.owner == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  });
+  EXPECT_EQ(sched.stats().tiles, 36u);
+  EXPECT_GT(sched.stats().steals, 0u);
+  ASSERT_EQ(sched.stats().shard_tiles.size(), 2u);
+  EXPECT_EQ(sched.stats().shard_tiles[0] + sched.stats().shard_tiles[1], 36u);
+}
+
+TEST(ShardSchedulerTest, SingleThreadManyShardsDrainsViaStealing) {
+  // One worker owns shard 0 and must steal every other band: determinism
+  // of the sweep cannot depend on who executes a tile.
+  ShardScheduler::Stats stats;
+  const auto seen = collect_triangular(1, 6, 10, &stats);
+  EXPECT_EQ(seen.size(), 55u);
+  EXPECT_GT(stats.steals, 0u);
+}
+
+TEST(ShardSchedulerTest, BodyExceptionPropagatesAndAborts) {
+  ThreadPool pool(2);
+  ShardScheduler sched(pool, {2, false});
+  EXPECT_THROW(sched.run_triangular(6,
+                                    [](std::size_t, const TileTask& t) {
+                                      if (t.p == 1 && t.q == 2) {
+                                        throw std::runtime_error("boom");
+                                      }
+                                    }),
+               std::runtime_error);
+  // The scheduler stays usable after a failed run.
+  std::atomic<int> ran{0};
+  sched.run_triangular(3, [&](std::size_t, const TileTask&) { ++ran; });
+  EXPECT_EQ(ran.load(), 6);
+}
+
+// End-to-end: the pair miner's results are bit-identical across every
+// (threads, shards) combination, including steal-heavy ones.
+TEST(ShardSchedulerTest, PairCountsIdenticalAcrossShardCounts) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 90;
+  spec.density = 0.1;
+  spec.total_items = 6000;
+  spec.seed = 42;
+  const auto db = mining::bernoulli_instance(spec);
+  const auto oracle = mining::brute_force_pair_supports(db);
+
+  for (const std::size_t threads : {1u, 4u}) {
+    for (const std::size_t shards : {0u, 1u, 2u, 3u, 7u}) {
+      PairMinerOptions opt;
+      opt.tile = 16;  // 6 tile rows: plenty of tiles to shard and steal
+      opt.threads = threads;
+      opt.shards = shards;
+      const auto res = PairMiner(opt).mine(db);
+      ASSERT_TRUE(res.supports.has_value());
+      EXPECT_TRUE(*res.supports == oracle)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(res.tiles, 21u) << "threads=" << threads
+                                << " shards=" << shards;
+    }
+  }
+}
+
+// The sharded path must agree with the flat path on skewed instances where
+// batmap widths (and therefore tile costs) vary wildly across the grid.
+TEST(ShardSchedulerTest, SkewedWidthsIdenticalFlatVsSharded) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 60;
+  spec.density = 0.35;  // dense: wide batmaps, expensive bottom-right tiles
+  spec.total_items = 9000;
+  spec.seed = 7;
+  const auto db = mining::bernoulli_instance(spec);
+
+  PairMinerOptions flat;
+  flat.tile = 16;
+  flat.threads = 2;
+  flat.shards = 1;  // pre-shard flat pool
+  const auto base = PairMiner(flat).mine(db);
+
+  PairMinerOptions sharded = flat;
+  sharded.shards = 5;
+  const auto res = PairMiner(sharded).mine(db);
+
+  ASSERT_TRUE(base.supports.has_value() && res.supports.has_value());
+  EXPECT_TRUE(*base.supports == *res.supports);
+  EXPECT_EQ(base.total_support, res.total_support);
+  EXPECT_EQ(base.frequent_pairs, res.frequent_pairs);
+  EXPECT_EQ(base.bytes_compared, res.bytes_compared);
+}
+
+// Per-tile visitor callbacks must arrive exactly once per tile (serialized
+// by the miner) even when tiles complete concurrently across shards.
+TEST(ShardSchedulerTest, VisitorSeesEveryTileOnceWhenSharded) {
+  mining::BernoulliSpec spec;
+  spec.num_items = 70;
+  spec.density = 0.1;
+  spec.total_items = 4000;
+  spec.seed = 3;
+  const auto db = mining::bernoulli_instance(spec);
+
+  PairMinerOptions opt;
+  opt.tile = 16;
+  opt.threads = 4;
+  opt.shards = 4;
+  opt.materialize = false;
+  std::multiset<PQ> seen;
+  std::uint64_t pair_sum = 0;
+  const std::function<void(const TileResult&)> visitor =
+      [&](const TileResult& tr) {
+        seen.insert({tr.p, tr.q});
+        tr.for_each_pair([&](std::uint32_t, std::uint32_t, std::uint32_t s) {
+          pair_sum += s;
+        });
+      };
+  const auto res = PairMiner(opt).mine(db, &visitor);
+  EXPECT_EQ(seen.size(), res.tiles);
+  EXPECT_EQ(std::set<PQ>(seen.begin(), seen.end()).size(), seen.size());
+  EXPECT_EQ(pair_sum, res.total_support);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -5,6 +5,7 @@
 //   batmap_cli info  --store store.bin
 //   batmap_cli query --store store.bin --a I --b J
 //   batmap_cli pairs --fimi data.fimi --minsup S [--top K] [--backend native|device]
+//                    [--threads T] [--shards S]   (S: 0=auto, 1=flat pool)
 //   batmap_cli mine  --fimi data.fimi --minsup S [--max-size K]
 //
 // `gen` writes a synthetic FIMI file; `build` turns a FIMI file's VERTICAL
@@ -172,6 +173,9 @@ int cmd_pairs(Args& args) {
   const std::uint64_t top = args.u64("top", 10, "pairs to print");
   const std::string backend =
       args.str("backend", "native", "sweep backend: native|device");
+  const std::uint64_t threads = args.u64("threads", 1, "host sweep threads");
+  const std::uint64_t shards =
+      args.u64("shards", 0, "sweep shards (0=auto, 1=flat pool)");
   args.finish();
   if (fimi.empty()) {
     std::fprintf(stderr, "pairs: --fimi is required\n");
@@ -188,6 +192,8 @@ int cmd_pairs(Args& args) {
       backend == "device" ? core::Backend::kDevice : core::Backend::kNative;
   // The simulated device is slow; keep its tiles small enough to matter.
   opt.tile = backend == "device" ? 256 : 2048;
+  opt.threads = static_cast<std::size_t>(threads == 0 ? 1 : threads);
+  opt.shards = static_cast<std::size_t>(shards);
   const auto res = core::PairMiner(opt).mine(db);
   std::printf("pairs with support >= %llu: %llu (pre %.3fs, sweep %.3fs, "
               "post %.3fs, %llu failures patched)\n",
@@ -200,6 +206,10 @@ int cmd_pairs(Args& args) {
     std::printf("device sweep: %llu tiles (%llu strip-kernel)\n",
                 static_cast<unsigned long long>(res.tiles),
                 static_cast<unsigned long long>(res.strip_tiles));
+  } else if (opt.threads > 1 || opt.shards > 1) {
+    std::printf("sharded sweep: %llu tiles, %llu stolen cross-shard\n",
+                static_cast<unsigned long long>(res.tiles),
+                static_cast<unsigned long long>(res.tiles_stolen));
   }
   // Top pairs by support.
   std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> best;
