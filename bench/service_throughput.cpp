@@ -1,0 +1,353 @@
+// service_throughput — closed-loop load generator for the batmap query
+// service: batched engine vs naive one-query-at-a-time execution on the
+// same snapshot, with per-query latency percentiles and a result
+// fingerprint that must be bit-identical across every mode (and against
+// the offline BatmapStore oracle).
+//
+//   service_throughput [--sets N] [--universe U] [--set-size S]
+//                      [--queries Q] [--clients C] [--zipf THETA]
+//                      [--topk-permille P] [--support-permille P]
+//                      [--cache N] [--batch N] [--verify 0|1]
+//                      [--assert-speedup X] [--snapshot PATH] [--csv PATH]
+//
+// Workload: a dense synthetic store of `sets` equal-size random sets (equal
+// widths, so coalesced pair queries run as register-blocked strips), query
+// ids zipf-distributed so concurrent clients naturally share rows — the
+// regime a popularity-skewed serving tier sees. Three arms run the same
+// pre-generated query stream:
+//
+//   direct         one thread calling QueryEngine::execute_one — no queue,
+//                  no threads, no serving overhead at all; the lower-bound
+//                  reference and the fingerprint anchor
+//   naive          C closed-loop clients, but the engine coalesces nothing:
+//                  max_batch=1, cache off — one-query-at-a-time serving
+//   batched        C clients, micro-batching on (strips + shared rows),
+//                  cache off
+//   batched+cache  as batched, plus the LRU result cache
+//
+// The batched-vs-naive ratio is the value of coalescing at equal serving
+// machinery (same queue, same wakeups, same clients); the direct row shows
+// what the serving layer itself costs. The per-query fingerprint is
+// XOR-folded (order-independent), so any divergence between arms — or
+// against the BatmapStore oracle when --verify is on — fails the run with
+// exit 1. --assert-speedup X additionally requires batched+cache QPS >=
+// X × naive QPS (the CI service-smoke gate).
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "batmap/intersect.hpp"
+#include "harness.hpp"
+#include "service/query_engine.hpp"
+#include "service/snapshot.hpp"
+#include "util/fnv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace repro;
+
+namespace {
+
+/// Zipf(theta) sampler over [0, n) via inverse CDF; theta == 0 is uniform.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double theta) : cdf_(n) {
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+  }
+
+  std::uint32_t operator()(Xoshiro256& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint32_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+std::uint64_t result_fingerprint(std::uint64_t index, const service::Query& q,
+                                 const service::Result& r) {
+  util::Fnv1a fp;
+  fp.update(&index, sizeof(index));
+  fp.update(&q.kind, sizeof(q.kind));
+  fp.update(&q.a, sizeof(q.a));
+  fp.update(&q.b, sizeof(q.b));
+  fp.update(&q.k, sizeof(q.k));
+  fp.update(&r.value, sizeof(r.value));
+  for (std::uint32_t i = 0; i < r.topk_count; ++i) {
+    fp.update(&r.topk[i].id, sizeof(r.topk[i].id));
+    fp.update(&r.topk[i].count, sizeof(r.topk[i].count));
+  }
+  return fp.digest();
+}
+
+struct RunResult {
+  double seconds = 0;
+  std::uint64_t fingerprint = 0;  ///< XOR over per-query digests
+  double p50_us = 0, p99_us = 0;
+};
+
+double percentile(std::vector<std::uint64_t>& ns, double p) {
+  if (ns.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(ns.size() - 1));
+  std::nth_element(ns.begin(), ns.begin() + static_cast<std::ptrdiff_t>(idx),
+                   ns.end());
+  return static_cast<double>(ns[idx]) / 1e3;
+}
+
+/// C closed-loop clients drive disjoint slices of the stream through the
+/// engine; `naive` uses execute_one on one thread instead.
+RunResult run_arm(service::QueryEngine& engine,
+                  const std::vector<service::Query>& stream,
+                  std::size_t clients, bool naive) {
+  RunResult out;
+  const std::size_t q = stream.size();
+  if (naive) clients = 1;
+  std::vector<std::uint64_t> fps(clients, 0);
+  std::vector<std::vector<std::uint64_t>> lat(clients);
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    const std::size_t lo = q * c / clients;
+    const std::size_t hi = q * (c + 1) / clients;
+    lat[c].reserve(hi - lo);
+    threads.emplace_back([&, c, lo, hi] {
+      service::Request req;
+      for (std::size_t i = lo; i < hi; ++i) {
+        Timer t;
+        service::Result r;
+        if (naive) {
+          r = engine.execute_one(stream[i]);
+        } else {
+          req.query = stream[i];
+          engine.submit(req);
+          service::QueryEngine::wait(req);
+          r = req.result();
+        }
+        lat[c].push_back(static_cast<std::uint64_t>(t.seconds() * 1e9));
+        fps[c] ^= result_fingerprint(i, stream[i], r);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  out.seconds = wall.seconds();
+  for (const auto f : fps) out.fingerprint ^= f;
+  std::vector<std::uint64_t> all;
+  for (auto& l : lat) all.insert(all.end(), l.begin(), l.end());
+  out.p50_us = percentile(all, 0.50);
+  out.p99_us = percentile(all, 0.99);
+  return out;
+}
+
+/// The offline-miner oracle: every query answered straight off the
+/// BatmapStore the snapshot was built from.
+std::uint64_t oracle_fingerprint(const batmap::BatmapStore& store,
+                                 const std::vector<service::Query>& stream) {
+  std::uint64_t fp = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto& q = stream[i];
+    service::Result r;
+    switch (q.kind) {
+      case service::QueryKind::kIntersect:
+        r.value = store.intersection_size(q.a, q.b);
+        break;
+      case service::QueryKind::kSupport:
+        r.value = store.raw_count(q.a, q.b);
+        break;
+      case service::QueryKind::kTopK: {
+        // Rank by (count desc, id asc) — the service's canonical order.
+        std::vector<std::pair<std::uint64_t, std::uint32_t>> best;
+        for (std::uint32_t id = 0; id < store.size(); ++id) {
+          if (id == q.a) continue;
+          best.emplace_back(store.intersection_size(q.a, id), id);
+        }
+        std::sort(best.begin(), best.end(), [](const auto& x, const auto& y) {
+          return x.first != y.first ? x.first > y.first : x.second < y.second;
+        });
+        r.topk_count = static_cast<std::uint32_t>(
+            std::min<std::size_t>(q.k, best.size()));
+        r.value = r.topk_count;
+        for (std::uint32_t j = 0; j < r.topk_count; ++j) {
+          r.topk[j] = {best[j].second, best[j].first};
+        }
+        break;
+      }
+    }
+    fp ^= result_fingerprint(i, q, r);
+  }
+  return fp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::uint64_t sets = args.u64("sets", 512, "sets in the store");
+  const std::uint64_t universe = args.u64("universe", 60000, "element universe");
+  const std::uint64_t set_size = args.u64("set-size", 1200, "elements per set");
+  const std::uint64_t queries = args.u64("queries", 50000, "total queries");
+  const std::uint64_t clients = args.u64("clients", 32, "closed-loop clients");
+  const double zipf_theta = args.f64("zipf", 1.1, "query-id skew (0=uniform)");
+  const std::uint64_t topk_permille =
+      args.u64("topk-permille", 100, "‰ of queries that are top-k");
+  const std::uint64_t support_permille =
+      args.u64("support-permille", 250, "‰ of queries that are raw support");
+  const std::uint64_t cache = args.u64("cache", 1 << 15, "cache entries");
+  const std::uint64_t batch = args.u64("batch", 256, "max micro-batch");
+  const std::uint64_t seed = args.u64("seed", 42, "workload seed");
+  const bool verify =
+      args.flag("verify", true, "cross-check against the BatmapStore oracle");
+  const double assert_speedup = args.f64(
+      "assert-speedup", 0.0, "fail unless batched+cache >= X * naive QPS");
+  const std::string snap_path =
+      args.str("snapshot", "service_throughput.snap", "snapshot scratch path");
+  const std::string csv = args.str("csv", "", "write table as CSV");
+  args.finish();
+
+  std::printf("service_throughput: %" PRIu64 " sets x %" PRIu64
+              " elements over [0, %" PRIu64 "), %" PRIu64 " queries, %" PRIu64
+              " clients, zipf %.2f\n",
+              sets, set_size, universe, queries, clients, zipf_theta);
+
+  // Build the store and its snapshot.
+  Timer build_t;
+  batmap::BatmapStore store(universe);
+  {
+    Xoshiro256 rng(seed);
+    std::vector<std::uint64_t> v;
+    for (std::uint64_t i = 0; i < sets; ++i) {
+      std::set<std::uint64_t> s;
+      while (s.size() < set_size) s.insert(rng.below(universe));
+      v.assign(s.begin(), s.end());
+      store.add(v);
+    }
+  }
+  service::write_snapshot(store, snap_path, /*epoch=*/1);
+  const service::Snapshot snap = service::Snapshot::open(snap_path);
+  std::printf("built + snapshotted in %.2fs (%.1f MiB mapped, %" PRIu64
+              " failures)\n",
+              build_t.seconds(),
+              static_cast<double>(snap.mapped_bytes()) / (1 << 20),
+              snap.total_failures());
+
+  // Pre-generate the query stream shared by every arm.
+  std::vector<service::Query> stream(queries);
+  {
+    Xoshiro256 rng(seed ^ 0xbadc0ffeull);
+    const Zipf zipf(sets, zipf_theta);
+    for (auto& q : stream) {
+      const std::uint64_t kind_draw = rng.below(1000);
+      q.a = zipf(rng);
+      if (kind_draw < topk_permille) {
+        q.kind = service::QueryKind::kTopK;
+        q.k = 1 + static_cast<std::uint32_t>(rng.below(8));
+      } else {
+        q.kind = kind_draw < topk_permille + support_permille
+                     ? service::QueryKind::kSupport
+                     : service::QueryKind::kIntersect;
+        q.b = zipf(rng);
+        if (q.b == q.a) q.b = (q.a + 1) % static_cast<std::uint32_t>(sets);
+      }
+    }
+  }
+
+  service::QueryEngine::Options base;
+  base.max_batch = batch;
+  base.queue_capacity = std::max<std::size_t>(2 * clients, 64);
+
+  RunResult direct, naive, batched, cached;
+  {
+    service::QueryEngine::Options opt = base;
+    opt.cache_entries = 0;
+    service::QueryEngine engine(snap, opt);
+    direct = run_arm(engine, stream, 1, /*naive=*/true);
+  }
+  {
+    service::QueryEngine::Options opt = base;
+    opt.cache_entries = 0;
+    opt.max_batch = 1;  // one-query-at-a-time serving
+    service::QueryEngine engine(snap, opt);
+    naive = run_arm(engine, stream, clients, /*naive=*/false);
+  }
+  {
+    service::QueryEngine::Options opt = base;
+    opt.cache_entries = 0;
+    service::QueryEngine engine(snap, opt);
+    batched = run_arm(engine, stream, clients, /*naive=*/false);
+    const auto st = engine.stats();
+    std::printf("batched: %" PRIu64 " batches (max %" PRIu64 "), %" PRIu64
+                " strip / %" PRIu64 " cyclic / %" PRIu64
+                " duplicate pairs, %" PRIu64 " topk sweeps, arena %" PRIu64
+                " B\n",
+                st.batches, st.max_batch_seen, st.strip_pairs, st.cyclic_pairs,
+                st.duplicate_pairs, st.topk_sweeps, st.arena_reserved_bytes);
+  }
+  {
+    service::QueryEngine::Options opt = base;
+    opt.cache_entries = cache;
+    service::QueryEngine engine(snap, opt);
+    cached = run_arm(engine, stream, clients, /*naive=*/false);
+    const auto st = engine.stats();
+    std::printf("batched+cache: %" PRIu64 " hits / %" PRIu64 " misses, %" PRIu64
+                " evictions\n",
+                st.cache_hits, st.cache_misses, st.cache_evictions);
+  }
+
+  const double qn = static_cast<double>(queries);
+  Table table({"mode", "seconds", "qps", "p50_us", "p99_us", "speedup",
+               "fingerprint"});
+  const auto row = [&](const char* mode, const RunResult& r) {
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016" PRIx64, r.fingerprint);
+    table.row()
+        .add(std::string(mode))
+        .add(r.seconds, 3)
+        .add(qn / r.seconds, 0)
+        .add(r.p50_us, 1)
+        .add(r.p99_us, 1)
+        .add(naive.seconds / r.seconds, 2)
+        .add(std::string(fp));
+  };
+  row("direct", direct);
+  row("naive", naive);
+  row("batched", batched);
+  row("batched+cache", cached);
+  bench::emit(table, csv);
+
+  bool ok = true;
+  if (naive.fingerprint != direct.fingerprint ||
+      batched.fingerprint != direct.fingerprint ||
+      cached.fingerprint != direct.fingerprint) {
+    std::printf("FINGERPRINT MISMATCH between arms\n");
+    ok = false;
+  }
+  if (verify) {
+    const std::uint64_t oracle = oracle_fingerprint(store, stream);
+    if (oracle != direct.fingerprint) {
+      std::printf("FINGERPRINT MISMATCH vs offline BatmapStore oracle\n");
+      ok = false;
+    } else {
+      std::printf("oracle fingerprint matches (%016" PRIx64 ")\n", oracle);
+    }
+  }
+  if (assert_speedup > 0) {
+    const double speedup = naive.seconds / cached.seconds;
+    if (speedup < assert_speedup) {
+      std::printf("SPEEDUP %.2fx below required %.2fx\n", speedup,
+                  assert_speedup);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -4,6 +4,8 @@
 #include <istream>
 #include <ostream>
 
+#include "util/fnv.hpp"
+
 namespace repro::batmap {
 
 BatmapStore::BatmapStore(std::uint64_t universe)
@@ -150,7 +152,80 @@ std::uint64_t patched_intersect_count(
 namespace {
 
 constexpr std::uint64_t kMagic = 0x424154'4d41'5031ull;  // "BATMAP1"
-constexpr std::uint32_t kVersion = 1;
+// Version 2: every payload byte after the magic+version preamble is folded
+// into an FNV-1a digest appended as a trailer; load() re-hashes while
+// parsing and rejects any mismatch, so a single flipped bit anywhere in
+// the stream fails loudly instead of decoding into a corrupt store.
+constexpr std::uint32_t kVersion = 2;
+// Sanity cap on serialized vector lengths: corruption in a length field
+// must raise CheckError, not a multi-terabyte allocation.
+constexpr std::uint64_t kMaxVecElems = 1ull << 40;
+
+/// Hashing ostream shim: everything written after the preamble flows
+/// through here so the trailer digest covers the whole payload.
+struct HashedWriter {
+  std::ostream& out;
+  util::Fnv1a hash;
+
+  void write(const void* data, std::size_t bytes) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(bytes));
+    hash.update(data, bytes);
+  }
+  template <typename T>
+  void pod(const T& v) {
+    write(&v, sizeof(T));
+  }
+  template <typename T>
+  void span(std::span<const T> v) {
+    pod<std::uint64_t>(v.size());
+    write(v.data(), v.size() * sizeof(T));
+  }
+};
+
+/// Hashing istream shim, mirror of HashedWriter.
+struct HashedReader {
+  std::istream& in;
+  util::Fnv1a hash;
+
+  void read(void* data, std::size_t bytes) {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+    REPRO_CHECK_MSG(in.good(), "truncated batmap store stream");
+    hash.update(data, bytes);
+  }
+  template <typename T>
+  T pod() {
+    T v{};
+    read(&v, sizeof(T));
+    return v;
+  }
+  /// Bytes left in the stream, or -1 when it is not seekable.
+  std::int64_t remaining_bytes() {
+    const auto cur = in.tellg();
+    if (cur == std::istream::pos_type(-1)) return -1;
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    in.seekg(cur);
+    if (end == std::istream::pos_type(-1)) return -1;
+    return static_cast<std::int64_t>(end - cur);
+  }
+  template <typename T>
+  std::vector<T> vec() {
+    const auto size = pod<std::uint64_t>();
+    // A corrupt length field must raise CheckError, never reach the
+    // allocator: bound by the bytes actually left in the stream when it
+    // is seekable (files and stringstreams are), and in any case by a
+    // cap checked with a division so huge values cannot wrap past it.
+    const std::int64_t left = remaining_bytes();
+    REPRO_CHECK_MSG(size < kMaxVecElems / sizeof(T) &&
+                        (left < 0 || size <= static_cast<std::uint64_t>(left) /
+                                                 sizeof(T)),
+                    "implausible vector size (corrupt stream)");
+    std::vector<T> v(size);
+    read(v.data(), size * sizeof(T));
+    return v;
+  }
+};
 
 template <typename T>
 void write_pod(std::ostream& out, const T& v) {
@@ -165,39 +240,24 @@ T read_pod(std::istream& in) {
   return v;
 }
 
-template <typename T>
-void write_span(std::ostream& out, std::span<const T> v) {
-  write_pod<std::uint64_t>(out, v.size());
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
-
-template <typename T>
-std::vector<T> read_vec(std::istream& in) {
-  const auto size = read_pod<std::uint64_t>(in);
-  std::vector<T> v(size);
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(size * sizeof(T)));
-  REPRO_CHECK_MSG(in.good(), "truncated batmap store stream");
-  return v;
-}
-
 }  // namespace
 
 void BatmapStore::save(std::ostream& out) const {
   write_pod(out, kMagic);
   write_pod(out, kVersion);
-  write_pod<std::uint64_t>(out, ctx_.universe());
-  write_pod<std::uint64_t>(out, opt_.seed);
-  write_pod<std::uint8_t>(out, opt_.keep_elements ? 1 : 0);
-  write_pod<std::uint64_t>(out, maps_.size());
+  HashedWriter w{out, {}};
+  w.pod<std::uint64_t>(ctx_.universe());
+  w.pod<std::uint64_t>(opt_.seed);
+  w.pod<std::uint8_t>(opt_.keep_elements ? 1 : 0);
+  w.pod<std::uint64_t>(maps_.size());
   for (std::size_t i = 0; i < maps_.size(); ++i) {
-    write_pod<std::uint32_t>(out, maps_[i].range());
-    write_pod<std::uint64_t>(out, maps_[i].stored_elements());
-    write_span(out, maps_[i].words());  // streamed straight from the map
-    write_span<std::uint64_t>(out, failed_[i]);
-    write_span<std::uint64_t>(out, elements_[i]);
+    w.pod<std::uint32_t>(maps_[i].range());
+    w.pod<std::uint64_t>(maps_[i].stored_elements());
+    w.span(maps_[i].words());  // streamed straight from the map
+    w.span<std::uint64_t>(failed_[i]);
+    w.span<std::uint64_t>(elements_[i]);
   }
+  write_pod<std::uint64_t>(out, w.hash.digest());  // trailer, not hashed
   REPRO_CHECK_MSG(out.good(), "write failed");
 }
 
@@ -206,21 +266,27 @@ BatmapStore BatmapStore::load(std::istream& in) {
                   "not a batmap store stream");
   REPRO_CHECK_MSG(read_pod<std::uint32_t>(in) == kVersion,
                   "unsupported batmap store version");
-  const auto universe = read_pod<std::uint64_t>(in);
+  HashedReader r{in, {}};
+  const auto universe = r.pod<std::uint64_t>();
   Options opt;
-  opt.seed = read_pod<std::uint64_t>(in);
-  opt.keep_elements = read_pod<std::uint8_t>(in) != 0;
+  opt.seed = r.pod<std::uint64_t>();
+  opt.keep_elements = r.pod<std::uint8_t>() != 0;
   BatmapStore store(universe, opt);
-  const auto count = read_pod<std::uint64_t>(in);
+  const auto count = r.pod<std::uint64_t>();
+  REPRO_CHECK_MSG(count < kMaxVecElems,
+                  "implausible map count (corrupt stream)");
   for (std::uint64_t i = 0; i < count; ++i) {
-    const auto range = read_pod<std::uint32_t>(in);
-    const auto stored = read_pod<std::uint64_t>(in);
-    auto words = read_vec<std::uint32_t>(in);
+    const auto range = r.pod<std::uint32_t>();
+    const auto stored = r.pod<std::uint64_t>();
+    auto words = r.vec<std::uint32_t>();
     store.maps_.emplace_back(range, stored, std::move(words),
                              store.ctx_.params());
-    store.failed_.push_back(read_vec<std::uint64_t>(in));
-    store.elements_.push_back(read_vec<std::uint64_t>(in));
+    store.failed_.push_back(r.vec<std::uint64_t>());
+    store.elements_.push_back(r.vec<std::uint64_t>());
   }
+  const std::uint64_t expected = r.hash.digest();
+  REPRO_CHECK_MSG(read_pod<std::uint64_t>(in) == expected,
+                  "batmap store checksum mismatch (corrupt stream)");
   return store;
 }
 

@@ -40,6 +40,9 @@ class BatmapStore {
   std::size_t size() const { return maps_.size(); }
   std::uint64_t universe() const { return ctx_.universe(); }
   const BatmapContext& context() const { return ctx_; }
+  /// Hash seed the context was built with (snapshots persist it so a
+  /// reader can rebuild identical permutations).
+  std::uint64_t seed() const { return opt_.seed; }
 
   const Batmap& map(std::size_t id) const;
   /// All batmaps, in id order (contiguous; feed to pack_sorted_maps).
@@ -63,8 +66,9 @@ class BatmapStore {
 
   /// Binary serialization: writes universe, seed, and every map (packed
   /// words + failure + element lists) so a store can be reloaded without
-  /// re-running cuckoo insertion. Format is versioned; load() rejects
-  /// mismatching magic/version.
+  /// re-running cuckoo insertion. The format is versioned and carries an
+  /// FNV-1a digest of the whole payload; load() rejects mismatching
+  /// magic/version, truncation, and any byte-level corruption.
   void save(std::ostream& out) const;
   static BatmapStore load(std::istream& in);
 

@@ -133,6 +133,7 @@ class StripTileKernel {
       pair_w[j] = std::max(wr, maps_.width(col));
       acc[j] = sh.acc[ly][lx + j * kDim];
     }
+    std::uint32_t off = 0;
     for (std::uint32_t k = 0; k < kSlice; ++k) {
       const std::uint32_t av = sh.a[ly][k];  // one shared read, 4 pairs
       const std::uint32_t wk = slice * kSlice + k;
@@ -140,11 +141,16 @@ class StripTileKernel {
         const std::uint32_t match =
             batmap::swar_match_count(av, sh.b[j * kDim + lx][k]);
         acc[j] += match * (wk < pair_w[j] ? 1u : 0u);
+        off += wk < pair_w[j] ? 0u : 1u;
       }
     }
     for (std::uint32_t j = 0; j < kStripCols; ++j) {
       sh.acc[ly][lx + j * kDim] = acc[j];
     }
+    // Masked lane-ops past a pair's width (warp divergence accounting);
+    // the dispatcher only sends uniform tiles here, so this is 0 unless
+    // strip eligibility is forced off-spec.
+    ctx.predicate_ops(kSlice * kStripCols, off);
     // kSlice row reads + kSlice·kStripCols column reads + acc r/w.
     ctx.shared_access(kSlice + kSlice * kStripCols + 2 * kStripCols);
   }

@@ -11,10 +11,14 @@
 
 namespace repro::core {
 
-PackedMaps pack_sorted_maps(std::span<const batmap::Batmap> maps,
-                            bool sort_by_width) {
+namespace {
+
+/// Shared packing core: `words_of(i)` yields original map i's word span.
+template <typename WordsOf>
+PackedMaps pack_impl(std::uint32_t n, const WordsOf& words_of,
+                     bool sort_by_width) {
   PackedMaps sm;
-  sm.n = static_cast<std::uint32_t>(maps.size());
+  sm.n = n;
   if (sm.n == 0) return sm;
   sm.n_pad = static_cast<std::uint32_t>(bits::round_up(sm.n, 16));
   sm.order.resize(sm.n);
@@ -22,7 +26,7 @@ PackedMaps pack_sorted_maps(std::span<const batmap::Batmap> maps,
   if (sort_by_width) {
     std::stable_sort(sm.order.begin(), sm.order.end(),
                      [&](std::uint32_t a, std::uint32_t b) {
-                       return maps[a].word_count() < maps[b].word_count();
+                       return words_of(a).size() < words_of(b).size();
                      });
   }
   sm.sorted_index.resize(sm.n);
@@ -31,10 +35,10 @@ PackedMaps pack_sorted_maps(std::span<const batmap::Batmap> maps,
 
   std::uint64_t total_words = 0;
   std::uint32_t min_width = ~0u;
-  for (const auto& m : maps) {
-    total_words += m.word_count();
+  for (std::uint32_t i = 0; i < sm.n; ++i) {
+    total_words += words_of(i).size();
     min_width =
-        std::min(min_width, static_cast<std::uint32_t>(m.word_count()));
+        std::min(min_width, static_cast<std::uint32_t>(words_of(i).size()));
   }
   // A zeroed batmap of minimal width backs the padding slots: it matches
   // nothing and keeps the kernel's control flow identical for every lane.
@@ -42,10 +46,10 @@ PackedMaps pack_sorted_maps(std::span<const batmap::Batmap> maps,
   sm.offsets.resize(sm.n_pad);
   sm.widths.resize(sm.n_pad);
   for (std::uint32_t si = 0; si < sm.n; ++si) {
-    const auto& m = maps[sm.order[si]];
+    const auto w = words_of(sm.order[si]);
     sm.offsets[si] = sm.words.size();
-    sm.widths[si] = static_cast<std::uint32_t>(m.word_count());
-    sm.words.insert(sm.words.end(), m.words().begin(), m.words().end());
+    sm.widths[si] = static_cast<std::uint32_t>(w.size());
+    sm.words.insert(sm.words.end(), w.begin(), w.end());
   }
   const std::uint64_t null_off = sm.words.size();
   sm.words.insert(sm.words.end(), min_width, 0u);
@@ -54,6 +58,22 @@ PackedMaps pack_sorted_maps(std::span<const batmap::Batmap> maps,
     sm.widths[si] = min_width;
   }
   return sm;
+}
+
+}  // namespace
+
+PackedMaps pack_sorted_maps(std::span<const batmap::Batmap> maps,
+                            bool sort_by_width) {
+  return pack_impl(
+      static_cast<std::uint32_t>(maps.size()),
+      [&](std::uint32_t i) { return maps[i].words(); }, sort_by_width);
+}
+
+PackedMaps pack_sorted_spans(
+    std::span<const std::span<const std::uint32_t>> maps, bool sort_by_width) {
+  return pack_impl(
+      static_cast<std::uint32_t>(maps.size()),
+      [&](std::uint32_t i) { return maps[i]; }, sort_by_width);
 }
 
 SweepEngine::SweepEngine(Options opt) : opt_(opt), pool_(opt.threads) {

@@ -73,6 +73,13 @@ struct PackedMaps {
 PackedMaps pack_sorted_maps(std::span<const batmap::Batmap> maps,
                             bool sort_by_width);
 
+/// Same packing over raw word spans — the serving path packs an mmap-ed
+/// snapshot's maps without first materializing Batmap objects. The returned
+/// PackedMaps owns a copy of the words in packed order (the sweep layout is
+/// a different physical order, so a copy is inherent to packing).
+PackedMaps pack_sorted_spans(
+    std::span<const std::span<const std::uint32_t>> maps, bool sort_by_width);
+
 class SweepEngine {
  public:
   struct Options {

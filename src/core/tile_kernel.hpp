@@ -139,14 +139,19 @@ class TileKernel {
     const std::uint32_t pair_w =
         std::max(maps_.width(row), maps_.width(col));
     std::uint32_t acc = sh.acc[ly][lx];
+    std::uint32_t off = 0;
     for (std::uint32_t k = 0; k < kSlice; ++k) {
       const std::uint32_t w = slice * kSlice + k;
       const std::uint32_t match =
           batmap::swar_match_count(sh.a[ly][k], sh.b[lx][k]);
       // Branch-free predication, as on the real device.
       acc += match * (w < pair_w ? 1u : 0u);
+      off += w < pair_w ? 0u : 1u;
     }
     sh.acc[ly][lx] = acc;
+    // Mixed-width groups run slices past this pair's width: those lane-ops
+    // execute masked (warp-level divergence accounting, mem_stats.hpp).
+    ctx.predicate_ops(kSlice, off);
     // 2·kSlice slice-word reads plus the accumulator read-modify-write.
     ctx.shared_access(2 * kSlice + 2);
   }

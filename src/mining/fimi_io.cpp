@@ -33,21 +33,30 @@ void parse_fimi_line(const std::string& line, std::vector<Item>& txn) {
 }  // namespace
 
 FimiChunkReader::FimiChunkReader(std::istream& in,
-                                 std::size_t chunk_transactions)
-    : in_(&in), chunk_transactions_(chunk_transactions) {
+                                 std::size_t chunk_transactions,
+                                 std::size_t chunk_bytes)
+    : in_(&in),
+      chunk_transactions_(chunk_transactions),
+      chunk_bytes_(chunk_bytes) {
   REPRO_CHECK_MSG(chunk_transactions_ >= 1,
                   "chunk size must be at least one transaction");
 }
 
 std::size_t FimiChunkReader::read_into(TransactionDb& db) {
   std::size_t appended = 0;
-  while (appended < chunk_transactions_ && std::getline(*in_, line_)) {
+  std::size_t bytes = 0;
+  while (appended < chunk_transactions_ &&
+         (chunk_bytes_ == 0 || bytes < chunk_bytes_)) {
+    if (!std::getline(*in_, line_)) {
+      done_ = true;
+      break;
+    }
+    bytes += line_.size() + 1;  // +1 for the consumed newline
     parse_fimi_line(line_, txn_);
     if (txn_.empty()) continue;
     db.add_transaction(txn_);
     ++appended;
   }
-  if (appended < chunk_transactions_) done_ = true;
   transactions_read_ += appended;
   return appended;
 }

@@ -25,10 +25,15 @@ class FimiChunkReader {
   static constexpr std::size_t kDefaultChunkTransactions = 1 << 16;
 
   /// The stream must outlive the reader. `chunk_transactions` bounds the
-  /// transactions parsed per next_chunk() call (>= 1).
+  /// transactions parsed per next_chunk() call (>= 1); `chunk_bytes`
+  /// additionally bounds the input text consumed per call (0 = unbounded) —
+  /// the memory-budget knob for instances whose transaction sizes vary
+  /// wildly (batmap_cli pairs --chunk-bytes). A chunk always makes
+  /// progress: the transaction that crosses the byte bound is included.
   explicit FimiChunkReader(
       std::istream& in,
-      std::size_t chunk_transactions = kDefaultChunkTransactions);
+      std::size_t chunk_transactions = kDefaultChunkTransactions,
+      std::size_t chunk_bytes = 0);
 
   /// Parses up to chunk_transactions() more transactions. Returns an empty
   /// db at end of stream. Item universes may differ between chunks (each
@@ -43,12 +48,14 @@ class FimiChunkReader {
   bool done() const { return done_; }
 
   std::size_t chunk_transactions() const { return chunk_transactions_; }
+  std::size_t chunk_bytes() const { return chunk_bytes_; }
   /// Transactions parsed so far across all chunks.
   std::size_t transactions_read() const { return transactions_read_; }
 
  private:
   std::istream* in_;
   std::size_t chunk_transactions_;
+  std::size_t chunk_bytes_;
   std::size_t transactions_read_ = 0;
   bool done_ = false;
   std::string line_;            // reused line buffer

@@ -1,0 +1,101 @@
+// Bounded lock-free multi-producer/multi-consumer queue (Dmitry Vyukov's
+// sequence-number ring), the query engine's submission channel.
+//
+// Every cell carries a sequence counter that encodes whose turn it is:
+// producers claim a cell when seq == pos (then publish with seq = pos + 1),
+// consumers claim it when seq == pos + 1 (then recycle with
+// seq = pos + capacity). Claims are single CAS operations on the head/tail
+// counters; a full or empty queue is detected without touching other
+// threads' cells, so try_push on a full ring is the engine's admission
+// signal (backpressure), not an error.
+//
+// All storage is allocated once at construction — pushing and popping never
+// allocate, which is what lets the serving path stay heap-free per query.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace repro::service {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity is rounded up to a power of two (>= 2).
+  explicit MpmcQueue(std::size_t capacity)
+      : cells_(bits::next_pow2(capacity < 2 ? 2 : capacity)),
+        mask_(cells_.size() - 1) {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const { return cells_.size(); }
+
+  /// False when the queue is full (admission limit reached).
+  bool try_push(T value) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                       static_cast<std::ptrdiff_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell is still owned by a lagging consumer
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = value;
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the queue is empty.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                       static_cast<std::ptrdiff_t>(pos + 1);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // no published element at the tail
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    out = cell->value;
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> seq;
+    T value;
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< next producer slot
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< next consumer slot
+};
+
+}  // namespace repro::service

@@ -1,0 +1,413 @@
+#include "service/query_engine.hpp"
+
+#include <algorithm>
+
+#include "batmap/simd.hpp"
+
+namespace repro::service {
+
+namespace {
+
+/// Inserts (id, count) into a k-best array sorted by (count desc, id asc).
+/// `size` is the current fill; returns the new fill. Both the batched and
+/// the naive top-k path rank through this, so their outputs are identical
+/// by construction (the order is total — ids are distinct).
+std::uint32_t topk_insert(TopEntry* best, std::uint32_t size, std::uint32_t k,
+                          std::uint32_t id, std::uint64_t count) {
+  std::uint32_t pos = size;
+  while (pos > 0 && (count > best[pos - 1].count ||
+                     (count == best[pos - 1].count && id < best[pos - 1].id))) {
+    --pos;
+  }
+  if (pos >= k) return size;
+  const std::uint32_t new_size = std::min(size + 1, k);
+  for (std::uint32_t i = new_size; i-- > pos + 1;) best[i] = best[i - 1];
+  best[pos] = {id, count};
+  return new_size;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const Snapshot& snap, Options opt)
+    : snap_(&snap),
+      opt_(opt),
+      cache_(opt.cache_entries),
+      queue_(opt.queue_capacity) {
+  REPRO_CHECK_MSG(opt_.max_batch >= 1, "max_batch must be positive");
+  std::vector<std::span<const std::uint32_t>> spans(snap.size());
+  for (std::size_t i = 0; i < snap.size(); ++i) spans[i] = snap.words(i);
+  packed_ = core::pack_sorted_spans(spans, /*sort_by_width=*/true);
+
+  core::SweepEngine::Options sweep_opt;
+  sweep_opt.backend = core::Backend::kNative;
+  sweep_opt.tile = opt_.sweep_tile;
+  sweep_opt.threads = opt_.sweep_threads;
+  sweep_opt.shards = opt_.sweep_shards;
+  sweep_ = std::make_unique<core::SweepEngine>(sweep_opt);
+  if (packed_.n > 0) sweep_->bind(packed_);
+
+  batch_.resize(opt_.max_batch);
+  topk_merge_.resize(sweep_->shard_count() * kMaxTopK);
+  topk_sizes_.resize(sweep_->shard_count());
+
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+QueryEngine::~QueryEngine() {
+  stop_.store(true, std::memory_order_release);
+  signal_.fetch_add(1, std::memory_order_release);
+  signal_.notify_all();
+  worker_.join();
+}
+
+bool QueryEngine::valid(const Query& q) const {
+  const auto n = static_cast<std::uint32_t>(snap_->size());
+  if (q.a >= n) return false;
+  if (q.kind == QueryKind::kTopK) return q.k >= 1 && q.k <= kMaxTopK;
+  return q.b < n;
+}
+
+bool QueryEngine::try_submit(Request& r) {
+  r.result_ = Result{};
+  r.state_.store(Request::kQueued, std::memory_order_release);
+  if (!queue_.try_push(&r)) {
+    r.state_.store(Request::kIdle, std::memory_order_release);
+    return false;
+  }
+  signal_.fetch_add(1, std::memory_order_release);
+  signal_.notify_one();
+  return true;
+}
+
+void QueryEngine::submit(Request& r) {
+  while (!try_submit(r)) std::this_thread::yield();
+}
+
+bool QueryEngine::wait(Request& r) {
+  for (;;) {
+    const std::uint32_t s = r.state_.load(std::memory_order_acquire);
+    if (s == Request::kDone) return true;
+    if (s == Request::kError) return false;
+    r.state_.wait(s, std::memory_order_acquire);
+  }
+}
+
+void QueryEngine::finish(Request& r, std::uint32_t state) {
+  r.state_.store(state, std::memory_order_release);
+  r.state_.notify_all();
+}
+
+void QueryEngine::worker_loop() {
+  for (;;) {
+    Request* first = nullptr;
+    for (;;) {
+      if (queue_.try_pop(first)) break;
+      if (stop_.load(std::memory_order_acquire)) return;
+      const std::uint64_t seen = signal_.load(std::memory_order_acquire);
+      if (queue_.try_pop(first)) break;
+      if (stop_.load(std::memory_order_acquire)) return;
+      signal_.wait(seen, std::memory_order_acquire);
+    }
+    batch_[0] = first;
+    std::size_t count = 1;
+    while (count < opt_.max_batch && queue_.try_pop(batch_[count])) ++count;
+    execute_batch(count);
+  }
+}
+
+void QueryEngine::execute_batch(std::size_t count) {
+  arena_.reset();
+  Stats local{};
+  local.batches = 1;
+  local.max_batch_seen = count;
+
+  auto plans = arena_.alloc_array<PairPlan>(count);
+  std::size_t n_plans = 0;
+  auto topks = arena_.alloc_array<std::uint32_t>(count);
+  std::size_t n_topk = 0;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    Request& r = *batch_[i];
+    if (!valid(r.query)) {
+      ++local.queries;
+      ++local.errors;
+      finish(r, Request::kError);
+      batch_[i] = nullptr;
+      continue;
+    }
+    if (cache_.capacity() > 0) {
+      if (const Result* hit = cache_.find(cache_key(r.query))) {
+        r.result_ = *hit;
+        ++local.queries;
+        ++local.cache_hits;
+        finish(r, Request::kDone);
+        batch_[i] = nullptr;
+        continue;
+      }
+    }
+    ++local.cache_misses;
+    if (r.query.kind == QueryKind::kTopK) {
+      topks[n_topk++] = static_cast<std::uint32_t>(i);
+    } else {
+      const std::uint32_t sa = packed_.sorted_index[r.query.a];
+      const std::uint32_t sb = packed_.sorted_index[r.query.b];
+      plans[n_plans++] = {std::min(sa, sb), std::max(sa, sb),
+                          static_cast<std::uint32_t>(i)};
+    }
+  }
+
+  // Coalesce pair queries: group by row (the narrower map), then by column
+  // width so every 4-column group is strip-eligible, then by column so
+  // duplicate pairs (hot queries from concurrent clients) sit adjacent.
+  std::sort(plans.begin(), plans.begin() + static_cast<std::ptrdiff_t>(n_plans),
+            [&](const PairPlan& x, const PairPlan& y) {
+              if (x.row_s != y.row_s) return x.row_s < y.row_s;
+              const std::uint32_t wx = packed_.widths[x.col_s];
+              const std::uint32_t wy = packed_.widths[y.col_s];
+              if (wx != wy) return wx < wy;
+              return x.col_s < y.col_s;
+            });
+
+  // Deduplicate: each run of identical (row, col) costs one kernel pass;
+  // every plan in the run completes from the same raw count (kind-specific
+  // patching happens per request in complete_pair).
+  auto run_begin = arena_.alloc_array<std::uint32_t>(n_plans);
+  auto run_end = arena_.alloc_array<std::uint32_t>(n_plans);
+  std::size_t n_uniq = 0;
+  for (std::size_t i = 0; i < n_plans;) {
+    std::size_t j = i + 1;
+    while (j < n_plans && plans[j].row_s == plans[i].row_s &&
+           plans[j].col_s == plans[i].col_s) {
+      ++j;
+    }
+    run_begin[n_uniq] = static_cast<std::uint32_t>(i);
+    run_end[n_uniq] = static_cast<std::uint32_t>(j);
+    ++n_uniq;
+    local.duplicate_pairs += j - i - 1;
+    i = j;
+  }
+
+  const std::uint32_t* words = packed_.words.data();
+  const auto complete_run = [&](std::size_t u, std::uint64_t raw) {
+    // One failure-patch merge per unique pair, shared by every duplicate
+    // request in the run (the correction is kind-independent; kSupport
+    // just doesn't apply it).
+    std::int64_t correction = -1;
+    for (std::uint32_t i = run_begin[u]; i < run_end[u]; ++i) {
+      Request& r = *batch_[plans[i].req];
+      std::uint64_t value = raw;
+      if (r.query.kind == QueryKind::kIntersect) {
+        if (correction < 0) {
+          correction = 0;
+          const auto fa = snap_->failures(r.query.a);
+          const auto fb = snap_->failures(r.query.b);
+          if (!fa.empty() || !fb.empty()) {
+            correction = static_cast<std::int64_t>(
+                batmap::failure_patch_correction(fa, snap_->elements(r.query.a),
+                                                 fb,
+                                                 snap_->elements(r.query.b)));
+          }
+        }
+        value += static_cast<std::uint64_t>(correction);
+      }
+      r.result_.value = value;
+      if (cache_.capacity() > 0) {
+        cache_.insert(cache_key(r.query), r.result_);
+      }
+      finish(r, Request::kDone);
+    }
+  };
+  std::size_t g = 0;
+  while (g < n_uniq) {
+    const std::uint32_t row_s = plans[run_begin[g]].row_s;
+    const std::uint32_t wr = packed_.widths[row_s];
+    const std::uint32_t* row_words = words + packed_.offsets[row_s];
+    // One row group: unique pairs [g, grp_end) share the narrower map.
+    std::size_t grp_end = g;
+    while (grp_end < n_uniq && plans[run_begin[grp_end]].row_s == row_s)
+      ++grp_end;
+    while (g < grp_end) {
+      const std::uint32_t wc = packed_.widths[plans[run_begin[g]].col_s];
+      std::size_t w_end = g;
+      while (w_end < grp_end &&
+             packed_.widths[plans[run_begin[w_end]].col_s] == wc) {
+        ++w_end;
+      }
+      // Full 4-column strips: the row words are read once per strip.
+      while (g + batmap::simd::kStripCols <= w_end) {
+        std::uint64_t acc[batmap::simd::kStripCols] = {};
+        const std::uint32_t* cw[batmap::simd::kStripCols];
+        for (std::size_t j = 0; j < batmap::simd::kStripCols; ++j) {
+          cw[j] = words + packed_.offsets[plans[run_begin[g + j]].col_s];
+        }
+        REPRO_DCHECK(wc >= wr && wc % wr == 0);
+        for (std::uint32_t base = 0; base < wc; base += wr) {
+          const std::uint32_t* cb[batmap::simd::kStripCols] = {
+              cw[0] + base, cw[1] + base, cw[2] + base, cw[3] + base};
+          batmap::simd::match_count_strip(row_words, wr, cb, acc);
+        }
+        ++local.strip_groups;
+        for (std::size_t j = 0; j < batmap::simd::kStripCols; ++j) {
+          complete_run(g + j, acc[j]);
+        }
+        local.strip_pairs += batmap::simd::kStripCols;
+        g += batmap::simd::kStripCols;
+      }
+      // Sub-strip remainder: the dispatched cyclic kernel.
+      for (; g < w_end; ++g) {
+        const std::uint64_t raw = batmap::simd::match_count_cyclic(
+            words + packed_.offsets[plans[run_begin[g]].col_s], wc, row_words,
+            wr);
+        complete_run(g, raw);
+        ++local.cyclic_pairs;
+      }
+    }
+  }
+
+  // Top-k queries sharing a row coalesce into one sweep: sort by (a, k
+  // desc), sweep once with the largest k, and serve the smaller ks from
+  // prefixes (the k'-best list is exactly the first k' of the k-best).
+  std::sort(topks.begin(), topks.begin() + static_cast<std::ptrdiff_t>(n_topk),
+            [&](std::uint32_t x, std::uint32_t y) {
+              const Query& qx = batch_[x]->query;
+              const Query& qy = batch_[y]->query;
+              if (qx.a != qy.a) return qx.a < qy.a;
+              return qx.k > qy.k;
+            });
+  std::size_t t = 0;
+  while (t < n_topk) {
+    Request& lead = *batch_[topks[t]];
+    run_topk(lead);
+    ++local.topk_sweeps;
+    const Result lead_res = lead.result_;  // copy before handing back
+    if (cache_.capacity() > 0) {
+      cache_.insert(cache_key(lead.query), lead_res);
+    }
+    finish(lead, Request::kDone);
+    std::size_t u = t + 1;
+    for (; u < n_topk && batch_[topks[u]]->query.a == lead.query.a; ++u) {
+      Request& r = *batch_[topks[u]];
+      const std::uint32_t k = std::min(r.query.k, lead_res.topk_count);
+      r.result_.topk_count = k;
+      r.result_.value = k;
+      std::copy_n(lead_res.topk, k, r.result_.topk);
+      if (cache_.capacity() > 0) {
+        cache_.insert(cache_key(r.query), r.result_);
+      }
+      ++local.duplicate_topk;
+      finish(r, Request::kDone);
+    }
+    local.queries += u - t;
+    t = u;
+  }
+
+  local.queries += n_plans;
+
+  std::lock_guard lock(stats_mu_);
+  stats_.queries += local.queries;
+  stats_.errors += local.errors;
+  stats_.batches += local.batches;
+  stats_.max_batch_seen = std::max(stats_.max_batch_seen, local.max_batch_seen);
+  stats_.cache_hits += local.cache_hits;
+  stats_.cache_misses += local.cache_misses;
+  stats_.strip_groups += local.strip_groups;
+  stats_.strip_pairs += local.strip_pairs;
+  stats_.cyclic_pairs += local.cyclic_pairs;
+  stats_.duplicate_pairs += local.duplicate_pairs;
+  stats_.topk_sweeps += local.topk_sweeps;
+  stats_.duplicate_topk += local.duplicate_topk;
+  // Arena and cache internals are touched only by this worker thread;
+  // publishing them here (under the mutex) is what makes stats() safe to
+  // call from any thread mid-serve.
+  stats_.cache_evictions = cache_.evictions();
+  stats_.arena_reserved_bytes = arena_.bytes_reserved();
+  stats_.arena_blocks = arena_.block_count();
+}
+
+ResultCache<Result>::Key QueryEngine::cache_key(const Query& q) const {
+  // Pair counts are symmetric, so (a,b) and (b,a) share one canonical
+  // entry; top-k keys carry k in the second slot.
+  if (q.kind == QueryKind::kTopK) {
+    return {snap_->epoch(), q.a, q.k, static_cast<std::uint8_t>(q.kind)};
+  }
+  return {snap_->epoch(), std::min(q.a, q.b), std::max(q.a, q.b),
+          static_cast<std::uint8_t>(q.kind)};
+}
+
+void QueryEngine::run_topk(Request& r) {
+  const std::uint32_t a = r.query.a;
+  const std::uint32_t k = r.query.k;
+  const std::uint32_t sa = packed_.sorted_index[a];
+  const auto fa = snap_->failures(a);
+  const auto ea = snap_->elements(a);
+
+  std::fill(topk_sizes_.begin(), topk_sizes_.end(), 0u);
+  // Sweep column sa against ALL rows (the transposed band parallelizes
+  // across row-band shards); counts are symmetric in the pair.
+  sweep_->sweep_rect(
+      0, packed_.n, sa, sa + 1, [&](core::SweepEngine::TileView& tv) {
+        TopEntry* best = topk_merge_.data() +
+                         static_cast<std::size_t>(tv.shard) * kMaxTopK;
+        std::uint32_t& size = topk_sizes_[tv.shard];
+        tv.for_each_pair([&](std::uint32_t id_row, std::uint32_t id_col,
+                             std::uint32_t cnt) {
+          REPRO_DCHECK(id_col == a);
+          (void)id_col;
+          if (id_row == a) return;  // self-pair is not a neighbour
+          std::uint64_t patched = cnt;
+          const auto fr = snap_->failures(id_row);
+          if (!fa.empty() || !fr.empty()) {
+            patched += batmap::failure_patch_correction(
+                fa, ea, fr, snap_->elements(id_row));
+          }
+          size = topk_insert(best, size, k, id_row, patched);
+        });
+      });
+
+  // Merge the per-shard k-best arrays.
+  TopEntry merged[kMaxTopK];
+  std::uint32_t m = 0;
+  for (std::size_t s = 0; s < topk_sizes_.size(); ++s) {
+    const TopEntry* best = topk_merge_.data() + s * kMaxTopK;
+    for (std::uint32_t i = 0; i < topk_sizes_[s]; ++i) {
+      m = topk_insert(merged, m, k, best[i].id, best[i].count);
+    }
+  }
+  r.result_.topk_count = m;
+  r.result_.value = m;
+  std::copy_n(merged, m, r.result_.topk);
+}
+
+Result QueryEngine::execute_one(const Query& q) const {
+  Result res;
+  REPRO_CHECK_MSG(valid(q), "invalid query");
+  switch (q.kind) {
+    case QueryKind::kIntersect:
+      res.value = snap_->intersection_size(q.a, q.b);
+      break;
+    case QueryKind::kSupport:
+      res.value = snap_->raw_count(q.a, q.b);
+      break;
+    case QueryKind::kTopK: {
+      TopEntry best[kMaxTopK];
+      std::uint32_t size = 0;
+      for (std::uint32_t id = 0; id < snap_->size(); ++id) {
+        if (id == q.a) continue;
+        size = topk_insert(best, size, q.k, id,
+                           snap_->intersection_size(q.a, id));
+      }
+      res.topk_count = size;
+      res.value = size;
+      std::copy_n(best, size, res.topk);
+      break;
+    }
+  }
+  return res;
+}
+
+QueryEngine::Stats QueryEngine::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace repro::service

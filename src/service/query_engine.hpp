@@ -1,0 +1,203 @@
+// Concurrent batched query engine over an mmap-ed batmap snapshot.
+//
+// Clients submit Requests (client-owned completion slots — the engine never
+// allocates per query) onto a bounded lock-free MPMC queue and block on an
+// atomic flag. A single batch worker drains up to max_batch in-flight
+// requests into a micro-batch and executes it:
+//
+//   1. result cache probe — (epoch, kind, a, b/k)-keyed LRU; hits complete
+//      immediately without touching a kernel.
+//   2. pair queries (intersect / support) are coalesced by row: each query
+//      is mapped to width-sorted indices and keyed by its narrower map.
+//      Queries sharing a row run as register-blocked strips — the row's
+//      words are read once per simd::kStripCols columns instead of once per
+//      query, the same blocking as SweepEngine's native sweep — with the
+//      dispatched cyclic kernel picking up sub-strip remainders. Widths
+//      are 3·2^j, so the narrower map always divides the wider one and
+//      every 4-column group of one width is strip-eligible.
+//   3. top-k-similar queries sweep their row band (row × all columns)
+//      through the engine-owned SweepEngine — the same tile machinery the
+//      offline miners use, sharded via ShardScheduler when configured —
+//      and reduce per-shard k-best arrays after the sweep.
+//
+// Batch planning scratch lives in an arena that is reset per batch, the
+// cache and queue are fully preallocated, and results are written into the
+// caller's Request, so steady-state serving of pair queries performs no
+// per-query heap allocation (pinned by the arena stats in
+// query_engine_test). Backpressure is the queue bound: try_submit fails
+// when the ring is full, submit() spins until admitted.
+//
+// Failure patching: kIntersect results are exact (cyclic sweep + the
+// failure-list correction, identical to BatmapStore::intersection_size);
+// kSupport returns the raw unpatched sweep count (what the device kernel
+// produces). Batched, naive (execute_one) and offline answers are
+// bit-identical — the differential test and the service_throughput
+// fingerprints enforce this.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/sweep_engine.hpp"
+#include "service/mpmc_queue.hpp"
+#include "service/result_cache.hpp"
+#include "service/snapshot.hpp"
+#include "util/arena.hpp"
+
+namespace repro::service {
+
+enum class QueryKind : std::uint8_t {
+  kIntersect = 0,  ///< exact |S_a ∩ S_b| (failure-patched)
+  kSupport = 1,    ///< raw batmap sweep count (unpatched)
+  kTopK = 2,       ///< k most similar sets to a, by exact intersection size
+};
+
+/// Top-k width cap: results are fixed-size so completion slots never
+/// allocate.
+inline constexpr std::uint32_t kMaxTopK = 16;
+
+struct Query {
+  QueryKind kind = QueryKind::kIntersect;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;  ///< second set id (pair kinds)
+  std::uint32_t k = 0;  ///< result width, 1..kMaxTopK (top-k kind)
+};
+
+struct TopEntry {
+  std::uint32_t id = 0;
+  std::uint64_t count = 0;
+};
+
+struct Result {
+  std::uint64_t value = 0;       ///< pair count, or number of top-k entries
+  std::uint32_t topk_count = 0;  ///< entries filled in topk[]
+  TopEntry topk[kMaxTopK]{};     ///< (id, count) by count desc, id asc
+};
+
+/// A client-owned completion slot. Reusable: submit() re-arms it. The slot
+/// must stay alive (and unmodified) from submit() until wait() returns.
+class Request {
+ public:
+  Query query;
+
+  /// Valid after wait(); unspecified while in flight.
+  const Result& result() const { return result_; }
+  /// True when the engine rejected the query (bad ids / k out of range).
+  bool failed() const {
+    return state_.load(std::memory_order_acquire) == kError;
+  }
+
+ private:
+  friend class QueryEngine;
+  static constexpr std::uint32_t kIdle = 0, kQueued = 1, kDone = 2,
+                                 kError = 3;
+
+  Result result_;
+  std::atomic<std::uint32_t> state_{kIdle};
+};
+
+class QueryEngine {
+ public:
+  struct Options {
+    /// Submission ring capacity — the admission/backpressure limit.
+    std::size_t queue_capacity = 1024;
+    /// Most requests coalesced into one micro-batch.
+    std::size_t max_batch = 256;
+    /// LRU result cache entries (rounded up to a power of two); 0 disables.
+    std::size_t cache_entries = 4096;
+    /// Host threads of the engine-owned SweepEngine (top-k row sweeps).
+    std::size_t sweep_threads = 1;
+    /// Shards for top-k row sweeps (SweepEngine::Options::shards).
+    std::size_t sweep_shards = 1;
+    /// Tile edge of the top-k row sweeps (multiple of 16).
+    std::uint32_t sweep_tile = 256;
+  };
+
+  struct Stats {
+    std::uint64_t queries = 0;        ///< requests completed (incl. errors)
+    std::uint64_t errors = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t max_batch_seen = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t strip_groups = 0;   ///< 4-column strip kernel calls
+    std::uint64_t strip_pairs = 0;    ///< unique pairs served by strips
+    std::uint64_t cyclic_pairs = 0;   ///< unique pairs served per-pair
+    std::uint64_t duplicate_pairs = 0;  ///< in-batch duplicates coalesced
+    std::uint64_t topk_sweeps = 0;    ///< row sweeps executed
+    std::uint64_t duplicate_topk = 0;   ///< top-k served from a shared sweep
+    /// Arena footprint of the batch planner; constant once warm (pinned in
+    /// query_engine_test — the "no per-query heap allocation" witness).
+    std::uint64_t arena_reserved_bytes = 0;
+    std::uint64_t arena_blocks = 0;
+  };
+
+  /// The snapshot must outlive the engine. Spawns the batch worker.
+  QueryEngine(const Snapshot& snap, Options opt);
+  /// Drains nothing: callers must have collected their in-flight requests.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Enqueues `r` (overwriting its previous result). False when the ring
+  /// is full — the caller's backpressure signal.
+  bool try_submit(Request& r);
+  /// Blocking submit: spins (with yields) until admitted.
+  void submit(Request& r);
+  /// Blocks until `r` completes; returns false iff the engine rejected it.
+  static bool wait(Request& r);
+
+  /// The naive reference path: executes one query synchronously on the
+  /// calling thread via the per-pair cyclic kernel — no queue, no batch,
+  /// no cache, no strips. Bit-identical to the batched answers; used by
+  /// the naive arm of bench/service_throughput and the differential test.
+  Result execute_one(const Query& q) const;
+
+  std::uint64_t epoch() const { return snap_->epoch(); }
+  std::size_t size() const { return snap_->size(); }
+
+  Stats stats() const;
+
+ private:
+  struct PairPlan {
+    std::uint32_t row_s;  ///< sorted index of the narrower map
+    std::uint32_t col_s;  ///< sorted index of the wider map
+    std::uint32_t req;    ///< index into the current batch
+  };
+
+  bool valid(const Query& q) const;
+  void worker_loop();
+  void execute_batch(std::size_t count);
+  /// Canonical cache key: pair kinds are keyed on (min, max) since their
+  /// counts are symmetric; top-k on (a, k).
+  ResultCache<Result>::Key cache_key(const Query& q) const;
+  void run_topk(Request& r);
+  static void finish(Request& r, std::uint32_t state);
+
+  const Snapshot* snap_;
+  Options opt_;
+  core::PackedMaps packed_;  ///< width-sorted copy for strips and sweeps
+  std::unique_ptr<core::SweepEngine> sweep_;
+  ResultCache<Result> cache_;
+  MpmcQueue<Request*> queue_;
+  util::Arena arena_;                 ///< batch planning scratch
+  std::vector<Request*> batch_;       ///< preallocated, max_batch slots
+  std::vector<TopEntry> topk_merge_;  ///< per-shard k-best scratch
+  std::vector<std::uint32_t> topk_sizes_;  ///< per-shard k-best fill
+
+  std::atomic<std::uint64_t> signal_{0};  ///< submit notifications
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  std::thread worker_;  ///< last member: starts after everything is built
+};
+
+}  // namespace repro::service

@@ -1,0 +1,264 @@
+#include "service/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+#include "util/fnv.hpp"
+
+namespace repro::service {
+
+namespace {
+
+constexpr std::uint64_t kAlign = 64;
+
+/// Writes `bytes` zero bytes of padding.
+void write_pad(std::ostream& out, util::Fnv1a& hash, std::uint64_t bytes) {
+  static constexpr char zeros[kAlign] = {};
+  while (bytes > 0) {
+    const auto n = static_cast<std::size_t>(std::min<std::uint64_t>(bytes, kAlign));
+    out.write(zeros, static_cast<std::streamsize>(n));
+    hash.update(zeros, n);
+    bytes -= n;
+  }
+}
+
+void write_hashed(std::ostream& out, util::Fnv1a& hash, const void* data,
+                  std::size_t bytes) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  hash.update(data, bytes);
+}
+
+}  // namespace
+
+void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
+                    std::uint64_t epoch) {
+  // The snapshot records only (universe, seed); the layout it implies must
+  // be the one the store actually used, or a reader would mis-decode.
+  const batmap::LayoutParams derived =
+      batmap::LayoutParams::for_universe(store.universe());
+  REPRO_CHECK_MSG(derived.r0 == store.context().params().r0 &&
+                      derived.s == store.context().params().s,
+                  "store layout is not the default for its universe; "
+                  "snapshot format cannot represent it");
+
+  const std::uint64_t n = store.size();
+  SnapshotHeader hdr;
+  hdr.epoch = epoch;
+  hdr.universe = store.universe();
+  hdr.seed = store.seed();
+  hdr.map_count = n;
+
+  // Lay out the directory and the three 64B-aligned sections.
+  std::vector<SnapshotMapEntry> entries(n);
+  std::uint64_t off = sizeof(SnapshotHeader) + n * sizeof(SnapshotMapEntry);
+  off = bits::round_up(off, kAlign);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto& m = store.map(i);
+    entries[i].word_count = static_cast<std::uint32_t>(m.word_count());
+    entries[i].range = m.range();
+    entries[i].stored_elements = m.stored_elements();
+    entries[i].words_off = off;
+    off = bits::round_up(off + m.word_count() * sizeof(std::uint32_t), kAlign);
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    entries[i].fail_count = store.failures(i).size();
+    entries[i].fail_off = off;
+    off = bits::round_up(off + entries[i].fail_count * sizeof(std::uint64_t),
+                         kAlign);
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    entries[i].elem_count = store.elements(i).size();
+    entries[i].elem_off = off;
+    off = bits::round_up(off + entries[i].elem_count * sizeof(std::uint64_t),
+                         kAlign);
+  }
+  hdr.file_bytes = off;
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  REPRO_CHECK_MSG(out.good(), "cannot open " + path + " for writing");
+  // The header goes out first with checksum 0 — and is hashed that way, so
+  // the digest covers every header field; the final value is patched in at
+  // the end (regular files are seekable).
+  out.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+
+  util::Fnv1a hash;
+  hash.update(&hdr, sizeof(hdr));
+  std::uint64_t pos = sizeof(SnapshotHeader);
+  write_hashed(out, hash, entries.data(), n * sizeof(SnapshotMapEntry));
+  pos += n * sizeof(SnapshotMapEntry);
+
+  auto pad_to = [&](std::uint64_t target) {
+    REPRO_CHECK(target >= pos);
+    write_pad(out, hash, target - pos);
+    pos = target;
+  };
+  for (std::uint64_t i = 0; i < n; ++i) {
+    pad_to(entries[i].words_off);
+    const auto w = store.map(i).words();
+    write_hashed(out, hash, w.data(), w.size() * sizeof(std::uint32_t));
+    pos += w.size() * sizeof(std::uint32_t);
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    pad_to(entries[i].fail_off);
+    const auto f = store.failures(i);
+    write_hashed(out, hash, f.data(), f.size() * sizeof(std::uint64_t));
+    pos += f.size() * sizeof(std::uint64_t);
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    pad_to(entries[i].elem_off);
+    const auto e = store.elements(i);
+    write_hashed(out, hash, e.data(), e.size() * sizeof(std::uint64_t));
+    pos += e.size() * sizeof(std::uint64_t);
+  }
+  pad_to(hdr.file_bytes);
+
+  hdr.checksum = hash.digest();
+  out.seekp(static_cast<std::streamoff>(offsetof(SnapshotHeader, checksum)));
+  out.write(reinterpret_cast<const char*>(&hdr.checksum),
+            sizeof(hdr.checksum));
+  out.flush();
+  REPRO_CHECK_MSG(out.good(), "snapshot write failed: " + path);
+}
+
+Snapshot Snapshot::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  REPRO_CHECK_MSG(fd >= 0, "cannot open snapshot " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    REPRO_CHECK_MSG(false, "cannot stat snapshot " + path);
+  }
+  const auto file_bytes = static_cast<std::uint64_t>(st.st_size);
+  if (file_bytes < sizeof(SnapshotHeader)) {
+    ::close(fd);
+    REPRO_CHECK_MSG(false, "snapshot smaller than its header: " + path);
+  }
+  void* base = ::mmap(nullptr, file_bytes, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  REPRO_CHECK_MSG(base != MAP_FAILED, "mmap failed for snapshot " + path);
+
+  Snapshot snap;
+  snap.base_ = static_cast<const std::byte*>(base);
+  snap.map_bytes_ = file_bytes;
+  // From here on, any validation failure must unmap; the Snapshot
+  // destructor does that once base_ is set.
+  const auto* hdr = reinterpret_cast<const SnapshotHeader*>(snap.base_);
+  snap.header_ = hdr;
+  REPRO_CHECK_MSG(hdr->magic == kSnapshotMagic,
+                  "not a batmap snapshot: " + path);
+  REPRO_CHECK_MSG(hdr->version == kSnapshotVersion,
+                  "unsupported snapshot version");
+  REPRO_CHECK_MSG(hdr->header_bytes == sizeof(SnapshotHeader),
+                  "snapshot header size mismatch");
+  REPRO_CHECK_MSG(hdr->file_bytes == file_bytes,
+                  "snapshot truncated or padded: header says " +
+                      std::to_string(hdr->file_bytes) + " bytes, file has " +
+                      std::to_string(file_bytes));
+
+  util::Fnv1a hash;
+  SnapshotHeader zeroed = *hdr;
+  zeroed.checksum = 0;
+  hash.update(&zeroed, sizeof(zeroed));
+  hash.update(snap.base_ + sizeof(SnapshotHeader),
+              file_bytes - sizeof(SnapshotHeader));
+  REPRO_CHECK_MSG(hash.digest() == hdr->checksum,
+                  "snapshot checksum mismatch (corrupt file): " + path);
+
+  const std::uint64_t n = hdr->map_count;
+  const std::uint64_t table_end =
+      sizeof(SnapshotHeader) + n * sizeof(SnapshotMapEntry);
+  REPRO_CHECK_MSG(table_end <= file_bytes, "snapshot directory out of bounds");
+  snap.entries_ = {reinterpret_cast<const SnapshotMapEntry*>(
+                       snap.base_ + sizeof(SnapshotHeader)),
+                   static_cast<std::size_t>(n)};
+  for (const auto& e : snap.entries_) {
+    const auto span_ok = [&](std::uint64_t off, std::uint64_t count,
+                             std::uint64_t elem_size) {
+      return off % kAlign == 0 && off >= table_end && off <= file_bytes &&
+             count * elem_size <= file_bytes - off;
+    };
+    REPRO_CHECK_MSG(span_ok(e.words_off, e.word_count, 4) &&
+                        span_ok(e.fail_off, e.fail_count, 8) &&
+                        span_ok(e.elem_off, e.elem_count, 8),
+                    "snapshot map entry out of bounds or misaligned");
+    REPRO_CHECK_MSG(e.word_count == batmap::LayoutParams::words(e.range),
+                    "snapshot word count inconsistent with range");
+  }
+  snap.ctx_ = batmap::BatmapContext(hdr->universe, hdr->seed);
+  return snap;
+}
+
+Snapshot::Snapshot(Snapshot&& other) noexcept { *this = std::move(other); }
+
+Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) {
+      ::munmap(const_cast<std::byte*>(base_), map_bytes_);
+    }
+    base_ = other.base_;
+    map_bytes_ = other.map_bytes_;
+    header_ = other.header_;
+    entries_ = other.entries_;
+    ctx_ = other.ctx_;
+    other.base_ = nullptr;
+    other.map_bytes_ = 0;
+    other.header_ = nullptr;
+    other.entries_ = {};
+  }
+  return *this;
+}
+
+Snapshot::~Snapshot() {
+  if (base_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(base_), map_bytes_);
+  }
+}
+
+std::span<const std::uint32_t> Snapshot::words(std::size_t id) const {
+  const auto& e = entry(id);
+  return {reinterpret_cast<const std::uint32_t*>(base_ + e.words_off),
+          e.word_count};
+}
+
+std::span<const std::uint64_t> Snapshot::failures(std::size_t id) const {
+  const auto& e = entry(id);
+  return {reinterpret_cast<const std::uint64_t*>(base_ + e.fail_off),
+          static_cast<std::size_t>(e.fail_count)};
+}
+
+std::span<const std::uint64_t> Snapshot::elements(std::size_t id) const {
+  const auto& e = entry(id);
+  return {reinterpret_cast<const std::uint64_t*>(base_ + e.elem_off),
+          static_cast<std::size_t>(e.elem_count)};
+}
+
+std::uint64_t Snapshot::raw_count(std::size_t a, std::size_t b) const {
+  const auto wa = words(a);
+  const auto wb = words(b);
+  return wa.size() >= wb.size() ? batmap::intersect_count_words(wa, wb)
+                                : batmap::intersect_count_words(wb, wa);
+}
+
+std::uint64_t Snapshot::intersection_size(std::size_t a, std::size_t b) const {
+  return raw_count(a, b) +
+         batmap::failure_patch_correction(failures(a), elements(a),
+                                          failures(b), elements(b));
+}
+
+std::uint64_t Snapshot::total_failures() const {
+  std::uint64_t total = 0;
+  for (const auto& e : entries_) total += e.fail_count;
+  return total;
+}
+
+}  // namespace repro::service

@@ -1,0 +1,132 @@
+// Snapshot store: the serving-side batmap format.
+//
+// A snapshot is a single file holding every sealed batmap of a BatmapStore
+// (packed words, failure lists, element lists) in a versioned, checksummed,
+// 64-byte-aligned layout designed to be mmap-ed read-only:
+//
+//   [SnapshotHeader: 64 B]
+//   [MapEntry table: map_count × 64 B]
+//   [words section    (u32, 64B-aligned runs, one per map)]
+//   [failures section (u64, 64B-aligned runs)]
+//   [elements section (u64, 64B-aligned runs)]
+//
+// All multi-byte fields are native-endian PODs (snapshots are a deployment
+// artifact for one fleet architecture, not an interchange format). Every
+// per-map run starts on a 64-byte boundary so mmap-ed word spans have the
+// same cache-line alignment the SIMD kernels and the arena allocator
+// guarantee for heap batmaps. The header stores an FNV-1a digest of the
+// whole file (its own checksum field read as zero); open() rejects wrong
+// magic, unsupported versions, truncated files, and any corruption —
+// header or payload — before handing out a view.
+//
+// Once open, a Snapshot is an immutable view shared by all query-engine
+// workers with zero copy: word/failure/element accessors return spans
+// straight into the mapping. The context (layout parameters + the three
+// permutations) is rebuilt from (universe, seed) — O(1), no tables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "batmap/context.hpp"
+#include "batmap/intersect.hpp"
+
+namespace repro::service {
+
+inline constexpr std::uint64_t kSnapshotMagic = 0x50414e5354414221ull;  // "!BATSNAP"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+struct SnapshotHeader {
+  std::uint64_t magic = kSnapshotMagic;
+  std::uint32_t version = kSnapshotVersion;
+  std::uint32_t header_bytes = 64;
+  std::uint64_t file_bytes = 0;  ///< total snapshot size, for truncation checks
+  /// FNV-1a over the whole file with this field read as zero — every header
+  /// field and every payload byte is covered, so one flipped bit anywhere
+  /// fails open().
+  std::uint64_t checksum = 0;
+  std::uint64_t epoch = 0;       ///< build generation, keys the result cache
+  std::uint64_t universe = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t map_count = 0;
+};
+static_assert(sizeof(SnapshotHeader) == 64, "header must stay one cache line");
+
+/// Per-map directory entry (one cache line). Offsets are absolute file
+/// offsets in bytes, each 64-byte aligned.
+struct SnapshotMapEntry {
+  std::uint64_t words_off = 0;
+  std::uint64_t fail_off = 0;
+  std::uint64_t elem_off = 0;
+  std::uint32_t word_count = 0;
+  std::uint32_t range = 0;
+  std::uint64_t stored_elements = 0;
+  std::uint64_t fail_count = 0;
+  std::uint64_t elem_count = 0;
+  std::uint64_t reserved = 0;
+};
+static_assert(sizeof(SnapshotMapEntry) == 64);
+
+/// Serializes a BatmapStore into the snapshot format at `path`. `epoch`
+/// tags the build generation (cache keys include it, so a hot-swapped
+/// snapshot never serves stale cached results).
+void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
+                    std::uint64_t epoch = 0);
+
+class Snapshot {
+ public:
+  /// mmaps `path` read-only and validates magic, version, size, alignment,
+  /// and the full payload checksum. Throws CheckError on any violation.
+  static Snapshot open(const std::string& path);
+
+  Snapshot(Snapshot&& other) noexcept;
+  Snapshot& operator=(Snapshot&& other) noexcept;
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+  ~Snapshot();
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t universe() const { return header_->universe; }
+  std::uint64_t epoch() const { return header_->epoch; }
+  std::uint64_t seed() const { return header_->seed; }
+  const batmap::BatmapContext& context() const { return ctx_; }
+
+  std::uint32_t range(std::size_t id) const { return entry(id).range; }
+  std::uint64_t stored_elements(std::size_t id) const {
+    return entry(id).stored_elements;
+  }
+  /// Packed batmap words, straight out of the mapping (64B-aligned).
+  std::span<const std::uint32_t> words(std::size_t id) const;
+  /// Sorted failed-insertion list of set `id`.
+  std::span<const std::uint64_t> failures(std::size_t id) const;
+  /// Sorted element list of set `id` (empty if the store dropped elements).
+  std::span<const std::uint64_t> elements(std::size_t id) const;
+
+  /// Exact |S_a ∩ S_b|: cyclic sweep over the mapped words plus the failure
+  /// patch — the single-query reference path (and the serving oracle).
+  std::uint64_t intersection_size(std::size_t a, std::size_t b) const;
+  /// The raw, unpatched sweep count.
+  std::uint64_t raw_count(std::size_t a, std::size_t b) const;
+
+  /// Bytes of the whole mapping (the snapshot's resident footprint).
+  std::uint64_t mapped_bytes() const { return map_bytes_; }
+  /// Total insertion failures recorded across all sets.
+  std::uint64_t total_failures() const;
+
+ private:
+  Snapshot() = default;
+
+  const SnapshotMapEntry& entry(std::size_t id) const {
+    REPRO_CHECK_MSG(id < entries_.size(), "snapshot set id out of range");
+    return entries_[id];
+  }
+
+  const std::byte* base_ = nullptr;   ///< mmap base (nullptr when moved-from)
+  std::uint64_t map_bytes_ = 0;
+  const SnapshotHeader* header_ = nullptr;
+  std::span<const SnapshotMapEntry> entries_;
+  batmap::BatmapContext ctx_{1};
+};
+
+}  // namespace repro::service

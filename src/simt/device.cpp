@@ -44,6 +44,8 @@ void Device::fold_phase(std::vector<AccessLog>& logs, MemStats& stats) const {
     stats.global_loads += l.load_addrs.size();
     stats.global_stores += l.store_addrs.size();
     stats.shared_ops += l.shared_ops;
+    stats.predicated_ops += l.predicated_ops;
+    stats.predicated_off_ops += l.predicated_off;
     for (const auto sz : l.load_sizes) stats.load_bytes += sz;
     for (const auto sz : l.store_sizes) stats.store_bytes += sz;
   }

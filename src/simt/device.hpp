@@ -112,6 +112,18 @@ class ItemCtx {
     if (log_) log_->shared_ops += n;
   }
 
+  /// Reports `total` predicated lane-operations this item executed, of
+  /// which `off` had a false predicate (masked lanes). The tile kernels
+  /// handle mixed widths with branch-free predication rather than ragged
+  /// control flow, so this — not stream raggedness — is where their
+  /// warp-level divergence cost appears (MemStats::predicated_off_ops).
+  void predicate_ops(std::size_t total, std::size_t off) {
+    if (log_) {
+      log_->predicated_ops += total;
+      log_->predicated_off += off;
+    }
+  }
+
   bool stats_enabled() const { return log_ != nullptr; }
 
  private:

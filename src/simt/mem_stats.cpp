@@ -13,6 +13,11 @@ void MemStats::accumulate(const MemStats& o) {
   store_transactions += o.store_transactions;
   shared_ops += o.shared_ops;
   divergent_items += o.divergent_items;
+  divergent_half_warps += o.divergent_half_warps;
+  divergent_instructions += o.divergent_instructions;
+  warp_instructions += o.warp_instructions;
+  predicated_ops += o.predicated_ops;
+  predicated_off_ops += o.predicated_off_ops;
   groups_run += o.groups_run;
   items_run += o.items_run;
   barriers += o.barriers;
@@ -35,6 +40,8 @@ void AccessLog::clear() {
   store_addrs.clear();
   store_sizes.clear();
   shared_ops = 0;
+  predicated_ops = 0;
+  predicated_off = 0;
 }
 
 namespace {
@@ -51,18 +58,22 @@ void fold_stream(const std::vector<AccessLog*>& items, bool loads,
   segs.reserve(kHalfWarp);
   for (std::size_t op = 0; op < max_ops; ++op) {
     segs.clear();
+    std::size_t active = 0;
     for (const AccessLog* log : items) {
       const auto& addrs = loads ? log->load_addrs : log->store_addrs;
       const auto& sizes = loads ? log->load_sizes : log->store_sizes;
       if (op >= addrs.size()) continue;  // divergent lane: inactive
+      ++active;
       const std::uint64_t first = addrs[op] / kSegmentBytes;
       const std::uint64_t last = (addrs[op] + sizes[op] - 1) / kSegmentBytes;
       for (std::uint64_t s = first; s <= last; ++s) segs.push_back(s);
     }
+    if (active < items.size()) ++stats.divergent_instructions;
     std::sort(segs.begin(), segs.end());
     segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
     transactions += segs.size();
   }
+  stats.warp_instructions += max_ops;
   if (loads)
     stats.load_transactions += transactions;
   else
@@ -76,10 +87,14 @@ void fold_half_warp(std::vector<AccessLog*>& items, MemStats& stats) {
   // Ragged access streams mean lanes diverged within the half-warp.
   const std::size_t l0 = items[0]->load_addrs.size();
   const std::size_t s0 = items[0]->store_addrs.size();
+  std::size_t ragged = 0;
   for (const AccessLog* log : items) {
-    if (log->load_addrs.size() != l0 || log->store_addrs.size() != s0)
-      ++stats.divergent_items;
+    if (log->load_addrs.size() != l0 || log->store_addrs.size() != s0) {
+      ++ragged;
+    }
   }
+  stats.divergent_items += ragged;
+  if (ragged > 0) ++stats.divergent_half_warps;
   fold_stream(items, /*loads=*/true, stats);
   fold_stream(items, /*loads=*/false, stats);
 }

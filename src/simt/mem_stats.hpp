@@ -24,11 +24,34 @@ struct MemStats {
   std::uint64_t store_transactions = 0;  ///< coalesced 64B-segment writes
   std::uint64_t shared_ops = 0;          ///< shared-memory accesses
   std::uint64_t divergent_items = 0;     ///< items with ragged access streams
+  // Warp-level divergence accounting. The replay issues the i-th access of
+  // every half-warp lane as one lockstep instruction; an instruction where
+  // only part of the present lanes participate is divergent (the hardware
+  // serializes or masks it). The tile kernels themselves never issue ragged
+  // streams — mixed widths are handled by per-pair width PREDICATION
+  // (`acc += match * (w < pair_w)`), exactly as on the device — so their
+  // wasted work shows up in predicated_off_ops: compare-lane operations
+  // whose predicate was false. Uniform-width groups waste nothing; a
+  // mixed-width group wastes (16·slices − pair_w) lanes per pair
+  // (pinned in perf_model_test).
+  std::uint64_t divergent_half_warps = 0;  ///< half-warps with ragged lanes
+  std::uint64_t divergent_instructions = 0;  ///< lockstep ops, partial lanes
+  std::uint64_t warp_instructions = 0;   ///< lockstep ops replayed
+  std::uint64_t predicated_ops = 0;      ///< predicated lane-ops executed
+  std::uint64_t predicated_off_ops = 0;  ///< ... with a false predicate
   std::uint64_t groups_run = 0;
   std::uint64_t items_run = 0;
   std::uint64_t barriers = 0;            ///< phase boundaries executed
 
   void accumulate(const MemStats& o);
+
+  /// Fraction of predicated lane-ops that were masked off — the SIMT cost
+  /// of mixed-width groups (0 when every group is width-uniform).
+  double predication_waste() const {
+    if (predicated_ops == 0) return 0.0;
+    return static_cast<double>(predicated_off_ops) /
+           static_cast<double>(predicated_ops);
+  }
 
   /// Global-memory transactions (loads + stores) amortized over `pairs`
   /// batmap comparisons — the figure of merit for the tile kernels: shared
@@ -54,7 +77,9 @@ struct AccessLog {
   std::vector<std::uint32_t> load_sizes;
   std::vector<std::uint64_t> store_addrs;
   std::vector<std::uint32_t> store_sizes;
-  std::uint64_t shared_ops = 0;  ///< shared-memory accesses this phase
+  std::uint64_t shared_ops = 0;      ///< shared-memory accesses this phase
+  std::uint64_t predicated_ops = 0;  ///< predicated lane-ops this phase
+  std::uint64_t predicated_off = 0;  ///< ... executed with predicate false
   void clear();
 };
 

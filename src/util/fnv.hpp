@@ -1,0 +1,44 @@
+// FNV-1a 64-bit streaming checksum.
+//
+// Used by the BatmapStore stream format and the mmap snapshot store to
+// detect corruption and truncation: both formats hash every payload byte
+// and reject files whose stored digest does not match. FNV-1a is not a
+// cryptographic hash — the threat model is bit rot and truncated copies,
+// not adversaries — but it catches any single flipped byte and is simple
+// enough to be obviously correct on both the write and read path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace repro::util {
+
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 1469598103934665603ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  void update(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = h_;
+    for (std::size_t i = 0; i < bytes; ++i) {
+      h ^= p[i];
+      h *= kPrime;
+    }
+    h_ = h;
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffsetBasis;
+};
+
+/// One-shot convenience.
+inline std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  Fnv1a h;
+  h.update(data, bytes);
+  return h.digest();
+}
+
+}  // namespace repro::util

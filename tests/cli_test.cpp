@@ -62,6 +62,47 @@ TEST(CliTest, FullWorkflow) {
   EXPECT_EQ(verify.out.find("MISMATCH"), std::string::npos) << verify.out;
 }
 
+TEST(CliTest, PairsChunkedIngestMatchesWholeFile) {
+  const std::string fimi = "/tmp/batmap_cli_test_chunk.fimi";
+  ASSERT_EQ(
+      run("gen --items 60 --total 8000 --density 0.07 --out " + fimi).exit_code,
+      0);
+  auto whole = run("pairs --fimi " + fimi + " --minsup 4 --top 3");
+  ASSERT_EQ(whole.exit_code, 0) << whole.out;
+  // Stream the same file through FimiChunkReader in ~2 KiB text chunks; the
+  // mined pairs must be identical.
+  auto chunked =
+      run("pairs --fimi " + fimi + " --minsup 4 --top 3 --chunk-bytes 2048");
+  ASSERT_EQ(chunked.exit_code, 0) << chunked.out;
+  EXPECT_NE(chunked.out.find("streamed"), std::string::npos) << chunked.out;
+  EXPECT_NE(chunked.out.find(" chunks"), std::string::npos) << chunked.out;
+  const auto headline = [](const std::string& out) {
+    const auto from = out.find("pairs with support");
+    return out.substr(from, out.find(" (pre") - from);
+  };
+  EXPECT_EQ(headline(whole.out), headline(chunked.out))
+      << whole.out << "\nvs\n" << chunked.out;
+  const auto top = [](const std::string& out) {
+    return out.substr(out.find("\n  {"));
+  };
+  ASSERT_NE(chunked.out.find("\n  {"), std::string::npos) << chunked.out;
+  EXPECT_EQ(top(whole.out), top(chunked.out));
+}
+
+TEST(CliTest, SnapshotFromStore) {
+  const std::string fimi = "/tmp/batmap_cli_test_snap.fimi";
+  const std::string store = "/tmp/batmap_cli_test_snap.store";
+  const std::string snap = "/tmp/batmap_cli_test_snap.snap";
+  ASSERT_EQ(run("gen --items 30 --total 2000 --out " + fimi).exit_code, 0);
+  ASSERT_EQ(run("build --fimi " + fimi + " --out " + store).exit_code, 0);
+  auto res = run("snapshot --store " + store + " --out " + snap + " --epoch 3");
+  ASSERT_EQ(res.exit_code, 0) << res.out;
+  EXPECT_NE(res.out.find("snapshot: 30 sets, epoch 3"), std::string::npos)
+      << res.out;
+  EXPECT_EQ(run("snapshot --store /nonexistent --out " + snap).exit_code, 2);
+  EXPECT_EQ(run("snapshot").exit_code, 2);  // missing --store
+}
+
 TEST(CliTest, PairsDeviceBackendMatchesNative) {
   const std::string fimi = "/tmp/batmap_cli_test3.fimi";
   ASSERT_EQ(

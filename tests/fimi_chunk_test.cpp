@@ -95,6 +95,59 @@ TEST(FimiChunkTest, ChunkBoundariesPreserveTransactionOrder) {
   }
 }
 
+TEST(FimiChunkTest, ByteBoundedChunksEqualWholeFile) {
+  BernoulliSpec spec;
+  spec.num_items = 30;
+  spec.density = 0.15;
+  spec.total_items = 3000;
+  spec.seed = 5;
+  const auto db = bernoulli_instance(spec);
+  std::ostringstream out;
+  write_fimi(db, out);
+  std::istringstream whole_in(out.str());
+  const auto whole = read_fimi(whole_in);
+
+  for (const std::size_t bound : {std::size_t{1}, std::size_t{64},
+                                  std::size_t{777}, out.str().size() * 2}) {
+    std::istringstream in(out.str());
+    FimiChunkReader reader(in, FimiChunkReader::kDefaultChunkTransactions,
+                           bound);
+    EXPECT_EQ(reader.chunk_bytes(), bound);
+    TransactionDb assembled;
+    std::size_t chunks = 0;
+    while (!reader.done()) {
+      assembled.append(reader.next_chunk());
+      ++chunks;
+    }
+    ASSERT_EQ(assembled.num_transactions(), whole.num_transactions())
+        << "bound=" << bound;
+    for (std::size_t t = 0; t < whole.num_transactions(); ++t) {
+      ASSERT_TRUE(
+          std::ranges::equal(assembled.transaction(t), whole.transaction(t)))
+          << "bound=" << bound << " txn=" << t;
+    }
+    // A tight bound forces one line per chunk; a bound beyond the file
+    // forces one chunk plus the EOF probe.
+    if (bound == 1) {
+      EXPECT_GT(chunks, whole.num_transactions());
+    }
+    if (bound > out.str().size()) {
+      EXPECT_LE(chunks, 2u);
+    }
+  }
+}
+
+TEST(FimiChunkTest, ByteBoundAlwaysMakesProgress) {
+  // A transaction larger than the byte bound must still be consumed whole.
+  std::istringstream in("1 2 3 4 5 6 7 8 9 10 11 12\n13\n");
+  FimiChunkReader reader(in, 100, /*chunk_bytes=*/4);
+  TransactionDb first = reader.next_chunk();
+  EXPECT_EQ(first.num_transactions(), 1u);
+  EXPECT_FALSE(reader.done());
+  TransactionDb second = reader.next_chunk();
+  EXPECT_EQ(second.num_transactions(), 1u);
+}
+
 TEST(FimiChunkTest, EmptyStream) {
   std::istringstream in("");
   FimiChunkReader reader(in, 4);

@@ -143,6 +143,13 @@ TEST(CoalescingRegressionTest, PerPairKernelTransactionsPinned) {
   EXPECT_EQ(st.store_transactions, 256u);
   EXPECT_EQ(st.divergent_items, 0u);
   EXPECT_DOUBLE_EQ(st.transactions_per_pair(4096), 0.4375);
+  // Uniform widths: every compare lane is active (16 groups · 256 items ·
+  // 48 predicated ops, none masked) and no half-warp diverges.
+  EXPECT_EQ(st.predicated_ops, 196608u);
+  EXPECT_EQ(st.predicated_off_ops, 0u);
+  EXPECT_EQ(st.divergent_half_warps, 0u);
+  EXPECT_EQ(st.divergent_instructions, 0u);
+  EXPECT_DOUBLE_EQ(st.predication_waste(), 0.0);
 }
 
 TEST(CoalescingRegressionTest, StripKernelTransactionsPinned) {
@@ -157,6 +164,93 @@ TEST(CoalescingRegressionTest, StripKernelTransactionsPinned) {
   EXPECT_EQ(st.store_transactions, 256u);
   EXPECT_EQ(st.divergent_items, 0u);
   EXPECT_DOUBLE_EQ(st.transactions_per_pair(4096), 0.296875);
+  // 4 groups · 256 items · (3 slices · 16 words · 4 pairs), all active.
+  EXPECT_EQ(st.predicated_ops, 196608u);
+  EXPECT_EQ(st.predicated_off_ops, 0u);
+  EXPECT_EQ(st.divergent_half_warps, 0u);
+  EXPECT_EQ(st.divergent_instructions, 0u);
+}
+
+// ---- warp-level divergence on mixed-width groups ----------------------------
+//
+// 24 sets of 25 elements (range 64 -> 48 words) + 40 sets of 100 elements
+// (range 256 -> 192 words) in the same 4096 universe, swept as one 64×64
+// device tile. Width-sorted 16-blocks: B0=[0,16) all 48 w, B1=[16,32) MIXED
+// (8 × 48 w, 8 × 192 w), B2/B3 all 192 w — so the strip predicate rejects
+// the tile and every group runs the per-pair kernel, whose slice count is
+// the group's max width while each pair predicates on its own width:
+//
+//   off(pair) = 16·slices(group) − pair_w. Nonzero only where a 48/48 pair
+//   sits in a group that also touches a 192-wide map:
+//     (B0,B1): 16 rows · 8 cols · (192−48) = 18432
+//     (B1,B0):  8 rows · 16 cols · 144     = 18432
+//     (B1,B1):  8 rows ·  8 cols · 144     =  9216   Σ = 46080
+//   predicated_ops = 256·48 (the one all-48 group) + 15 · 256·192 = 749568
+//
+// The kernels predicate instead of branching — exactly the device's
+// execution model — so the access streams stay lockstep: the ragged-stream
+// counters must stay zero while predicated_off_ops carries the whole
+// mixed-width cost. Loads stay perfectly coalesced (48- and 192-word maps
+// are both 64 B multiples, so wrapped slices stay segment-aligned):
+//   loads = 256·2·(3 + 15·12) slices = 93696, txns = 93696/16 = 5856.
+
+FixedWorkload mixed_workload() {
+  FixedWorkload w;
+  const batmap::BatmapContext ctx(4096, 19);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 64; ++i) {
+    const std::size_t size = i < 24 ? 25 : 100;
+    std::set<std::uint64_t> s;
+    while (s.size() < size) s.insert(rng.below(4096));
+    std::vector<std::uint64_t> v(s.begin(), s.end());
+    w.maps.push_back(batmap::build_batmap(ctx, v));
+  }
+  w.sm = core::pack_sorted_maps(w.maps, true);
+  return w;
+}
+
+TEST(CoalescingRegressionTest, MixedWidthDivergencePinned) {
+  const auto w = mixed_workload();
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(w.maps[i].word_count(), i < 24 ? 48u : 192u) << i;
+  }
+  std::uint64_t strip_tiles = 1;
+  const MemStats st = sweep_device_stats(w, /*device_strip=*/true,
+                                         &strip_tiles);
+  EXPECT_EQ(strip_tiles, 0u);  // mixed widths force the per-pair kernel
+  EXPECT_EQ(st.global_loads, 93696u);
+  EXPECT_EQ(st.load_transactions, 5856u);
+  EXPECT_EQ(st.global_stores, 4096u);
+  EXPECT_EQ(st.store_transactions, 256u);
+  EXPECT_EQ(st.predicated_ops, 749568u);
+  EXPECT_EQ(st.predicated_off_ops, 46080u);
+  EXPECT_NEAR(st.predication_waste(), 46080.0 / 749568.0, 1e-12);
+  // Predication, not divergence: streams stay lockstep on mixed widths.
+  EXPECT_EQ(st.divergent_items, 0u);
+  EXPECT_EQ(st.divergent_half_warps, 0u);
+  EXPECT_EQ(st.divergent_instructions, 0u);
+}
+
+TEST(MemStatsTest, DivergenceCountersFoldRaggedStreams) {
+  // Synthetic half-warp: 3 lanes issue 2 loads, 1 lane issues only 1 —
+  // one ragged lane, one divergent instruction, two lockstep instructions.
+  AccessLog logs[4];
+  for (int l = 0; l < 4; ++l) {
+    logs[l].load_addrs = {static_cast<std::uint64_t>(64 * l)};
+    logs[l].load_sizes = {4};
+  }
+  for (int l = 0; l < 3; ++l) {
+    logs[l].load_addrs.push_back(1024);
+    logs[l].load_sizes.push_back(4);
+  }
+  std::vector<AccessLog*> half{&logs[0], &logs[1], &logs[2], &logs[3]};
+  MemStats st;
+  fold_half_warp(half, st);
+  EXPECT_EQ(st.divergent_items, 1u);
+  EXPECT_EQ(st.divergent_half_warps, 1u);
+  EXPECT_EQ(st.warp_instructions, 2u);
+  EXPECT_EQ(st.divergent_instructions, 1u);
+  EXPECT_EQ(st.load_transactions, 4u + 1u);  // 4 distinct segs, then 1 shared
 }
 
 TEST(CoalescingRegressionTest, StripStrictlyBeatsPerPairPerPair) {

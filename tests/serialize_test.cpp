@@ -90,8 +90,62 @@ TEST(Serialize, RejectsTruncation) {
   std::stringstream ss;
   store.save(ss);
   const std::string full = ss.str();
-  std::stringstream cut(full.substr(0, full.size() / 2));
-  EXPECT_THROW(BatmapStore::load(cut), repro::CheckError);
+  // Cut at several depths, including inside the trailer checksum.
+  for (const std::size_t keep :
+       {std::size_t{13}, full.size() / 2, full.size() - 1}) {
+    std::stringstream cut(full.substr(0, keep));
+    EXPECT_THROW(BatmapStore::load(cut), repro::CheckError) << "keep=" << keep;
+  }
+}
+
+TEST(Serialize, RejectsAnyCorruptByte) {
+  // The v2 format carries an FNV-1a digest of the whole payload: a single
+  // flipped byte anywhere after the magic/version preamble must be refused
+  // (either by a parse-time check or by the trailer checksum — both raise
+  // CheckError).
+  Xoshiro256 rng(21);
+  const BatmapStore store = make_store(2000, 4, rng, nullptr);
+  std::stringstream ss;
+  store.save(ss);
+  const std::string full = ss.str();
+  ASSERT_GT(full.size(), 64u);
+  for (std::size_t pos = 12; pos < full.size(); pos += 131) {
+    std::string bad = full;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x20);
+    std::stringstream in(bad);
+    EXPECT_THROW(BatmapStore::load(in), repro::CheckError) << "pos=" << pos;
+  }
+}
+
+TEST(Serialize, CorruptGiantLengthRaisesCheckErrorNotBadAlloc) {
+  // Flipping a high-weight byte of a serialized vector length yields a
+  // size in the multi-gigabyte range; load must refuse it via CheckError
+  // (bounded by the bytes left in the stream) before the allocator sees
+  // it. The first words-vector length starts at byte 49 (magic 8 +
+  // version 4 + universe 8 + seed 8 + keep_elements 1 + count 8 +
+  // range 4 + stored 8).
+  Xoshiro256 rng(2);
+  const BatmapStore store = make_store(1000, 3, rng, nullptr);
+  std::stringstream ss;
+  store.save(ss);
+  std::string bytes = ss.str();
+  for (const std::size_t weight : {4u, 5u, 6u, 7u}) {  // 2^32 .. 2^56 bytes
+    std::string bad = bytes;
+    bad[49 + weight] = static_cast<char>(bad[49 + weight] ^ 0x20);
+    std::stringstream in(bad);
+    EXPECT_THROW(BatmapStore::load(in), repro::CheckError) << weight;
+  }
+}
+
+TEST(Serialize, RejectsOldVersion) {
+  Xoshiro256 rng(2);
+  const BatmapStore store = make_store(500, 2, rng, nullptr);
+  std::stringstream ss;
+  store.save(ss);
+  std::string bytes = ss.str();
+  bytes[8] = 1;  // rewrite the version field (u32 after the u64 magic) to v1
+  std::stringstream in(bytes);
+  EXPECT_THROW(BatmapStore::load(in), repro::CheckError);
 }
 
 TEST(Serialize, EmptyStore) {

@@ -1,0 +1,159 @@
+// Tests for the mmap snapshot store: layout guarantees (64B alignment),
+// round-trip fidelity against the BatmapStore it serializes, and rejection
+// of corrupt, truncated, and alien files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "batmap/intersect.hpp"
+#include "service/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace repro::service {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return std::string("/tmp/batmap_snapshot_test_") + tag + ".snap";
+}
+
+batmap::BatmapStore make_store(std::uint64_t universe, int sets,
+                               std::uint64_t seed,
+                               batmap::BatmapStore::Options opt = {}) {
+  batmap::BatmapStore store(universe, opt);
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < sets; ++i) {
+    std::set<std::uint64_t> s;
+    const std::size_t size = 5 + rng.below(400);
+    while (s.size() < size) s.insert(rng.below(universe));
+    std::vector<std::uint64_t> v(s.begin(), s.end());
+    store.add(v);
+  }
+  return store;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::string& data) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+TEST(SnapshotTest, RoundTripMatchesStore) {
+  const auto store = make_store(15000, 20, 7);
+  const std::string path = temp_path("roundtrip");
+  write_snapshot(store, path, /*epoch=*/42);
+  const Snapshot snap = Snapshot::open(path);
+
+  EXPECT_EQ(snap.size(), store.size());
+  EXPECT_EQ(snap.universe(), store.universe());
+  EXPECT_EQ(snap.epoch(), 42u);
+  EXPECT_EQ(snap.seed(), store.seed());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    EXPECT_EQ(snap.range(i), store.map(i).range());
+    EXPECT_EQ(snap.stored_elements(i), store.map(i).stored_elements());
+    const auto sw = snap.words(i);
+    const auto mw = store.map(i).words();
+    ASSERT_TRUE(std::equal(sw.begin(), sw.end(), mw.begin(), mw.end())) << i;
+    const auto se = snap.elements(i);
+    const auto me = store.elements(i);
+    ASSERT_TRUE(std::equal(se.begin(), se.end(), me.begin(), me.end())) << i;
+  }
+  // Every query agrees with the store it came from.
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    for (std::size_t j = i; j < store.size(); ++j) {
+      ASSERT_EQ(snap.intersection_size(i, j), store.intersection_size(i, j));
+      ASSERT_EQ(snap.raw_count(i, j), store.raw_count(i, j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, SpansAre64ByteAligned) {
+  const auto store = make_store(8000, 9, 3);
+  const std::string path = temp_path("align");
+  write_snapshot(store, path);
+  const Snapshot snap = Snapshot::open(path);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(snap.words(i).data()) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(snap.elements(i).data()) % 64,
+              0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, PreservesFailureLists) {
+  batmap::BatmapStore::Options opt;
+  opt.builder.max_loop = 1;
+  opt.builder.max_cascade = 1;
+  const auto store = make_store(3000, 12, 9, opt);
+  ASSERT_GT(store.total_failures(), 0u);
+  const std::string path = temp_path("failures");
+  write_snapshot(store, path);
+  const Snapshot snap = Snapshot::open(path);
+  EXPECT_EQ(snap.total_failures(), store.total_failures());
+  // Patched queries stay exact through the snapshot.
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    for (std::size_t j = i; j < store.size(); ++j) {
+      ASSERT_EQ(snap.intersection_size(i, j), store.intersection_size(i, j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, EmptyStore) {
+  const batmap::BatmapStore store(500);
+  const std::string path = temp_path("empty");
+  write_snapshot(store, path);
+  const Snapshot snap = Snapshot::open(path);
+  EXPECT_EQ(snap.size(), 0u);
+  EXPECT_EQ(snap.universe(), 500u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsAlienAndTruncatedFiles) {
+  const std::string path = temp_path("reject");
+  spit(path, "this is not a snapshot at all, far too short");
+  EXPECT_THROW(Snapshot::open(path), CheckError);
+
+  const auto store = make_store(4000, 6, 5);
+  write_snapshot(store, path);
+  const std::string full = slurp(path);
+  ASSERT_GT(full.size(), 256u);
+  // Truncations at several depths, including mid-header.
+  for (const std::size_t keep :
+       {std::size_t{16}, std::size_t{100}, full.size() / 2, full.size() - 1}) {
+    spit(path, full.substr(0, keep));
+    EXPECT_THROW(Snapshot::open(path), CheckError) << "keep=" << keep;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsAnyFlippedByte) {
+  const auto store = make_store(4000, 6, 5);
+  const std::string path = temp_path("corrupt");
+  write_snapshot(store, path);
+  const std::string full = slurp(path);
+  // Flip one byte at a spread of positions across header, directory, and
+  // payload; every single one must be rejected.
+  for (std::size_t pos = 0; pos < full.size(); pos += 97) {
+    std::string bad = full;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+    spit(path, bad);
+    EXPECT_THROW(Snapshot::open(path), CheckError) << "pos=" << pos;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFileThrows) {
+  EXPECT_THROW(Snapshot::open("/nonexistent/batmap.snap"), CheckError);
+}
+
+}  // namespace
+}  // namespace repro::service

@@ -4,15 +4,19 @@
 //   batmap_cli build --fimi data.fimi --out store.bin [--seed S]
 //   batmap_cli info  --store store.bin
 //   batmap_cli query --store store.bin --a I --b J
+//   batmap_cli snapshot --store store.bin --out snap.bin [--epoch E]
 //   batmap_cli pairs --fimi data.fimi --minsup S [--top K] [--backend native|device]
 //                    [--threads T] [--shards S]   (S: 0=auto, 1=flat pool)
+//                    [--chunk-bytes N]            (N: 0=whole-file ingest)
 //   batmap_cli mine  --fimi data.fimi --minsup S [--max-size K]
 //
 // `gen` writes a synthetic FIMI file; `build` turns a FIMI file's VERTICAL
 // representation (one batmap per item over transaction ids) into a saved
 // BatmapStore; `query` answers exact |S_a ∩ S_b| from a saved store;
-// `pairs` runs the frequent-pair pipeline; `mine` runs the general itemset
-// miner.
+// `snapshot` converts a saved store into the mmap-able serving snapshot
+// (tools/batmap_serve.cpp); `pairs` runs the frequent-pair pipeline,
+// optionally streaming the FIMI ingest in bounded chunks; `mine` runs the
+// general itemset miner.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -21,6 +25,7 @@
 
 #include "batmap/intersect.hpp"
 #include "batmap/strip.hpp"
+#include "service/snapshot.hpp"
 #include "core/itemset_miner.hpp"
 #include "baselines/apriori.hpp"
 #include "baselines/bitmap.hpp"
@@ -38,7 +43,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: batmap_cli <gen|build|info|query|pairs|mine|verify> [flags]\n"
+               "usage: batmap_cli "
+               "<gen|build|info|query|snapshot|pairs|mine|verify> [flags]\n"
                "run a subcommand with --help for its flags\n");
   return 2;
 }
@@ -167,6 +173,31 @@ int cmd_query(Args& args) {
   return 0;
 }
 
+int cmd_snapshot(Args& args) {
+  const std::string store_path = args.str("store", "", "input store path");
+  const std::string out = args.str("out", "snap.bin", "output snapshot path");
+  const std::uint64_t epoch = args.u64("epoch", 1, "snapshot epoch tag");
+  args.finish();
+  if (store_path.empty()) {
+    std::fprintf(stderr, "snapshot: --store is required\n");
+    return 2;
+  }
+  std::ifstream f(store_path, std::ios::binary);
+  if (!f.good()) {
+    std::fprintf(stderr, "cannot open %s\n", store_path.c_str());
+    return 2;
+  }
+  const auto store = batmap::BatmapStore::load(f);
+  service::write_snapshot(store, out, epoch);
+  const auto snap = service::Snapshot::open(out);  // validates the write
+  std::printf("snapshot: %zu sets, epoch %llu, %.1f MiB (64B-aligned, "
+              "checksummed) -> %s\n",
+              snap.size(), static_cast<unsigned long long>(snap.epoch()),
+              static_cast<double>(snap.mapped_bytes()) / (1 << 20),
+              out.c_str());
+  return 0;
+}
+
 int cmd_pairs(Args& args) {
   const std::string fimi = args.str("fimi", "", "input FIMI file");
   const std::uint64_t minsup = args.u64("minsup", 2, "support threshold");
@@ -176,6 +207,9 @@ int cmd_pairs(Args& args) {
   const std::uint64_t threads = args.u64("threads", 1, "host sweep threads");
   const std::uint64_t shards =
       args.u64("shards", 0, "sweep shards (0=auto, 1=flat pool)");
+  const std::uint64_t chunk_bytes = args.u64(
+      "chunk-bytes", 0, "stream the FIMI ingest in chunks of ~N bytes "
+      "(0 = read the whole file up front)");
   args.finish();
   if (fimi.empty()) {
     std::fprintf(stderr, "pairs: --fimi is required\n");
@@ -185,7 +219,30 @@ int cmd_pairs(Args& args) {
     std::fprintf(stderr, "pairs: --backend must be native or device\n");
     return 2;
   }
-  const auto db = mining::read_fimi_file(fimi);
+  mining::TransactionDb db;
+  if (chunk_bytes > 0) {
+    // Bounded-memory ingest: parse staging never exceeds ~chunk_bytes of
+    // input text per round (mining::FimiChunkReader).
+    std::ifstream f(fimi);
+    if (!f.good()) {
+      std::fprintf(stderr, "cannot open %s\n", fimi.c_str());
+      return 2;
+    }
+    mining::FimiChunkReader reader(
+        f, mining::FimiChunkReader::kDefaultChunkTransactions,
+        static_cast<std::size_t>(chunk_bytes));
+    std::size_t chunks = 0;
+    while (!reader.done()) {
+      db.append(reader.next_chunk());
+      ++chunks;
+    }
+    std::printf("streamed %zu transactions in %zu chunks (<= %llu bytes "
+                "each)\n",
+                reader.transactions_read(), chunks,
+                static_cast<unsigned long long>(chunk_bytes));
+  } else {
+    db = mining::read_fimi_file(fimi);
+  }
   core::PairMinerOptions opt;
   opt.minsup = static_cast<std::uint32_t>(minsup);
   opt.backend =
@@ -297,6 +354,7 @@ int main(int argc, char** argv) {
   if (cmd == "build") return cmd_build(args);
   if (cmd == "info") return cmd_info(args);
   if (cmd == "query") return cmd_query(args);
+  if (cmd == "snapshot") return cmd_snapshot(args);
   if (cmd == "pairs") return cmd_pairs(args);
   if (cmd == "mine") return cmd_mine(args);
   if (cmd == "verify") return cmd_verify(args);

@@ -1,0 +1,284 @@
+// batmap_serve — line-protocol query server over a batmap snapshot.
+//
+//   batmap_serve --snapshot snap.bin                 # serve stdin/stdout
+//   batmap_serve --snapshot snap.bin --port 7070     # serve TCP clients
+//
+// Protocol (one request per line, one reply line per request):
+//
+//   I <a> <b>      exact |S_a ∩ S_b|            -> "OK <count>"
+//   S <a> <b>      raw (unpatched) sweep count  -> "OK <count>"
+//   T <a> <k>      top-k most similar to S_a    -> "OK <m> id:count ..."
+//   STATS          engine counters              -> "STATS k=v k=v ..."
+//   FINGERPRINT    FNV-1a over this connection's results -> "FP <hex>"
+//   QUIT           close the connection
+//
+// Malformed or rejected requests answer "ERR <reason>" and do not advance
+// the fingerprint, so a script of valid queries has a deterministic digest
+// regardless of interleaved errors — the service-smoke CI job relies on
+// this to cross-check the batched server against a --naive run.
+//
+// One engine serves every connection: concurrent clients' requests meet in
+// the submission queue and coalesce into micro-batches. --naive bypasses
+// the engine's queue/batch/cache path and answers each request with the
+// one-query-at-a-time reference execution (for differential runs).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/query_engine.hpp"
+#include "service/snapshot.hpp"
+#include "util/args.hpp"
+#include "util/fnv.hpp"
+
+using namespace repro;
+
+namespace {
+
+/// Minimal buffered line IO over raw fds (shared by the stdin and TCP
+/// paths; iostreams don't wrap sockets portably).
+class FdLineIo {
+ public:
+  FdLineIo(int in_fd, int out_fd) : in_(in_fd), out_(out_fd) {}
+
+  /// False at EOF / error. Strips the trailing newline (and '\r').
+  bool read_line(std::string& line) {
+    line.clear();
+    for (;;) {
+      if (pos_ == len_) {
+        const ssize_t n = ::read(in_, buf_, sizeof(buf_));
+        if (n <= 0) return !line.empty();
+        pos_ = 0;
+        len_ = static_cast<std::size_t>(n);
+      }
+      const char c = buf_[pos_++];
+      if (c == '\n') {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return true;
+      }
+      line.push_back(c);
+    }
+  }
+
+  void write_all(const char* data, std::size_t n) {
+    while (n > 0) {
+      const ssize_t w = ::write(out_, data, n);
+      if (w <= 0) return;  // client went away; replies are best-effort
+      data += w;
+      n -= static_cast<std::size_t>(w);
+    }
+  }
+
+  void write_line(const std::string& s) {
+    std::string out = s;
+    out.push_back('\n');
+    write_all(out.data(), out.size());
+  }
+
+ private:
+  int in_, out_;
+  char buf_[1 << 16];
+  std::size_t pos_ = 0, len_ = 0;
+};
+
+void fold_result(util::Fnv1a& fp, const service::Query& q,
+                 const service::Result& r) {
+  fp.update(&q.kind, sizeof(q.kind));
+  fp.update(&q.a, sizeof(q.a));
+  fp.update(&q.b, sizeof(q.b));
+  fp.update(&q.k, sizeof(q.k));
+  fp.update(&r.value, sizeof(r.value));
+  for (std::uint32_t i = 0; i < r.topk_count; ++i) {
+    fp.update(&r.topk[i].id, sizeof(r.topk[i].id));
+    fp.update(&r.topk[i].count, sizeof(r.topk[i].count));
+  }
+}
+
+std::string format_result(const service::Result& r, bool topk) {
+  char tmp[64];
+  std::snprintf(tmp, sizeof(tmp), "OK %" PRIu64, r.value);
+  std::string out = tmp;
+  if (topk) {
+    for (std::uint32_t i = 0; i < r.topk_count; ++i) {
+      std::snprintf(tmp, sizeof(tmp), " %u:%" PRIu64, r.topk[i].id,
+                    r.topk[i].count);
+      out += tmp;
+    }
+  }
+  return out;
+}
+
+std::string format_stats(const service::QueryEngine::Stats& s) {
+  char tmp[512];
+  std::snprintf(
+      tmp, sizeof(tmp),
+      "STATS queries=%" PRIu64 " batches=%" PRIu64 " max_batch=%" PRIu64
+      " cache_hits=%" PRIu64 " cache_misses=%" PRIu64 " strip_pairs=%" PRIu64
+      " cyclic_pairs=%" PRIu64 " topk_sweeps=%" PRIu64
+      " arena_reserved=%" PRIu64,
+      s.queries, s.batches, s.max_batch_seen, s.cache_hits, s.cache_misses,
+      s.strip_pairs, s.cyclic_pairs, s.topk_sweeps, s.arena_reserved_bytes);
+  return tmp;
+}
+
+/// Serves one connection until QUIT/EOF. Returns requests answered.
+std::uint64_t serve_connection(FdLineIo io, service::QueryEngine& engine,
+                               bool naive) {
+  util::Fnv1a fp;
+  service::Request req;
+  std::string line;
+  std::uint64_t served = 0;
+  while (io.read_line(line)) {
+    if (line.empty()) continue;
+    if (line == "QUIT") break;
+    if (line == "STATS") {
+      io.write_line(format_stats(engine.stats()));
+      continue;
+    }
+    if (line == "FINGERPRINT") {
+      char tmp[32];
+      std::snprintf(tmp, sizeof(tmp), "FP %016" PRIx64, fp.digest());
+      io.write_line(tmp);
+      continue;
+    }
+    char op = 0;
+    std::uint32_t x = 0, y = 0;
+    if (std::sscanf(line.c_str(), " %c %u %u", &op, &x, &y) != 3 ||
+        (op != 'I' && op != 'S' && op != 'T')) {
+      io.write_line("ERR expected: I|S|T <u32> <u32>, STATS, FINGERPRINT, "
+                    "or QUIT");
+      continue;
+    }
+    service::Query q;
+    q.a = x;
+    if (op == 'T') {
+      q.kind = service::QueryKind::kTopK;
+      q.k = y;
+    } else {
+      q.kind = op == 'I' ? service::QueryKind::kIntersect
+                         : service::QueryKind::kSupport;
+      q.b = y;
+    }
+    if (naive) {
+      try {
+        const service::Result r = engine.execute_one(q);
+        fold_result(fp, q, r);
+        ++served;
+        io.write_line(format_result(r, op == 'T'));
+      } catch (const CheckError&) {
+        io.write_line("ERR rejected (id or k out of range)");
+      }
+      continue;
+    }
+    req.query = q;
+    engine.submit(req);
+    if (!service::QueryEngine::wait(req)) {
+      io.write_line("ERR rejected (id or k out of range)");
+      continue;
+    }
+    fold_result(fp, q, req.result());
+    ++served;
+    io.write_line(format_result(req.result(), op == 'T'));
+  }
+  return served;
+}
+
+int serve_tcp(std::uint16_t port, service::QueryEngine& engine, bool naive) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd, 64) != 0) {
+    std::perror("bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  std::fprintf(stderr, "batmap_serve: listening on 127.0.0.1:%u\n", port);
+  // Connection threads are detached (a long-lived server must not hoard
+  // one joinable zombie per past connection); the counter keeps the
+  // engine alive until the last connection drains after accept() stops.
+  std::atomic<std::size_t> active{0};
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) break;
+    active.fetch_add(1, std::memory_order_relaxed);
+    std::thread([fd, &engine, naive, &active] {
+      serve_connection(FdLineIo(fd, fd), engine, naive);
+      ::close(fd);
+      active.fetch_sub(1, std::memory_order_release);
+    }).detach();
+  }
+  while (active.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::close(listen_fd);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::string snapshot_path =
+      args.str("snapshot", "", "snapshot file (required)");
+  const std::uint64_t port =
+      args.u64("port", 0, "TCP port on 127.0.0.1 (0 = serve stdin/stdout)");
+  const std::uint64_t cache = args.u64("cache", 4096, "result cache entries");
+  const std::uint64_t batch = args.u64("batch", 256, "max micro-batch size");
+  const std::uint64_t queue = args.u64("queue", 1024, "admission queue slots");
+  const std::uint64_t threads = args.u64("threads", 1, "top-k sweep threads");
+  const std::uint64_t shards = args.u64("shards", 1, "top-k sweep shards");
+  const bool naive =
+      args.flag("naive", false, "answer one query at a time (reference mode)");
+  args.finish();
+  if (snapshot_path.empty()) {
+    std::fprintf(stderr, "batmap_serve: --snapshot is required\n");
+    return 2;
+  }
+
+  // A broken pipe on reply is a departed client, not a server crash.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    const service::Snapshot snap = service::Snapshot::open(snapshot_path);
+    service::QueryEngine::Options opt;
+    opt.cache_entries = cache;
+    opt.max_batch = batch;
+    opt.queue_capacity = queue;
+    opt.sweep_threads = threads;
+    opt.sweep_shards = shards;
+    service::QueryEngine engine(snap, opt);
+    std::fprintf(stderr,
+                 "batmap_serve: %zu sets, universe %" PRIu64 ", epoch %" PRIu64
+                 ", %.1f MiB mapped%s\n",
+                 snap.size(), snap.universe(), snap.epoch(),
+                 static_cast<double>(snap.mapped_bytes()) / (1 << 20),
+                 naive ? " [naive mode]" : "");
+    if (port != 0) {
+      return serve_tcp(static_cast<std::uint16_t>(port), engine, naive);
+    }
+    serve_connection(FdLineIo(STDIN_FILENO, STDOUT_FILENO), engine, naive);
+    return 0;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "batmap_serve: %s\n", e.what());
+    return 2;
+  }
+}
