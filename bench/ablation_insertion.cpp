@@ -12,6 +12,7 @@
 
 #include "batmap/builder.hpp"
 #include "harness.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 using namespace repro;
@@ -29,7 +30,12 @@ Trial run_trial(std::uint64_t universe, std::size_t set_size,
   const batmap::BatmapContext ctx(universe, seed);
   batmap::BatmapBuilder::Options opt;
   opt.max_loop = max_loop;
-  batmap::BatmapBuilder b(ctx, range, opt);
+  // Arena-backed slot table, reused across ranges within a trial run the
+  // same way the sweep scheduler builds its batmaps — one arena reset per
+  // builder instead of a malloc/free pair per configuration.
+  static thread_local util::Arena arena;
+  arena.reset();
+  batmap::BatmapBuilder b(ctx, range, opt, arena);
   Xoshiro256 rng(seed * 31 + 7);
   std::vector<bool> used(universe, false);
   std::size_t inserted = 0;
@@ -52,9 +58,14 @@ Trial run_trial(std::uint64_t universe, std::size_t set_size,
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  const std::uint64_t universe = args.u64("universe", 1 << 20, "universe size m");
-  const std::uint64_t set_size = args.u64("set-size", 20000, "elements per set");
-  const std::uint64_t trials = args.u64("trials", 5, "seeds per configuration");
+  const bool quick =
+      args.flag("quick", false, "small sizes for the CI bench-smoke tier");
+  const std::uint64_t universe =
+      args.u64("universe", quick ? (1 << 16) : (1 << 20), "universe size m");
+  const std::uint64_t set_size =
+      args.u64("set-size", quick ? 2000 : 20000, "elements per set");
+  const std::uint64_t trials =
+      args.u64("trials", quick ? 2 : 5, "seeds per configuration");
   const std::string csv = args.str("csv", "", "CSV output path");
   args.finish();
 

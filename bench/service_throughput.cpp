@@ -32,7 +32,28 @@
 // against the BatmapStore oracle when --verify is on — fails the run with
 // exit 1. --assert-speedup X additionally requires batched+cache QPS >=
 // X × naive QPS (the CI service-smoke gate).
+//
+// Robustness arms:
+//
+//   --swap-every-ms M   adds a "swapped" arm: batched+cache serving through
+//                       a SnapshotManager while a background thread rewrites
+//                       the SAME store at increasing epochs and hot-swaps it
+//                       every M ms mid-load. Because the data is identical,
+//                       the arm's fingerprint must still equal direct's —
+//                       the hot-swap correctness gate — and every retired
+//                       mapping must have been released by the end.
+//   --overload          adds an overload arm: a deliberately tiny ring plus
+//                       per-query deadlines; clients retry on typed
+//                       OVERLOAD verdicts using the engine's retry hint and
+//                       give up at the deadline. Every query must end in
+//                       exactly one typed outcome (served / timed out /
+//                       shed) — nothing is silently dropped. Combine with
+//                       REPRO_FAULT=worker_stall_ms=N to make shedding
+//                       deterministic in CI; --overload-only skips the
+//                       other arms for that job.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -45,6 +66,7 @@
 #include "harness.hpp"
 #include "service/query_engine.hpp"
 #include "service/snapshot.hpp"
+#include "service/snapshot_manager.hpp"
 #include "util/fnv.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -210,6 +232,24 @@ int main(int argc, char** argv) {
       args.flag("verify", true, "cross-check against the BatmapStore oracle");
   const double assert_speedup = args.f64(
       "assert-speedup", 0.0, "fail unless batched+cache >= X * naive QPS");
+  const std::uint64_t swap_every_ms = args.u64(
+      "swap-every-ms", 0, "hot-swap arm: swap snapshots every M ms (0 = off)");
+  const bool overload =
+      args.flag("overload", false, "run the overload/deadline arm");
+  const bool overload_only = args.flag(
+      "overload-only", false, "skip the throughput arms (chaos CI mode)");
+  const std::uint64_t overload_queue =
+      args.u64("overload-queue", 8, "overload arm: ring slots");
+  const std::uint64_t overload_deadline_ms =
+      args.u64("overload-deadline-ms", 25, "overload arm: per-query deadline");
+  const bool assert_overload = args.flag(
+      "assert-overload", false,
+      "fail unless the overload arm shed or timed out at least one query");
+  const bool assert_timeout = args.flag(
+      "assert-timeout", false, "fail unless the overload arm timed out");
+  const double assert_p99_ms = args.f64(
+      "assert-p99-ms", 0.0,
+      "fail if overload-arm served p99 exceeds this bound (0 = off)");
   const std::string snap_path =
       args.str("snapshot", "service_throughput.snap", "snapshot scratch path");
   const std::string csv = args.str("csv", "", "write table as CSV");
@@ -267,20 +307,20 @@ int main(int argc, char** argv) {
   base.queue_capacity = std::max<std::size_t>(2 * clients, 64);
 
   RunResult direct, naive, batched, cached;
-  {
+  if (!overload_only) {
     service::QueryEngine::Options opt = base;
     opt.cache_entries = 0;
     service::QueryEngine engine(snap, opt);
     direct = run_arm(engine, stream, 1, /*naive=*/true);
   }
-  {
+  if (!overload_only) {
     service::QueryEngine::Options opt = base;
     opt.cache_entries = 0;
     opt.max_batch = 1;  // one-query-at-a-time serving
     service::QueryEngine engine(snap, opt);
     naive = run_arm(engine, stream, clients, /*naive=*/false);
   }
-  {
+  if (!overload_only) {
     service::QueryEngine::Options opt = base;
     opt.cache_entries = 0;
     service::QueryEngine engine(snap, opt);
@@ -293,7 +333,7 @@ int main(int argc, char** argv) {
                 st.batches, st.max_batch_seen, st.strip_pairs, st.cyclic_pairs,
                 st.duplicate_pairs, st.topk_sweeps, st.arena_reserved_bytes);
   }
-  {
+  if (!overload_only) {
     service::QueryEngine::Options opt = base;
     opt.cache_entries = cache;
     service::QueryEngine engine(snap, opt);
@@ -304,48 +344,203 @@ int main(int argc, char** argv) {
                 st.cache_hits, st.cache_misses, st.cache_evictions);
   }
 
-  const double qn = static_cast<double>(queries);
-  Table table({"mode", "seconds", "qps", "p50_us", "p99_us", "speedup",
-               "fingerprint"});
-  const auto row = [&](const char* mode, const RunResult& r) {
-    char fp[32];
-    std::snprintf(fp, sizeof(fp), "%016" PRIx64, r.fingerprint);
-    table.row()
-        .add(std::string(mode))
-        .add(r.seconds, 3)
-        .add(qn / r.seconds, 0)
-        .add(r.p50_us, 1)
-        .add(r.p99_us, 1)
-        .add(naive.seconds / r.seconds, 2)
-        .add(std::string(fp));
-  };
-  row("direct", direct);
-  row("naive", naive);
-  row("batched", batched);
-  row("batched+cache", cached);
-  bench::emit(table, csv);
-
-  bool ok = true;
-  if (naive.fingerprint != direct.fingerprint ||
-      batched.fingerprint != direct.fingerprint ||
-      cached.fingerprint != direct.fingerprint) {
-    std::printf("FINGERPRINT MISMATCH between arms\n");
-    ok = false;
-  }
-  if (verify) {
-    const std::uint64_t oracle = oracle_fingerprint(store, stream);
-    if (oracle != direct.fingerprint) {
-      std::printf("FINGERPRINT MISMATCH vs offline BatmapStore oracle\n");
-      ok = false;
-    } else {
-      std::printf("oracle fingerprint matches (%016" PRIx64 ")\n", oracle);
+  // Hot-swap arm: same workload, same data, but the serving snapshot is
+  // replaced at increasing epochs mid-load. Snapshots of the same store
+  // answer identically, so the fingerprint must still match direct — any
+  // torn read, stale cache entry, or mid-swap inconsistency shows up as a
+  // digest divergence.
+  RunResult swapped;
+  bool swapped_ok = true;
+  if (swap_every_ms > 0 && !overload_only) {
+    service::SnapshotManager mgr(service::Snapshot::open(snap_path));
+    service::QueryEngine::Options opt = base;
+    opt.cache_entries = cache;
+    service::QueryEngine engine(mgr, opt);
+    std::atomic<bool> done{false};
+    std::thread swapper([&] {
+      // Alternate between two scratch paths: epoch e serves from path e%2,
+      // so the path being overwritten is never the one currently mapped
+      // (the previous tenant of that path has fully drained — swap()
+      // blocks on drain before returning).
+      const std::string paths[2] = {snap_path + ".swapA",
+                                    snap_path + ".swapB"};
+      std::uint64_t epoch = 2;
+      while (!done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(swap_every_ms));
+        if (done.load(std::memory_order_relaxed)) break;
+        const std::string& p = paths[epoch % 2];
+        service::write_snapshot(store, p, epoch);
+        mgr.swap(p);
+        ++epoch;
+      }
+      std::remove(paths[0].c_str());
+      std::remove(paths[1].c_str());
+    });
+    swapped = run_arm(engine, stream, clients, /*naive=*/false);
+    done.store(true, std::memory_order_relaxed);
+    swapper.join();
+    engine.drain();
+    const auto st = engine.stats();
+    const std::size_t resident = mgr.retired_resident();
+    std::printf("swapped: %" PRIu64 " swaps, %" PRIu64 " rollovers, %" PRIu64
+                " pinned fallbacks, %zu retired mappings resident\n",
+                mgr.swaps(), st.epoch_rollovers, st.pinned_fallbacks,
+                resident);
+    if (resident != 0) {
+      std::printf("HOT-SWAP LEAK: retired snapshot still mapped after "
+                  "drain\n");
+      swapped_ok = false;
     }
   }
-  if (assert_speedup > 0) {
-    const double speedup = naive.seconds / cached.seconds;
-    if (speedup < assert_speedup) {
-      std::printf("SPEEDUP %.2fx below required %.2fx\n", speedup,
-                  assert_speedup);
+
+  bool ok = true;
+  const double qn = static_cast<double>(queries);
+  if (!overload_only) {
+    Table table({"mode", "seconds", "qps", "p50_us", "p99_us", "speedup",
+                 "fingerprint"});
+    const auto row = [&](const char* mode, const RunResult& r) {
+      char fp[32];
+      std::snprintf(fp, sizeof(fp), "%016" PRIx64, r.fingerprint);
+      table.row()
+          .add(std::string(mode))
+          .add(r.seconds, 3)
+          .add(qn / r.seconds, 0)
+          .add(r.p50_us, 1)
+          .add(r.p99_us, 1)
+          .add(naive.seconds / r.seconds, 2)
+          .add(std::string(fp));
+    };
+    row("direct", direct);
+    row("naive", naive);
+    row("batched", batched);
+    row("batched+cache", cached);
+    if (swap_every_ms > 0) row("swapped", swapped);
+    bench::emit(table, csv);
+
+    if (naive.fingerprint != direct.fingerprint ||
+        batched.fingerprint != direct.fingerprint ||
+        cached.fingerprint != direct.fingerprint) {
+      std::printf("FINGERPRINT MISMATCH between arms\n");
+      ok = false;
+    }
+    if (swap_every_ms > 0 && swapped.fingerprint != direct.fingerprint) {
+      std::printf("FINGERPRINT MISMATCH on the hot-swap arm\n");
+      ok = false;
+    }
+    ok = ok && swapped_ok;
+    if (verify) {
+      const std::uint64_t oracle = oracle_fingerprint(store, stream);
+      if (oracle != direct.fingerprint) {
+        std::printf("FINGERPRINT MISMATCH vs offline BatmapStore oracle\n");
+        ok = false;
+      } else {
+        std::printf("oracle fingerprint matches (%016" PRIx64 ")\n", oracle);
+      }
+    }
+    if (assert_speedup > 0) {
+      const double speedup = naive.seconds / cached.seconds;
+      if (speedup < assert_speedup) {
+        std::printf("SPEEDUP %.2fx below required %.2fx\n", speedup,
+                    assert_speedup);
+        ok = false;
+      }
+    }
+  }
+
+  // Overload arm: a tiny ring and per-query deadlines force the typed
+  // shedding paths. Clients back off on OVERLOAD using the engine's retry
+  // hint and give up once the deadline passes; the accounting below proves
+  // every query ended in exactly one typed outcome.
+  if (overload) {
+    service::QueryEngine::Options opt = base;
+    opt.cache_entries = 0;
+    opt.queue_capacity = overload_queue;
+    opt.max_batch = std::max<std::size_t>(overload_queue / 2, 1);
+    service::QueryEngine engine(snap, opt);
+    std::vector<std::uint64_t> served(clients, 0), timed_out(clients, 0),
+        shed(clients, 0);
+    std::vector<std::vector<std::uint64_t>> lat(clients);
+    Timer wall;
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+      const std::size_t lo = queries * c / clients;
+      const std::size_t hi = queries * (c + 1) / clients;
+      threads.emplace_back([&, c, lo, hi] {
+        service::Request req;
+        for (std::size_t i = lo; i < hi; ++i) {
+          service::Query q = stream[i];
+          q.deadline_ns = service::QueryEngine::now_ns() +
+                          overload_deadline_ms * 1'000'000ull;
+          Timer t;
+          bool settled = false;
+          while (!settled) {
+            req.query = q;
+            switch (engine.try_submit_ex(req)) {
+              case service::Admit::kOk:
+                service::QueryEngine::wait(req);
+                if (req.outcome() == service::Request::Outcome::kTimeout) {
+                  ++timed_out[c];
+                } else {
+                  ++served[c];
+                  lat[c].push_back(
+                      static_cast<std::uint64_t>(t.seconds() * 1e9));
+                }
+                settled = true;
+                break;
+              case service::Admit::kExpired:
+                ++timed_out[c];
+                settled = true;
+                break;
+              default:  // kRingFull / kShed: back off, give up at deadline
+                if (service::QueryEngine::now_ns() >= q.deadline_ns) {
+                  ++shed[c];
+                  settled = true;
+                  break;
+                }
+                std::this_thread::sleep_for(std::chrono::nanoseconds(
+                    std::min<std::uint64_t>(engine.retry_after_ns(),
+                                            200'000)));
+                break;
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double secs = wall.seconds();
+    std::uint64_t n_served = 0, n_timeout = 0, n_shed = 0;
+    for (std::size_t c = 0; c < clients; ++c) {
+      n_served += served[c];
+      n_timeout += timed_out[c];
+      n_shed += shed[c];
+    }
+    std::vector<std::uint64_t> all;
+    for (auto& l : lat) all.insert(all.end(), l.begin(), l.end());
+    const double p99_ms = percentile(all, 0.99) / 1e3;
+    const auto st = engine.stats();
+    std::printf("overload: %" PRIu64 " served, %" PRIu64 " timed out, %" PRIu64
+                " shed of %" PRIu64 " in %.2fs (served p99 %.2f ms, engine "
+                "shed=%" PRIu64 " timeouts=%" PRIu64 ")\n",
+                n_served, n_timeout, n_shed, queries, secs, p99_ms,
+                st.shed_overload, st.timeouts);
+    if (n_served + n_timeout + n_shed != queries) {
+      std::printf("OVERLOAD ACCOUNTING MISMATCH: outcomes do not sum to the "
+                  "query count\n");
+      ok = false;
+    }
+    if (assert_overload && n_timeout + n_shed == 0) {
+      std::printf("OVERLOAD ASSERT: expected at least one shed or timed-out "
+                  "query\n");
+      ok = false;
+    }
+    if (assert_timeout && n_timeout == 0) {
+      std::printf("OVERLOAD ASSERT: expected at least one timed-out query\n");
+      ok = false;
+    }
+    if (assert_p99_ms > 0 && p99_ms > assert_p99_ms) {
+      std::printf("OVERLOAD ASSERT: served p99 %.2f ms exceeds bound %.2f "
+                  "ms\n",
+                  p99_ms, assert_p99_ms);
       ok = false;
     }
   }

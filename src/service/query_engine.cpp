@@ -1,8 +1,11 @@
 #include "service/query_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "batmap/simd.hpp"
+#include "util/check.hpp"
+#include "util/fault.hpp"
 
 namespace repro::service {
 
@@ -26,17 +29,52 @@ std::uint32_t topk_insert(TopEntry* best, std::uint32_t size, std::uint32_t k,
   return new_size;
 }
 
+bool deadline_expired(const Query& q, std::uint64_t now) {
+  return q.deadline_ns != 0 && now >= q.deadline_ns;
+}
+
 }  // namespace
 
-QueryEngine::QueryEngine(const Snapshot& snap, Options opt)
-    : snap_(&snap),
-      opt_(opt),
-      cache_(opt.cache_entries),
-      queue_(opt.queue_capacity) {
+std::uint64_t QueryEngine::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---- TokenGate --------------------------------------------------------------
+
+void QueryEngine::TokenGate::configure(double rate, double burst) {
+  std::lock_guard lock(mu_);
+  rate_ = rate / 1e9;  // tokens per nanosecond
+  burst_ = std::max(burst, 1.0);
+  tokens_ = burst_;
+  last_ns_ = now_ns();
+}
+
+bool QueryEngine::TokenGate::admit() {
+  std::lock_guard lock(mu_);
+  if (rate_ <= 0) return true;
+  const std::uint64_t now = now_ns();
+  tokens_ = std::min(burst_,
+                     tokens_ + static_cast<double>(now - last_ns_) * rate_);
+  last_ns_ = now;
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+std::uint64_t QueryEngine::TokenGate::retry_after_ns() const {
+  std::lock_guard lock(mu_);
+  if (rate_ <= 0 || tokens_ >= 1.0) return 0;
+  return static_cast<std::uint64_t>((1.0 - tokens_) / rate_);
+}
+
+// ---- QueryEngine ------------------------------------------------------------
+
+void QueryEngine::init() {
   REPRO_CHECK_MSG(opt_.max_batch >= 1, "max_batch must be positive");
-  std::vector<std::span<const std::uint32_t>> spans(snap.size());
-  for (std::size_t i = 0; i < snap.size(); ++i) spans[i] = snap.words(i);
-  packed_ = core::pack_sorted_spans(spans, /*sort_by_width=*/true);
+  gate_.configure(opt_.admit_rate, opt_.admit_burst);
 
   core::SweepEngine::Options sweep_opt;
   sweep_opt.backend = core::Backend::kNative;
@@ -44,13 +82,31 @@ QueryEngine::QueryEngine(const Snapshot& snap, Options opt)
   sweep_opt.threads = opt_.sweep_threads;
   sweep_opt.shards = opt_.sweep_shards;
   sweep_ = std::make_unique<core::SweepEngine>(sweep_opt);
-  if (packed_.n > 0) sweep_->bind(packed_);
 
   batch_.resize(opt_.max_batch);
   topk_merge_.resize(sweep_->shard_count() * kMaxTopK);
   topk_sizes_.resize(sweep_->shard_count());
 
   worker_ = std::thread([this] { worker_loop(); });
+}
+
+QueryEngine::QueryEngine(SnapshotManager& mgr, Options opt)
+    : mgr_(&mgr),
+      opt_(opt),
+      cache_(opt.cache_entries),
+      queue_(opt.queue_capacity) {
+  init();
+}
+
+QueryEngine::QueryEngine(const Snapshot& snap, Options opt)
+    : mgr_(nullptr),
+      owned_mgr_(
+          std::make_unique<SnapshotManager>(ServingState::borrow(snap))),
+      opt_(opt),
+      cache_(opt.cache_entries),
+      queue_(opt.queue_capacity) {
+  mgr_ = owned_mgr_.get();
+  init();
 }
 
 QueryEngine::~QueryEngine() {
@@ -60,39 +116,84 @@ QueryEngine::~QueryEngine() {
   worker_.join();
 }
 
-bool QueryEngine::valid(const Query& q) const {
-  const auto n = static_cast<std::uint32_t>(snap_->size());
+bool QueryEngine::valid(const ServingState& st, const Query& q) {
+  const auto n = static_cast<std::uint32_t>(st.size());
   if (q.a >= n) return false;
   if (q.kind == QueryKind::kTopK) return q.k >= 1 && q.k <= kMaxTopK;
   return q.b < n;
 }
 
-bool QueryEngine::try_submit(Request& r) {
+Admit QueryEngine::try_submit_ex(Request& r) {
   r.result_ = Result{};
+  if (deadline_expired(r.query, now_ns())) {
+    // Shed before touching the queue: completing here (not in the worker)
+    // is what keeps an overloaded ring from growing a tail of dead work.
+    adm_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    r.pinned_.reset();
+    r.state_.store(Request::kTimeout, std::memory_order_release);
+    r.state_.notify_all();
+    return Admit::kExpired;
+  }
+  if (!gate_.admit()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Admit::kShed;
+  }
+  if (util::fault::armed() && util::fault::fire("ring_full")) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Admit::kRingFull;
+  }
+  r.pinned_ = mgr_->current();
   r.state_.store(Request::kQueued, std::memory_order_release);
+  inflight_.fetch_add(1, std::memory_order_relaxed);
   if (!queue_.try_push(&r)) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
     r.state_.store(Request::kIdle, std::memory_order_release);
-    return false;
+    r.pinned_.reset();
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Admit::kRingFull;
   }
   signal_.fetch_add(1, std::memory_order_release);
   signal_.notify_one();
-  return true;
+  return Admit::kOk;
+}
+
+bool QueryEngine::try_submit(Request& r) {
+  return try_submit_ex(r) == Admit::kOk;
 }
 
 void QueryEngine::submit(Request& r) {
-  while (!try_submit(r)) std::this_thread::yield();
+  for (;;) {
+    const Admit a = try_submit_ex(r);
+    if (a == Admit::kOk || a == Admit::kExpired) return;
+    std::this_thread::yield();
+  }
 }
 
 bool QueryEngine::wait(Request& r) {
   for (;;) {
     const std::uint32_t s = r.state_.load(std::memory_order_acquire);
     if (s == Request::kDone) return true;
-    if (s == Request::kError) return false;
+    if (s == Request::kError || s == Request::kTimeout) return false;
     r.state_.wait(s, std::memory_order_acquire);
   }
 }
 
+std::uint64_t QueryEngine::retry_after_ns() const {
+  const std::uint64_t gate = gate_.retry_after_ns();
+  // Ring-full has no closed form (it drains at batch speed); suggest one
+  // millisecond — several micro-batches at serving rates.
+  return std::max<std::uint64_t>(gate, 1'000'000);
+}
+
+void QueryEngine::drain() const {
+  while (inflight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
 void QueryEngine::finish(Request& r, std::uint32_t state) {
+  r.pinned_.reset();  // release the epoch pin before the waiter can reuse r
+  inflight_.fetch_sub(1, std::memory_order_release);
   r.state_.store(state, std::memory_order_release);
   r.state_.notify_all();
 }
@@ -116,10 +217,29 @@ void QueryEngine::worker_loop() {
 }
 
 void QueryEngine::execute_batch(std::size_t count) {
+  if (util::fault::armed()) util::fault::maybe_stall("worker_stall_ms");
+
   arena_.reset();
   Stats local{};
   local.batches = 1;
   local.max_batch_seen = count;
+
+  // The serving generation for this batch. Requests pinned to an older
+  // epoch (admitted before a swap the worker has now observed) are served
+  // through the per-pair path against their own state below.
+  const ServingStateRef cur = mgr_->current();
+  if (cur->epoch() != bound_epoch_) {
+    if (cur->packed().n > 0) sweep_->bind(cur->packed());
+    // Epoch-keyed entries from the old generation can never hit again;
+    // clearing hands their capacity to the new epoch immediately.
+    cache_.clear();
+    if (bound_epoch_ != kUnbound) ++local.epoch_rollovers;
+    bound_epoch_ = cur->epoch();
+  }
+  const Snapshot& snap = cur->snapshot();
+  const core::PackedMaps& packed = cur->packed();
+  const std::uint64_t cur_epoch = cur->epoch();
+  const std::uint64_t batch_now = now_ns();
 
   auto plans = arena_.alloc_array<PairPlan>(count);
   std::size_t n_plans = 0;
@@ -128,7 +248,30 @@ void QueryEngine::execute_batch(std::size_t count) {
 
   for (std::size_t i = 0; i < count; ++i) {
     Request& r = *batch_[i];
-    if (!valid(r.query)) {
+    if (deadline_expired(r.query, batch_now)) {
+      ++local.queries;
+      ++local.timeouts;
+      finish(r, Request::kTimeout);
+      batch_[i] = nullptr;
+      continue;
+    }
+    if (r.pinned_.get() != cur.get()) {
+      // Straggler from a pre-swap admission: serve it against the epoch it
+      // was admitted under (still resident — the pin guarantees it).
+      const ServingState& st = *r.pinned_;
+      ++local.queries;
+      ++local.pinned_fallbacks;
+      if (!valid(st, r.query)) {
+        ++local.errors;
+        finish(r, Request::kError);
+      } else {
+        r.result_ = execute_on(st, r.query);
+        finish(r, Request::kDone);
+      }
+      batch_[i] = nullptr;
+      continue;
+    }
+    if (!valid(*cur, r.query)) {
       ++local.queries;
       ++local.errors;
       finish(r, Request::kError);
@@ -136,7 +279,7 @@ void QueryEngine::execute_batch(std::size_t count) {
       continue;
     }
     if (cache_.capacity() > 0) {
-      if (const Result* hit = cache_.find(cache_key(r.query))) {
+      if (const Result* hit = cache_.find(cache_key(cur_epoch, r.query))) {
         r.result_ = *hit;
         ++local.queries;
         ++local.cache_hits;
@@ -149,8 +292,8 @@ void QueryEngine::execute_batch(std::size_t count) {
     if (r.query.kind == QueryKind::kTopK) {
       topks[n_topk++] = static_cast<std::uint32_t>(i);
     } else {
-      const std::uint32_t sa = packed_.sorted_index[r.query.a];
-      const std::uint32_t sb = packed_.sorted_index[r.query.b];
+      const std::uint32_t sa = packed.sorted_index[r.query.a];
+      const std::uint32_t sb = packed.sorted_index[r.query.b];
       plans[n_plans++] = {std::min(sa, sb), std::max(sa, sb),
                           static_cast<std::uint32_t>(i)};
     }
@@ -162,15 +305,15 @@ void QueryEngine::execute_batch(std::size_t count) {
   std::sort(plans.begin(), plans.begin() + static_cast<std::ptrdiff_t>(n_plans),
             [&](const PairPlan& x, const PairPlan& y) {
               if (x.row_s != y.row_s) return x.row_s < y.row_s;
-              const std::uint32_t wx = packed_.widths[x.col_s];
-              const std::uint32_t wy = packed_.widths[y.col_s];
+              const std::uint32_t wx = packed.widths[x.col_s];
+              const std::uint32_t wy = packed.widths[y.col_s];
               if (wx != wy) return wx < wy;
               return x.col_s < y.col_s;
             });
 
   // Deduplicate: each run of identical (row, col) costs one kernel pass;
   // every plan in the run completes from the same raw count (kind-specific
-  // patching happens per request in complete_pair).
+  // patching happens per request in complete_run).
   auto run_begin = arena_.alloc_array<std::uint32_t>(n_plans);
   auto run_end = arena_.alloc_array<std::uint32_t>(n_plans);
   std::size_t n_uniq = 0;
@@ -187,7 +330,7 @@ void QueryEngine::execute_batch(std::size_t count) {
     i = j;
   }
 
-  const std::uint32_t* words = packed_.words.data();
+  const std::uint32_t* words = packed.words.data();
   const auto complete_run = [&](std::size_t u, std::uint64_t raw) {
     // One failure-patch merge per unique pair, shared by every duplicate
     // request in the run (the correction is kind-independent; kSupport
@@ -199,20 +342,20 @@ void QueryEngine::execute_batch(std::size_t count) {
       if (r.query.kind == QueryKind::kIntersect) {
         if (correction < 0) {
           correction = 0;
-          const auto fa = snap_->failures(r.query.a);
-          const auto fb = snap_->failures(r.query.b);
+          const auto fa = snap.failures(r.query.a);
+          const auto fb = snap.failures(r.query.b);
           if (!fa.empty() || !fb.empty()) {
             correction = static_cast<std::int64_t>(
-                batmap::failure_patch_correction(fa, snap_->elements(r.query.a),
+                batmap::failure_patch_correction(fa, snap.elements(r.query.a),
                                                  fb,
-                                                 snap_->elements(r.query.b)));
+                                                 snap.elements(r.query.b)));
           }
         }
         value += static_cast<std::uint64_t>(correction);
       }
       r.result_.value = value;
       if (cache_.capacity() > 0) {
-        cache_.insert(cache_key(r.query), r.result_);
+        cache_.insert(cache_key(cur_epoch, r.query), r.result_);
       }
       finish(r, Request::kDone);
     }
@@ -220,17 +363,17 @@ void QueryEngine::execute_batch(std::size_t count) {
   std::size_t g = 0;
   while (g < n_uniq) {
     const std::uint32_t row_s = plans[run_begin[g]].row_s;
-    const std::uint32_t wr = packed_.widths[row_s];
-    const std::uint32_t* row_words = words + packed_.offsets[row_s];
+    const std::uint32_t wr = packed.widths[row_s];
+    const std::uint32_t* row_words = words + packed.offsets[row_s];
     // One row group: unique pairs [g, grp_end) share the narrower map.
     std::size_t grp_end = g;
     while (grp_end < n_uniq && plans[run_begin[grp_end]].row_s == row_s)
       ++grp_end;
     while (g < grp_end) {
-      const std::uint32_t wc = packed_.widths[plans[run_begin[g]].col_s];
+      const std::uint32_t wc = packed.widths[plans[run_begin[g]].col_s];
       std::size_t w_end = g;
       while (w_end < grp_end &&
-             packed_.widths[plans[run_begin[w_end]].col_s] == wc) {
+             packed.widths[plans[run_begin[w_end]].col_s] == wc) {
         ++w_end;
       }
       // Full 4-column strips: the row words are read once per strip.
@@ -238,7 +381,7 @@ void QueryEngine::execute_batch(std::size_t count) {
         std::uint64_t acc[batmap::simd::kStripCols] = {};
         const std::uint32_t* cw[batmap::simd::kStripCols];
         for (std::size_t j = 0; j < batmap::simd::kStripCols; ++j) {
-          cw[j] = words + packed_.offsets[plans[run_begin[g + j]].col_s];
+          cw[j] = words + packed.offsets[plans[run_begin[g + j]].col_s];
         }
         REPRO_DCHECK(wc >= wr && wc % wr == 0);
         for (std::uint32_t base = 0; base < wc; base += wr) {
@@ -256,7 +399,7 @@ void QueryEngine::execute_batch(std::size_t count) {
       // Sub-strip remainder: the dispatched cyclic kernel.
       for (; g < w_end; ++g) {
         const std::uint64_t raw = batmap::simd::match_count_cyclic(
-            words + packed_.offsets[plans[run_begin[g]].col_s], wc, row_words,
+            words + packed.offsets[plans[run_begin[g]].col_s], wc, row_words,
             wr);
         complete_run(g, raw);
         ++local.cyclic_pairs;
@@ -277,22 +420,23 @@ void QueryEngine::execute_batch(std::size_t count) {
   std::size_t t = 0;
   while (t < n_topk) {
     Request& lead = *batch_[topks[t]];
-    run_topk(lead);
+    run_topk(*cur, lead);
     ++local.topk_sweeps;
     const Result lead_res = lead.result_;  // copy before handing back
+    const Query lead_query = lead.query;
     if (cache_.capacity() > 0) {
-      cache_.insert(cache_key(lead.query), lead_res);
+      cache_.insert(cache_key(cur_epoch, lead_query), lead_res);
     }
     finish(lead, Request::kDone);
     std::size_t u = t + 1;
-    for (; u < n_topk && batch_[topks[u]]->query.a == lead.query.a; ++u) {
+    for (; u < n_topk && batch_[topks[u]]->query.a == lead_query.a; ++u) {
       Request& r = *batch_[topks[u]];
       const std::uint32_t k = std::min(r.query.k, lead_res.topk_count);
       r.result_.topk_count = k;
       r.result_.value = k;
       std::copy_n(lead_res.topk, k, r.result_.topk);
       if (cache_.capacity() > 0) {
-        cache_.insert(cache_key(r.query), r.result_);
+        cache_.insert(cache_key(cur_epoch, r.query), r.result_);
       }
       ++local.duplicate_topk;
       finish(r, Request::kDone);
@@ -316,6 +460,9 @@ void QueryEngine::execute_batch(std::size_t count) {
   stats_.duplicate_pairs += local.duplicate_pairs;
   stats_.topk_sweeps += local.topk_sweeps;
   stats_.duplicate_topk += local.duplicate_topk;
+  stats_.timeouts += local.timeouts;
+  stats_.pinned_fallbacks += local.pinned_fallbacks;
+  stats_.epoch_rollovers += local.epoch_rollovers;
   // Arena and cache internals are touched only by this worker thread;
   // publishing them here (under the mutex) is what makes stats() safe to
   // call from any thread mid-serve.
@@ -324,28 +471,31 @@ void QueryEngine::execute_batch(std::size_t count) {
   stats_.arena_blocks = arena_.block_count();
 }
 
-ResultCache<Result>::Key QueryEngine::cache_key(const Query& q) const {
+ResultCache<Result>::Key QueryEngine::cache_key(std::uint64_t epoch,
+                                                const Query& q) {
   // Pair counts are symmetric, so (a,b) and (b,a) share one canonical
   // entry; top-k keys carry k in the second slot.
   if (q.kind == QueryKind::kTopK) {
-    return {snap_->epoch(), q.a, q.k, static_cast<std::uint8_t>(q.kind)};
+    return {epoch, q.a, q.k, static_cast<std::uint8_t>(q.kind)};
   }
-  return {snap_->epoch(), std::min(q.a, q.b), std::max(q.a, q.b),
+  return {epoch, std::min(q.a, q.b), std::max(q.a, q.b),
           static_cast<std::uint8_t>(q.kind)};
 }
 
-void QueryEngine::run_topk(Request& r) {
+void QueryEngine::run_topk(const ServingState& st, Request& r) {
+  const Snapshot& snap = st.snapshot();
+  const core::PackedMaps& packed = st.packed();
   const std::uint32_t a = r.query.a;
   const std::uint32_t k = r.query.k;
-  const std::uint32_t sa = packed_.sorted_index[a];
-  const auto fa = snap_->failures(a);
-  const auto ea = snap_->elements(a);
+  const std::uint32_t sa = packed.sorted_index[a];
+  const auto fa = snap.failures(a);
+  const auto ea = snap.elements(a);
 
   std::fill(topk_sizes_.begin(), topk_sizes_.end(), 0u);
   // Sweep column sa against ALL rows (the transposed band parallelizes
   // across row-band shards); counts are symmetric in the pair.
   sweep_->sweep_rect(
-      0, packed_.n, sa, sa + 1, [&](core::SweepEngine::TileView& tv) {
+      0, packed.n, sa, sa + 1, [&](core::SweepEngine::TileView& tv) {
         TopEntry* best = topk_merge_.data() +
                          static_cast<std::size_t>(tv.shard) * kMaxTopK;
         std::uint32_t& size = topk_sizes_[tv.shard];
@@ -355,10 +505,10 @@ void QueryEngine::run_topk(Request& r) {
           (void)id_col;
           if (id_row == a) return;  // self-pair is not a neighbour
           std::uint64_t patched = cnt;
-          const auto fr = snap_->failures(id_row);
+          const auto fr = snap.failures(id_row);
           if (!fa.empty() || !fr.empty()) {
             patched += batmap::failure_patch_correction(
-                fa, ea, fr, snap_->elements(id_row));
+                fa, ea, fr, snap.elements(id_row));
           }
           size = topk_insert(best, size, k, id_row, patched);
         });
@@ -378,23 +528,23 @@ void QueryEngine::run_topk(Request& r) {
   std::copy_n(merged, m, r.result_.topk);
 }
 
-Result QueryEngine::execute_one(const Query& q) const {
+Result QueryEngine::execute_on(const ServingState& st, const Query& q) const {
+  const Snapshot& snap = st.snapshot();
   Result res;
-  REPRO_CHECK_MSG(valid(q), "invalid query");
   switch (q.kind) {
     case QueryKind::kIntersect:
-      res.value = snap_->intersection_size(q.a, q.b);
+      res.value = snap.intersection_size(q.a, q.b);
       break;
     case QueryKind::kSupport:
-      res.value = snap_->raw_count(q.a, q.b);
+      res.value = snap.raw_count(q.a, q.b);
       break;
     case QueryKind::kTopK: {
       TopEntry best[kMaxTopK];
       std::uint32_t size = 0;
-      for (std::uint32_t id = 0; id < snap_->size(); ++id) {
+      for (std::uint32_t id = 0; id < snap.size(); ++id) {
         if (id == q.a) continue;
         size = topk_insert(best, size, q.k, id,
-                           snap_->intersection_size(q.a, id));
+                           snap.intersection_size(q.a, id));
       }
       res.topk_count = size;
       res.value = size;
@@ -405,9 +555,18 @@ Result QueryEngine::execute_one(const Query& q) const {
   return res;
 }
 
+Result QueryEngine::execute_one(const Query& q) const {
+  const ServingStateRef st = mgr_->current();
+  REPRO_CHECK_MSG(valid(*st, q), "invalid query");
+  return execute_on(*st, q);
+}
+
 QueryEngine::Stats QueryEngine::stats() const {
   std::lock_guard lock(stats_mu_);
-  return stats_;
+  Stats out = stats_;
+  out.shed_overload = shed_.load(std::memory_order_relaxed);
+  out.timeouts += adm_timeouts_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace repro::service

@@ -1,4 +1,5 @@
-// Concurrent batched query engine over an mmap-ed batmap snapshot.
+// Concurrent batched query engine over an mmap-ed batmap snapshot, with
+// hot-swap, deadline-aware admission, and typed overload shedding.
 //
 // Clients submit Requests (client-owned completion slots — the engine never
 // allocates per query) onto a bounded lock-free MPMC queue and block on an
@@ -11,28 +12,40 @@
 //      is mapped to width-sorted indices and keyed by its narrower map.
 //      Queries sharing a row run as register-blocked strips — the row's
 //      words are read once per simd::kStripCols columns instead of once per
-//      query, the same blocking as SweepEngine's native sweep — with the
-//      dispatched cyclic kernel picking up sub-strip remainders. Widths
-//      are 3·2^j, so the narrower map always divides the wider one and
-//      every 4-column group of one width is strip-eligible.
-//   3. top-k-similar queries sweep their row band (row × all columns)
-//      through the engine-owned SweepEngine — the same tile machinery the
-//      offline miners use, sharded via ShardScheduler when configured —
-//      and reduce per-shard k-best arrays after the sweep.
+//      query — with the dispatched cyclic kernel picking up sub-strip
+//      remainders.
+//   3. top-k-similar queries sweep their row band through the engine-owned
+//      SweepEngine and reduce per-shard k-best arrays after the sweep.
+//
+// Snapshot hot-swap (SnapshotManager mode): every admitted request pins the
+// ServingState that was current at submit time; the worker executes each
+// batch against the manager's current state and serves stragglers pinned to
+// an older, still-resident epoch through the per-pair reference path. On
+// the first batch after a swap the worker rebinds the sweep engine to the
+// new packed words and clears the result cache (entries are epoch-keyed so
+// they could never hit anyway — clearing returns their capacity to the new
+// epoch immediately). Retired snapshots unmap when the last pin drops; see
+// snapshot_manager.hpp.
+//
+// Admission control: try_submit_ex() is the shedding entry point. It
+// reports kRingFull when the Vyukov ring is at capacity (the backpressure
+// signal), kShed when the optional token gate (Options::admit_rate/burst)
+// is out of tokens, and kExpired — completing the request with outcome
+// kTimeout — when the query's deadline has already passed. The worker
+// re-checks deadlines before executing, so a request that waited out its
+// deadline in the queue times out instead of burning a kernel.
+// retry_after_ns() is the backoff hint servers relay to clients.
 //
 // Batch planning scratch lives in an arena that is reset per batch, the
 // cache and queue are fully preallocated, and results are written into the
 // caller's Request, so steady-state serving of pair queries performs no
 // per-query heap allocation (pinned by the arena stats in
-// query_engine_test). Backpressure is the queue bound: try_submit fails
-// when the ring is full, submit() spins until admitted.
+// query_engine_test).
 //
 // Failure patching: kIntersect results are exact (cyclic sweep + the
-// failure-list correction, identical to BatmapStore::intersection_size);
-// kSupport returns the raw unpatched sweep count (what the device kernel
-// produces). Batched, naive (execute_one) and offline answers are
-// bit-identical — the differential test and the service_throughput
-// fingerprints enforce this.
+// failure-list correction); kSupport returns the raw unpatched sweep count.
+// Batched, naive (execute_one) and offline answers are bit-identical — the
+// differential test and the service_throughput fingerprints enforce this.
 #pragma once
 
 #include <atomic>
@@ -46,6 +59,7 @@
 #include "service/mpmc_queue.hpp"
 #include "service/result_cache.hpp"
 #include "service/snapshot.hpp"
+#include "service/snapshot_manager.hpp"
 #include "util/arena.hpp"
 
 namespace repro::service {
@@ -65,6 +79,10 @@ struct Query {
   std::uint32_t a = 0;
   std::uint32_t b = 0;  ///< second set id (pair kinds)
   std::uint32_t k = 0;  ///< result width, 1..kMaxTopK (top-k kind)
+  /// Absolute deadline on the steady clock (QueryEngine::now_ns() units);
+  /// 0 = no deadline. Expired requests are shed with outcome kTimeout at
+  /// admission and again before execution, never silently served late.
+  std::uint64_t deadline_ns = 0;
 };
 
 struct TopEntry {
@@ -78,26 +96,55 @@ struct Result {
   TopEntry topk[kMaxTopK]{};     ///< (id, count) by count desc, id asc
 };
 
+/// Admission verdict of try_submit_ex.
+enum class Admit : std::uint8_t {
+  kOk = 0,       ///< queued; wait() for completion
+  kRingFull = 1,  ///< the MPMC ring is at capacity — back off and retry
+  kShed = 2,      ///< the token gate is out of tokens — back off and retry
+  kExpired = 3,   ///< deadline already passed; request completed as kTimeout
+};
+
 /// A client-owned completion slot. Reusable: submit() re-arms it. The slot
 /// must stay alive (and unmodified) from submit() until wait() returns.
 class Request {
  public:
   Query query;
 
+  /// How the request ended (valid once wait() returns).
+  enum class Outcome : std::uint8_t {
+    kPending = 0,
+    kOk = 1,
+    kInvalid = 2,  ///< rejected: id or k out of range for the epoch served
+    kTimeout = 3,  ///< deadline expired before execution
+  };
+
   /// Valid after wait(); unspecified while in flight.
   const Result& result() const { return result_; }
-  /// True when the engine rejected the query (bad ids / k out of range).
+  /// True when the engine did not serve the query (invalid or timed out).
   bool failed() const {
-    return state_.load(std::memory_order_acquire) == kError;
+    const std::uint32_t s = state_.load(std::memory_order_acquire);
+    return s == kError || s == kTimeout;
+  }
+  Outcome outcome() const {
+    switch (state_.load(std::memory_order_acquire)) {
+      case kDone: return Outcome::kOk;
+      case kError: return Outcome::kInvalid;
+      case kTimeout: return Outcome::kTimeout;
+      default: return Outcome::kPending;
+    }
   }
 
  private:
   friend class QueryEngine;
   static constexpr std::uint32_t kIdle = 0, kQueued = 1, kDone = 2,
-                                 kError = 3;
+                                 kError = 3, kTimeout = 4;
 
   Result result_;
   std::atomic<std::uint32_t> state_{kIdle};
+  /// The serving generation this request was admitted under. Holding the
+  /// reference from admission to completion is what keeps a hot-swapped
+  /// snapshot mapped until its last in-flight query drains.
+  ServingStateRef pinned_;
 };
 
 class QueryEngine {
@@ -115,6 +162,11 @@ class QueryEngine {
     std::size_t sweep_shards = 1;
     /// Tile edge of the top-k row sweeps (multiple of 16).
     std::uint32_t sweep_tile = 256;
+    /// Token-gate admission rate in queries/second; 0 disables the gate
+    /// (the ring bound alone provides backpressure).
+    double admit_rate = 0;
+    /// Token-gate burst size (tokens the bucket can accumulate).
+    double admit_burst = 64;
   };
 
   struct Stats {
@@ -131,36 +183,66 @@ class QueryEngine {
     std::uint64_t duplicate_pairs = 0;  ///< in-batch duplicates coalesced
     std::uint64_t topk_sweeps = 0;    ///< row sweeps executed
     std::uint64_t duplicate_topk = 0;   ///< top-k served from a shared sweep
+    /// Admissions shed with kRingFull or kShed (typed overload, not queued).
+    std::uint64_t shed_overload = 0;
+    /// Requests completed with outcome kTimeout (expired at admission or in
+    /// the queue).
+    std::uint64_t timeouts = 0;
+    /// Requests executed against an older pinned epoch after a swap (the
+    /// per-pair straggler path).
+    std::uint64_t pinned_fallbacks = 0;
+    /// Snapshot swaps the worker has observed (sweep rebind + cache clear).
+    std::uint64_t epoch_rollovers = 0;
     /// Arena footprint of the batch planner; constant once warm (pinned in
     /// query_engine_test — the "no per-query heap allocation" witness).
     std::uint64_t arena_reserved_bytes = 0;
     std::uint64_t arena_blocks = 0;
   };
 
-  /// The snapshot must outlive the engine. Spawns the batch worker.
+  /// Fixed-snapshot mode: serves `snap` forever (no hot-swap). The
+  /// snapshot must outlive the engine. Spawns the batch worker.
   QueryEngine(const Snapshot& snap, Options opt);
+  /// Hot-swap mode: serves whatever `mgr` currently publishes. The manager
+  /// must outlive the engine.
+  QueryEngine(SnapshotManager& mgr, Options opt);
   /// Drains nothing: callers must have collected their in-flight requests.
   ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
+  /// Shedding admission: kOk queues the request; kRingFull/kShed leave it
+  /// idle (the caller's typed backpressure signal); kExpired completes it
+  /// with outcome kTimeout.
+  Admit try_submit_ex(Request& r);
   /// Enqueues `r` (overwriting its previous result). False when the ring
-  /// is full — the caller's backpressure signal.
+  /// is full or the gate denied — the caller's backpressure signal.
   bool try_submit(Request& r);
-  /// Blocking submit: spins (with yields) until admitted.
+  /// Blocking submit: spins (with yields) until admitted. A request whose
+  /// deadline expires while spinning completes with outcome kTimeout.
   void submit(Request& r);
-  /// Blocks until `r` completes; returns false iff the engine rejected it.
+  /// Blocks until `r` completes; returns false iff the engine rejected or
+  /// timed out the request (see Request::outcome()).
   static bool wait(Request& r);
 
+  /// Suggested client backoff after kRingFull/kShed, in nanoseconds.
+  std::uint64_t retry_after_ns() const;
+
+  /// Blocks until every admitted request has completed — the ring is empty
+  /// and no batch is in flight. The graceful-shutdown and swap-drain hook.
+  void drain() const;
+
   /// The naive reference path: executes one query synchronously on the
-  /// calling thread via the per-pair cyclic kernel — no queue, no batch,
-  /// no cache, no strips. Bit-identical to the batched answers; used by
-  /// the naive arm of bench/service_throughput and the differential test.
+  /// calling thread via the per-pair cyclic kernel against the current
+  /// state — no queue, no batch, no cache, no strips. Bit-identical to the
+  /// batched answers.
   Result execute_one(const Query& q) const;
 
-  std::uint64_t epoch() const { return snap_->epoch(); }
-  std::size_t size() const { return snap_->size(); }
+  /// Steady-clock timestamp in the units Query::deadline_ns uses.
+  static std::uint64_t now_ns();
+
+  std::uint64_t epoch() const { return mgr_->epoch(); }
+  std::size_t size() const { return mgr_->current()->size(); }
 
   Stats stats() const;
 
@@ -171,25 +253,58 @@ class QueryEngine {
     std::uint32_t req;    ///< index into the current batch
   };
 
-  bool valid(const Query& q) const;
+  /// Mutex-guarded token bucket; only touched when admit_rate > 0.
+  class TokenGate {
+   public:
+    void configure(double rate, double burst);
+    bool admit();
+    std::uint64_t retry_after_ns() const;
+
+   private:
+    mutable std::mutex mu_;
+    double rate_ = 0;    ///< tokens per ns
+    double burst_ = 0;
+    double tokens_ = 0;
+    std::uint64_t last_ns_ = 0;
+  };
+
+  static bool valid(const ServingState& st, const Query& q);
+  /// Shared ctor tail: builds the sweep engine and scratch, configures the
+  /// gate, spawns the worker. mgr_ must already point at a live manager.
+  void init();
   void worker_loop();
   void execute_batch(std::size_t count);
-  /// Canonical cache key: pair kinds are keyed on (min, max) since their
-  /// counts are symmetric; top-k on (a, k).
-  ResultCache<Result>::Key cache_key(const Query& q) const;
-  void run_topk(Request& r);
-  static void finish(Request& r, std::uint32_t state);
+  /// Canonical cache key under `epoch`: pair kinds are keyed on (min, max)
+  /// since their counts are symmetric; top-k on (a, k).
+  static ResultCache<Result>::Key cache_key(std::uint64_t epoch,
+                                            const Query& q);
+  void run_topk(const ServingState& st, Request& r);
+  Result execute_on(const ServingState& st, const Query& q) const;
+  /// Terminal transition for a queued request: releases the epoch pin,
+  /// retires the in-flight count, and wakes the waiter.
+  void finish(Request& r, std::uint32_t state);
 
-  const Snapshot* snap_;
+  SnapshotManager* mgr_;
+  std::unique_ptr<SnapshotManager> owned_mgr_;  ///< fixed-snapshot mode
   Options opt_;
-  core::PackedMaps packed_;  ///< width-sorted copy for strips and sweeps
   std::unique_ptr<core::SweepEngine> sweep_;
+  /// Epoch the sweep engine and cache are bound to; kUnbound before the
+  /// first batch. Epochs are strictly increasing across swaps, so an epoch
+  /// compare (not a pointer compare) detects rollover without holding a
+  /// reference that would block the old state's drain.
+  static constexpr std::uint64_t kUnbound = ~0ull;
+  std::uint64_t bound_epoch_ = kUnbound;
   ResultCache<Result> cache_;
   MpmcQueue<Request*> queue_;
   util::Arena arena_;                 ///< batch planning scratch
   std::vector<Request*> batch_;       ///< preallocated, max_batch slots
   std::vector<TopEntry> topk_merge_;  ///< per-shard k-best scratch
   std::vector<std::uint32_t> topk_sizes_;  ///< per-shard k-best fill
+
+  TokenGate gate_;
+  std::atomic<std::uint64_t> inflight_{0};  ///< admitted, not yet finished
+  std::atomic<std::uint64_t> shed_{0};      ///< typed overload admissions
+  std::atomic<std::uint64_t> adm_timeouts_{0};  ///< expired at admission
 
   std::atomic<std::uint64_t> signal_{0};  ///< submit notifications
   std::atomic<bool> stop_{false};

@@ -12,6 +12,7 @@
 
 #include "util/bits.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/fnv.hpp"
 
 namespace repro::service {
@@ -131,6 +132,12 @@ void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
 }
 
 Snapshot Snapshot::open(const std::string& path) {
+  // Chaos hooks: each site simulates one real failure mode the reload path
+  // must survive (see util/fault.hpp). They fire before the corresponding
+  // syscall so no resource leaks on the injected path.
+  const bool inject = util::fault::armed();
+  REPRO_CHECK_MSG(!(inject && util::fault::fire("snap_open")),
+                  "fault injection: cannot open snapshot " + path);
   const int fd = ::open(path.c_str(), O_RDONLY);
   REPRO_CHECK_MSG(fd >= 0, "cannot open snapshot " + path);
   struct stat st{};
@@ -142,6 +149,10 @@ Snapshot Snapshot::open(const std::string& path) {
   if (file_bytes < sizeof(SnapshotHeader)) {
     ::close(fd);
     REPRO_CHECK_MSG(false, "snapshot smaller than its header: " + path);
+  }
+  if (inject && util::fault::fire("snap_mmap")) {
+    ::close(fd);
+    REPRO_CHECK_MSG(false, "fault injection: mmap failed for snapshot " + path);
   }
   void* base = ::mmap(nullptr, file_bytes, PROT_READ, MAP_SHARED, fd, 0);
   ::close(fd);  // the mapping keeps the file alive
@@ -171,7 +182,9 @@ Snapshot Snapshot::open(const std::string& path) {
   hash.update(&zeroed, sizeof(zeroed));
   hash.update(snap.base_ + sizeof(SnapshotHeader),
               file_bytes - sizeof(SnapshotHeader));
-  REPRO_CHECK_MSG(hash.digest() == hdr->checksum,
+  std::uint64_t digest = hash.digest();
+  if (inject && util::fault::fire("snap_checksum")) digest ^= 1;
+  REPRO_CHECK_MSG(digest == hdr->checksum,
                   "snapshot checksum mismatch (corrupt file): " + path);
 
   const std::uint64_t n = hdr->map_count;

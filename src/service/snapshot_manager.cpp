@@ -1,0 +1,96 @@
+#include "service/snapshot_manager.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/fault.hpp"
+
+namespace repro::service {
+
+void ServingState::pack() {
+  std::vector<std::span<const std::uint32_t>> spans(snap_->size());
+  for (std::size_t i = 0; i < snap_->size(); ++i) spans[i] = snap_->words(i);
+  packed_ = core::pack_sorted_spans(spans, /*sort_by_width=*/true);
+}
+
+std::shared_ptr<const ServingState> ServingState::adopt(Snapshot snap) {
+  auto state = std::shared_ptr<ServingState>(new ServingState());
+  state->owned_.emplace(std::move(snap));
+  state->snap_ = &*state->owned_;
+  state->pack();
+  return state;
+}
+
+std::shared_ptr<const ServingState> ServingState::borrow(const Snapshot& snap) {
+  auto state = std::shared_ptr<ServingState>(new ServingState());
+  state->snap_ = &snap;
+  state->pack();
+  return state;
+}
+
+SnapshotManager::SnapshotManager(Snapshot initial)
+    : current_(ServingState::adopt(std::move(initial))) {}
+
+SnapshotManager::SnapshotManager(ServingStateRef initial)
+    : current_(std::move(initial)) {
+  REPRO_CHECK_MSG(current_ != nullptr, "SnapshotManager needs a state");
+}
+
+ServingStateRef SnapshotManager::current() const {
+  std::lock_guard lock(mu_);
+  return current_;
+}
+
+std::uint64_t SnapshotManager::swap(const std::string& path, bool wait_drain) {
+  // Snapshot::open throws on any validation failure before we touch
+  // current_ — a bad file can never interrupt serving.
+  return swap(Snapshot::open(path), wait_drain);
+}
+
+std::uint64_t SnapshotManager::swap(Snapshot next, bool wait_drain) {
+  ServingStateRef state = ServingState::adopt(std::move(next));
+  // Chaos hook: hold the fully-validated-but-unpublished window open so
+  // kill-mid-swap tests land inside it deterministically.
+  if (util::fault::armed()) util::fault::maybe_stall("swap_stall_ms");
+  return publish(std::move(state), wait_drain);
+}
+
+std::uint64_t SnapshotManager::publish(ServingStateRef next, bool wait_drain) {
+  std::weak_ptr<const ServingState> old;
+  {
+    std::lock_guard lock(mu_);
+    REPRO_CHECK_MSG(next->epoch() > current_->epoch(),
+                    "swap epoch must advance: current " +
+                        std::to_string(current_->epoch()) + ", new " +
+                        std::to_string(next->epoch()));
+    old = current_;
+    retired_.push_back(old);
+    current_ = std::move(next);
+    ++swaps_;
+  }
+  // From here on, new admissions pin the new state; the old one drains as
+  // its in-flight requests complete.
+  if (wait_drain) {
+    while (!old.expired()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  std::lock_guard lock(mu_);
+  std::erase_if(retired_, [](const auto& w) { return w.expired(); });
+  return current_->epoch();
+}
+
+std::size_t SnapshotManager::retired_resident() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& w : retired_) n += w.expired() ? 0 : 1;
+  return n;
+}
+
+std::uint64_t SnapshotManager::swaps() const {
+  std::lock_guard lock(mu_);
+  return swaps_;
+}
+
+}  // namespace repro::service

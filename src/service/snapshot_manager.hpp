@@ -1,0 +1,103 @@
+// SnapshotManager: atomic hot-swap of the serving snapshot with epoch
+// pinning and drain.
+//
+// A ServingState is one immutable serving generation: the mmap-ed Snapshot
+// plus the width-sorted PackedMaps the strip/sweep kernels run over. States
+// are handed out as shared_ptr<const ServingState>; the reference count IS
+// the epoch pin — a request pins the state it was admitted under at submit
+// time and releases it at completion, so a retired snapshot's mapping is
+// unmapped exactly when the last in-flight reference drains, never under a
+// running kernel.
+//
+// swap() opens and fully validates the replacement file BEFORE publishing:
+// a snapshot that fails open()/mmap/checksum (or whose epoch does not
+// advance) throws CheckError and leaves the current state serving —
+// reload is all-or-nothing. After publishing, swap() optionally blocks
+// until the replaced state drains, which is the property the hot-swap
+// tests assert: old mapping released, zero in-flight references.
+//
+// Epochs must strictly increase across swaps. The per-epoch result cache
+// keys on the epoch tag, so monotonicity is what guarantees an entry
+// cached under epoch N can never alias data served under epoch N+1.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sweep_engine.hpp"
+#include "service/snapshot.hpp"
+
+namespace repro::service {
+
+/// One serving generation: snapshot + packed kernel layout. Immutable once
+/// constructed; shared by reference counting (see file comment).
+class ServingState {
+ public:
+  /// Takes ownership of `snap` (the hot-swap path).
+  static std::shared_ptr<const ServingState> adopt(Snapshot snap);
+  /// Borrows `snap`, which must outlive every reference to the state (the
+  /// fixed-snapshot compatibility path — tests and benches that own the
+  /// Snapshot on their stack).
+  static std::shared_ptr<const ServingState> borrow(const Snapshot& snap);
+
+  const Snapshot& snapshot() const { return *snap_; }
+  const core::PackedMaps& packed() const { return packed_; }
+  std::uint64_t epoch() const { return snap_->epoch(); }
+  std::size_t size() const { return snap_->size(); }
+
+ private:
+  ServingState() = default;
+  void pack();
+
+  std::optional<Snapshot> owned_;     ///< engaged in adopt() mode
+  const Snapshot* snap_ = nullptr;
+  core::PackedMaps packed_;
+};
+
+using ServingStateRef = std::shared_ptr<const ServingState>;
+
+class SnapshotManager {
+ public:
+  /// Starts serving `initial` (validated by Snapshot::open upstream).
+  explicit SnapshotManager(Snapshot initial);
+  /// Starts serving a state built elsewhere (borrowed or adopted).
+  explicit SnapshotManager(ServingStateRef initial);
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// The state new work should pin. A cheap shared_ptr copy under a mutex;
+  /// callers grab it once per request (admission) or once per batch.
+  ServingStateRef current() const;
+
+  std::uint64_t epoch() const { return current()->epoch(); }
+
+  /// Opens, validates, and atomically publishes `path` as the new current
+  /// state. Throws CheckError — leaving the current state serving — if the
+  /// file fails validation or its epoch is not strictly greater than the
+  /// current one. With `wait_drain`, blocks until the replaced state's last
+  /// reference is released (its mapping is then already unmapped).
+  /// Returns the new epoch.
+  std::uint64_t swap(const std::string& path, bool wait_drain = true);
+  /// Same, over an already-open snapshot.
+  std::uint64_t swap(Snapshot next, bool wait_drain = true);
+
+  /// Retired states whose mappings are still resident, i.e. pinned by
+  /// in-flight work. 0 once every past swap has fully drained.
+  std::size_t retired_resident() const;
+  /// Completed swaps.
+  std::uint64_t swaps() const;
+
+ private:
+  std::uint64_t publish(ServingStateRef next, bool wait_drain);
+
+  mutable std::mutex mu_;
+  ServingStateRef current_;
+  std::vector<std::weak_ptr<const ServingState>> retired_;
+  std::uint64_t swaps_ = 0;
+};
+
+}  // namespace repro::service

@@ -1,0 +1,125 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace repro::util::fault {
+
+namespace {
+
+struct Site {
+  std::string name;
+  std::uint64_t value = 0;
+  bool has_value = false;
+  std::int64_t remaining = -1;  ///< triggers left; -1 = unlimited
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Site> sites;
+};
+
+std::atomic<bool> g_armed{false};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+void parse_locked(Registry& r, const std::string& spec) {
+  r.sites.clear();
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string tok = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (tok.empty()) continue;
+    Site s;
+    // name[=value][:count] — malformed numbers parse as 0 rather than
+    // aborting; a fault spec must never take the process down by itself.
+    const std::size_t colon = tok.find(':');
+    if (colon != std::string::npos) {
+      s.remaining = std::strtoll(tok.c_str() + colon + 1, nullptr, 10);
+      tok.resize(colon);
+    }
+    const std::size_t eq = tok.find('=');
+    if (eq != std::string::npos) {
+      s.value = std::strtoull(tok.c_str() + eq + 1, nullptr, 10);
+      s.has_value = true;
+      tok.resize(eq);
+    }
+    s.name = tok;
+    if (!s.name.empty()) r.sites.push_back(std::move(s));
+  }
+}
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("REPRO_FAULT");
+    if (env != nullptr && env[0] != '\0') configure(env);
+  });
+}
+
+Site* find_locked(Registry& r, const char* site) {
+  for (auto& s : r.sites) {
+    if (s.name == site) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool armed() {
+  init_from_env();
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+bool fire(const char* site) {
+  init_from_env();
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  Site* s = find_locked(r, site);
+  if (s == nullptr) return false;
+  if (s->remaining == 0) return false;
+  if (s->remaining > 0) --s->remaining;
+  ++s->hits;
+  return true;
+}
+
+std::uint64_t value(const char* site, std::uint64_t def) {
+  init_from_env();
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  const Site* s = find_locked(r, site);
+  return s != nullptr && s->has_value ? s->value : def;
+}
+
+std::uint64_t hits(const char* site) {
+  init_from_env();
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  const Site* s = find_locked(r, site);
+  return s != nullptr ? s->hits : 0;
+}
+
+void configure(const std::string& spec) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  parse_locked(r, spec);
+  g_armed.store(!r.sites.empty(), std::memory_order_relaxed);
+}
+
+void maybe_stall(const char* site) {
+  if (!armed() || !fire(site)) return;
+  const std::uint64_t ms = value(site, 0);
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace repro::util::fault

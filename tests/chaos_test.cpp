@@ -1,0 +1,380 @@
+// Chaos tests: fault-injection hooks (util/fault.hpp), snapshot hot-swap
+// under load, deadline/overload shedding, and the atomicity guarantees of
+// SnapshotManager when the replacement snapshot is broken in every way the
+// injector can break it. Runs in the stress tier, i.e. under the
+// ASan+UBSan CI job and the dedicated chaos-smoke job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/query_engine.hpp"
+#include "service/snapshot.hpp"
+#include "service/snapshot_manager.hpp"
+#include "util/check.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace repro::service {
+namespace {
+
+/// Every test disarms the global fault registry on exit, armed or not —
+/// a leaked spec would poison every later test in the process.
+struct FaultGuard {
+  ~FaultGuard() { util::fault::configure(""); }
+};
+
+batmap::BatmapStore make_store(std::uint64_t universe, int sets,
+                               std::uint64_t seed) {
+  batmap::BatmapStore store(universe);
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < sets; ++i) {
+    std::set<std::uint64_t> s;
+    const std::size_t size = 3 + rng.below(200);
+    while (s.size() < size) s.insert(rng.below(universe));
+    std::vector<std::uint64_t> v(s.begin(), s.end());
+    store.add(v);
+  }
+  return store;
+}
+
+std::string snap_file(const batmap::BatmapStore& store, const char* tag,
+                      std::uint64_t epoch) {
+  const std::string path = std::string("/tmp/batmap_chaos_") + tag + "_" +
+                           std::to_string(epoch) + ".snap";
+  write_snapshot(store, path, epoch);
+  return path;
+}
+
+/// Stats are published after a batch's requests complete, so counters can
+/// trail wait() by one merge; poll until `pred` holds (or ~2 s pass).
+template <typename Pred>
+testing::AssertionResult settled(const QueryEngine& engine, Pred pred) {
+  for (int i = 0; i < 2000; ++i) {
+    if (pred(engine.stats())) return testing::AssertionSuccess();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return testing::AssertionFailure() << "stats never settled";
+}
+
+// ---- Fault spec -------------------------------------------------------------
+
+TEST(FaultSpecTest, ParsesSitesValuesAndBudgets) {
+  FaultGuard guard;
+  util::fault::configure("snap_open:2,stall_ms=7,one_shot=3:1");
+  EXPECT_TRUE(util::fault::armed());
+
+  // :2 budget: fires exactly twice.
+  EXPECT_TRUE(util::fault::fire("snap_open"));
+  EXPECT_TRUE(util::fault::fire("snap_open"));
+  EXPECT_FALSE(util::fault::fire("snap_open"));
+  EXPECT_EQ(util::fault::hits("snap_open"), 2u);
+
+  // No budget: unlimited; carries a value.
+  EXPECT_EQ(util::fault::value("stall_ms", 0), 7u);
+  EXPECT_TRUE(util::fault::fire("stall_ms"));
+  EXPECT_TRUE(util::fault::fire("stall_ms"));
+
+  // Value and budget combined.
+  EXPECT_EQ(util::fault::value("one_shot", 0), 3u);
+  EXPECT_TRUE(util::fault::fire("one_shot"));
+  EXPECT_FALSE(util::fault::fire("one_shot"));
+
+  // Unknown sites never fire; value() falls back to the default.
+  EXPECT_FALSE(util::fault::fire("missing"));
+  EXPECT_EQ(util::fault::value("missing", 42), 42u);
+
+  util::fault::configure("");
+  EXPECT_FALSE(util::fault::armed());
+  EXPECT_FALSE(util::fault::fire("stall_ms"));
+}
+
+// ---- SnapshotManager --------------------------------------------------------
+
+TEST(SnapshotManagerTest, SwapRequiresStrictlyAdvancingEpoch) {
+  const auto store = make_store(6000, 24, 7);
+  const std::string p2 = snap_file(store, "adv", 2);
+  const std::string p1 = snap_file(store, "adv", 1);
+  const std::string p3 = snap_file(store, "adv", 3);
+
+  SnapshotManager mgr(Snapshot::open(p2));
+  EXPECT_EQ(mgr.epoch(), 2u);
+  EXPECT_THROW(mgr.swap(p1), CheckError);   // backwards
+  EXPECT_THROW(mgr.swap(p2), CheckError);   // same epoch
+  EXPECT_EQ(mgr.epoch(), 2u);               // still serving the old state
+  EXPECT_EQ(mgr.swaps(), 0u);
+  EXPECT_EQ(mgr.swap(p3), 3u);
+  EXPECT_EQ(mgr.swaps(), 1u);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+  std::remove(p3.c_str());
+}
+
+TEST(SnapshotManagerTest, RetiredStateStaysResidentUntilLastPinDrops) {
+  const auto store = make_store(6000, 24, 9);
+  const std::string p1 = snap_file(store, "drain", 1);
+  const std::string p2 = snap_file(store, "drain", 2);
+
+  SnapshotManager mgr(Snapshot::open(p1));
+  ServingStateRef pin = mgr.current();  // simulate an in-flight request
+  const std::uint64_t before = pin->snapshot().intersection_size(0, 1);
+  mgr.swap(p2, /*wait_drain=*/false);
+  EXPECT_EQ(mgr.epoch(), 2u);
+  EXPECT_EQ(mgr.retired_resident(), 1u);
+  // The pinned generation still answers — its mapping is intact.
+  EXPECT_EQ(pin->snapshot().intersection_size(0, 1), before);
+  pin.reset();
+  EXPECT_EQ(mgr.retired_resident(), 0u);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(SnapshotManagerTest, InjectedOpenFaultsLeaveServingIntact) {
+  FaultGuard guard;
+  const auto store = make_store(6000, 24, 11);
+  const std::string p1 = snap_file(store, "fault", 1);
+  const std::string p2 = snap_file(store, "fault", 2);
+
+  SnapshotManager mgr(Snapshot::open(p1));
+  for (const char* spec :
+       {"snap_open:1", "snap_mmap:1", "snap_checksum:1"}) {
+    util::fault::configure(spec);
+    EXPECT_THROW(mgr.swap(p2), CheckError) << spec;
+    EXPECT_EQ(mgr.epoch(), 1u) << spec;   // reload is all-or-nothing
+    EXPECT_EQ(mgr.swaps(), 0u) << spec;
+  }
+  util::fault::configure("");
+  EXPECT_EQ(mgr.swap(p2), 2u);  // the same file swaps fine once disarmed
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+// ---- Engine chaos -----------------------------------------------------------
+
+TEST(ChaosTest, RingFullFaultShedsWithTypedVerdict) {
+  FaultGuard guard;
+  const auto store = make_store(5000, 16, 13);
+  const std::string p1 = snap_file(store, "ring", 1);
+  const Snapshot snap = Snapshot::open(p1);
+  std::remove(p1.c_str());
+  QueryEngine engine(snap, {});
+
+  util::fault::configure("ring_full:1");
+  Request req;
+  req.query = {QueryKind::kIntersect, 0, 1, 0};
+  EXPECT_EQ(engine.try_submit_ex(req), Admit::kRingFull);
+  // The injected rejection consumed the budget; the next admission works
+  // and the shed was counted as typed overload.
+  EXPECT_EQ(engine.try_submit_ex(req), Admit::kOk);
+  EXPECT_TRUE(QueryEngine::wait(req));
+  EXPECT_EQ(engine.stats().shed_overload, 1u);
+}
+
+TEST(ChaosTest, ExpiredDeadlineIsShedAtAdmission) {
+  const auto store = make_store(5000, 16, 15);
+  const std::string p1 = snap_file(store, "adm", 1);
+  const Snapshot snap = Snapshot::open(p1);
+  std::remove(p1.c_str());
+  QueryEngine engine(snap, {});
+
+  Request req;
+  req.query = {QueryKind::kIntersect, 0, 1, 0};
+  req.query.deadline_ns = 1;  // epoch start: long past
+  EXPECT_EQ(engine.try_submit_ex(req), Admit::kExpired);
+  EXPECT_FALSE(QueryEngine::wait(req));
+  EXPECT_EQ(req.outcome(), Request::Outcome::kTimeout);
+  EXPECT_TRUE(req.failed());
+  EXPECT_GE(engine.stats().timeouts, 1u);
+
+  // The slot is reusable after the timeout.
+  req.query.deadline_ns = 0;
+  engine.submit(req);
+  EXPECT_TRUE(QueryEngine::wait(req));
+  EXPECT_EQ(req.result().value, store.intersection_size(0, 1));
+}
+
+TEST(ChaosTest, QueuedRequestTimesOutUnderWorkerStall) {
+  FaultGuard guard;
+  const auto store = make_store(5000, 16, 17);
+  const std::string p1 = snap_file(store, "stall", 1);
+  const Snapshot snap = Snapshot::open(p1);
+  std::remove(p1.c_str());
+  QueryEngine engine(snap, {});
+
+  // Every batch stalls 40 ms before looking at its requests, so a request
+  // with a 5 ms deadline that arrives while the worker sleeps must be
+  // completed as kTimeout by the worker-side deadline check — never
+  // silently served late.
+  util::fault::configure("worker_stall_ms=40");
+  Request warm;
+  warm.query = {QueryKind::kIntersect, 0, 1, 0};
+  engine.submit(warm);  // batch 1: occupies the worker in its stall
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  Request late;
+  late.query = {QueryKind::kIntersect, 2, 3, 0};
+  late.query.deadline_ns = QueryEngine::now_ns() + 5'000'000ull;
+  ASSERT_EQ(engine.try_submit_ex(late), Admit::kOk);
+  EXPECT_FALSE(QueryEngine::wait(late));
+  EXPECT_EQ(late.outcome(), Request::Outcome::kTimeout);
+  EXPECT_TRUE(QueryEngine::wait(warm));  // undeadlined work still completes
+  util::fault::configure("");
+  engine.drain();
+  EXPECT_TRUE(settled(
+      engine, [](const QueryEngine::Stats& st) { return st.timeouts >= 1; }));
+}
+
+TEST(ChaosTest, PinnedStragglersServeTheirAdmittedEpoch) {
+  FaultGuard guard;
+  const auto store = make_store(8000, 32, 19);
+  const std::string p1 = snap_file(store, "pin", 1);
+  const std::string p2 = snap_file(store, "pin", 2);
+
+  SnapshotManager mgr(Snapshot::open(p1));
+  QueryEngine engine(mgr, {});
+
+  // Stall every batch 25 ms: requests admitted during a stall are pinned
+  // to the pre-swap state, and by the time their batch runs the manager
+  // already publishes epoch 2 — they must take the per-pair fallback path
+  // against epoch 1 and still answer exactly.
+  util::fault::configure("worker_stall_ms=25");
+  Request head;
+  head.query = {QueryKind::kIntersect, 0, 1, 0};
+  engine.submit(head);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  constexpr int kStragglers = 8;
+  std::vector<Request> reqs(kStragglers);
+  for (int i = 0; i < kStragglers; ++i) {
+    reqs[i].query = {QueryKind::kIntersect, static_cast<std::uint32_t>(i),
+                     static_cast<std::uint32_t>(i + 1), 0};
+    ASSERT_EQ(engine.try_submit_ex(reqs[i]), Admit::kOk);
+  }
+  // Publish epoch 2 immediately; drain happens as the stragglers finish.
+  std::thread swapper([&] { mgr.swap(p2, /*wait_drain=*/true); });
+  EXPECT_TRUE(QueryEngine::wait(head));
+  for (int i = 0; i < kStragglers; ++i) {
+    EXPECT_TRUE(QueryEngine::wait(reqs[i]));
+    EXPECT_EQ(reqs[i].result().value,
+              store.intersection_size(reqs[i].query.a, reqs[i].query.b))
+        << i;
+  }
+  swapper.join();
+  util::fault::configure("");
+  engine.drain();
+  EXPECT_TRUE(settled(engine, [](const QueryEngine::Stats& st) {
+    return st.queries >= static_cast<std::uint64_t>(kStragglers) + 1;
+  }));
+  const auto st = engine.stats();
+  EXPECT_GE(st.pinned_fallbacks, 1u);
+  EXPECT_EQ(st.errors, 0u);
+  EXPECT_EQ(mgr.retired_resident(), 0u);  // epoch 1 unmapped after drain
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(ChaosTest, HotSwapUnderLoadStaysExactAndDrains) {
+  const auto store = make_store(10000, 40, 21);
+  std::vector<std::string> paths;
+  for (std::uint64_t e = 1; e <= 6; ++e) {
+    paths.push_back(snap_file(store, "load", e));
+  }
+
+  SnapshotManager mgr(Snapshot::open(paths[0]));
+  QueryEngine::Options opt;
+  opt.cache_entries = 256;
+  opt.max_batch = 32;
+  QueryEngine engine(mgr, opt);
+  const auto n = static_cast<std::uint32_t>(store.size());
+
+  // Clients hammer mixed pair queries while the main thread swaps through
+  // five epochs of the same data. Every answer must match the offline
+  // store oracle no matter which epoch served it.
+  std::atomic<int> mismatches{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      Xoshiro256 rng(200 + static_cast<std::uint64_t>(c));
+      Request req;
+      while (!done.load(std::memory_order_relaxed)) {
+        const auto a = static_cast<std::uint32_t>(rng.below(n));
+        const auto b = static_cast<std::uint32_t>(rng.below(n));
+        const bool support = rng.below(4) == 0;
+        req.query = {support ? QueryKind::kSupport : QueryKind::kIntersect,
+                     a, b, 0};
+        engine.submit(req);
+        if (!QueryEngine::wait(req)) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        const std::uint64_t want = support
+                                       ? store.raw_count(a, b)
+                                       : store.intersection_size(a, b);
+        if (req.result().value != want) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::size_t e = 1; e < paths.size(); ++e) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(mgr.swap(paths[e]), e + 1);
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (auto& t : clients) t.join();
+  engine.drain();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_TRUE(settled(engine, [](const QueryEngine::Stats& st) {
+    return st.epoch_rollovers >= 1;
+  }));
+  const auto st = engine.stats();
+  EXPECT_EQ(st.errors, 0u);
+  EXPECT_EQ(mgr.swaps(), paths.size() - 1);
+  EXPECT_EQ(mgr.retired_resident(), 0u);
+  for (const auto& p : paths) std::remove(p.c_str());
+}
+
+TEST(ChaosTest, CacheEntriesNeverCrossEpochs) {
+  const auto store = make_store(6000, 24, 23);
+  const std::string p1 = snap_file(store, "cache", 1);
+  const std::string p2 = snap_file(store, "cache", 2);
+
+  SnapshotManager mgr(Snapshot::open(p1));
+  QueryEngine::Options opt;
+  opt.cache_entries = 64;
+  QueryEngine engine(mgr, opt);
+
+  Request req;
+  const auto ask = [&] {
+    req.query = {QueryKind::kIntersect, 0, 1, 0};
+    engine.submit(req);
+    ASSERT_TRUE(QueryEngine::wait(req));
+    ASSERT_EQ(req.result().value, store.intersection_size(0, 1));
+  };
+  ask();  // miss: fills the epoch-1 entry
+  ask();  // hit
+  ASSERT_TRUE(settled(
+      engine, [](const QueryEngine::Stats& st) { return st.queries >= 2; }));
+  const auto before = engine.stats();
+  EXPECT_GE(before.cache_hits, 1u);
+
+  mgr.swap(p2);
+  ask();  // epoch 2: the rolled-over cache must miss, then refill
+  ask();  // hit under the new epoch — capacity fully reusable
+  ASSERT_TRUE(settled(
+      engine, [](const QueryEngine::Stats& st) { return st.queries >= 4; }));
+  const auto after = engine.stats();
+  EXPECT_GE(after.epoch_rollovers, 1u);
+  EXPECT_EQ(after.cache_misses, before.cache_misses + 1);
+  EXPECT_EQ(after.cache_hits, before.cache_hits + 1);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+}  // namespace
+}  // namespace repro::service

@@ -302,6 +302,34 @@ TEST(ResultCacheTest, LruEvictionOrder) {
   EXPECT_EQ(*cache.find(key(7)), 7);
 }
 
+TEST(ResultCacheTest, EpochRolloverIsolatesAndReusesCapacity) {
+  ResultCache<int> cache(8);
+  using Key = ResultCache<int>::Key;
+  ASSERT_EQ(cache.capacity(), 8u);
+  for (std::uint32_t a = 0; a < 8; ++a) {
+    cache.insert(Key{1, a, 0, 0}, static_cast<int>(a));
+  }
+  // An entry cached under epoch N must never serve an epoch-N+1 lookup:
+  // the epoch is part of the key.
+  for (std::uint32_t a = 0; a < 8; ++a) {
+    EXPECT_EQ(cache.find(Key{2, a, 0, 0}), nullptr) << a;
+  }
+  // The swap-rollover path: clear() retires the old epoch wholesale and
+  // hands the full capacity to the new one — refilling evicts nothing.
+  cache.clear();
+  const std::uint64_t ev = cache.evictions();
+  for (std::uint32_t a = 0; a < 8; ++a) {
+    cache.insert(Key{2, a, 0, 0}, static_cast<int>(100 + a));
+  }
+  EXPECT_EQ(cache.evictions(), ev);
+  for (std::uint32_t a = 0; a < 8; ++a) {
+    const int* hit = cache.find(Key{2, a, 0, 0});
+    ASSERT_NE(hit, nullptr) << a;
+    EXPECT_EQ(*hit, static_cast<int>(100 + a));
+    EXPECT_EQ(cache.find(Key{1, a, 0, 0}), nullptr) << a;  // old epoch gone
+  }
+}
+
 TEST(ResultCacheTest, DisabledCacheIsInert) {
   ResultCache<int> cache(0);
   cache.insert({1, 2, 3, 0}, 5);

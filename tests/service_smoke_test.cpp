@@ -54,6 +54,44 @@ std::string serve(const std::string& snap, const std::string& extra_flags) {
   return res.out;
 }
 
+/// Builds a tiny deterministic store under /tmp and returns its path;
+/// snapshots at any epoch can then be cut from it with cut_snapshot().
+std::string build_store(const std::string& tag) {
+  const std::string fimi = "/tmp/service_smoke_" + tag + ".fimi";
+  const std::string store = "/tmp/service_smoke_" + tag + ".store";
+  EXPECT_EQ(run(std::string(BATMAP_CLI_PATH) +
+                " gen --items 60 --total 6000 --density 0.08 --out " + fimi)
+                .exit_code,
+            0);
+  EXPECT_EQ(run(std::string(BATMAP_CLI_PATH) + " build --fimi " + fimi +
+                " --out " + store)
+                .exit_code,
+            0);
+  std::remove(fimi.c_str());
+  return store;
+}
+
+std::string cut_snapshot(const std::string& store, const std::string& tag,
+                         int epoch) {
+  const std::string snap = "/tmp/service_smoke_" + tag + "_e" +
+                           std::to_string(epoch) + ".snap";
+  EXPECT_EQ(run(std::string(BATMAP_CLI_PATH) + " snapshot --store " + store +
+                " --out " + snap + " --epoch " + std::to_string(epoch))
+                .exit_code,
+            0);
+  return snap;
+}
+
+/// Count occurrences of `needle` in `s`.
+std::size_t count_of(const std::string& s, const std::string& needle) {
+  std::size_t n = 0;
+  for (auto pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + 1)) {
+    ++n;
+  }
+  return n;
+}
+
 TEST(ServiceSmokeTest, ServeAnswersAndMatchesNaiveRun) {
   const std::string fimi = "/tmp/service_smoke.fimi";
   const std::string store = "/tmp/service_smoke.store";
@@ -119,6 +157,148 @@ TEST(ServiceSmokeTest, ServeAnswersAndMatchesNaiveRun) {
   std::remove(fimi.c_str());
   std::remove(store.c_str());
   std::remove(snap.c_str());
+}
+
+std::string first_ok_line(const std::string& s) {
+  const auto pos = s.find("\nOK ");
+  if (pos == std::string::npos) return "";
+  const auto end = s.find('\n', pos + 1);
+  return s.substr(pos + 1, end == std::string::npos ? end : end - pos - 1);
+}
+
+// Satellite: every malformed input class gets a typed ERR reply with a
+// machine-parseable first token, and none of them kill the connection.
+TEST(ServiceSmokeTest, TypedErrorsForMalformedAndOversizedLines) {
+  const std::string store = build_store("typed");
+  const std::string snap = cut_snapshot(store, "typed", 3);
+
+  const std::string long_line(80, 'x');
+  const std::string script = "I 0 1\\n" + long_line +
+                             "\\nX 1 2\\nI 0\\nT 999999 5\\nI 0 1\\nQUIT\\n";
+  const auto res = run("printf '" + script + "' | " + BATMAP_SERVE_PATH +
+                       " --snapshot " + snap + " --max-line 32");
+  EXPECT_EQ(res.exit_code, 0) << res.out;
+
+  // Oversized line (80 > --max-line 32) -> BADREQ; bogus op and missing
+  // operand -> BADREQ; out-of-range set id -> RANGE. Valid queries before
+  // and after the garbage still answer.
+  EXPECT_EQ(count_of(res.out, "ERR BADREQ line too long"), 1u) << res.out;
+  EXPECT_EQ(count_of(res.out, "ERR BADREQ expected:"), 2u) << res.out;
+  EXPECT_EQ(count_of(res.out, "ERR RANGE"), 1u) << res.out;
+  EXPECT_EQ(count_of(res.out, "\nOK "), 2u) << res.out;
+
+  std::remove(store.c_str());
+  std::remove(snap.c_str());
+}
+
+// Tentpole: RELOAD hot-swaps the snapshot mid-stream. Answers are
+// identical across the swap (same store, new epoch), a bad path or a
+// non-advancing epoch is rejected with a typed ERR RELOAD while the
+// current snapshot keeps serving, and STATS reports the swap.
+TEST(ServiceSmokeTest, ReloadSwapsMidStreamAndRejectsBadPaths) {
+  const std::string store = build_store("reload");
+  const std::string s7 = cut_snapshot(store, "reload", 7);
+  const std::string s9 = cut_snapshot(store, "reload", 9);
+
+  const std::string script = "I 0 1\\nRELOAD " + s9 +
+                             "\\nI 0 1\\nRELOAD /nonexistent.snap\\nI 0 1"
+                             "\\nRELOAD " + s7 + "\\nI 0 1\\nSTATS\\nQUIT\\n";
+  const auto res = run("printf '" + script + "' | " + BATMAP_SERVE_PATH +
+                       " --snapshot " + s7);
+  EXPECT_EQ(res.exit_code, 0) << res.out;
+
+  EXPECT_NE(res.out.find("RELOADED epoch=9"), std::string::npos) << res.out;
+  // Missing file and the stale epoch-7 snapshot (9 -> 7 goes backwards)
+  // are both rejected; serving continues on epoch 9 either way.
+  EXPECT_EQ(count_of(res.out, "ERR RELOAD"), 2u) << res.out;
+  EXPECT_EQ(count_of(res.out, "\nOK "), 4u) << res.out;
+
+  // All four answers to the same query are byte-identical: the swap to a
+  // same-store snapshot must not perturb results.
+  const std::string ok = first_ok_line(res.out);
+  ASSERT_FALSE(ok.empty()) << res.out;
+  EXPECT_EQ(count_of(res.out, "\n" + ok + "\n"), 4u) << res.out;
+
+  const auto stats_pos = res.out.find("STATS queries=");
+  ASSERT_NE(stats_pos, std::string::npos) << res.out;
+  const std::string stats = res.out.substr(stats_pos);
+  EXPECT_NE(stats.find(" swaps=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" epoch=9"), std::string::npos) << stats;
+
+  std::remove(store.c_str());
+  std::remove(s7.c_str());
+  std::remove(s9.c_str());
+}
+
+// Satellite: SIGTERM while a client connection is open drains admitted
+// work, prints a final STATS line to stderr, and exits 0.
+TEST(ServiceSmokeTest, SigtermDrainsAndPrintsFinalStats) {
+  const std::string store = build_store("term");
+  const std::string snap = cut_snapshot(store, "term", 2);
+
+  // The writer answers one query then idles holding the pipe open; the
+  // TERM at 0.5s must not wait for the writer's EOF.
+  const std::string cmd =
+      std::string("sh -c '( printf \"I 0 1\\n\"; sleep 1.2 ) | ") +
+      BATMAP_SERVE_PATH + " --snapshot " + snap +
+      " & pid=$!; sleep 0.5; kill -TERM $pid; wait $pid; echo rc=$?'";
+  const auto res = run(cmd);
+
+  EXPECT_NE(res.out.find("\nOK "), std::string::npos) << res.out;
+  EXPECT_NE(res.out.find("rc=0"), std::string::npos) << res.out;
+  EXPECT_NE(res.out.find("batmap_serve: STATS queries="), std::string::npos)
+      << res.out;
+
+  std::remove(store.c_str());
+  std::remove(snap.c_str());
+}
+
+// Tentpole acceptance: SIGKILL while a swap is stalled mid-publish. The
+// already-acknowledged reply must have reached the client before the
+// kill, the stalled RELOAD must never have been acknowledged, and a
+// restarted server on the original snapshot must answer the same query
+// byte-identically — zero dropped-but-acknowledged queries.
+TEST(ServiceSmokeTest, KillDuringSwapNeverDropsAcknowledgedWork) {
+  const std::string store = build_store("kill9");
+  const std::string s1 = cut_snapshot(store, "kill9", 5);
+  const std::string s2 = cut_snapshot(store, "kill9", 6);
+  const std::string out_file = "/tmp/service_smoke_kill9.out";
+
+  // swap_stall_ms=2000 parks the swap after validation but before
+  // publish; the kill at 1.0s lands inside the [0.4s, 2.4s] stall window.
+  const std::string cmd =
+      std::string("sh -c '( printf \"I 0 1\\n\"; sleep 0.4; "
+                  "printf \"RELOAD ") + s2 + "\\n\"; sleep 1.5 ) | " +
+      "env REPRO_FAULT=swap_stall_ms=2000 " + BATMAP_SERVE_PATH +
+      " --snapshot " + s1 + " > " + out_file +
+      " & pid=$!; sleep 1; kill -9 $pid; wait $pid; echo rc=$?; "
+      "echo ---; cat " + out_file + "'";
+  const auto res = run(cmd);
+
+  EXPECT_NE(res.out.find("rc=137"), std::string::npos) << res.out;  // SIGKILL
+  const auto marker = res.out.find("---");
+  ASSERT_NE(marker, std::string::npos) << res.out;
+  const std::string acked = res.out.substr(marker);
+  EXPECT_NE(acked.find("\nOK "), std::string::npos) << res.out;
+  // The swap stalled before publish, so the reload was never acknowledged
+  // anywhere — not to the client, not in the server log.
+  EXPECT_EQ(res.out.find("RELOADED"), std::string::npos) << res.out;
+  EXPECT_EQ(res.out.find("swapped to epoch"), std::string::npos) << res.out;
+
+  // Recovery: the original snapshot is untouched by the aborted swap and
+  // replays the acked answer byte-for-byte.
+  const auto again = run("printf 'I 0 1\\nQUIT\\n' | " +
+                         std::string(BATMAP_SERVE_PATH) + " --snapshot " + s1);
+  EXPECT_EQ(again.exit_code, 0) << again.out;
+  const std::string before = first_ok_line(acked);
+  const std::string after = first_ok_line(again.out);
+  ASSERT_FALSE(before.empty()) << res.out;
+  EXPECT_EQ(before, after) << res.out << "\n---restart---\n" << again.out;
+
+  std::remove(store.c_str());
+  std::remove(s1.c_str());
+  std::remove(s2.c_str());
+  std::remove(out_file.c_str());
 }
 
 }  // namespace

@@ -1,21 +1,42 @@
-// batmap_serve — line-protocol query server over a batmap snapshot.
+// batmap_serve — line-protocol query server over a batmap snapshot, with
+// hot snapshot reload, deadline-aware admission, and graceful drain.
 //
 //   batmap_serve --snapshot snap.bin                 # serve stdin/stdout
 //   batmap_serve --snapshot snap.bin --port 7070     # serve TCP clients
 //
 // Protocol (one request per line, one reply line per request):
 //
-//   I <a> <b>      exact |S_a ∩ S_b|            -> "OK <count>"
-//   S <a> <b>      raw (unpatched) sweep count  -> "OK <count>"
-//   T <a> <k>      top-k most similar to S_a    -> "OK <m> id:count ..."
-//   STATS          engine counters              -> "STATS k=v k=v ..."
-//   FINGERPRINT    FNV-1a over this connection's results -> "FP <hex>"
-//   QUIT           close the connection
+//   I <a> <b> [ms]   exact |S_a ∩ S_b|            -> "OK <count>"
+//   S <a> <b> [ms]   raw (unpatched) sweep count  -> "OK <count>"
+//   T <a> <k> [ms]   top-k most similar to S_a    -> "OK <m> id:count ..."
+//   RELOAD [path]    hot-swap the snapshot        -> "RELOADED epoch=<e>"
+//   STATS            engine counters              -> "STATS k=v k=v ..."
+//   FINGERPRINT      FNV-1a over this connection's results -> "FP <hex>"
+//   QUIT             close the connection
 //
-// Malformed or rejected requests answer "ERR <reason>" and do not advance
-// the fingerprint, so a script of valid queries has a deterministic digest
-// regardless of interleaved errors — the service-smoke CI job relies on
-// this to cross-check the batched server against a --naive run.
+// The optional trailing [ms] is a per-request deadline in milliseconds;
+// --deadline-ms sets a default for requests that omit it.
+//
+// Error replies are typed — the first token after ERR is machine-parseable:
+//
+//   ERR BADREQ <hint>        malformed or oversized request line
+//   ERR RANGE <hint>         id or k out of range for the serving snapshot
+//   ERR OVERLOAD retry_ms=<n>  admission shed (ring full / token gate);
+//                              retry after the hinted backoff
+//   ERR TIMEOUT <hint>       deadline expired before execution
+//   ERR RELOAD <reason>      swap rejected; the old snapshot keeps serving
+//
+// Error replies do not advance the fingerprint, so a script of valid
+// queries has a deterministic digest regardless of interleaved errors —
+// the service-smoke CI job relies on this to cross-check the batched
+// server against a --naive run.
+//
+// Lifecycle: SIGHUP re-loads the last successfully served snapshot path
+// (atomic swap: a bad file is rejected and the current epoch keeps
+// serving). SIGTERM/SIGINT stop accepting work, drain every admitted
+// request, print a final STATS line to stderr, and exit 0. All blocking IO
+// is poll()-based with a stop check, so shutdown is prompt no matter which
+// thread the signal lands on.
 //
 // One engine serves every connection: concurrent clients' requests meet in
 // the submission queue and coalesce into micro-batches. --naive bypasses
@@ -23,20 +44,24 @@
 // one-query-at-a-time reference execution (for differential runs).
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cinttypes>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 
 #include "service/query_engine.hpp"
 #include "service/snapshot.hpp"
+#include "service/snapshot_manager.hpp"
 #include "util/args.hpp"
 #include "util/fnv.hpp"
 
@@ -44,26 +69,57 @@ using namespace repro;
 
 namespace {
 
+// Signal handlers only flip these; every blocking loop polls them.
+std::atomic<bool> g_stop{false};
+std::atomic<bool> g_reload{false};
+
+void on_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+void on_hup_signal(int) { g_reload.store(true, std::memory_order_relaxed); }
+
 /// Minimal buffered line IO over raw fds (shared by the stdin and TCP
-/// paths; iostreams don't wrap sockets portably).
+/// paths; iostreams don't wrap sockets portably). Reads poll with a short
+/// timeout and re-check g_stop, so connection threads exit promptly on
+/// shutdown even when the peer is idle.
 class FdLineIo {
  public:
-  FdLineIo(int in_fd, int out_fd) : in_(in_fd), out_(out_fd) {}
+  FdLineIo(int in_fd, int out_fd, std::size_t max_line)
+      : in_(in_fd), out_(out_fd), max_line_(max_line) {}
 
-  /// False at EOF / error. Strips the trailing newline (and '\r').
-  bool read_line(std::string& line) {
+  enum class Line {
+    kOk = 0,
+    kEof = 1,      ///< EOF, read error, or shutdown requested
+    kTooLong = 2,  ///< line exceeded max_line; the excess was discarded
+  };
+
+  /// Strips the trailing newline (and '\r').
+  Line read_line(std::string& line) {
     line.clear();
+    bool overflow = false;
     for (;;) {
       if (pos_ == len_) {
+        for (;;) {
+          if (g_stop.load(std::memory_order_relaxed)) return Line::kEof;
+          pollfd pfd{in_, POLLIN, 0};
+          const int pr = ::poll(&pfd, 1, 100);
+          if (pr > 0) break;
+          if (pr < 0 && errno != EINTR) return Line::kEof;
+        }
         const ssize_t n = ::read(in_, buf_, sizeof(buf_));
-        if (n <= 0) return !line.empty();
+        if (n <= 0) {
+          if (line.empty() && !overflow) return Line::kEof;
+          return overflow ? Line::kTooLong : Line::kOk;
+        }
         pos_ = 0;
         len_ = static_cast<std::size_t>(n);
       }
       const char c = buf_[pos_++];
       if (c == '\n') {
         if (!line.empty() && line.back() == '\r') line.pop_back();
-        return true;
+        return overflow ? Line::kTooLong : Line::kOk;
+      }
+      if (line.size() >= max_line_) {
+        overflow = true;  // keep consuming to the newline, drop the excess
+        continue;
       }
       line.push_back(c);
     }
@@ -86,6 +142,7 @@ class FdLineIo {
 
  private:
   int in_, out_;
+  std::size_t max_line_;
   char buf_[1 << 16];
   std::size_t pos_ = 0, len_ = 0;
 };
@@ -117,31 +174,84 @@ std::string format_result(const service::Result& r, bool topk) {
   return out;
 }
 
-std::string format_stats(const service::QueryEngine::Stats& s) {
-  char tmp[512];
+std::string format_stats(const service::QueryEngine::Stats& s,
+                         std::uint64_t epoch, std::uint64_t swaps) {
+  char tmp[768];
   std::snprintf(
       tmp, sizeof(tmp),
       "STATS queries=%" PRIu64 " batches=%" PRIu64 " max_batch=%" PRIu64
       " cache_hits=%" PRIu64 " cache_misses=%" PRIu64 " strip_pairs=%" PRIu64
       " cyclic_pairs=%" PRIu64 " topk_sweeps=%" PRIu64
-      " arena_reserved=%" PRIu64,
+      " arena_reserved=%" PRIu64 " shed=%" PRIu64 " timeouts=%" PRIu64
+      " pinned_fallbacks=%" PRIu64 " rollovers=%" PRIu64 " epoch=%" PRIu64
+      " swaps=%" PRIu64,
       s.queries, s.batches, s.max_batch_seen, s.cache_hits, s.cache_misses,
-      s.strip_pairs, s.cyclic_pairs, s.topk_sweeps, s.arena_reserved_bytes);
+      s.strip_pairs, s.cyclic_pairs, s.topk_sweeps, s.arena_reserved_bytes,
+      s.shed_overload, s.timeouts, s.pinned_fallbacks, s.epoch_rollovers,
+      epoch, swaps);
   return tmp;
 }
 
-/// Serves one connection until QUIT/EOF. Returns requests answered.
-std::uint64_t serve_connection(FdLineIo io, service::QueryEngine& engine,
-                               bool naive) {
+/// Shared server state: the engine, the swap manager, and the last path a
+/// snapshot was successfully loaded from (the SIGHUP reload target).
+struct ServeCtx {
+  ServeCtx(service::SnapshotManager& m, service::QueryEngine& e)
+      : mgr(m), engine(e) {}
+
+  service::SnapshotManager& mgr;
+  service::QueryEngine& engine;
+  bool naive = false;
+  std::uint64_t default_deadline_ms = 0;
+  std::size_t max_line = 4096;
+
+  std::mutex path_mu;
+  std::string snapshot_path;
+
+  std::string last_path() {
+    std::lock_guard lock(path_mu);
+    return snapshot_path;
+  }
+};
+
+/// Swaps to `path`; on success records it as the new reload target.
+/// Returns the protocol reply line (RELOADED or ERR RELOAD).
+std::string do_reload(ServeCtx& ctx, const std::string& path) {
+  try {
+    const std::uint64_t epoch = ctx.mgr.swap(path);
+    {
+      std::lock_guard lock(ctx.path_mu);
+      ctx.snapshot_path = path;
+    }
+    std::fprintf(stderr, "batmap_serve: swapped to epoch %" PRIu64 " (%s)\n",
+                 epoch, path.c_str());
+    char tmp[48];
+    std::snprintf(tmp, sizeof(tmp), "RELOADED epoch=%" PRIu64, epoch);
+    return tmp;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "batmap_serve: reload rejected: %s\n", e.what());
+    return std::string("ERR RELOAD ") + e.what();
+  }
+}
+
+/// Serves one connection until QUIT/EOF/shutdown. Returns requests
+/// answered OK.
+std::uint64_t serve_connection(FdLineIo io, ServeCtx& ctx) {
   util::Fnv1a fp;
   service::Request req;
   std::string line;
   std::uint64_t served = 0;
-  while (io.read_line(line)) {
+  for (;;) {
+    const FdLineIo::Line st = io.read_line(line);
+    if (st == FdLineIo::Line::kEof) break;
+    if (st == FdLineIo::Line::kTooLong) {
+      io.write_line("ERR BADREQ line too long");
+      continue;
+    }
     if (line.empty()) continue;
     if (line == "QUIT") break;
     if (line == "STATS") {
-      io.write_line(format_stats(engine.stats()));
+      io.write_line(format_stats(ctx.engine.stats(), ctx.mgr.epoch(),
+                                 ctx.mgr.swaps()));
       continue;
     }
     if (line == "FINGERPRINT") {
@@ -150,12 +260,19 @@ std::uint64_t serve_connection(FdLineIo io, service::QueryEngine& engine,
       io.write_line(tmp);
       continue;
     }
+    if (line == "RELOAD" || line.rfind("RELOAD ", 0) == 0) {
+      const std::string path =
+          line.size() > 7 ? line.substr(7) : ctx.last_path();
+      io.write_line(do_reload(ctx, path));
+      continue;
+    }
     char op = 0;
-    std::uint32_t x = 0, y = 0;
-    if (std::sscanf(line.c_str(), " %c %u %u", &op, &x, &y) != 3 ||
-        (op != 'I' && op != 'S' && op != 'T')) {
-      io.write_line("ERR expected: I|S|T <u32> <u32>, STATS, FINGERPRINT, "
-                    "or QUIT");
+    std::uint32_t x = 0, y = 0, dl_ms = 0;
+    const int n = std::sscanf(line.c_str(), " %c %u %u %u", &op, &x, &y,
+                              &dl_ms);
+    if (n < 3 || (op != 'I' && op != 'S' && op != 'T')) {
+      io.write_line("ERR BADREQ expected: I|S|T <u32> <u32> [deadline_ms], "
+                    "RELOAD [path], STATS, FINGERPRINT, or QUIT");
       continue;
     }
     service::Query q;
@@ -168,31 +285,51 @@ std::uint64_t serve_connection(FdLineIo io, service::QueryEngine& engine,
                          : service::QueryKind::kSupport;
       q.b = y;
     }
-    if (naive) {
+    const std::uint64_t deadline_ms = n == 4 ? dl_ms : ctx.default_deadline_ms;
+    if (deadline_ms > 0) {
+      q.deadline_ns =
+          service::QueryEngine::now_ns() + deadline_ms * 1'000'000ull;
+    }
+    if (ctx.naive) {
       try {
-        const service::Result r = engine.execute_one(q);
+        const service::Result r = ctx.engine.execute_one(q);
         fold_result(fp, q, r);
         ++served;
         io.write_line(format_result(r, op == 'T'));
       } catch (const CheckError&) {
-        io.write_line("ERR rejected (id or k out of range)");
+        io.write_line("ERR RANGE id or k out of range");
       }
       continue;
     }
     req.query = q;
-    engine.submit(req);
-    if (!service::QueryEngine::wait(req)) {
-      io.write_line("ERR rejected (id or k out of range)");
+    const service::Admit verdict = ctx.engine.try_submit_ex(req);
+    if (verdict == service::Admit::kRingFull ||
+        verdict == service::Admit::kShed) {
+      char tmp[48];
+      std::snprintf(tmp, sizeof(tmp), "ERR OVERLOAD retry_ms=%" PRIu64,
+                    (ctx.engine.retry_after_ns() + 999'999) / 1'000'000);
+      io.write_line(tmp);
       continue;
     }
-    fold_result(fp, q, req.result());
-    ++served;
-    io.write_line(format_result(req.result(), op == 'T'));
+    if (verdict == service::Admit::kOk) service::QueryEngine::wait(req);
+    switch (req.outcome()) {
+      case service::Request::Outcome::kOk:
+        fold_result(fp, q, req.result());
+        ++served;
+        io.write_line(format_result(req.result(), op == 'T'));
+        break;
+      case service::Request::Outcome::kTimeout:
+        io.write_line("ERR TIMEOUT deadline exceeded");
+        break;
+      default:
+        io.write_line("ERR RANGE id or k out of range");
+        break;
+    }
   }
   return served;
 }
 
-int serve_tcp(std::uint16_t port, service::QueryEngine& engine, bool naive) {
+int serve_tcp(std::uint16_t port, ServeCtx& ctx) {
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     std::perror("socket");
@@ -216,20 +353,24 @@ int serve_tcp(std::uint16_t port, service::QueryEngine& engine, bool naive) {
   // one joinable zombie per past connection); the counter keeps the
   // engine alive until the last connection drains after accept() stops.
   std::atomic<std::size_t> active{0};
-  for (;;) {
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0) continue;
     const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) break;
+    if (fd < 0) continue;
     active.fetch_add(1, std::memory_order_relaxed);
-    std::thread([fd, &engine, naive, &active] {
-      serve_connection(FdLineIo(fd, fd), engine, naive);
+    std::thread([fd, &ctx, &active] {
+      serve_connection(FdLineIo(fd, fd, ctx.max_line), ctx);
       ::close(fd);
       active.fetch_sub(1, std::memory_order_release);
     }).detach();
   }
+  ::close(listen_fd);  // stop accepting; connections see g_stop and exit
   while (active.load(std::memory_order_acquire) != 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  ::close(listen_fd);
   return 0;
 }
 
@@ -246,6 +387,14 @@ int main(int argc, char** argv) {
   const std::uint64_t queue = args.u64("queue", 1024, "admission queue slots");
   const std::uint64_t threads = args.u64("threads", 1, "top-k sweep threads");
   const std::uint64_t shards = args.u64("shards", 1, "top-k sweep shards");
+  const std::uint64_t deadline_ms = args.u64(
+      "deadline-ms", 0, "default per-request deadline (0 = none)");
+  const std::uint64_t max_line =
+      args.u64("max-line", 4096, "longest accepted request line, bytes");
+  const double admit_rate = args.f64(
+      "admit-rate", 0.0, "token-gate admission rate, queries/s (0 = off)");
+  const double admit_burst =
+      args.f64("admit-burst", 64.0, "token-gate burst size");
   const bool naive =
       args.flag("naive", false, "answer one query at a time (reference mode)");
   args.finish();
@@ -256,27 +405,66 @@ int main(int argc, char** argv) {
 
   // A broken pipe on reply is a departed client, not a server crash.
   std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGTERM, on_stop_signal);
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGHUP, on_hup_signal);
 
   try {
-    const service::Snapshot snap = service::Snapshot::open(snapshot_path);
+    service::SnapshotManager mgr(service::Snapshot::open(snapshot_path));
     service::QueryEngine::Options opt;
     opt.cache_entries = cache;
     opt.max_batch = batch;
     opt.queue_capacity = queue;
     opt.sweep_threads = threads;
     opt.sweep_shards = shards;
-    service::QueryEngine engine(snap, opt);
-    std::fprintf(stderr,
-                 "batmap_serve: %zu sets, universe %" PRIu64 ", epoch %" PRIu64
-                 ", %.1f MiB mapped%s\n",
-                 snap.size(), snap.universe(), snap.epoch(),
-                 static_cast<double>(snap.mapped_bytes()) / (1 << 20),
-                 naive ? " [naive mode]" : "");
-    if (port != 0) {
-      return serve_tcp(static_cast<std::uint16_t>(port), engine, naive);
+    opt.admit_rate = admit_rate;
+    opt.admit_burst = admit_burst;
+    service::QueryEngine engine(mgr, opt);
+    ServeCtx ctx{mgr, engine};
+    ctx.naive = naive;
+    ctx.default_deadline_ms = deadline_ms;
+    ctx.max_line = static_cast<std::size_t>(max_line);
+    ctx.snapshot_path = snapshot_path;
+    {
+      const service::ServingStateRef st = mgr.current();
+      const service::Snapshot& snap = st->snapshot();
+      std::fprintf(stderr,
+                   "batmap_serve: %zu sets, universe %" PRIu64
+                   ", epoch %" PRIu64 ", %.1f MiB mapped%s\n",
+                   snap.size(), snap.universe(), snap.epoch(),
+                   static_cast<double>(snap.mapped_bytes()) / (1 << 20),
+                   naive ? " [naive mode]" : "");
     }
-    serve_connection(FdLineIo(STDIN_FILENO, STDOUT_FILENO), engine, naive);
-    return 0;
+
+    // SIGHUP swaps in the background so idle servers reload promptly; the
+    // thread also exits the process's poll loops by seeing g_stop.
+    std::thread control([&ctx] {
+      while (!g_stop.load(std::memory_order_relaxed)) {
+        if (g_reload.exchange(false, std::memory_order_relaxed)) {
+          do_reload(ctx, ctx.last_path());
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+
+    int rc = 0;
+    if (port != 0) {
+      rc = serve_tcp(static_cast<std::uint16_t>(port), ctx);
+    } else {
+      serve_connection(FdLineIo(STDIN_FILENO, STDOUT_FILENO, ctx.max_line),
+                       ctx);
+    }
+
+    // Graceful drain: every admitted request completes (acknowledged work
+    // is never dropped), then the final counters go to stderr for the
+    // operator regardless of how the connections ended.
+    g_stop.store(true, std::memory_order_relaxed);
+    control.join();
+    engine.drain();
+    std::fprintf(stderr, "batmap_serve: %s\n",
+                 format_stats(engine.stats(), mgr.epoch(), mgr.swaps())
+                     .c_str());
+    return rc;
   } catch (const CheckError& e) {
     std::fprintf(stderr, "batmap_serve: %s\n", e.what());
     return 2;
