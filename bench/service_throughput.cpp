@@ -7,8 +7,14 @@
 //   service_throughput [--sets N] [--universe U] [--set-size S]
 //                      [--queries Q] [--clients C] [--zipf THETA]
 //                      [--topk-permille P] [--support-permille P]
+//                      [--kway-permille P]
 //                      [--cache N] [--batch N] [--verify 0|1]
 //                      [--assert-speedup X] [--snapshot PATH] [--csv PATH]
+//
+// --kway-permille mixes in conjunctive queries: k ∈ [2, 8] zipf-drawn set
+// ids per query, alternating kKway and kRuleScore, exercising the engine's
+// support-ordered list-vs-sweep planner. The oracle answers them by
+// brute-force sorted-list intersection over the store's element lists.
 //
 // Workload: a dense synthetic store of `sets` equal-size random sets (equal
 // widths, so coalesced pair queries run as register-blocked strips), query
@@ -58,6 +64,7 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <iterator>
 #include <set>
 #include <thread>
 #include <vector>
@@ -105,7 +112,12 @@ std::uint64_t result_fingerprint(std::uint64_t index, const service::Query& q,
   fp.update(&q.a, sizeof(q.a));
   fp.update(&q.b, sizeof(q.b));
   fp.update(&q.k, sizeof(q.k));
+  fp.update(&q.nids, sizeof(q.nids));
+  for (std::uint32_t i = 0; i < q.nids; ++i) {
+    fp.update(&q.ids[i], sizeof(q.ids[i]));
+  }
   fp.update(&r.value, sizeof(r.value));
+  fp.update(&r.aux, sizeof(r.aux));
   for (std::uint32_t i = 0; i < r.topk_count; ++i) {
     fp.update(&r.topk[i].id, sizeof(r.topk[i].id));
     fp.update(&r.topk[i].count, sizeof(r.topk[i].count));
@@ -205,6 +217,26 @@ std::uint64_t oracle_fingerprint(const batmap::BatmapStore& store,
         }
         break;
       }
+      case service::QueryKind::kKway:
+      case service::QueryKind::kRuleScore: {
+        // Brute-force fold over the store's element lists, independent of
+        // both the planner and the engine's naive path.
+        const auto first = store.elements(q.ids[0]);
+        std::vector<std::uint64_t> cur(first.begin(), first.end());
+        std::vector<std::uint64_t> next;
+        std::uint64_t ante = cur.size();
+        for (std::uint32_t j = 1; j < q.nids; ++j) {
+          const auto other = store.elements(q.ids[j]);
+          next.clear();
+          std::set_intersection(cur.begin(), cur.end(), other.begin(),
+                                other.end(), std::back_inserter(next));
+          cur.swap(next);
+          if (j == static_cast<std::uint32_t>(q.nids) - 2) ante = cur.size();
+        }
+        r.value = cur.size();
+        if (q.kind == service::QueryKind::kRuleScore) r.aux = ante;
+        break;
+      }
     }
     fp ^= result_fingerprint(i, q, r);
   }
@@ -225,6 +257,8 @@ int main(int argc, char** argv) {
       args.u64("topk-permille", 100, "‰ of queries that are top-k");
   const std::uint64_t support_permille =
       args.u64("support-permille", 250, "‰ of queries that are raw support");
+  const std::uint64_t kway_permille = args.u64(
+      "kway-permille", 0, "‰ of queries that are k-way conjunctive (K/R mix)");
   const std::uint64_t cache = args.u64("cache", 1 << 15, "cache entries");
   const std::uint64_t batch = args.u64("batch", 256, "max micro-batch");
   const std::uint64_t seed = args.u64("seed", 42, "workload seed");
@@ -292,8 +326,17 @@ int main(int argc, char** argv) {
       if (kind_draw < topk_permille) {
         q.kind = service::QueryKind::kTopK;
         q.k = 1 + static_cast<std::uint32_t>(rng.below(8));
+      } else if (kind_draw < topk_permille + kway_permille) {
+        // Conjunctive mix: zipf-drawn operands, duplicates allowed (the
+        // planner dedups), alternating plain k-way and rule-score.
+        q.kind = rng.below(2) == 0 ? service::QueryKind::kKway
+                                   : service::QueryKind::kRuleScore;
+        q.nids = static_cast<std::uint8_t>(
+            2 + rng.below(service::kMaxKwayIds - 1));
+        for (std::uint32_t j = 0; j < q.nids; ++j) q.ids[j] = zipf(rng);
+        q.a = q.ids[0];
       } else {
-        q.kind = kind_draw < topk_permille + support_permille
+        q.kind = kind_draw < topk_permille + kway_permille + support_permille
                      ? service::QueryKind::kSupport
                      : service::QueryKind::kIntersect;
         q.b = zipf(rng);
@@ -328,10 +371,13 @@ int main(int argc, char** argv) {
     const auto st = engine.stats();
     std::printf("batched: %" PRIu64 " batches (max %" PRIu64 "), %" PRIu64
                 " strip / %" PRIu64 " cyclic / %" PRIu64
-                " duplicate pairs, %" PRIu64 " topk sweeps, arena %" PRIu64
-                " B\n",
+                " duplicate pairs, %" PRIu64 " topk sweeps, %" PRIu64
+                " kway (%" PRIu64 " list / %" PRIu64
+                " sweep steps), arena %" PRIu64 " B\n",
                 st.batches, st.max_batch_seen, st.strip_pairs, st.cyclic_pairs,
-                st.duplicate_pairs, st.topk_sweeps, st.arena_reserved_bytes);
+                st.duplicate_pairs, st.topk_sweeps, st.kway_queries,
+                st.kway_list_steps, st.kway_sweep_steps,
+                st.arena_reserved_bytes);
   }
   if (!overload_only) {
     service::QueryEngine::Options opt = base;

@@ -200,6 +200,112 @@ std::uint64_t multiway_intersect_count(
   return count;
 }
 
+namespace {
+
+inline std::uint8_t slot_at(std::span<const std::uint32_t> words,
+                            std::uint64_t p) {
+  return static_cast<std::uint8_t>(words[p >> 2] >> (8 * (p & 3)));
+}
+
+inline bool slot_match(std::uint8_t a, std::uint8_t b) {
+  return ((a ^ b) & 0x7f) == 0 && ((a | b) & 0x80);
+}
+
+/// Galloping lower_bound: first index in v[lo, |v|) with v[idx] >= x.
+std::size_t gallop_to(std::span<const std::uint64_t> v, std::size_t lo,
+                      std::uint64_t x) {
+  std::size_t step = 1;
+  std::size_t hi = lo;
+  while (hi < v.size() && v[hi] < x) {
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  if (hi > v.size()) hi = v.size();
+  return static_cast<std::size_t>(
+      std::lower_bound(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                       v.begin() + static_cast<std::ptrdiff_t>(hi), x) -
+      v.begin());
+}
+
+}  // namespace
+
+std::size_t gallop_intersect(std::span<const std::uint64_t> a,
+                             std::span<const std::uint64_t> b,
+                             std::uint64_t* out) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::size_t n = 0;
+  std::size_t j = 0;
+  for (const std::uint64_t x : a) {
+    j = gallop_to(b, j, x);
+    if (j == b.size()) break;
+    if (b[j] == x) {
+      out[n++] = x;
+      ++j;
+    }
+  }
+  return n;
+}
+
+void accumulate_pair_counters(std::span<const std::uint32_t> base_words,
+                              std::span<const std::uint32_t> other_words,
+                              std::span<std::uint32_t> counters) {
+  const std::uint64_t base_slots = base_words.size() * 4;
+  const std::uint64_t other_slots = other_words.size() * 4;
+  REPRO_CHECK(counters.size() == base_slots);
+  REPRO_CHECK(base_slots > 0 && other_slots > 0);
+  if (base_slots >= other_slots) {
+    // Nesting lemma: pos_small = pos_big mod 3r_small, and 3·2^j widths mean
+    // other_slots divides base_slots — sweep base in other-sized blocks.
+    REPRO_CHECK(base_slots % other_slots == 0);
+    for (std::uint64_t off = 0; off < base_slots; off += other_slots) {
+      for (std::uint64_t p = 0; p < other_slots; ++p) {
+        if (slot_match(slot_at(base_words, off + p),
+                       slot_at(other_words, p))) {
+          ++counters[off + p];
+        }
+      }
+    }
+  } else {
+    REPRO_CHECK(other_slots % base_slots == 0);
+    for (std::uint64_t off = 0; off < other_slots; off += base_slots) {
+      for (std::uint64_t p = 0; p < base_slots; ++p) {
+        if (slot_match(slot_at(base_words, p),
+                       slot_at(other_words, off + p))) {
+          ++counters[p];
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t decode_counter_matches(const BatmapContext& ctx,
+                                     std::span<const std::uint32_t> base_words,
+                                     std::uint32_t base_range,
+                                     std::span<const std::uint64_t> elems,
+                                     std::span<const std::uint32_t> counters,
+                                     std::uint64_t needed) {
+  const LayoutParams& prm = ctx.params();
+  std::uint64_t count = 0;
+  for (const std::uint64_t x : elems) {
+    std::uint64_t total = 0;
+    int occurrences = 0;
+    for (int t = 0; t < 3; ++t) {
+      const std::uint64_t v = ctx.permuted(t, x);
+      const std::uint64_t p = prm.position(v, t, base_range);
+      const std::uint8_t slot = slot_at(base_words, p);
+      if (slot != kNullSlot &&
+          static_cast<std::uint8_t>(slot & 0x7f) == prm.code(v)) {
+        total += counters[p];
+        ++occurrences;
+      }
+    }
+    REPRO_CHECK_MSG(occurrences == 2, "base element not stored twice");
+    if (total == needed) ++count;
+  }
+  return count;
+}
+
 std::uint64_t multiway_count_via_counters(
     const BatmapContext& ctx, const Batmap& base,
     std::span<const std::uint64_t> base_elements,
@@ -208,46 +314,29 @@ std::uint64_t multiway_count_via_counters(
   REPRO_CHECK_MSG(base.stored_elements() == base_elements.size(),
                   "base map has insertion failures; patch before counting");
   const std::uint64_t base_slots = base.slot_count();
-  std::vector<std::uint16_t> counters(base_slots, 0);
+  // Worst-case credit per base position is one per aligned other block, so
+  // the per-position bound is Σ max(1, other_slots/base_slots). The counters
+  // are 32-bit; check the bound so a pathological mix cannot wrap (the old
+  // uint16_t counters could: a single other with slot ratio > 65535 wraps a
+  // counter back to a small value that can falsely equal k−1).
+  std::uint64_t max_credit = 0;
+  for (const Batmap* other : others) {
+    max_credit += std::max<std::uint64_t>(1, other->slot_count() / base_slots);
+  }
+  REPRO_CHECK_MSG(max_credit <= 0xffffffffull,
+                  "counter bound exceeds 32 bits; widen counters");
+  std::vector<std::uint32_t> counters(base_slots, 0);
 
   // One aligned pair sweep per other map, crediting the base position of
   // the (exactly one) counted match per common element.
   for (const Batmap* other : others) {
-    const std::uint64_t other_slots = other->slot_count();
-    const std::uint64_t big = std::max(base_slots, other_slots);
-    for (std::uint64_t p = 0; p < big; ++p) {
-      const std::uint64_t pb = p % base_slots;
-      const std::uint64_t po = p % other_slots;
-      const std::uint8_t a = base.slot(pb);
-      const std::uint8_t b = other->slot(po);
-      if (((a ^ b) & 0x7f) == 0 && ((a | b) & 0x80)) {
-        ++counters[pb];
-      }
-    }
+    accumulate_pair_counters(base.words(), other->words(), counters);
   }
 
   // Decode pass: element x lies in all sets iff its two occurrence counters
   // sum to the number of other sets.
-  const auto k_minus_1 = static_cast<std::uint64_t>(others.size());
-  const LayoutParams& prm = ctx.params();
-  std::uint64_t count = 0;
-  for (const std::uint64_t x : base_elements) {
-    std::uint64_t total = 0;
-    int occurrences = 0;
-    for (int t = 0; t < 3; ++t) {
-      const std::uint64_t v = ctx.permuted(t, x);
-      const std::uint64_t p = prm.position(v, t, base.range());
-      const std::uint8_t slot = base.slot(p);
-      if (slot != kNullSlot &&
-          static_cast<std::uint8_t>(slot & 0x7f) == prm.code(v)) {
-        total += counters[p];
-        ++occurrences;
-      }
-    }
-    REPRO_CHECK_MSG(occurrences == 2, "base element not stored twice");
-    if (total == k_minus_1) ++count;
-  }
-  return count;
+  return decode_counter_matches(ctx, base.words(), base.range(), base_elements,
+                                counters, others.size());
 }
 
 }  // namespace repro::batmap

@@ -167,6 +167,37 @@ std::uint64_t multiway_intersect_count(
 // (2) Pairwise-counter multiway on standard 2-of-3 batmaps
 // ---------------------------------------------------------------------------
 
+/// Materializing galloping sorted-list intersection: writes the elements
+/// common to `a` and `b` into `out` (capacity >= min(|a|, |b|)) and returns
+/// how many were written. The shorter list drives; each probe into the longer
+/// list is an exponential gallop + binary search, so cost is
+/// O(min·log(max/min)) — the planner's list-step primitive. `out` may alias
+/// either input's data (the write index never passes the read index), which
+/// is what lets the k-way reduction run in one scratch buffer.
+std::size_t gallop_intersect(std::span<const std::uint64_t> a,
+                             std::span<const std::uint64_t> b,
+                             std::uint64_t* out);
+
+/// One aligned pair sweep of `other_words` against `base_words` (both packed
+/// 4-slots-per-u32 batmap words), crediting counters[pb] once per counted
+/// match under the paper's exactly-once pair rule. `counters` has one entry
+/// per BASE slot. Widths are 3·2^j so the smaller slot count always divides
+/// the larger; the wrap is done by block decomposition — no per-iteration
+/// division.
+void accumulate_pair_counters(std::span<const std::uint32_t> base_words,
+                              std::span<const std::uint32_t> other_words,
+                              std::span<std::uint32_t> counters);
+
+/// Decode pass over sorted `elems` (all stored twice in the base map, which
+/// must be failure-free): counts the elements whose two occurrence counters
+/// sum to exactly `needed`.
+std::uint64_t decode_counter_matches(const BatmapContext& ctx,
+                                     std::span<const std::uint32_t> base_words,
+                                     std::uint32_t base_range,
+                                     std::span<const std::uint64_t> elems,
+                                     std::span<const std::uint32_t> counters,
+                                     std::uint64_t needed);
+
 /// Exact |S_1 ∩ … ∩ S_k| using the 2-of-3 maps: per-position counters on the
 /// base map accumulated over k−1 aligned pair sweeps, then a decode pass sums
 /// each element's two occurrence counters and tests == k−1.

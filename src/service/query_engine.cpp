@@ -1,8 +1,10 @@
 #include "service/query_engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 
+#include "batmap/multiway.hpp"
 #include "batmap/simd.hpp"
 #include "util/check.hpp"
 #include "util/fault.hpp"
@@ -31,6 +33,23 @@ std::uint32_t topk_insert(TopEntry* best, std::uint32_t size, std::uint32_t k,
 
 bool deadline_expired(const Query& q, std::uint64_t now) {
   return q.deadline_ns != 0 && now >= q.deadline_ns;
+}
+
+bool is_kway(QueryKind kind) {
+  return kind == QueryKind::kKway || kind == QueryKind::kRuleScore;
+}
+
+/// Dedups `ids[0, n)` order-preserving into `out` (capacity kMaxKwayIds);
+/// returns the unique count. A ∩ A = A, so duplicates are harmless to drop.
+std::uint32_t dedup_ids(const std::uint32_t* ids, std::uint32_t n,
+                        std::uint32_t* out) {
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    bool seen = false;
+    for (std::uint32_t j = 0; j < m; ++j) seen = seen || out[j] == ids[i];
+    if (!seen) out[m++] = ids[i];
+  }
+  return m;
 }
 
 }  // namespace
@@ -118,6 +137,22 @@ QueryEngine::~QueryEngine() {
 
 bool QueryEngine::valid(const ServingState& st, const Query& q) {
   const auto n = static_cast<std::uint32_t>(st.size());
+  if (is_kway(q.kind)) {
+    if (q.nids < 2 || q.nids > kMaxKwayIds) return false;
+    const Snapshot& snap = st.snapshot();
+    for (std::uint32_t i = 0; i < q.nids; ++i) {
+      const std::uint32_t id = q.ids[i];
+      if (id >= n) return false;
+      // Exact k-way answers read the stored element lists (planner decode
+      // and brute-force oracle alike); a snapshot cut without them can only
+      // serve pair kinds.
+      if (snap.elements(id).empty() &&
+          snap.stored_elements(id) + snap.failures(id).size() > 0) {
+        return false;
+      }
+    }
+    return true;
+  }
   if (q.a >= n) return false;
   if (q.kind == QueryKind::kTopK) return q.k >= 1 && q.k <= kMaxTopK;
   return q.b < n;
@@ -245,6 +280,8 @@ void QueryEngine::execute_batch(std::size_t count) {
   std::size_t n_plans = 0;
   auto topks = arena_.alloc_array<std::uint32_t>(count);
   std::size_t n_topk = 0;
+  auto kways = arena_.alloc_array<std::uint32_t>(count);
+  std::size_t n_kway = 0;
 
   for (std::size_t i = 0; i < count; ++i) {
     Request& r = *batch_[i];
@@ -276,6 +313,12 @@ void QueryEngine::execute_batch(std::size_t count) {
       ++local.errors;
       finish(r, Request::kError);
       batch_[i] = nullptr;
+      continue;
+    }
+    if (is_kway(r.query.kind)) {
+      // K-way queries bypass the cache: Key{a, b} cannot hold an id list
+      // losslessly and a hashed key could alias two different lists.
+      kways[n_kway++] = static_cast<std::uint32_t>(i);
       continue;
     }
     if (cache_.capacity() > 0) {
@@ -445,6 +488,16 @@ void QueryEngine::execute_batch(std::size_t count) {
     t = u;
   }
 
+  // K-way queries: each one runs its own support-ordered plan against the
+  // mmap spans (list merges + counter sweeps over arena scratch).
+  for (std::size_t i = 0; i < n_kway; ++i) {
+    Request& r = *batch_[kways[i]];
+    run_kway(*cur, r, local);
+    finish(r, Request::kDone);
+  }
+  local.queries += n_kway;
+  local.kway_queries += n_kway;
+
   local.queries += n_plans;
 
   std::lock_guard lock(stats_mu_);
@@ -460,6 +513,9 @@ void QueryEngine::execute_batch(std::size_t count) {
   stats_.duplicate_pairs += local.duplicate_pairs;
   stats_.topk_sweeps += local.topk_sweeps;
   stats_.duplicate_topk += local.duplicate_topk;
+  stats_.kway_queries += local.kway_queries;
+  stats_.kway_list_steps += local.kway_list_steps;
+  stats_.kway_sweep_steps += local.kway_sweep_steps;
   stats_.timeouts += local.timeouts;
   stats_.pinned_fallbacks += local.pinned_fallbacks;
   stats_.epoch_rollovers += local.epoch_rollovers;
@@ -528,9 +584,149 @@ void QueryEngine::run_topk(const ServingState& st, Request& r) {
   std::copy_n(merged, m, r.result_.topk);
 }
 
+void QueryEngine::run_kway(const ServingState& st, Request& r, Stats& local) {
+  const Query& q = r.query;
+  std::uint32_t uniq[kMaxKwayIds];
+  const std::uint32_t n_uniq = dedup_ids(q.ids, q.nids, uniq);
+  r.result_.value = kway_count(st, {uniq, n_uniq}, local);
+  if (q.kind == QueryKind::kRuleScore) {
+    // Antecedent = ids[0 .. nids-2]; the consequent is the last operand.
+    std::uint32_t ante[kMaxKwayIds];
+    const std::uint32_t n_ante =
+        dedup_ids(q.ids, static_cast<std::uint32_t>(q.nids - 1), ante);
+    r.result_.aux = kway_count(st, {ante, n_ante}, local);
+  }
+}
+
+std::uint64_t QueryEngine::kway_count(const ServingState& st,
+                                      std::span<const std::uint32_t> ids,
+                                      Stats& local) {
+  const Snapshot& snap = st.snapshot();
+  REPRO_CHECK(!ids.empty());
+
+  // Order operands by stored support ascending: the smallest set is the
+  // base, so every list merge and the final decode touch as few elements
+  // as possible.
+  auto order = arena_.alloc_array<std::uint32_t>(ids.size());
+  std::copy(ids.begin(), ids.end(), order.begin());
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              const std::uint64_t ex = snap.elements(x).size();
+              const std::uint64_t ey = snap.elements(y).size();
+              if (ex != ey) return ex < ey;
+              return x < y;
+            });
+  const std::uint32_t base = order[0];
+  const auto base_elems = snap.elements(base);
+  if (order.size() == 1) return base_elems.size();
+  if (base_elems.empty()) return 0;
+
+  // A counter sweep is only exact when both maps are failure-free (a failed
+  // element is absent from its map, so a sweep would undercount it); those
+  // steps are forced onto the list path, which reads the full element
+  // lists and is always exact.
+  const bool base_clean = snap.failures(base).empty();
+  const std::uint64_t base_slots = snap.words(base).size() * 4;
+  auto lists = arena_.alloc_array<std::uint32_t>(order.size());
+  auto sweeps = arena_.alloc_array<std::uint32_t>(order.size());
+  std::size_t n_list = 0, n_sweep = 0;
+  // order[] is size-sorted, so the running intersection stays bounded by
+  // the base size; every step is priced against that bound.
+  const std::uint64_t driver = base_elems.size();
+  std::uint64_t sweep_gain = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const std::uint32_t id = order[i];
+    bool sweep = false;
+    if (base_clean && snap.failures(id).empty()) {
+      // Cost model, in units of ~one random memory touch. A galloping
+      // merge does ~driver gallops of 2+log2(other/driver) touches, each
+      // a cache-hostile probe into the other list. A sweep streams
+      // max(base_slots, other_slots) packed slot bytes sequentially, four
+      // per word, so it counts slots/4. A step is a sweep CANDIDATE when
+      // its marginal cost beats the merge; whether the candidates run is
+      // settled jointly below, because they share the fixed costs.
+      const std::uint64_t other_slots = snap.words(id).size() * 4;
+      const std::uint64_t other_size = snap.elements(id).size();
+      const std::uint64_t ratio = other_size / std::max<std::uint64_t>(driver, 1);
+      const std::uint64_t list_cost =
+          driver * (2 + std::bit_width(ratio));
+      const std::uint64_t sweep_cost = std::max(base_slots, other_slots) / 4;
+      if (sweep_cost < list_cost) {
+        sweep = true;
+        sweep_gain += list_cost - sweep_cost;
+      }
+    }
+    if (sweep) sweeps[n_sweep++] = id;
+    else lists[n_list++] = id;
+  }
+  // All sweeps share one counter array and one decode pass: the fixed cost
+  // — zeroing base_slots 32-bit counters (a memset, /4) plus ~2 random
+  // probes per surviving base element — is paid once however many sweeps
+  // run. Take the sweep set only if its aggregate saving covers that;
+  // otherwise demote every candidate to a list merge.
+  const std::uint64_t sweep_fixed = base_slots / 4 + 2 * driver;
+  if (n_sweep > 0 && sweep_gain <= sweep_fixed) {
+    for (std::size_t i = 0; i < n_sweep; ++i) lists[n_list++] = sweeps[i];
+    n_sweep = 0;
+  }
+  std::uint64_t max_credit = 0;    ///< per-position counter bound
+  for (std::size_t i = 0; i < n_sweep; ++i) {
+    const std::uint64_t other_slots = snap.words(sweeps[i]).size() * 4;
+    max_credit += std::max<std::uint64_t>(1, other_slots / base_slots);
+  }
+  REPRO_CHECK_MSG(max_credit <= 0xffffffffull,
+                  "k-way counter bound exceeds 32 bits");
+
+  // List steps first: each merge can only shrink the driving set, and an
+  // empty intermediate short-circuits the sweeps entirely. gallop_intersect
+  // tolerates out aliasing either input, so one buffer suffices.
+  auto buf = arena_.alloc_array<std::uint64_t>(base_elems.size());
+  std::span<const std::uint64_t> m = base_elems;
+  for (std::size_t i = 0; i < n_list; ++i) {
+    const std::size_t n2 =
+        batmap::gallop_intersect(m, snap.elements(lists[i]), buf.data());
+    m = {buf.data(), n2};
+    ++local.kway_list_steps;
+    if (m.empty()) return 0;
+  }
+  if (n_sweep == 0) return m.size();
+
+  auto counters = arena_.alloc_array<std::uint32_t>(base_slots);
+  std::fill(counters.begin(), counters.end(), 0u);
+  for (std::size_t i = 0; i < n_sweep; ++i) {
+    batmap::accumulate_pair_counters(snap.words(base), snap.words(sweeps[i]),
+                                     counters);
+    ++local.kway_sweep_steps;
+  }
+  // An element of m is in every sweep operand iff its two occurrence
+  // counters sum to the number of sweeps (the paper's pairwise-counter
+  // rule, restricted to the post-merge survivors).
+  return batmap::decode_counter_matches(snap.context(), snap.words(base),
+                                        snap.range(base), m, counters,
+                                        n_sweep);
+}
+
 Result QueryEngine::execute_on(const ServingState& st, const Query& q) const {
   const Snapshot& snap = st.snapshot();
   Result res;
+  if (is_kway(q.kind)) {
+    // Brute force in protocol order, deliberately independent of the
+    // planner: batched-vs-naive fingerprint parity cross-checks run_kway
+    // against this implementation.
+    const auto first = snap.elements(q.ids[0]);
+    std::vector<std::uint64_t> cur(first.begin(), first.end());
+    std::uint64_t ante = cur.size();
+    for (std::uint32_t i = 1; i < q.nids; ++i) {
+      const auto other = snap.elements(q.ids[i]);
+      cur.resize(batmap::gallop_intersect(cur, other, cur.data()));
+      // After folding ids[nids-2] the running set is ∩ antecedent (the
+      // consequent ids[nids-1] is still unfolded).
+      if (i == static_cast<std::uint32_t>(q.nids) - 2) ante = cur.size();
+    }
+    res.value = cur.size();
+    if (q.kind == QueryKind::kRuleScore) res.aux = ante;
+    return res;
+  }
   switch (q.kind) {
     case QueryKind::kIntersect:
       res.value = snap.intersection_size(q.a, q.b);
@@ -551,6 +747,9 @@ Result QueryEngine::execute_on(const ServingState& st, const Query& q) const {
       std::copy_n(best, size, res.topk);
       break;
     }
+    case QueryKind::kKway:
+    case QueryKind::kRuleScore:
+      break;  // handled by the early return above
   }
   return res;
 }

@@ -16,6 +16,14 @@
 //      remainders.
 //   3. top-k-similar queries sweep their row band through the engine-owned
 //      SweepEngine and reduce per-shard k-best arrays after the sweep.
+//   4. k-way conjunctive queries (kKway / kRuleScore) are planned per query:
+//      operands ordered by snapshot-stored support, then each intersection
+//      step picks galloping sorted-list merge vs batmap counter sweep by a
+//      memory-touch cost model; the sweeps' shared fixed cost (one counter
+//      array, one decode pass) is amortized over the whole candidate set
+//      (see kway_count). Results are exact and independent of protocol
+//      operand order; they bypass the result cache (its key cannot hold an
+//      id list losslessly).
 //
 // Snapshot hot-swap (SnapshotManager mode): every admitted request pins the
 // ServingState that was current at submit time; the worker executes each
@@ -52,6 +60,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -68,11 +77,20 @@ enum class QueryKind : std::uint8_t {
   kIntersect = 0,  ///< exact |S_a ∩ S_b| (failure-patched)
   kSupport = 1,    ///< raw batmap sweep count (unpatched)
   kTopK = 2,       ///< k most similar sets to a, by exact intersection size
+  kKway = 3,       ///< exact |S_{ids[0]} ∩ … ∩ S_{ids[nids-1]}|
+  /// Association-rule score: value = joint count over all ids, aux = count
+  /// over the antecedent ids[0..nids-2] (the consequent is ids[nids-1]), so
+  /// the caller can form confidence = value / aux without a second query.
+  kRuleScore = 4,
 };
 
 /// Top-k width cap: results are fixed-size so completion slots never
 /// allocate.
 inline constexpr std::uint32_t kMaxTopK = 16;
+
+/// Operand cap for k-way kinds — the id list is inline in Query so
+/// completion slots stay fixed-size and allocation-free.
+inline constexpr std::uint32_t kMaxKwayIds = 8;
 
 struct Query {
   QueryKind kind = QueryKind::kIntersect;
@@ -83,6 +101,10 @@ struct Query {
   /// 0 = no deadline. Expired requests are shed with outcome kTimeout at
   /// admission and again before execution, never silently served late.
   std::uint64_t deadline_ns = 0;
+  /// Operands of the k-way kinds, in protocol order (the planner reorders
+  /// internally; results are order-independent). a/b/k are unused there.
+  std::uint32_t ids[kMaxKwayIds] = {};
+  std::uint8_t nids = 0;  ///< operands filled in ids[], 2..kMaxKwayIds
 };
 
 struct TopEntry {
@@ -92,6 +114,8 @@ struct TopEntry {
 
 struct Result {
   std::uint64_t value = 0;       ///< pair count, or number of top-k entries
+  /// kRuleScore: antecedent intersection count (0 for every other kind).
+  std::uint64_t aux = 0;
   std::uint32_t topk_count = 0;  ///< entries filled in topk[]
   TopEntry topk[kMaxTopK]{};     ///< (id, count) by count desc, id asc
 };
@@ -183,6 +207,11 @@ class QueryEngine {
     std::uint64_t duplicate_pairs = 0;  ///< in-batch duplicates coalesced
     std::uint64_t topk_sweeps = 0;    ///< row sweeps executed
     std::uint64_t duplicate_topk = 0;   ///< top-k served from a shared sweep
+    std::uint64_t kway_queries = 0;   ///< k-way / rule-score queries served
+    /// Planner step counters: galloping sorted-list merges vs batmap
+    /// counter sweeps chosen by the per-step cost model.
+    std::uint64_t kway_list_steps = 0;
+    std::uint64_t kway_sweep_steps = 0;
     /// Admissions shed with kRingFull or kShed (typed overload, not queued).
     std::uint64_t shed_overload = 0;
     /// Requests completed with outcome kTimeout (expired at admission or in
@@ -279,6 +308,17 @@ class QueryEngine {
   static ResultCache<Result>::Key cache_key(std::uint64_t epoch,
                                             const Query& q);
   void run_topk(const ServingState& st, Request& r);
+  /// Cost-planned k-way execution on the worker thread (arena scratch):
+  /// operands ordered by snapshot-stored support, each step either a
+  /// galloping list merge or a batmap counter sweep. Exact for both kinds.
+  void run_kway(const ServingState& st, Request& r, Stats& local);
+  /// The planner core: exact |∩ ids| over deduplicated operands, worker
+  /// thread only (scratch comes from the batch arena). The naive path
+  /// (execute_on) instead runs a brute-force galloping merge in protocol
+  /// order, so batched-vs-naive fingerprint parity cross-checks the planner
+  /// against an independent implementation.
+  std::uint64_t kway_count(const ServingState& st,
+                           std::span<const std::uint32_t> ids, Stats& local);
   Result execute_on(const ServingState& st, const Query& q) const;
   /// Terminal transition for a queued request: releases the epoch pin,
   /// retires the in-flight count, and wakes the waiter.

@@ -1,0 +1,263 @@
+// Randomized differential tests for the k-way conjunctive planner
+// (QueryEngine::kway_count): the planned execution — support-ordered
+// operands, galloping list merges, amortized counter sweeps — must agree
+// with a brute-force sorted-vector intersection for every seed, density,
+// k in [2, 8] and every operand ordering, with and without forced
+// insertion failures. Runs in the stress tier (ASan+UBSan CI job).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batmap/intersect.hpp"
+#include "service/query_engine.hpp"
+#include "service/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace repro::service {
+namespace {
+
+struct SnapFixture {
+  batmap::BatmapStore store;
+  Snapshot snap;
+
+  /// `min_size`/`max_size` bound the per-set sizes drawn uniformly; dense
+  /// near-equal sizes make the planner pick counter sweeps, skewed mixes
+  /// make it pick list merges.
+  static SnapFixture make(std::uint64_t universe, int sets,
+                          std::size_t min_size, std::size_t max_size,
+                          std::uint64_t seed, const char* tag,
+                          batmap::BatmapStore::Options opt = {}) {
+    batmap::BatmapStore store(universe, opt);
+    Xoshiro256 rng(seed);
+    for (int i = 0; i < sets; ++i) {
+      std::set<std::uint64_t> s;
+      const std::size_t size =
+          min_size + rng.below(std::uint64_t{max_size - min_size + 1});
+      while (s.size() < size) s.insert(rng.below(universe));
+      std::vector<std::uint64_t> v(s.begin(), s.end());
+      store.add(v);
+    }
+    const std::string path =
+        std::string("/tmp/batmap_kway_diff_test_") + tag + ".snap";
+    write_snapshot(store, path, /*epoch=*/1);
+    Snapshot snap = Snapshot::open(path);
+    std::remove(path.c_str());  // the mapping keeps the data alive
+    return {std::move(store), std::move(snap)};
+  }
+};
+
+/// Brute-force |∩ ids| over the store's element lists, folding in the
+/// given order (duplicates are harmless: A ∩ A = A).
+std::vector<std::uint64_t> brute_fold(const batmap::BatmapStore& store,
+                                      const std::vector<std::uint32_t>& ids) {
+  const auto first = store.elements(ids[0]);
+  std::vector<std::uint64_t> acc(first.begin(), first.end());
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    const auto other = store.elements(ids[i]);
+    std::vector<std::uint64_t> next;
+    std::set_intersection(acc.begin(), acc.end(), other.begin(), other.end(),
+                          std::back_inserter(next));
+    acc = std::move(next);
+  }
+  return acc;
+}
+
+Query kway_query(const std::vector<std::uint32_t>& ids,
+                 QueryKind kind = QueryKind::kKway) {
+  Query q;
+  q.kind = kind;
+  q.nids = static_cast<std::uint8_t>(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) q.ids[i] = ids[i];
+  return q;
+}
+
+std::uint64_t ask(QueryEngine& engine, const Query& q) {
+  Request req;
+  req.query = q;
+  engine.submit(req);
+  EXPECT_TRUE(QueryEngine::wait(req));
+  // The naive reference path is an independent implementation (protocol-
+  // order brute force); it must agree on every query, not just overall.
+  const Result one = engine.execute_one(q);
+  EXPECT_EQ(req.result().value, one.value);
+  EXPECT_EQ(req.result().aux, one.aux);
+  return req.result().value;
+}
+
+QueryEngine::Stats settled_stats(const QueryEngine& engine,
+                                 std::uint64_t want_queries) {
+  auto st = engine.stats();
+  for (int i = 0; i < 2000 && st.queries < want_queries; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    st = engine.stats();
+  }
+  return st;
+}
+
+TEST(KwayDiffTest, PlannerMatchesBruteForceAcrossSeedsAndOrders) {
+  // Seeds × size regimes; within each, every k in [2, 8] and several
+  // operand orderings (all permutations when k <= 4, random shuffles
+  // above) must produce the brute-force answer bit-exactly.
+  struct Regime {
+    std::uint64_t universe;
+    std::size_t min_size, max_size;
+  };
+  const Regime regimes[] = {
+      {3000, 20, 200},     // sparse, skewed: list-merge territory
+      {4000, 1500, 1900},  // dense, near-equal: sweep territory
+      {20000, 5, 3000},    // wild mix of ranges
+  };
+  std::uint64_t total_queries = 0;
+  std::uint64_t list_steps = 0, sweep_steps = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    for (std::size_t ri = 0; ri < std::size(regimes); ++ri) {
+      const auto& rg = regimes[ri];
+      char tag[64];
+      std::snprintf(tag, sizeof(tag), "orders_%llu_%zu",
+                    static_cast<unsigned long long>(seed), ri);
+      const auto fx = SnapFixture::make(rg.universe, 12, rg.min_size,
+                                        rg.max_size, seed, tag);
+      QueryEngine engine(fx.snap, {});
+      Xoshiro256 rng(seed * 97 + ri);
+      std::uint64_t asked = 0;
+      for (std::uint32_t k = 2; k <= kMaxKwayIds; ++k) {
+        std::vector<std::uint32_t> ids(k);
+        for (auto& id : ids) {
+          id = static_cast<std::uint32_t>(rng.below(fx.snap.size()));
+        }
+        const std::uint64_t want = brute_fold(fx.store, ids).size();
+        if (k <= 4) {
+          std::sort(ids.begin(), ids.end());
+          do {
+            ASSERT_EQ(ask(engine, kway_query(ids)), want)
+                << "seed=" << seed << " regime=" << ri << " k=" << k;
+            ++asked;
+          } while (std::next_permutation(ids.begin(), ids.end()));
+        } else {
+          for (int shuffle = 0; shuffle < 5; ++shuffle) {
+            ASSERT_EQ(ask(engine, kway_query(ids)), want)
+                << "seed=" << seed << " regime=" << ri << " k=" << k;
+            ++asked;
+            for (std::size_t i = ids.size(); i > 1; --i) {
+              std::swap(ids[i - 1], ids[rng.below(i)]);
+            }
+          }
+        }
+      }
+      // Duplicate operands dedup (A ∩ A = A): all-same reduces to |S_a|.
+      const auto a = static_cast<std::uint32_t>(rng.below(fx.snap.size()));
+      ASSERT_EQ(ask(engine, kway_query({a, a, a})), fx.store.elements(a).size());
+      ++asked;
+      const auto st = settled_stats(engine, asked);
+      total_queries += st.kway_queries;
+      list_steps += st.kway_list_steps;
+      sweep_steps += st.kway_sweep_steps;
+    }
+  }
+  // Both planner primitives must actually have run: the dense regimes
+  // fund counter sweeps, the skewed ones galloping merges. A zero here
+  // means the differential sweep silently stopped covering one path.
+  EXPECT_GT(total_queries, 0u);
+  EXPECT_GT(list_steps, 0u);
+  EXPECT_GT(sweep_steps, 0u);
+}
+
+TEST(KwayDiffTest, RuleScoreReportsJointAndAntecedent) {
+  const auto fx = SnapFixture::make(5000, 10, 300, 1600, 7, "rule");
+  QueryEngine engine(fx.snap, {});
+  Xoshiro256 rng(71);
+  Request req;
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::uint32_t k =
+        2 + static_cast<std::uint32_t>(rng.below(kMaxKwayIds - 1));
+    std::vector<std::uint32_t> ids(k);
+    for (auto& id : ids) {
+      id = static_cast<std::uint32_t>(rng.below(fx.snap.size()));
+    }
+    const std::uint64_t joint = brute_fold(fx.store, ids).size();
+    const std::uint64_t ante =
+        brute_fold(fx.store, {ids.begin(), ids.end() - 1}).size();
+    req.query = kway_query(ids, QueryKind::kRuleScore);
+    engine.submit(req);
+    ASSERT_TRUE(QueryEngine::wait(req));
+    ASSERT_EQ(req.result().value, joint) << "iter=" << iter;
+    ASSERT_EQ(req.result().aux, ante) << "iter=" << iter;
+    ASSERT_LE(joint, ante);  // confidence = joint/ante is a valid fraction
+    const Result one = engine.execute_one(req.query);
+    ASSERT_EQ(one.value, joint);
+    ASSERT_EQ(one.aux, ante);
+  }
+}
+
+TEST(KwayDiffTest, ForcedFailuresFallBackToExactLists) {
+  // max_loop=1 floods the store with insertion failures; failed sets are
+  // ineligible for counter sweeps, so every step must take the (always
+  // exact) list path and still match brute force.
+  batmap::BatmapStore::Options sopt;
+  sopt.builder.max_loop = 1;
+  sopt.builder.max_cascade = 1;
+  const auto fx = SnapFixture::make(4000, 12, 800, 1800, 13, "fail", sopt);
+  ASSERT_GT(fx.store.total_failures(), 0u);
+  // Operands come from the sets that actually carry failures: a sweep step
+  // needs a failure-free operand, so drawing only dirty sets guarantees
+  // the planner can never schedule one.
+  std::vector<std::uint32_t> dirty;
+  for (std::size_t id = 0; id < fx.store.size(); ++id) {
+    if (!fx.store.failures(id).empty()) {
+      dirty.push_back(static_cast<std::uint32_t>(id));
+    }
+  }
+  ASSERT_GE(dirty.size(), 2u);
+  QueryEngine engine(fx.snap, {});
+  Xoshiro256 rng(131);
+  std::uint64_t asked = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::uint32_t k =
+        2 + static_cast<std::uint32_t>(rng.below(kMaxKwayIds - 1));
+    std::vector<std::uint32_t> ids(k);
+    for (auto& id : ids) {
+      id = dirty[rng.below(dirty.size())];
+    }
+    ASSERT_EQ(ask(engine, kway_query(ids)), brute_fold(fx.store, ids).size())
+        << "iter=" << iter;
+    ++asked;
+  }
+  const auto st = settled_stats(engine, asked);
+  EXPECT_GT(st.kway_list_steps, 0u);
+  EXPECT_EQ(st.kway_sweep_steps, 0u);  // sweeps need failure-free operands
+}
+
+TEST(KwayDiffTest, RejectsMalformedKwayQueries) {
+  const auto fx = SnapFixture::make(2000, 6, 50, 200, 3, "invalid");
+  QueryEngine engine(fx.snap, {});
+  const auto n = static_cast<std::uint32_t>(fx.snap.size());
+  Request req;
+  // nids out of range and ids out of range are typed rejections.
+  for (const auto& [nids, id0] :
+       std::initializer_list<std::pair<std::uint8_t, std::uint32_t>>{
+           {0, 0}, {1, 0}, {kMaxKwayIds + 1, 0}, {2, n}}) {
+    Query q;
+    q.kind = QueryKind::kKway;
+    q.nids = nids;
+    q.ids[0] = id0;
+    q.ids[1] = 0;
+    req.query = q;
+    engine.submit(req);
+    EXPECT_FALSE(QueryEngine::wait(req));
+    EXPECT_TRUE(req.failed());
+  }
+  // The slot is reusable and a well-formed query still answers.
+  req.query = kway_query({0, 1});
+  engine.submit(req);
+  ASSERT_TRUE(QueryEngine::wait(req));
+  EXPECT_EQ(req.result().value, fx.store.intersection_size(0, 1));
+}
+
+}  // namespace
+}  // namespace repro::service

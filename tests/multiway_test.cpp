@@ -238,6 +238,143 @@ TEST(MultiwayCounters, MixedSizesWrapCorrectly) {
   }
 }
 
+TEST(GallopIntersect, MatchesSetIntersectionAndToleratesAliasing) {
+  Xoshiro256 rng(47);
+  for (int iter = 0; iter < 40; ++iter) {
+    const auto a = random_set(4000, 1 + rng.below(300), rng);
+    const auto b = random_set(4000, 1 + rng.below(300), rng);
+    std::vector<std::uint64_t> expect;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expect));
+    std::vector<std::uint64_t> out(std::min(a.size(), b.size()));
+    const std::size_t n = gallop_intersect(a, b, out.data());
+    out.resize(n);
+    ASSERT_EQ(out, expect);
+    // The documented aliasing guarantee: out may be either input's storage
+    // (the k-way reduction runs in place on one scratch buffer).
+    auto acopy = a;
+    acopy.resize(gallop_intersect(acopy, b, acopy.data()));
+    EXPECT_EQ(acopy, expect);
+    auto bcopy = b;
+    bcopy.resize(gallop_intersect(a, bcopy, bcopy.data()));
+    EXPECT_EQ(bcopy, expect);
+  }
+  // Degenerate shapes.
+  const std::vector<std::uint64_t> some{1, 5, 9};
+  std::uint64_t sink[3];
+  EXPECT_EQ(gallop_intersect({}, some, sink), 0u);
+  EXPECT_EQ(gallop_intersect(some, {}, sink), 0u);
+  EXPECT_EQ(gallop_intersect(some, some, sink), 3u);
+}
+
+TEST(MultiwayCounters, CounterWidthSurvivesDeepWrap) {
+  // Regression: the sweep counters were uint16_t. An other map whose slot
+  // count exceeds the base's by more than 2^16 blocks can credit one base
+  // position once per block, wrapping a 16-bit counter back to a small
+  // value that may falsely equal k−1. Craft exactly that alignment: a base
+  // of 12 slots and an other of 12·2^17 slots where block slot 0 always
+  // matches base slot 0. The counter must reach 2^17 unwrapped.
+  const std::uint64_t base_slots = 12;
+  const std::uint64_t blocks = 1ull << 17;
+  const std::uint32_t byte = 0x80u | 0x05u;  // indicator set, code 5
+  std::vector<std::uint32_t> base_words(base_slots / 4, 0);
+  base_words[0] = byte;  // slot 0 only
+  std::vector<std::uint32_t> other_words(blocks * base_slots / 4, 0);
+  for (std::uint64_t blk = 0; blk < blocks; ++blk) {
+    other_words[blk * (base_slots / 4)] = byte;
+  }
+  std::vector<std::uint32_t> counters(base_slots, 0);
+  accumulate_pair_counters(base_words, other_words, counters);
+  EXPECT_EQ(counters[0], blocks);
+  for (std::uint64_t p = 1; p < base_slots; ++p) {
+    ASSERT_EQ(counters[p], 0u) << "p=" << p;
+  }
+  // Same alignment, base-larger direction: every base block credits its
+  // own slot once (the counter span covers the full base).
+  std::vector<std::uint32_t> wide_counters(blocks * base_slots, 0);
+  accumulate_pair_counters(other_words, base_words, wide_counters);
+  for (std::uint64_t blk = 0; blk < blocks; ++blk) {
+    ASSERT_EQ(wide_counters[blk * base_slots], 1u) << "blk=" << blk;
+  }
+}
+
+TEST(MultiwayCounters, MatchRuleIgnoresIndicatorOnlyDifferences) {
+  // The pair rule counts a match when codes agree and at least one side has
+  // its indicator set — and never for empty (null) slots.
+  const std::uint32_t code = 0x22;
+  std::vector<std::uint32_t> base(1, 0x80u | code);  // 4 slots, slot 0 set
+  std::vector<std::uint32_t> counters(4, 0);
+  {
+    std::vector<std::uint32_t> other(1, code);  // indicator clear
+    accumulate_pair_counters(base, other, counters);
+    EXPECT_EQ(counters[0], 1u);  // (a|b) has the indicator
+  }
+  {
+    std::vector<std::uint32_t> other(1, 0x80u | (code + 1));  // code differs
+    accumulate_pair_counters(base, other, counters);
+    EXPECT_EQ(counters[0], 1u);  // unchanged
+  }
+  {
+    std::vector<std::uint32_t> other(1, 0u);  // null slot
+    accumulate_pair_counters(base, other, counters);
+    EXPECT_EQ(counters[0], 1u);  // unchanged
+  }
+}
+
+TEST(GeneralBuilder, FailureCascadeKeepsInvariants) {
+  // Forced-failure torture for the insert cascade (remove_all, bounded
+  // repair walk, pending drop): minimal range + tiny max_loop overloads the
+  // table so walks give up constantly. After every failed insert the
+  // structure must still hold its invariants, every recorded failure must
+  // be recorded exactly once, and the sealed map must account exactly for
+  // the survivors.
+  std::uint64_t single_failures = 0;  // failed inserts recording only x
+  std::uint64_t double_failures = 0;  // ... also dropping an evicted victim
+  for (const int d : {2, 3, 5}) {
+    for (const int max_loop : {1, 4}) {
+      const MultiwayContext ctx(4096, d, 500 + d);
+      const std::uint32_t r = 64;  // pow2 >= r0, far below 3·r capacity
+      ASSERT_GE(r, ctx.r0());
+      GeneralBatmapBuilder b(ctx, r, max_loop);
+      Xoshiro256 rng(static_cast<std::uint64_t>(d * 31 + max_loop));
+      std::set<std::uint64_t> tried;
+      std::uint64_t failed_inserts = 0;
+      while (tried.size() < 3 * r) {
+        const std::uint64_t x = rng.below(4096);
+        if (!tried.insert(x).second) continue;
+        const std::size_t before = b.failures().size();
+        if (!b.insert(x)) {
+          ++failed_inserts;
+          b.check_invariants();
+          const std::size_t grew = b.failures().size() - before;
+          ASSERT_GE(grew, 1u);
+          ASSERT_LE(grew, 2u);
+          (grew == 1 ? single_failures : double_failures) += 1;
+        } else {
+          ASSERT_EQ(b.failures().size(), before);
+        }
+      }
+      ASSERT_GT(failed_inserts, 0u) << "d=" << d << " max_loop=" << max_loop;
+      // Exactly-once recording: no duplicates, and every failure is an
+      // element that was actually offered to the builder.
+      auto f = b.failures();
+      std::sort(f.begin(), f.end());
+      ASSERT_TRUE(std::adjacent_find(f.begin(), f.end()) == f.end());
+      for (const auto x : f) ASSERT_TRUE(tried.count(x));
+      EXPECT_GE(f.size(), failed_inserts);
+      EXPECT_LE(f.size(), 2 * failed_inserts);
+      // The sealed map stores exactly the non-failed inserts, d copies each.
+      const GeneralBatmap m = b.seal();
+      EXPECT_EQ(m.stored_elements(), tried.size() - f.size());
+    }
+  }
+  // Both cascade exits must have been exercised across the sweep: a repair
+  // walk that succeeds (or nestless == x) records one failure; a repair
+  // that gives up drops the evicted victim too.
+  EXPECT_GT(single_failures, 0u);
+  EXPECT_GT(double_failures, 0u);
+}
+
 TEST(MultiwayCounters, PairCaseEqualsPairSweep) {
   // With k = 2 the counter scheme must agree with intersect_count.
   const BatmapContext ctx(5000, 3);

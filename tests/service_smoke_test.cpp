@@ -301,4 +301,191 @@ TEST(ServiceSmokeTest, KillDuringSwapNeverDropsAcknowledgedWork) {
   std::remove(out_file.c_str());
 }
 
+// Satellite: the strict protocol tokenizer. The old sscanf parser accepted
+// "I 1 -2" (%u silently wraps the sign to 4294967294) and ignored trailing
+// garbage ("I 1 2 junk" parsed as a clean pair); both are BADREQ now, as
+// are wrong token counts, signs, hex, and numbers that do not fit u32.
+TEST(ServiceSmokeTest, StrictParserRejectsNegativeAndTrailingGarbage) {
+  const std::string store = build_store("strict");
+  const std::string snap = cut_snapshot(store, "strict", 4);
+
+  const std::string script =
+      "I 0 1\\n"
+      "I 1 -2\\n"                 // negative id
+      "I 1 2 junk\\n"             // trailing garbage
+      "I +1 2\\n"                 // explicit sign
+      "I 0x1 2\\n"                // hex
+      "I 1 2 3 4\\n"              // too many operands
+      "K 1 0\\n"                  // k below 2
+      "K 9 0 1 2 3 4 5 6 7 8\\n"  // k above kMaxKwayIds
+      "K 3 0 1\\n"                // id list shorter than k
+      "K 2 0 99999999999\\n"      // id does not fit u32
+      "K 2 0 1\\n"                // valid k-way after all the garbage
+      "QUIT\\n";
+  const auto res = run("printf '" + script + "' | " + BATMAP_SERVE_PATH +
+                       " --snapshot " + snap);
+  EXPECT_EQ(res.exit_code, 0) << res.out;
+  EXPECT_EQ(count_of(res.out, "ERR BADREQ expected:"), 9u) << res.out;
+  EXPECT_EQ(count_of(res.out, "\nOK "), 2u) << res.out;
+
+  std::remove(store.c_str());
+  std::remove(snap.c_str());
+}
+
+// Satellite: --naive mode enforces deadlines exactly like the batched
+// engine. A 40 ms injected stall makes the 5 ms request expire in both
+// modes; replies — including the fingerprint, which errors never advance —
+// must be byte-identical.
+TEST(ServiceSmokeTest, NaiveModeHonorsDeadlinesLikeBatched) {
+  const std::string store = build_store("dl");
+  const std::string snap = cut_snapshot(store, "dl", 2);
+
+  const std::string script =
+      "I 0 1 5\\nI 0 1 2000\\nI 0 1\\nFINGERPRINT\\nQUIT\\n";
+  const auto serve_stalled = [&](const char* flags) {
+    return run("printf '" + script + "' | env REPRO_FAULT=worker_stall_ms=40 " +
+               BATMAP_SERVE_PATH + " --snapshot " + snap + " " + flags);
+  };
+  const auto batched = serve_stalled("");
+  const auto naive = serve_stalled("--naive");
+  EXPECT_EQ(batched.exit_code, 0) << batched.out;
+  EXPECT_EQ(naive.exit_code, 0) << naive.out;
+
+  // Reply block: the timed-out request, the two served ones, and the FP.
+  const auto block = [](const std::string& s) {
+    const auto from = s.find("\nERR TIMEOUT");
+    EXPECT_NE(from, std::string::npos) << s;
+    const auto fp = s.find("\nFP ", from);
+    EXPECT_NE(fp, std::string::npos) << s;
+    const auto end = s.find('\n', fp + 1);
+    return from == std::string::npos || fp == std::string::npos
+               ? s
+               : s.substr(from, end - from);
+  };
+  EXPECT_EQ(block(batched.out), block(naive.out))
+      << "batched:\n" << batched.out << "\nnaive:\n" << naive.out;
+  EXPECT_EQ(count_of(batched.out, "ERR TIMEOUT"), 1u) << batched.out;
+  EXPECT_EQ(count_of(batched.out, "\nOK "), 2u) << batched.out;
+
+  std::remove(store.c_str());
+  std::remove(snap.c_str());
+}
+
+// Tentpole: a mixed I/S/T/K/R stream is answered identically by the
+// batched planner and the --naive brute-force path, fingerprint included,
+// and the k-way pair case agrees with the pair query.
+TEST(ServiceSmokeTest, KwayStreamMatchesNaiveByteForByte) {
+  const std::string store = build_store("kway");
+  const std::string snap = cut_snapshot(store, "kway", 5);
+
+  const std::string script =
+      "I 0 1\\n"
+      "K 2 0 1\\n"          // same pair through the k-way planner
+      "K 5 0 1 2 3 4\\n"
+      "R 3 0 1 2\\n"
+      "S 1 2\\n"
+      "T 2 4\\n"
+      "K 4 3 3 4 5\\n"      // duplicate operand dedups
+      "K 2 0 1 50\\n"       // with a (generous) deadline
+      "FINGERPRINT\\nSTATS\\nQUIT\\n";
+  const auto go = [&](const char* flags) {
+    return run("printf '" + script + "' | " + BATMAP_SERVE_PATH +
+               " --snapshot " + snap + " " + flags);
+  };
+  const auto batched = go("");
+  const auto naive = go("--naive");
+  EXPECT_EQ(batched.exit_code, 0) << batched.out;
+  EXPECT_EQ(naive.exit_code, 0) << naive.out;
+
+  const auto replies = [](const std::string& s) {
+    const auto from = s.find("\nOK ");
+    return s.substr(from, s.find("STATS ") - from);
+  };
+  ASSERT_NE(batched.out.find("\nOK "), std::string::npos) << batched.out;
+  ASSERT_NE(naive.out.find("\nOK "), std::string::npos) << naive.out;
+  EXPECT_EQ(replies(batched.out), replies(naive.out))
+      << "batched:\n" << batched.out << "\nnaive:\n" << naive.out;
+
+  // "I 0 1" and "K 2 0 1" are the same query; their replies must match.
+  const std::string pair_ok = first_ok_line(batched.out);
+  ASSERT_FALSE(pair_ok.empty()) << batched.out;
+  EXPECT_GE(count_of(batched.out, "\n" + pair_ok + "\n"), 2u) << batched.out;
+  // k-way queries show up in the batched stats.
+  const auto kpos = batched.out.find(" kway=");
+  ASSERT_NE(kpos, std::string::npos) << batched.out;
+  EXPECT_NE(batched.out[kpos + 6], '0') << batched.out;
+
+  std::remove(store.c_str());
+  std::remove(snap.c_str());
+}
+
+// Acceptance: a deterministic malformed-input fuzz stream produces only
+// typed replies — no crash, no silently accepted or silently dropped
+// lines — while planted valid queries keep answering throughout.
+TEST(ServiceSmokeTest, MalformedFuzzYieldsOnlyTypedErrors) {
+  const std::string store = build_store("fuzz");
+  const std::string snap = cut_snapshot(store, "fuzz", 6);
+  const std::string input = "/tmp/service_smoke_fuzz.in";
+
+  // Charset deliberately lacks the letters of QUIT/STATS/RELOAD/
+  // FINGERPRINT so no random line becomes a control command; random
+  // K/I/R/S/T lines that happen to parse are fine (they answer OK).
+  const char charset[] = "KIRST0123456789 -+x.";
+  std::uint64_t x = 0x2545f4914f6cdd1dull;
+  std::FILE* f = std::fopen(input.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::size_t planted = 0;
+  for (int i = 0; i < 220; ++i) {
+    if (i % 20 == 0) {
+      std::fputs("I 0 1\n", f);
+      ++planted;
+      continue;
+    }
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const std::size_t len = 1 + (x >> 33) % 30;
+    std::string line;
+    std::uint64_t y = x;
+    for (std::size_t j = 0; j < len; ++j) {
+      y = y * 6364136223846793005ull + 1442695040888963407ull;
+      line += charset[(y >> 35) % (sizeof(charset) - 1)];
+    }
+    std::fputs((line + "\n").c_str(), f);
+  }
+  std::fputs("FINGERPRINT\nQUIT\n", f);
+  std::fclose(f);
+
+  const auto res = run(std::string(BATMAP_SERVE_PATH) + " --snapshot " + snap +
+                       " < " + input);
+  EXPECT_EQ(res.exit_code, 0) << res.out;
+
+  // Every reply line is typed. (ERR TIMEOUT can only come from a randomly
+  // well-formed query with a tiny random deadline; it is typed too.)
+  std::size_t replies = 0, badreq = 0;
+  std::size_t pos = 0;
+  while (pos < res.out.size()) {
+    auto end = res.out.find('\n', pos);
+    if (end == std::string::npos) end = res.out.size();
+    const std::string line = res.out.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line.rfind("batmap_serve:", 0) == 0) continue;
+    ++replies;
+    badreq += line.rfind("ERR BADREQ", 0) == 0;
+    const bool typed = line.rfind("OK ", 0) == 0 ||
+                       line.rfind("ERR BADREQ", 0) == 0 ||
+                       line.rfind("ERR RANGE", 0) == 0 ||
+                       line.rfind("ERR TIMEOUT", 0) == 0 ||
+                       line.rfind("FP ", 0) == 0;
+    EXPECT_TRUE(typed) << "untyped reply: '" << line << "'";
+  }
+  // One reply per non-empty request line (nothing silently swallowed):
+  // 220 fuzz/planted lines + FINGERPRINT; QUIT closes without a reply.
+  EXPECT_EQ(replies, 221u) << res.out;
+  EXPECT_GE(count_of(res.out, "\nOK "), planted) << res.out;
+  EXPECT_GT(badreq, 100u) << res.out;  // garbage dominates the stream
+
+  std::remove(store.c_str());
+  std::remove(snap.c_str());
+  std::remove(input.c_str());
+}
+
 }  // namespace

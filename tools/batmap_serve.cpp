@@ -9,6 +9,9 @@
 //   I <a> <b> [ms]   exact |S_a ∩ S_b|            -> "OK <count>"
 //   S <a> <b> [ms]   raw (unpatched) sweep count  -> "OK <count>"
 //   T <a> <k> [ms]   top-k most similar to S_a    -> "OK <m> id:count ..."
+//   K <k> <id>... [ms]  exact k-way |∩ S_id|, k in [2,8] -> "OK <count>"
+//   R <k> <id>... [ms]  association-rule score: the last id is the
+//                    consequent -> "OK <joint> <antecedent>"
 //   RELOAD [path]    hot-swap the snapshot        -> "RELOADED epoch=<e>"
 //   STATS            engine counters              -> "STATS k=v k=v ..."
 //   FINGERPRINT      FNV-1a over this connection's results -> "FP <hex>"
@@ -16,6 +19,11 @@
 //
 // The optional trailing [ms] is a per-request deadline in milliseconds;
 // --deadline-ms sets a default for requests that omit it.
+//
+// Request lines are parsed by a strict tokenizer: every numeric field must
+// be a plain decimal u32 (no sign, no hex, no overflow) and the token count
+// must match the command exactly — a negative id or trailing garbage is
+// ERR BADREQ, never a silently reinterpreted query.
 //
 // Error replies are typed — the first token after ERR is machine-parseable:
 //
@@ -59,10 +67,13 @@
 #include <string>
 #include <thread>
 
+#include <string_view>
+
 #include "service/query_engine.hpp"
 #include "service/snapshot.hpp"
 #include "service/snapshot_manager.hpp"
 #include "util/args.hpp"
+#include "util/fault.hpp"
 #include "util/fnv.hpp"
 
 using namespace repro;
@@ -153,18 +164,27 @@ void fold_result(util::Fnv1a& fp, const service::Query& q,
   fp.update(&q.a, sizeof(q.a));
   fp.update(&q.b, sizeof(q.b));
   fp.update(&q.k, sizeof(q.k));
+  fp.update(&q.nids, sizeof(q.nids));
+  for (std::uint32_t i = 0; i < q.nids; ++i) {
+    fp.update(&q.ids[i], sizeof(q.ids[i]));
+  }
   fp.update(&r.value, sizeof(r.value));
+  fp.update(&r.aux, sizeof(r.aux));
   for (std::uint32_t i = 0; i < r.topk_count; ++i) {
     fp.update(&r.topk[i].id, sizeof(r.topk[i].id));
     fp.update(&r.topk[i].count, sizeof(r.topk[i].count));
   }
 }
 
-std::string format_result(const service::Result& r, bool topk) {
+std::string format_result(const service::Result& r, char op) {
   char tmp[64];
   std::snprintf(tmp, sizeof(tmp), "OK %" PRIu64, r.value);
   std::string out = tmp;
-  if (topk) {
+  if (op == 'R') {
+    std::snprintf(tmp, sizeof(tmp), " %" PRIu64, r.aux);
+    out += tmp;
+  }
+  if (op == 'T') {
     for (std::uint32_t i = 0; i < r.topk_count; ++i) {
       std::snprintf(tmp, sizeof(tmp), " %u:%" PRIu64, r.topk[i].id,
                     r.topk[i].count);
@@ -174,6 +194,38 @@ std::string format_result(const service::Result& r, bool topk) {
   return out;
 }
 
+/// Splits on runs of spaces/tabs. Returns the token count, or -1 when the
+/// line has more than `cap` tokens (itself a malformed request).
+int tokenize(const std::string& line, std::string_view* out, int cap) {
+  int n = 0;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i == line.size()) break;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (n == cap) return -1;
+    out[n++] = std::string_view(line).substr(i, j - i);
+    i = j;
+  }
+  return n;
+}
+
+/// Strict decimal u32: digits only — no sign, no hex, no leading/trailing
+/// junk — and the value must fit 32 bits. This is what rejects "-2"
+/// (sscanf's %u silently wraps it to 4294967294) and "2junk".
+bool parse_u32(std::string_view s, std::uint32_t& out) {
+  if (s.empty() || s.size() > 10) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (v > 0xffffffffull) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
 std::string format_stats(const service::QueryEngine::Stats& s,
                          std::uint64_t epoch, std::uint64_t swaps) {
   char tmp[768];
@@ -181,12 +233,13 @@ std::string format_stats(const service::QueryEngine::Stats& s,
       tmp, sizeof(tmp),
       "STATS queries=%" PRIu64 " batches=%" PRIu64 " max_batch=%" PRIu64
       " cache_hits=%" PRIu64 " cache_misses=%" PRIu64 " strip_pairs=%" PRIu64
-      " cyclic_pairs=%" PRIu64 " topk_sweeps=%" PRIu64
-      " arena_reserved=%" PRIu64 " shed=%" PRIu64 " timeouts=%" PRIu64
-      " pinned_fallbacks=%" PRIu64 " rollovers=%" PRIu64 " epoch=%" PRIu64
-      " swaps=%" PRIu64,
+      " cyclic_pairs=%" PRIu64 " topk_sweeps=%" PRIu64 " kway=%" PRIu64
+      " kway_list=%" PRIu64 " kway_sweep=%" PRIu64 " arena_reserved=%" PRIu64
+      " shed=%" PRIu64 " timeouts=%" PRIu64 " pinned_fallbacks=%" PRIu64
+      " rollovers=%" PRIu64 " epoch=%" PRIu64 " swaps=%" PRIu64,
       s.queries, s.batches, s.max_batch_seen, s.cache_hits, s.cache_misses,
-      s.strip_pairs, s.cyclic_pairs, s.topk_sweeps, s.arena_reserved_bytes,
+      s.strip_pairs, s.cyclic_pairs, s.topk_sweeps, s.kway_queries,
+      s.kway_list_steps, s.kway_sweep_steps, s.arena_reserved_bytes,
       s.shed_overload, s.timeouts, s.pinned_fallbacks, s.epoch_rollovers,
       epoch, swaps);
   return tmp;
@@ -266,36 +319,76 @@ std::uint64_t serve_connection(FdLineIo io, ServeCtx& ctx) {
       io.write_line(do_reload(ctx, path));
       continue;
     }
-    char op = 0;
-    std::uint32_t x = 0, y = 0, dl_ms = 0;
-    const int n = std::sscanf(line.c_str(), " %c %u %u %u", &op, &x, &y,
-                              &dl_ms);
-    if (n < 3 || (op != 'I' && op != 'S' && op != 'T')) {
+    // Strict tokenizer: exact token counts, plain-decimal u32 fields. The
+    // widest legal line is "R <k> <id>×8 <ms>" = 11 tokens; one extra slot
+    // lets trailing garbage show up as a countable token instead of -1, so
+    // both overlong and garbage lines land in the same BADREQ path.
+    constexpr int kMaxToks = 3 + static_cast<int>(service::kMaxKwayIds) + 1;
+    std::string_view toks[kMaxToks];
+    const int nt = tokenize(line, toks, kMaxToks);
+    const char op = (nt >= 1 && toks[0].size() == 1) ? toks[0][0] : 0;
+    service::Query q;
+    std::uint32_t dl_ms = 0;
+    bool have_dl = false;
+    bool ok = true;
+    if (op == 'I' || op == 'S' || op == 'T') {
+      std::uint32_t y = 0;
+      ok = (nt == 3 || nt == 4) && parse_u32(toks[1], q.a) &&
+           parse_u32(toks[2], y) &&
+           (nt == 3 || (have_dl = parse_u32(toks[3], dl_ms)));
+      if (op == 'T') {
+        q.kind = service::QueryKind::kTopK;
+        q.k = y;
+      } else {
+        q.kind = op == 'I' ? service::QueryKind::kIntersect
+                           : service::QueryKind::kSupport;
+        q.b = y;
+      }
+    } else if (op == 'K' || op == 'R') {
+      q.kind = op == 'K' ? service::QueryKind::kKway
+                         : service::QueryKind::kRuleScore;
+      std::uint32_t k = 0;
+      ok = nt >= 2 && parse_u32(toks[1], k) && k >= 2 &&
+           k <= service::kMaxKwayIds;
+      const int ids_end = 2 + static_cast<int>(k);
+      ok = ok && (nt == ids_end || nt == ids_end + 1);
+      for (int i = 2; ok && i < ids_end; ++i) {
+        ok = parse_u32(toks[i], q.ids[i - 2]);
+      }
+      if (ok && nt == ids_end + 1) {
+        ok = have_dl = parse_u32(toks[ids_end], dl_ms);
+      }
+      q.nids = static_cast<std::uint8_t>(k);
+    } else {
+      ok = false;
+    }
+    if (!ok) {
       io.write_line("ERR BADREQ expected: I|S|T <u32> <u32> [deadline_ms], "
-                    "RELOAD [path], STATS, FINGERPRINT, or QUIT");
+                    "K|R <k:2..8> <id>... [deadline_ms], RELOAD [path], "
+                    "STATS, FINGERPRINT, or QUIT");
       continue;
     }
-    service::Query q;
-    q.a = x;
-    if (op == 'T') {
-      q.kind = service::QueryKind::kTopK;
-      q.k = y;
-    } else {
-      q.kind = op == 'I' ? service::QueryKind::kIntersect
-                         : service::QueryKind::kSupport;
-      q.b = y;
-    }
-    const std::uint64_t deadline_ms = n == 4 ? dl_ms : ctx.default_deadline_ms;
+    const std::uint64_t deadline_ms =
+        have_dl ? dl_ms : ctx.default_deadline_ms;
     if (deadline_ms > 0) {
       q.deadline_ns =
           service::QueryEngine::now_ns() + deadline_ms * 1'000'000ull;
     }
     if (ctx.naive) {
+      // The reference path honors the same fault site and deadline
+      // semantics as the batch worker, so --naive and batched runs stay
+      // reply-identical under [ms] deadlines and injected stalls.
+      if (util::fault::armed()) util::fault::maybe_stall("worker_stall_ms");
+      if (q.deadline_ns != 0 &&
+          service::QueryEngine::now_ns() >= q.deadline_ns) {
+        io.write_line("ERR TIMEOUT deadline exceeded");
+        continue;
+      }
       try {
         const service::Result r = ctx.engine.execute_one(q);
         fold_result(fp, q, r);
         ++served;
-        io.write_line(format_result(r, op == 'T'));
+        io.write_line(format_result(r, op));
       } catch (const CheckError&) {
         io.write_line("ERR RANGE id or k out of range");
       }
@@ -316,7 +409,7 @@ std::uint64_t serve_connection(FdLineIo io, ServeCtx& ctx) {
       case service::Request::Outcome::kOk:
         fold_result(fp, q, req.result());
         ++served;
-        io.write_line(format_result(req.result(), op == 'T'));
+        io.write_line(format_result(req.result(), op));
         break;
       case service::Request::Outcome::kTimeout:
         io.write_line("ERR TIMEOUT deadline exceeded");
