@@ -5,11 +5,19 @@
 // the offline BatmapStore oracle).
 //
 //   service_throughput [--sets N] [--universe U] [--set-size S]
-//                      [--queries Q] [--clients C] [--zipf THETA]
-//                      [--topk-permille P] [--support-permille P]
-//                      [--kway-permille P]
+//                      [--size-spread P] [--queries Q] [--clients C]
+//                      [--zipf THETA] [--topk-permille P]
+//                      [--support-permille P] [--kway-permille P]
 //                      [--cache N] [--batch N] [--verify 0|1]
+//                      [--layout batmap|auto|dense|list|wah]
 //                      [--assert-speedup X] [--snapshot PATH] [--csv PATH]
+//
+// --size-spread P draws per-set sizes log-uniformly from
+// [set-size/P, set-size*P] (P=1 keeps the legacy equal-width store), giving
+// the cost model a mix of dense and sparse rows to split across layouts.
+// --layout picks the snapshot row containers (see service::LayoutMode);
+// every arm still fingerprints identically regardless of layout — the
+// adaptive-layout correctness gate CI diffs batmap-vs-auto runs on.
 //
 // --kway-permille mixes in conjunctive queries: k ∈ [2, 8] zipf-drawn set
 // ids per query, alternating kKway and kRuleScore, exercising the engine's
@@ -250,6 +258,8 @@ int main(int argc, char** argv) {
   const std::uint64_t sets = args.u64("sets", 512, "sets in the store");
   const std::uint64_t universe = args.u64("universe", 60000, "element universe");
   const std::uint64_t set_size = args.u64("set-size", 1200, "elements per set");
+  const double size_spread = args.f64(
+      "size-spread", 1.0, "log-uniform per-set size spread factor (1=equal)");
   const std::uint64_t queries = args.u64("queries", 50000, "total queries");
   const std::uint64_t clients = args.u64("clients", 32, "closed-loop clients");
   const double zipf_theta = args.f64("zipf", 1.1, "query-id skew (0=uniform)");
@@ -264,6 +274,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.u64("seed", 42, "workload seed");
   const bool verify =
       args.flag("verify", true, "cross-check against the BatmapStore oracle");
+  const std::string layout_str =
+      args.str("layout", "batmap", "snapshot row layouts (batmap|auto|...)");
   const double assert_speedup = args.f64(
       "assert-speedup", 0.0, "fail unless batched+cache >= X * naive QPS");
   const std::uint64_t swap_every_ms = args.u64(
@@ -294,26 +306,53 @@ int main(int argc, char** argv) {
               " clients, zipf %.2f\n",
               sets, set_size, universe, queries, clients, zipf_theta);
 
-  // Build the store and its snapshot.
+  const auto layout_mode = service::parse_layout_mode(layout_str);
+  if (!layout_mode) {
+    std::fprintf(stderr, "bad --layout %s (batmap|auto|dense|list|wah)\n",
+                 layout_str.c_str());
+    return 2;
+  }
+
+  // Build the store and its snapshot. With --size-spread P the per-set
+  // size is set_size * P^(2u-1), u uniform — log-uniform over
+  // [set_size/P, set_size*P]; the P=1 path draws nothing extra so legacy
+  // seeds reproduce byte-identical stores.
   Timer build_t;
   batmap::BatmapStore store(universe);
   {
     Xoshiro256 rng(seed);
     std::vector<std::uint64_t> v;
     for (std::uint64_t i = 0; i < sets; ++i) {
+      std::uint64_t target = set_size;
+      if (size_spread > 1.0) {
+        const double u = rng.uniform();
+        target = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   static_cast<double>(set_size) *
+                   std::pow(size_spread, 2.0 * u - 1.0)));
+        target = std::min(target, universe);
+      }
       std::set<std::uint64_t> s;
-      while (s.size() < set_size) s.insert(rng.below(universe));
+      while (s.size() < target) s.insert(rng.below(universe));
       v.assign(s.begin(), s.end());
       store.add(v);
     }
   }
-  service::write_snapshot(store, snap_path, /*epoch=*/1);
+  const std::vector<core::RowLayout> layouts =
+      service::plan_layouts(store, *layout_mode);
+  service::write_snapshot(store, snap_path, /*epoch=*/1, layouts);
   const service::Snapshot snap = service::Snapshot::open(snap_path);
   std::printf("built + snapshotted in %.2fs (%.1f MiB mapped, %" PRIu64
               " failures)\n",
               build_t.seconds(),
               static_cast<double>(snap.mapped_bytes()) / (1 << 20),
               snap.total_failures());
+  if (!snap.all_batmap()) {
+    const auto br = snap.layout_breakdown();
+    std::printf("layouts: batmap %" PRIu64 ", dense %" PRIu64 ", list %" PRIu64
+                ", wah %" PRIu64 "\n",
+                br.rows[0], br.rows[1], br.rows[2], br.rows[3]);
+  }
 
   // Pre-generate the query stream shared by every arm.
   std::vector<service::Query> stream(queries);
@@ -415,7 +454,7 @@ int main(int argc, char** argv) {
         std::this_thread::sleep_for(std::chrono::milliseconds(swap_every_ms));
         if (done.load(std::memory_order_relaxed)) break;
         const std::string& p = paths[epoch % 2];
-        service::write_snapshot(store, p, epoch);
+        service::write_snapshot(store, p, epoch, layouts);
         mgr.swap(p);
         ++epoch;
       }

@@ -1,5 +1,6 @@
 #include "baselines/bitmap.hpp"
 
+#include "core/row_container.hpp"
 #include "util/bits.hpp"
 #include "util/check.hpp"
 
@@ -21,12 +22,13 @@ BitmapIndex::BitmapIndex(const mining::TransactionDb& db)
 std::uint64_t BitmapIndex::intersection_size(std::uint32_t i,
                                              std::uint32_t j) const {
   REPRO_DCHECK(i < n_ && j < n_);
-  const std::uint64_t* a = bits_.data() + i * row_words_;
-  const std::uint64_t* b = bits_.data() + j * row_words_;
+  return core::dense_intersect_count(row(i), row(j));
+}
+
+std::uint64_t BitmapIndex::support(std::uint32_t item) const {
+  REPRO_DCHECK(item < n_);
   std::uint64_t count = 0;
-  for (std::uint64_t w = 0; w < row_words_; ++w) {
-    count += bits::popcount64(a[w] & b[w]);
-  }
+  for (const std::uint64_t w : row(item)) count += bits::popcount64(w);
   return count;
 }
 

@@ -28,13 +28,21 @@ class BitmapIndex {
     return {bits_.data() + item * row_words_, row_words_};
   }
 
-  /// |S_i ∩ S_j| by AND + popcount.
+  /// |S_i ∩ S_j| by AND + popcount (core::dense_intersect_count — the same
+  /// kernel that serves RowLayout::kDense snapshot rows).
   std::uint64_t intersection_size(std::uint32_t i, std::uint32_t j) const;
 
   /// All pair supports (the PBI counting pass).
   mining::PairSupports all_pair_supports() const;
 
   std::uint64_t memory_bytes() const { return bits_.size() * 8; }
+
+  // Unified RowContainer-style names.
+  std::uint64_t support(std::uint32_t item) const;
+  std::uint64_t intersect_count(std::uint32_t i, std::uint32_t j) const {
+    return intersection_size(i, j);
+  }
+  std::uint64_t bytes() const { return memory_bytes(); }
 
  private:
   std::uint32_t n_ = 0;

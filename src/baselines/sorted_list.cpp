@@ -1,86 +1,32 @@
 #include "baselines/sorted_list.hpp"
 
-#include <algorithm>
+#include "core/row_container.hpp"
 
 namespace repro::baselines {
 
+// The implementations live in core/row_container.cpp — the sorted-list
+// kernels are first-class snapshot citizens now, and the baselines share
+// that single implementation.
+
 std::uint64_t intersect_size_merge(std::span<const std::uint32_t> a,
                                    std::span<const std::uint32_t> b) {
-  std::uint64_t count = 0;
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
+  return core::list_intersect_count_merge(a, b);
 }
 
 std::uint64_t intersect_size_branchless(std::span<const std::uint32_t> a,
                                         std::span<const std::uint32_t> b) {
-  std::uint64_t count = 0;
-  std::size_t i = 0, j = 0;
-  const std::size_t na = a.size(), nb = b.size();
-  while (i < na && j < nb) {
-    const std::uint32_t x = a[i];
-    const std::uint32_t y = b[j];
-    count += (x == y);
-    i += (x <= y);
-    j += (y <= x);
-  }
-  return count;
+  return core::list_intersect_count_branchless(a, b);
 }
 
 std::uint64_t intersect_size_galloping(std::span<const std::uint32_t> a,
                                        std::span<const std::uint32_t> b) {
-  // Probe each element of the smaller list into the larger with a doubling
-  // search that resumes where the previous probe ended.
-  if (a.size() > b.size()) return intersect_size_galloping(b, a);
-  std::uint64_t count = 0;
-  std::size_t lo = 0;
-  for (const std::uint32_t x : a) {
-    // Gallop to find the first position with b[pos] >= x.
-    std::size_t step = 1;
-    std::size_t hi = lo;
-    while (hi < b.size() && b[hi] < x) {
-      lo = hi + 1;
-      hi += step;
-      step *= 2;
-    }
-    hi = std::min(hi, b.size());
-    const auto it = std::lower_bound(b.begin() + static_cast<std::ptrdiff_t>(lo),
-                                     b.begin() + static_cast<std::ptrdiff_t>(hi), x);
-    lo = static_cast<std::size_t>(it - b.begin());
-    if (lo < b.size() && b[lo] == x) {
-      ++count;
-      ++lo;
-    }
-  }
-  return count;
+  return core::list_intersect_count_gallop(a, b);
 }
 
 std::size_t intersect_into(std::span<const std::uint32_t> a,
                            std::span<const std::uint32_t> b,
                            std::uint32_t* out) {
-  std::size_t i = 0, j = 0, k = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      out[k++] = a[i];
-      ++i;
-      ++j;
-    }
-  }
-  return k;
+  return core::list_intersect_into(a, b, out);
 }
 
 }  // namespace repro::baselines

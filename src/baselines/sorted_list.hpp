@@ -7,6 +7,10 @@
 //               arithmetic instead of branches.
 // * galloping:  doubling search from the smaller list into the larger —
 //               the adaptive method referenced in §I-B1 ([9] Demaine et al.).
+//
+// These are thin delegates: the single implementation lives in
+// core/row_container.{hpp,cpp}, where the sorted-list layout is a
+// first-class snapshot row container (RowLayout::kSortedList).
 #pragma once
 
 #include <cstdint>

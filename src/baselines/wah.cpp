@@ -1,174 +1,25 @@
 #include "baselines/wah.hpp"
 
-#include "util/bits.hpp"
+#include "core/row_container.hpp"
 #include "util/check.hpp"
 
 namespace repro::baselines {
 
-void WahBitmap::append_group(std::uint32_t literal31) {
-  REPRO_DCHECK((literal31 & kFillFlag) == 0);
-  const bool zero = literal31 == 0;
-  const bool full = literal31 == 0x7fffffffu;
-  if (zero || full) {
-    const std::uint32_t fill =
-        kFillFlag | (full ? kFillValue : 0u);
-    if (!words_.empty() && (words_.back() & (kFillFlag | kFillValue)) == fill &&
-        (words_.back() & kFillFlag) &&
-        (words_.back() & kLenMask) < kLenMask) {
-      ++words_.back();
-    } else {
-      words_.push_back(fill | 1u);
-    }
-  } else {
-    words_.push_back(literal31);
-  }
-}
-
 WahBitmap::WahBitmap(std::span<const std::uint32_t> sorted_ids,
                      std::uint64_t universe)
-    : universe_(universe), ones_(sorted_ids.size()) {
-  const std::uint64_t groups = bits::ceil_div(universe, kLiteralBits);
-  std::size_t i = 0;
-  for (std::uint64_t g = 0; g < groups; ++g) {
-    const std::uint64_t lo = g * kLiteralBits;
-    const std::uint64_t hi = lo + kLiteralBits;
-    std::uint32_t lit = 0;
-    while (i < sorted_ids.size() && sorted_ids[i] < hi) {
-      REPRO_DCHECK(sorted_ids[i] >= lo);
-      lit |= 1u << (sorted_ids[i] - lo);
-      ++i;
-    }
-    // Fast-forward over long zero gaps without per-group loop iterations.
-    if (lit == 0 && i < sorted_ids.size()) {
-      const std::uint64_t next_g = sorted_ids[i] / kLiteralBits;
-      if (next_g > g + 1) {
-        const std::uint64_t run = next_g - g;
-        std::uint64_t left = run;
-        while (left > 0) {
-          const auto chunk =
-              static_cast<std::uint32_t>(std::min<std::uint64_t>(left, kLenMask));
-          if (!words_.empty() && (words_.back() & kFillFlag) &&
-              !(words_.back() & kFillValue) &&
-              (words_.back() & kLenMask) + chunk <= kLenMask) {
-            words_.back() += chunk;
-          } else {
-            words_.push_back(kFillFlag | chunk);
-          }
-          left -= chunk;
-        }
-        g = next_g - 1;
-        continue;
-      }
-    }
-    if (lit == 0 && i >= sorted_ids.size()) {
-      // Trailing zeros: one fill run to the end.
-      std::uint64_t left = groups - g;
-      while (left > 0) {
-        const auto chunk =
-            static_cast<std::uint32_t>(std::min<std::uint64_t>(left, kLenMask));
-        if (!words_.empty() && (words_.back() & kFillFlag) &&
-            !(words_.back() & kFillValue) &&
-            (words_.back() & kLenMask) + chunk <= kLenMask) {
-          words_.back() += chunk;
-        } else {
-          words_.push_back(kFillFlag | chunk);
-        }
-        left -= chunk;
-      }
-      break;
-    }
-    append_group(lit);
-  }
-  REPRO_CHECK_MSG(i == sorted_ids.size(), "ids outside universe");
-}
+    : universe_(universe),
+      ones_(sorted_ids.size()),
+      words_(core::wah_encode(sorted_ids, universe)) {}
 
 std::vector<std::uint32_t> WahBitmap::decode() const {
-  std::vector<std::uint32_t> out;
-  out.reserve(ones_);
-  std::uint64_t group = 0;
-  for (const std::uint32_t w : words_) {
-    if (w & kFillFlag) {
-      const std::uint64_t run = w & kLenMask;
-      if (w & kFillValue) {
-        for (std::uint64_t g = 0; g < run; ++g) {
-          for (std::uint32_t b = 0; b < kLiteralBits; ++b) {
-            const std::uint64_t id = (group + g) * kLiteralBits + b;
-            if (id < universe_) out.push_back(static_cast<std::uint32_t>(id));
-          }
-        }
-      }
-      group += run;
-    } else {
-      for (std::uint32_t b = 0; b < kLiteralBits; ++b) {
-        if (w & (1u << b)) {
-          const std::uint64_t id = group * kLiteralBits + b;
-          if (id < universe_) out.push_back(static_cast<std::uint32_t>(id));
-        }
-      }
-      ++group;
-    }
-  }
-  return out;
+  return core::wah_decode(words_, universe_);
 }
-
-namespace {
-
-/// Sequential cursor over a WAH stream — the data-dependent decoding the
-/// paper contrasts with batmaps' fixed-step sweeps.
-struct Cursor {
-  std::span<const std::uint32_t> words;
-  std::size_t idx = 0;
-  std::uint64_t remaining = 0;  // groups left in the current run
-  bool is_fill = false;
-  bool fill_value = false;
-  std::uint32_t literal = 0;
-
-  bool advance_run() {
-    if (idx >= words.size()) return false;
-    const std::uint32_t w = words[idx++];
-    if (w & 0x80000000u) {
-      is_fill = true;
-      fill_value = (w & 0x40000000u) != 0;
-      remaining = w & 0x3fffffffu;
-    } else {
-      is_fill = false;
-      literal = w;
-      remaining = 1;
-    }
-    return true;
-  }
-
-  bool ensure() { return remaining > 0 || advance_run(); }
-
-  std::uint32_t current_group() const {
-    if (is_fill) return fill_value ? 0x7fffffffu : 0u;
-    return literal;
-  }
-};
-
-}  // namespace
 
 std::uint64_t WahBitmap::intersect_size(const WahBitmap& a,
                                         const WahBitmap& b) {
   REPRO_CHECK_MSG(a.universe_ == b.universe_,
                   "bitmaps over different universes");
-  Cursor ca{a.words_}, cb{b.words_};
-  std::uint64_t count = 0;
-  while (ca.ensure() && cb.ensure()) {
-    if (ca.is_fill && cb.is_fill) {
-      const std::uint64_t n = std::min(ca.remaining, cb.remaining);
-      if (ca.fill_value && cb.fill_value) {
-        count += n * kLiteralBits;
-      }
-      ca.remaining -= n;
-      cb.remaining -= n;
-    } else {
-      count += bits::popcount(ca.current_group() & cb.current_group());
-      --ca.remaining;
-      --cb.remaining;
-    }
-  }
-  return count;
+  return core::wah_intersect_count(a.words_, b.words_);
 }
 
 WahIndex::WahIndex(const mining::TransactionDb& db) {

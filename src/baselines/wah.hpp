@@ -2,8 +2,9 @@
 // VLDB'04 [27], one of the compressed-bitmap formats the paper positions
 // BATMAP against (§I-B1): compact on sparse data, but intersection requires
 // SEQUENTIAL decoding of variable-length runs, which is exactly the
-// data-dependent control flow that does not map to GPUs. Implemented here to
-// make that trade-off measurable (bench/space_compare).
+// data-dependent control flow that does not map to GPUs. The codec itself
+// lives in core/row_container.{hpp,cpp} (RowLayout::kWah is a first-class
+// snapshot row container); this class is the owning benchmark-side wrapper.
 //
 // Encoding (32-bit words over 31-bit groups):
 //   MSB = 0: literal word, low 31 bits are the next 31 bitmap bits.
@@ -37,14 +38,14 @@ class WahBitmap {
   /// |A ∩ B| by run-aligned sequential merge of the two compressed streams.
   static std::uint64_t intersect_size(const WahBitmap& a, const WahBitmap& b);
 
+  // Unified RowContainer-style names.
+  std::uint64_t support() const { return ones_; }
+  std::uint64_t bytes() const { return memory_bytes(); }
+  static std::uint64_t intersect_count(const WahBitmap& a, const WahBitmap& b) {
+    return intersect_size(a, b);
+  }
+
  private:
-  static constexpr std::uint32_t kLiteralBits = 31;
-  static constexpr std::uint32_t kFillFlag = 0x80000000u;
-  static constexpr std::uint32_t kFillValue = 0x40000000u;
-  static constexpr std::uint32_t kLenMask = 0x3fffffffu;
-
-  void append_group(std::uint32_t literal31);
-
   std::uint64_t universe_ = 0;
   std::uint64_t ones_ = 0;
   std::vector<std::uint32_t> words_;
@@ -64,6 +65,13 @@ class WahIndex {
     return WahBitmap::intersect_size(rows_[i], rows_[j]);
   }
   std::uint64_t memory_bytes() const;
+
+  // Unified RowContainer-style names.
+  std::uint64_t support(std::uint32_t item) const { return rows_[item].ones(); }
+  std::uint64_t intersect_count(std::uint32_t i, std::uint32_t j) const {
+    return intersection_size(i, j);
+  }
+  std::uint64_t bytes() const { return memory_bytes(); }
 
  private:
   std::vector<WahBitmap> rows_;

@@ -1,0 +1,433 @@
+#include "core/row_container.hpp"
+
+#include <algorithm>
+
+#include "batmap/batmap.hpp"
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace repro::core {
+
+const char* row_layout_name(RowLayout layout) {
+  switch (layout) {
+    case RowLayout::kBatmap: return "batmap";
+    case RowLayout::kDense: return "dense";
+    case RowLayout::kSortedList: return "list";
+    case RowLayout::kWah: return "wah";
+  }
+  return "unknown";
+}
+
+// ---- sorted-list kernels ---------------------------------------------------
+
+std::uint64_t list_intersect_count_merge(std::span<const std::uint32_t> a,
+                                         std::span<const std::uint32_t> b) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::uint64_t list_intersect_count_branchless(std::span<const std::uint32_t> a,
+                                              std::span<const std::uint32_t> b) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  const std::size_t na = a.size(), nb = b.size();
+  while (i < na && j < nb) {
+    const std::uint32_t x = a[i];
+    const std::uint32_t y = b[j];
+    count += (x == y);
+    i += (x <= y);
+    j += (y <= x);
+  }
+  return count;
+}
+
+std::uint64_t list_intersect_count_gallop(std::span<const std::uint32_t> a,
+                                          std::span<const std::uint32_t> b) {
+  // Probe each element of the smaller list into the larger with a doubling
+  // search that resumes where the previous probe ended.
+  if (a.size() > b.size()) return list_intersect_count_gallop(b, a);
+  std::uint64_t count = 0;
+  std::size_t lo = 0;
+  for (const std::uint32_t x : a) {
+    // Gallop to find the first position with b[pos] >= x.
+    std::size_t step = 1;
+    std::size_t hi = lo;
+    while (hi < b.size() && b[hi] < x) {
+      lo = hi + 1;
+      hi += step;
+      step *= 2;
+    }
+    hi = std::min(hi, b.size());
+    const auto it = std::lower_bound(b.begin() + static_cast<std::ptrdiff_t>(lo),
+                                     b.begin() + static_cast<std::ptrdiff_t>(hi), x);
+    lo = static_cast<std::size_t>(it - b.begin());
+    if (lo < b.size() && b[lo] == x) {
+      ++count;
+      ++lo;
+    }
+  }
+  return count;
+}
+
+std::size_t list_intersect_into(std::span<const std::uint32_t> a,
+                                std::span<const std::uint32_t> b,
+                                std::uint32_t* out) {
+  std::size_t i = 0, j = 0, k = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out[k++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return k;
+}
+
+// ---- dense kernels ---------------------------------------------------------
+
+std::uint64_t dense_word_count(std::uint64_t universe) {
+  return bits::ceil_div(universe, 64);
+}
+
+std::uint64_t dense_intersect_count(std::span<const std::uint64_t> a,
+                                    std::span<const std::uint64_t> b) {
+  REPRO_DCHECK(a.size() == b.size());
+  std::uint64_t count = 0;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    count += bits::popcount64(a[w] & b[w]);
+  }
+  return count;
+}
+
+std::vector<std::uint64_t> dense_from_ids(std::span<const std::uint32_t> ids,
+                                          std::uint64_t universe) {
+  std::vector<std::uint64_t> words(dense_word_count(universe), 0ull);
+  for (const std::uint32_t id : ids) {
+    REPRO_DCHECK(id < universe);
+    dense_set(words, id);
+  }
+  return words;
+}
+
+// ---- WAH codec -------------------------------------------------------------
+
+namespace {
+
+void wah_append_zero_fill(std::vector<std::uint32_t>& words,
+                          std::uint64_t run) {
+  while (run > 0) {
+    const auto chunk =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(run, kWahLenMask));
+    if (!words.empty() && (words.back() & kWahFillFlag) &&
+        !(words.back() & kWahFillValue) &&
+        (words.back() & kWahLenMask) + chunk <= kWahLenMask) {
+      words.back() += chunk;
+    } else {
+      words.push_back(kWahFillFlag | chunk);
+    }
+    run -= chunk;
+  }
+}
+
+void wah_append_group(std::vector<std::uint32_t>& words,
+                      std::uint32_t literal31) {
+  REPRO_DCHECK((literal31 & kWahFillFlag) == 0);
+  const bool zero = literal31 == 0;
+  const bool full = literal31 == 0x7fffffffu;
+  if (zero || full) {
+    const std::uint32_t fill = kWahFillFlag | (full ? kWahFillValue : 0u);
+    if (!words.empty() && (words.back() & (kWahFillFlag | kWahFillValue)) == fill &&
+        (words.back() & kWahFillFlag) &&
+        (words.back() & kWahLenMask) < kWahLenMask) {
+      ++words.back();
+    } else {
+      words.push_back(fill | 1u);
+    }
+  } else {
+    words.push_back(literal31);
+  }
+}
+
+/// Sequential cursor over a WAH stream — the data-dependent decoding the
+/// paper contrasts with batmaps' fixed-step sweeps.
+struct WahCursor {
+  std::span<const std::uint32_t> words;
+  std::size_t idx = 0;
+  std::uint64_t remaining = 0;  // groups left in the current run
+  bool is_fill = false;
+  bool fill_value = false;
+  std::uint32_t literal = 0;
+
+  bool advance_run() {
+    if (idx >= words.size()) return false;
+    const std::uint32_t w = words[idx++];
+    if (w & kWahFillFlag) {
+      is_fill = true;
+      fill_value = (w & kWahFillValue) != 0;
+      remaining = w & kWahLenMask;
+    } else {
+      is_fill = false;
+      literal = w;
+      remaining = 1;
+    }
+    return true;
+  }
+
+  bool ensure() { return remaining > 0 || advance_run(); }
+
+  std::uint32_t current_group() const {
+    if (is_fill) return fill_value ? 0x7fffffffu : 0u;
+    return literal;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> wah_encode(std::span<const std::uint32_t> sorted_ids,
+                                      std::uint64_t universe) {
+  std::vector<std::uint32_t> words;
+  const std::uint64_t groups = bits::ceil_div(universe, kWahLiteralBits);
+  std::size_t i = 0;
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    const std::uint64_t lo = g * kWahLiteralBits;
+    const std::uint64_t hi = lo + kWahLiteralBits;
+    std::uint32_t lit = 0;
+    while (i < sorted_ids.size() && sorted_ids[i] < hi) {
+      REPRO_DCHECK(sorted_ids[i] >= lo);
+      lit |= 1u << (sorted_ids[i] - lo);
+      ++i;
+    }
+    // Fast-forward over long zero gaps without per-group loop iterations.
+    if (lit == 0 && i < sorted_ids.size()) {
+      const std::uint64_t next_g = sorted_ids[i] / kWahLiteralBits;
+      if (next_g > g + 1) {
+        wah_append_zero_fill(words, next_g - g);
+        g = next_g - 1;
+        continue;
+      }
+    }
+    if (lit == 0 && i >= sorted_ids.size()) {
+      // Trailing zeros: one fill run to the end.
+      wah_append_zero_fill(words, groups - g);
+      break;
+    }
+    wah_append_group(words, lit);
+  }
+  REPRO_CHECK_MSG(i == sorted_ids.size(), "ids outside universe");
+  return words;
+}
+
+std::vector<std::uint32_t> wah_decode(std::span<const std::uint32_t> words,
+                                      std::uint64_t universe) {
+  std::vector<std::uint32_t> out;
+  std::uint64_t group = 0;
+  for (const std::uint32_t w : words) {
+    if (w & kWahFillFlag) {
+      const std::uint64_t run = w & kWahLenMask;
+      if (w & kWahFillValue) {
+        for (std::uint64_t g = 0; g < run; ++g) {
+          for (std::uint32_t b = 0; b < kWahLiteralBits; ++b) {
+            const std::uint64_t id = (group + g) * kWahLiteralBits + b;
+            if (id < universe) out.push_back(static_cast<std::uint32_t>(id));
+          }
+        }
+      }
+      group += run;
+    } else {
+      for (std::uint32_t b = 0; b < kWahLiteralBits; ++b) {
+        if (w & (1u << b)) {
+          const std::uint64_t id = group * kWahLiteralBits + b;
+          if (id < universe) out.push_back(static_cast<std::uint32_t>(id));
+        }
+      }
+      ++group;
+    }
+  }
+  return out;
+}
+
+std::uint64_t wah_intersect_count(std::span<const std::uint32_t> a,
+                                  std::span<const std::uint32_t> b) {
+  WahCursor ca{a}, cb{b};
+  std::uint64_t count = 0;
+  while (ca.ensure() && cb.ensure()) {
+    if (ca.is_fill && cb.is_fill) {
+      const std::uint64_t n = std::min(ca.remaining, cb.remaining);
+      if (ca.fill_value && cb.fill_value) {
+        count += n * kWahLiteralBits;
+      }
+      ca.remaining -= n;
+      cb.remaining -= n;
+    } else {
+      count += bits::popcount(ca.current_group() & cb.current_group());
+      --ca.remaining;
+      --cb.remaining;
+    }
+  }
+  return count;
+}
+
+void wah_expand_to_dense(std::span<const std::uint32_t> words,
+                         std::uint64_t universe,
+                         std::span<std::uint64_t> dense) {
+  REPRO_DCHECK(dense.size() >= dense_word_count(universe));
+  std::uint64_t group = 0;
+  for (const std::uint32_t w : words) {
+    if (w & kWahFillFlag) {
+      const std::uint64_t run = w & kWahLenMask;
+      if (w & kWahFillValue) {
+        const std::uint64_t lo = group * kWahLiteralBits;
+        const std::uint64_t hi =
+            std::min(universe, (group + run) * kWahLiteralBits);
+        for (std::uint64_t id = lo; id < hi; ++id) dense_set(dense, id);
+      }
+      group += run;
+    } else {
+      for (std::uint32_t b = 0; b < kWahLiteralBits; ++b) {
+        if (w & (1u << b)) {
+          const std::uint64_t id = group * kWahLiteralBits + b;
+          if (id < universe) dense_set(dense, id);
+        }
+      }
+      ++group;
+    }
+  }
+}
+
+// ---- cross-layout dispatch -------------------------------------------------
+
+namespace {
+
+/// Streams a row's stored elements (elements set-minus failures) in order.
+/// Both lists are sorted; failures are a subset of elements.
+struct StoredCursor {
+  const std::uint64_t* e;
+  const std::uint64_t* ee;
+  const std::uint64_t* f;
+  const std::uint64_t* fe;
+
+  explicit StoredCursor(const RowContainer& rc)
+      : e(rc.elements.data()),
+        ee(rc.elements.data() + rc.elements.size()),
+        f(rc.failures.data()),
+        fe(rc.failures.data() + rc.failures.size()) {}
+
+  bool next(std::uint64_t& out) {
+    while (e != ee) {
+      const std::uint64_t v = *e++;
+      while (f != fe && *f < v) ++f;
+      if (f != fe && *f == v) {
+        ++f;
+        continue;
+      }
+      out = v;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Two-pointer merge over both rows' stored-element streams — the universal
+/// fallback for tag pairs without a direct payload kernel.
+std::uint64_t stored_merge_count(const RowContainer& a, const RowContainer& b) {
+  REPRO_CHECK_MSG(a.stored == 0 || !a.elements.empty(),
+                  "cross-layout fallback needs element lists");
+  REPRO_CHECK_MSG(b.stored == 0 || !b.elements.empty(),
+                  "cross-layout fallback needs element lists");
+  StoredCursor ca(a), cb(b);
+  std::uint64_t x = 0, y = 0, count = 0;
+  bool ax = ca.next(x), by = cb.next(y);
+  while (ax && by) {
+    if (x < y) {
+      ax = ca.next(x);
+    } else if (y < x) {
+      by = cb.next(y);
+    } else {
+      ++count;
+      ax = ca.next(x);
+      by = cb.next(y);
+    }
+  }
+  return count;
+}
+
+/// Dense payloads are u32 words in the container view but written as (and
+/// 64-byte aligned like) u64 words; reinterpret for the 64-bit kernels.
+std::span<const std::uint64_t> dense_words_u64(const RowContainer& rc) {
+  REPRO_DCHECK(rc.words.size() % 2 == 0);
+  REPRO_DCHECK(reinterpret_cast<std::uintptr_t>(rc.words.data()) % 8 == 0);
+  return {reinterpret_cast<const std::uint64_t*>(rc.words.data()),
+          rc.words.size() / 2};
+}
+
+/// Probes a row's stored elements into a dense row ("masked sweep").
+std::uint64_t dense_probe_stored(const RowContainer& dense,
+                                 const RowContainer& other) {
+  REPRO_CHECK_MSG(other.stored == 0 || !other.elements.empty(),
+                  "dense probe needs the other row's element list");
+  const auto bits = dense_words_u64(dense);
+  StoredCursor c(other);
+  std::uint64_t id = 0, count = 0;
+  while (c.next(id)) count += dense_test(bits, id);
+  return count;
+}
+
+}  // namespace
+
+std::uint64_t intersect_count(const RowContainer& a, const RowContainer& b) {
+  REPRO_CHECK_MSG(a.universe == b.universe, "rows over different universes");
+  if (a.stored == 0 || b.stored == 0) return 0;
+  // Canonicalize so lo.layout <= hi.layout; intersection is symmetric.
+  const RowContainer& lo = a.layout <= b.layout ? a : b;
+  const RowContainer& hi = a.layout <= b.layout ? b : a;
+  const RowLayout lt = lo.layout, ht = hi.layout;
+
+  if (lt == RowLayout::kBatmap && ht == RowLayout::kBatmap) {
+    const bool a_big = lo.words.size() >= hi.words.size();
+    return batmap::intersect_count_words(a_big ? lo.words : hi.words,
+                                         a_big ? hi.words : lo.words);
+  }
+  if (lt == RowLayout::kDense && ht == RowLayout::kDense) {
+    return dense_intersect_count(dense_words_u64(lo), dense_words_u64(hi));
+  }
+  if (lt == RowLayout::kDense && ht == RowLayout::kSortedList) {
+    const auto bits = dense_words_u64(lo);
+    std::uint64_t count = 0;
+    for (const std::uint32_t id : hi.words) count += dense_test(bits, id);
+    return count;
+  }
+  if (lt == RowLayout::kDense && ht == RowLayout::kWah) {
+    std::vector<std::uint64_t> scratch(dense_word_count(hi.universe), 0ull);
+    wah_expand_to_dense(hi.words, hi.universe, scratch);
+    return dense_intersect_count(dense_words_u64(lo), scratch);
+  }
+  if (lt == RowLayout::kBatmap && ht == RowLayout::kDense) {
+    return dense_probe_stored(hi, lo);
+  }
+  if (lt == RowLayout::kSortedList && ht == RowLayout::kSortedList) {
+    return list_intersect_count_gallop(lo.words, hi.words);
+  }
+  if (lt == RowLayout::kWah && ht == RowLayout::kWah) {
+    return wah_intersect_count(lo.words, hi.words);
+  }
+  // batmap×list, batmap×wah, list×wah: merge the stored-element streams.
+  return stored_merge_count(lo, hi);
+}
+
+}  // namespace repro::core

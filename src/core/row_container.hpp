@@ -1,0 +1,138 @@
+// Unified row-container API: one non-owning view over a set's on-disk (or
+// in-memory) representation, tagged by layout, plus the cross-layout
+// intersect kernels dispatched by tag pair.
+//
+// The paper's batmap wins on moderately dense rows, but webdocs-scale
+// corpora are dominated by ultra-sparse rows (a sorted list is smaller and
+// faster) with a handful of ultra-dense rows (plain dense words beat
+// everything). The snapshot builder picks a layout per row; serving
+// dispatches on the (tag, tag) pair here.
+//
+// Exactness: every non-batmap payload is built from the row's STORED
+// elements (elements set-minus failed insertions), so a cross-layout kernel
+// computes exactly |stored_a ∩ stored_b| — the same value a raw batmap word
+// sweep yields. The usual failure-patch correction on top then gives the
+// exact |S_a ∩ S_b|, byte-identical to the all-batmap path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace repro::core {
+
+// ---- layout tags -----------------------------------------------------------
+
+/// Per-row container layout, stored as a u32 tag in the snapshot directory.
+/// kBatmap is 0 so legacy (version-1) snapshot entries, whose tag bytes were
+/// a zeroed reserved field, read back as all-batmap.
+enum class RowLayout : std::uint32_t {
+  kBatmap = 0,      // 2-of-3 interleaved batmap words (the paper's format)
+  kDense = 1,       // plain dense bit vector over the universe
+  kSortedList = 2,  // sorted u32 id list (the stored elements themselves)
+  kWah = 3,         // WAH-compressed bit vector (31-bit groups)
+};
+
+inline constexpr std::uint32_t kRowLayoutCount = 4;
+
+constexpr bool row_layout_known(std::uint32_t tag) {
+  return tag < kRowLayoutCount;
+}
+
+const char* row_layout_name(RowLayout layout);
+
+// ---- sorted-list kernels (u32 ids) -----------------------------------------
+// The classical CPU baselines from §IV-B, hoisted out of src/baselines so the
+// service, the benches, and the baselines share exactly one implementation.
+
+/// |a ∩ b| for sorted, duplicate-free spans; folklore two-pointer scan.
+std::uint64_t list_intersect_count_merge(std::span<const std::uint32_t> a,
+                                         std::span<const std::uint32_t> b);
+
+/// Same scan with arithmetic pointer advances instead of branches.
+std::uint64_t list_intersect_count_branchless(std::span<const std::uint32_t> a,
+                                              std::span<const std::uint32_t> b);
+
+/// Doubling search from the smaller list into the larger (Demaine et al.).
+std::uint64_t list_intersect_count_gallop(std::span<const std::uint32_t> a,
+                                          std::span<const std::uint32_t> b);
+
+/// Materializes a ∩ b into out (used by Eclat's recursion).
+std::size_t list_intersect_into(std::span<const std::uint32_t> a,
+                                std::span<const std::uint32_t> b,
+                                std::uint32_t* out);
+
+// ---- dense kernels (u64 words) ---------------------------------------------
+
+/// Number of u64 words in a dense row over [0, universe).
+std::uint64_t dense_word_count(std::uint64_t universe);
+
+/// AND + popcount over two equal-length dense rows.
+std::uint64_t dense_intersect_count(std::span<const std::uint64_t> a,
+                                    std::span<const std::uint64_t> b);
+
+inline bool dense_test(std::span<const std::uint64_t> words, std::uint64_t id) {
+  return (words[id >> 6] >> (id & 63)) & 1u;
+}
+
+inline void dense_set(std::span<std::uint64_t> words, std::uint64_t id) {
+  words[id >> 6] |= 1ull << (id & 63);
+}
+
+/// Builds the dense bit vector for a sorted id list over [0, universe).
+std::vector<std::uint64_t> dense_from_ids(std::span<const std::uint32_t> ids,
+                                          std::uint64_t universe);
+
+// ---- WAH codec (32-bit words over 31-bit groups) ---------------------------
+// MSB = 0: literal word, low 31 bits are the next 31 bitmap bits.
+// MSB = 1: fill word; bit 30 = fill value, low 30 bits = run length in groups.
+
+inline constexpr std::uint32_t kWahLiteralBits = 31;
+inline constexpr std::uint32_t kWahFillFlag = 0x80000000u;
+inline constexpr std::uint32_t kWahFillValue = 0x40000000u;
+inline constexpr std::uint32_t kWahLenMask = 0x3fffffffu;
+
+/// Compresses a sorted, duplicate-free id list over [0, universe).
+std::vector<std::uint32_t> wah_encode(std::span<const std::uint32_t> sorted_ids,
+                                      std::uint64_t universe);
+
+/// Decompresses a WAH stream back to the sorted id list.
+std::vector<std::uint32_t> wah_decode(std::span<const std::uint32_t> words,
+                                      std::uint64_t universe);
+
+/// |A ∩ B| by run-aligned sequential merge of two streams over one universe.
+std::uint64_t wah_intersect_count(std::span<const std::uint32_t> a,
+                                  std::span<const std::uint32_t> b);
+
+/// Expands a WAH stream into a dense row (dense_word_count(universe) words,
+/// zeroed by the callee) — the decode-to-dense fallback for wah×dense pairs.
+void wah_expand_to_dense(std::span<const std::uint32_t> words,
+                         std::uint64_t universe,
+                         std::span<std::uint64_t> dense);
+
+// ---- the unified view ------------------------------------------------------
+
+/// A non-owning view of one row: the layout payload plus the element/failure
+/// lists the exactness machinery needs. Spans alias the snapshot mapping (or
+/// a store's vectors); the view copies nothing.
+struct RowContainer {
+  RowLayout layout = RowLayout::kBatmap;
+  std::uint64_t universe = 0;
+  std::uint32_t range = 0;    // batmap range r (recorded for every layout)
+  std::uint64_t stored = 0;   // stored-element count == exact raw support
+  std::span<const std::uint32_t> words;     // layout payload
+  std::span<const std::uint64_t> elements;  // sorted S (may be empty: batmap)
+  std::span<const std::uint64_t> failures;  // sorted failed insertions F ⊆ S
+
+  std::uint64_t support() const { return stored; }
+  std::uint64_t bytes() const { return words.size() * 4; }
+};
+
+/// Exact |stored_a ∩ stored_b|, dispatched by the (layout, layout) pair.
+/// Pairs without a direct kernel fall back to a two-pointer merge over the
+/// stored-element lists (elements minus failures), which requires those rows
+/// to retain their element lists — the snapshot builder guarantees it.
+std::uint64_t intersect_count(const RowContainer& a, const RowContainer& b);
+
+}  // namespace repro::core

@@ -273,6 +273,11 @@ void QueryEngine::execute_batch(std::size_t count) {
   }
   const Snapshot& snap = cur->snapshot();
   const core::PackedMaps& packed = cur->packed();
+  // Mixed-layout snapshots have no packed sweep matrix (packed.n == 0):
+  // pair queries run their cross-layout kernel directly and top-k falls
+  // back to the per-row loop inside run_topk. All-batmap serving is
+  // untouched.
+  const bool mixed = !snap.all_batmap();
   const std::uint64_t cur_epoch = cur->epoch();
   const std::uint64_t batch_now = now_ns();
 
@@ -334,6 +339,20 @@ void QueryEngine::execute_batch(std::size_t count) {
     ++local.cache_misses;
     if (r.query.kind == QueryKind::kTopK) {
       topks[n_topk++] = static_cast<std::uint32_t>(i);
+    } else if (mixed) {
+      // No strips without packed words; the per-pair dispatch counts the
+      // same stored intersection the strip kernels would, so results stay
+      // byte-identical to the all-batmap path.
+      r.result_.value = r.query.kind == QueryKind::kIntersect
+                            ? snap.intersection_size(r.query.a, r.query.b)
+                            : snap.raw_count(r.query.a, r.query.b);
+      if (cache_.capacity() > 0) {
+        cache_.insert(cache_key(cur_epoch, r.query), r.result_);
+      }
+      ++local.queries;
+      ++local.cyclic_pairs;
+      finish(r, Request::kDone);
+      batch_[i] = nullptr;
     } else {
       const std::uint32_t sa = packed.sorted_index[r.query.a];
       const std::uint32_t sb = packed.sorted_index[r.query.b];
@@ -543,6 +562,21 @@ void QueryEngine::run_topk(const ServingState& st, Request& r) {
   const core::PackedMaps& packed = st.packed();
   const std::uint32_t a = r.query.a;
   const std::uint32_t k = r.query.k;
+  if (packed.n == 0) {
+    // Mixed-layout snapshot: no packed matrix to sweep. Rank every row
+    // through the same topk_insert, so the (count desc, id asc) order is
+    // identical to the sweep path and to execute_on.
+    TopEntry best[kMaxTopK];
+    std::uint32_t size = 0;
+    for (std::uint32_t id = 0; id < snap.size(); ++id) {
+      if (id == a) continue;
+      size = topk_insert(best, size, k, id, snap.intersection_size(a, id));
+    }
+    r.result_.topk_count = size;
+    r.result_.value = size;
+    std::copy_n(best, size, r.result_.topk);
+    return;
+  }
   const std::uint32_t sa = packed.sorted_index[a];
   const auto fa = snap.failures(a);
   const auto ea = snap.elements(a);
@@ -624,8 +658,11 @@ std::uint64_t QueryEngine::kway_count(const ServingState& st,
   // A counter sweep is only exact when both maps are failure-free (a failed
   // element is absent from its map, so a sweep would undercount it); those
   // steps are forced onto the list path, which reads the full element
-  // lists and is always exact.
-  const bool base_clean = snap.failures(base).empty();
+  // lists and is always exact. Counter sweeps also read packed batmap
+  // words, so in a mixed-layout snapshot any non-batmap operand (e.g. a
+  // sorted-list row) enters the plan as a free list operand instead.
+  const bool base_clean = snap.failures(base).empty() &&
+                          snap.layout(base) == core::RowLayout::kBatmap;
   const std::uint64_t base_slots = snap.words(base).size() * 4;
   auto lists = arena_.alloc_array<std::uint32_t>(order.size());
   auto sweeps = arena_.alloc_array<std::uint32_t>(order.size());
@@ -637,7 +674,8 @@ std::uint64_t QueryEngine::kway_count(const ServingState& st,
   for (std::size_t i = 1; i < order.size(); ++i) {
     const std::uint32_t id = order[i];
     bool sweep = false;
-    if (base_clean && snap.failures(id).empty()) {
+    if (base_clean && snap.failures(id).empty() &&
+        snap.layout(id) == core::RowLayout::kBatmap) {
       // Cost model, in units of ~one random memory touch. A galloping
       // merge does ~driver gallops of 2+log2(other/driver) touches, each
       // a cache-hostile probe into the other list. A sweep streams
@@ -761,10 +799,20 @@ Result QueryEngine::execute_one(const Query& q) const {
 }
 
 QueryEngine::Stats QueryEngine::stats() const {
-  std::lock_guard lock(stats_mu_);
-  Stats out = stats_;
+  Stats out;
+  {
+    std::lock_guard lock(stats_mu_);
+    out = stats_;
+  }
   out.shed_overload = shed_.load(std::memory_order_relaxed);
   out.timeouts += adm_timeouts_.load(std::memory_order_relaxed);
+  // Layout gauges reflect the snapshot being served right now.
+  const Snapshot::LayoutBreakdown br =
+      mgr_->current()->snapshot().layout_breakdown();
+  out.rows_batmap = br.rows[static_cast<int>(core::RowLayout::kBatmap)];
+  out.rows_dense = br.rows[static_cast<int>(core::RowLayout::kDense)];
+  out.rows_list = br.rows[static_cast<int>(core::RowLayout::kSortedList)];
+  out.rows_wah = br.rows[static_cast<int>(core::RowLayout::kWah)];
   return out;
 }
 

@@ -226,6 +226,12 @@ class QueryEngine {
     /// query_engine_test — the "no per-query heap allocation" witness).
     std::uint64_t arena_reserved_bytes = 0;
     std::uint64_t arena_blocks = 0;
+    /// Row counts of the currently served snapshot by container layout
+    /// (gauges recomputed per stats() call, not accumulated).
+    std::uint64_t rows_batmap = 0;
+    std::uint64_t rows_dense = 0;
+    std::uint64_t rows_list = 0;
+    std::uint64_t rows_wah = 0;
   };
 
   /// Fixed-snapshot mode: serves `snap` forever (no hot-swap). The

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <cstring>
 #include <fstream>
@@ -39,10 +40,112 @@ void write_hashed(std::ostream& out, util::Fnv1a& hash, const void* data,
   hash.update(data, bytes);
 }
 
+/// The row's stored elements (elements set-minus failures) as u32 ids — the
+/// source material for every non-batmap payload. Requires ids to fit u32.
+std::vector<std::uint32_t> stored_ids_u32(const batmap::BatmapStore& store,
+                                          std::size_t id) {
+  const auto elems = store.elements(id);
+  const auto fails = store.failures(id);
+  std::vector<std::uint32_t> out;
+  out.reserve(elems.size() - fails.size());
+  std::size_t f = 0;
+  for (const std::uint64_t v : elems) {
+    while (f < fails.size() && fails[f] < v) ++f;
+    if (f < fails.size() && fails[f] == v) {
+      ++f;
+      continue;
+    }
+    REPRO_CHECK_MSG(v <= 0xffffffffull, "stored id does not fit u32");
+    out.push_back(static_cast<std::uint32_t>(v));
+  }
+  return out;
+}
+
+/// True when the store retains the element lists the cross-layout kernels
+/// need to stay exact (every nonempty row has its sorted element list).
+bool elements_retained(const batmap::BatmapStore& store) {
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    if (store.map(i).stored_elements() + store.failures(i).size() > 0 &&
+        store.elements(i).empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
+
+std::optional<LayoutMode> parse_layout_mode(std::string_view name) {
+  if (name == "batmap") return LayoutMode::kBatmap;
+  if (name == "auto") return LayoutMode::kAuto;
+  if (name == "dense") return LayoutMode::kDense;
+  if (name == "list") return LayoutMode::kList;
+  if (name == "wah") return LayoutMode::kWah;
+  return std::nullopt;
+}
+
+std::vector<core::RowLayout> plan_layouts(const batmap::BatmapStore& store,
+                                          LayoutMode mode) {
+  const std::size_t n = store.size();
+  std::vector<core::RowLayout> plan(n, core::RowLayout::kBatmap);
+  if (mode == LayoutMode::kBatmap) return plan;
+  // Cross-layout kernels patch and merge via stored-element lists; a store
+  // that dropped them can only be served all-batmap.
+  if (!elements_retained(store)) return plan;
+  const bool ids_fit_u32 = store.universe() <= 0x100000000ull;
+  const std::uint64_t dense_bytes = core::dense_word_count(store.universe()) * 8;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& m = store.map(i);
+    switch (mode) {
+      case LayoutMode::kDense:
+        plan[i] = core::RowLayout::kDense;
+        break;
+      case LayoutMode::kList:
+        if (ids_fit_u32) plan[i] = core::RowLayout::kSortedList;
+        break;
+      case LayoutMode::kWah:
+        if (ids_fit_u32) plan[i] = core::RowLayout::kWah;
+        break;
+      case LayoutMode::kAuto: {
+        // Smallest encoding wins; ties go to the faster intersect kernel
+        // (dense word AND < batmap sweep < galloping list < WAH decode).
+        std::uint64_t best_bytes = dense_bytes;
+        int best_rank = 0;
+        core::RowLayout best = core::RowLayout::kDense;
+        const auto consider = [&](std::uint64_t bytes, int rank,
+                                  core::RowLayout layout) {
+          if (bytes < best_bytes || (bytes == best_bytes && rank < best_rank)) {
+            best_bytes = bytes;
+            best_rank = rank;
+            best = layout;
+          }
+        };
+        consider(m.word_count() * 4, 1, core::RowLayout::kBatmap);
+        if (ids_fit_u32) {
+          const auto ids = stored_ids_u32(store, i);
+          consider(ids.size() * 4, 2, core::RowLayout::kSortedList);
+          consider(core::wah_encode(ids, store.universe()).size() * 4, 3,
+                   core::RowLayout::kWah);
+        }
+        plan[i] = best;
+        break;
+      }
+      case LayoutMode::kBatmap:
+        break;
+    }
+  }
+  return plan;
+}
 
 void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
                     std::uint64_t epoch) {
+  write_snapshot(store, path, epoch, {});
+}
+
+void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
+                    std::uint64_t epoch,
+                    std::span<const core::RowLayout> layouts) {
   // The snapshot records only (universe, seed); the layout it implies must
   // be the one the store actually used, or a reader would mis-decode.
   const batmap::LayoutParams derived =
@@ -53,11 +156,46 @@ void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
                   "snapshot format cannot represent it");
 
   const std::uint64_t n = store.size();
+  REPRO_CHECK_MSG(layouts.empty() || layouts.size() == n,
+                  "layout plan size does not match store");
   SnapshotHeader hdr;
   hdr.epoch = epoch;
   hdr.universe = store.universe();
   hdr.seed = store.seed();
   hdr.map_count = n;
+
+  // Materialize non-batmap payloads up front (batmap rows reuse the store's
+  // packed words with zero copy). Every alternative payload is built from
+  // the STORED elements, so raw cross-layout counts equal the raw sweep.
+  std::vector<std::vector<std::uint32_t>> built(n);
+  const auto row_layout = [&](std::uint64_t i) {
+    return layouts.empty() ? core::RowLayout::kBatmap : layouts[i];
+  };
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const core::RowLayout layout = row_layout(i);
+    if (layout == core::RowLayout::kBatmap) continue;
+    const auto& m = store.map(i);
+    REPRO_CHECK_MSG(
+        store.elements(i).size() == m.stored_elements() + store.failures(i).size(),
+        "non-batmap layout requires retained element lists");
+    const auto ids = stored_ids_u32(store, i);
+    switch (layout) {
+      case core::RowLayout::kDense: {
+        const auto dense = core::dense_from_ids(ids, store.universe());
+        built[i].resize(dense.size() * 2);
+        std::memcpy(built[i].data(), dense.data(), dense.size() * 8);
+        break;
+      }
+      case core::RowLayout::kSortedList:
+        built[i] = {ids.begin(), ids.end()};
+        break;
+      case core::RowLayout::kWah:
+        built[i] = core::wah_encode(ids, store.universe());
+        break;
+      case core::RowLayout::kBatmap:
+        break;
+    }
+  }
 
   // Lay out the directory and the three 64B-aligned sections.
   std::vector<SnapshotMapEntry> entries(n);
@@ -65,11 +203,16 @@ void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
   off = bits::round_up(off, kAlign);
   for (std::uint64_t i = 0; i < n; ++i) {
     const auto& m = store.map(i);
-    entries[i].word_count = static_cast<std::uint32_t>(m.word_count());
+    const core::RowLayout layout = row_layout(i);
+    const std::uint64_t words =
+        layout == core::RowLayout::kBatmap ? m.word_count() : built[i].size();
+    REPRO_CHECK_MSG(words <= 0xffffffffull, "row payload too large");
+    entries[i].word_count = static_cast<std::uint32_t>(words);
     entries[i].range = m.range();
     entries[i].stored_elements = m.stored_elements();
+    entries[i].layout = static_cast<std::uint32_t>(layout);
     entries[i].words_off = off;
-    off = bits::round_up(off + m.word_count() * sizeof(std::uint32_t), kAlign);
+    off = bits::round_up(off + words * sizeof(std::uint32_t), kAlign);
   }
   for (std::uint64_t i = 0; i < n; ++i) {
     entries[i].fail_count = store.failures(i).size();
@@ -105,7 +248,10 @@ void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
   };
   for (std::uint64_t i = 0; i < n; ++i) {
     pad_to(entries[i].words_off);
-    const auto w = store.map(i).words();
+    const std::span<const std::uint32_t> w =
+        row_layout(i) == core::RowLayout::kBatmap
+            ? store.map(i).words()
+            : std::span<const std::uint32_t>(built[i]);
     write_hashed(out, hash, w.data(), w.size() * sizeof(std::uint32_t));
     pos += w.size() * sizeof(std::uint32_t);
   }
@@ -167,7 +313,8 @@ Snapshot Snapshot::open(const std::string& path) {
   snap.header_ = hdr;
   REPRO_CHECK_MSG(hdr->magic == kSnapshotMagic,
                   "not a batmap snapshot: " + path);
-  REPRO_CHECK_MSG(hdr->version == kSnapshotVersion,
+  REPRO_CHECK_MSG(hdr->version == kSnapshotVersion ||
+                      hdr->version == kSnapshotVersionLegacy,
                   "unsupported snapshot version");
   REPRO_CHECK_MSG(hdr->header_bytes == sizeof(SnapshotHeader),
                   "snapshot header size mismatch");
@@ -194,6 +341,7 @@ Snapshot Snapshot::open(const std::string& path) {
   snap.entries_ = {reinterpret_cast<const SnapshotMapEntry*>(
                        snap.base_ + sizeof(SnapshotHeader)),
                    static_cast<std::size_t>(n)};
+  const std::uint64_t dense_words = 2 * core::dense_word_count(hdr->universe);
   for (const auto& e : snap.entries_) {
     const auto span_ok = [&](std::uint64_t off, std::uint64_t count,
                              std::uint64_t elem_size) {
@@ -204,8 +352,35 @@ Snapshot Snapshot::open(const std::string& path) {
                         span_ok(e.fail_off, e.fail_count, 8) &&
                         span_ok(e.elem_off, e.elem_count, 8),
                     "snapshot map entry out of bounds or misaligned");
-    REPRO_CHECK_MSG(e.word_count == batmap::LayoutParams::words(e.range),
-                    "snapshot word count inconsistent with range");
+    if (!core::row_layout_known(e.layout)) {
+      throw SnapshotLayoutError("snapshot row has unknown layout tag " +
+                                std::to_string(e.layout) +
+                                " (newer writer?): " + path);
+    }
+    // Per-layout shape checks: the payload length must be the one the tag
+    // implies, and non-batmap rows must carry the element lists the
+    // cross-layout kernels patch with.
+    switch (static_cast<core::RowLayout>(e.layout)) {
+      case core::RowLayout::kBatmap:
+        REPRO_CHECK_MSG(e.word_count == batmap::LayoutParams::words(e.range),
+                        "snapshot word count inconsistent with range");
+        break;
+      case core::RowLayout::kDense:
+        REPRO_CHECK_MSG(e.word_count == dense_words,
+                        "snapshot dense row has wrong word count");
+        break;
+      case core::RowLayout::kSortedList:
+        REPRO_CHECK_MSG(e.word_count == e.stored_elements,
+                        "snapshot list row has wrong word count");
+        break;
+      case core::RowLayout::kWah:
+        break;  // variable length; covered by bounds + checksum
+    }
+    if (e.layout != 0) {
+      snap.all_batmap_ = false;
+      REPRO_CHECK_MSG(e.elem_count == e.stored_elements + e.fail_count,
+                      "non-batmap snapshot row lacks its element list");
+    }
   }
   snap.ctx_ = batmap::BatmapContext(hdr->universe, hdr->seed);
   return snap;
@@ -223,10 +398,12 @@ Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
     header_ = other.header_;
     entries_ = other.entries_;
     ctx_ = other.ctx_;
+    all_batmap_ = other.all_batmap_;
     other.base_ = nullptr;
     other.map_bytes_ = 0;
     other.header_ = nullptr;
     other.entries_ = {};
+    other.all_batmap_ = true;
   }
   return *this;
 }
@@ -255,11 +432,21 @@ std::span<const std::uint64_t> Snapshot::elements(std::size_t id) const {
           static_cast<std::size_t>(e.elem_count)};
 }
 
+core::RowContainer Snapshot::row(std::size_t id) const {
+  const auto& e = entry(id);
+  return {static_cast<core::RowLayout>(e.layout), header_->universe, e.range,
+          e.stored_elements, words(id), elements(id), failures(id)};
+}
+
 std::uint64_t Snapshot::raw_count(std::size_t a, std::size_t b) const {
-  const auto wa = words(a);
-  const auto wb = words(b);
-  return wa.size() >= wb.size() ? batmap::intersect_count_words(wa, wb)
-                                : batmap::intersect_count_words(wb, wa);
+  if (layout(a) == core::RowLayout::kBatmap &&
+      layout(b) == core::RowLayout::kBatmap) {
+    const auto wa = words(a);
+    const auto wb = words(b);
+    return wa.size() >= wb.size() ? batmap::intersect_count_words(wa, wb)
+                                  : batmap::intersect_count_words(wb, wa);
+  }
+  return core::intersect_count(row(a), row(b));
 }
 
 std::uint64_t Snapshot::intersection_size(std::size_t a, std::size_t b) const {
@@ -272,6 +459,19 @@ std::uint64_t Snapshot::total_failures() const {
   std::uint64_t total = 0;
   for (const auto& e : entries_) total += e.fail_count;
   return total;
+}
+
+Snapshot::LayoutBreakdown Snapshot::layout_breakdown() const {
+  LayoutBreakdown br;
+  for (const auto& e : entries_) {
+    const std::uint64_t run = bits::round_up(e.word_count * 4ull, kAlign);
+    br.rows[e.layout] += 1;
+    br.payload_bytes[e.layout] += run;
+    br.payload_bytes_total += run;
+    br.all_batmap_payload_bytes +=
+        bits::round_up(batmap::LayoutParams::words(e.range) * 4ull, kAlign);
+  }
+  return br;
 }
 
 }  // namespace repro::service

@@ -9,6 +9,10 @@
 namespace repro::service {
 
 void ServingState::pack() {
+  // The packed sweep matrix (and the strip kernels over it) assumes every
+  // row is batmap words. Mixed-layout snapshots serve through the per-pair
+  // cross-layout kernels instead; packed_.n stays 0 as the signal.
+  if (!snap_->all_batmap()) return;
   std::vector<std::span<const std::uint32_t>> spans(snap_->size());
   for (std::size_t i = 0; i < snap_->size(); ++i) spans[i] = snap_->words(i);
   packed_ = core::pack_sorted_spans(spans, /*sort_by_width=*/true);

@@ -29,10 +29,13 @@ struct SnapFixture {
   /// `min_size`/`max_size` bound the per-set sizes drawn uniformly; dense
   /// near-equal sizes make the planner pick counter sweeps, skewed mixes
   /// make it pick list merges.
+  /// `mixed` writes the snapshot with cycled per-row layouts (i % 4) so the
+  /// planner sees non-batmap rows, which are ineligible for counter sweeps.
   static SnapFixture make(std::uint64_t universe, int sets,
                           std::size_t min_size, std::size_t max_size,
                           std::uint64_t seed, const char* tag,
-                          batmap::BatmapStore::Options opt = {}) {
+                          batmap::BatmapStore::Options opt = {},
+                          bool mixed = false) {
     batmap::BatmapStore store(universe, opt);
     Xoshiro256 rng(seed);
     for (int i = 0; i < sets; ++i) {
@@ -45,7 +48,14 @@ struct SnapFixture {
     }
     const std::string path =
         std::string("/tmp/batmap_kway_diff_test_") + tag + ".snap";
-    write_snapshot(store, path, /*epoch=*/1);
+    std::vector<core::RowLayout> layouts;
+    if (mixed) {
+      layouts.resize(store.size());
+      for (std::size_t i = 0; i < layouts.size(); ++i) {
+        layouts[i] = static_cast<core::RowLayout>(i % core::kRowLayoutCount);
+      }
+    }
+    write_snapshot(store, path, /*epoch=*/1, layouts);
     Snapshot snap = Snapshot::open(path);
     std::remove(path.c_str());  // the mapping keeps the data alive
     return {std::move(store), std::move(snap)};
@@ -231,6 +241,33 @@ TEST(KwayDiffTest, ForcedFailuresFallBackToExactLists) {
   const auto st = settled_stats(engine, asked);
   EXPECT_GT(st.kway_list_steps, 0u);
   EXPECT_EQ(st.kway_sweep_steps, 0u);  // sweeps need failure-free operands
+}
+
+TEST(KwayDiffTest, MixedLayoutSnapshotMatchesBruteForce) {
+  // Cycled per-row layouts (batmap/dense/list/wah): non-batmap rows are
+  // free list operands — never sweep bases or sweep operands — so the
+  // planner must still fold to the exact brute-force answer with at least
+  // one list step per query and plenty of coverage of the dispatch table.
+  const auto fx = SnapFixture::make(6000, 16, 100, 2200, 23, "mixed", {},
+                                    /*mixed=*/true);
+  ASSERT_FALSE(fx.snap.all_batmap());
+  QueryEngine engine(fx.snap, {});
+  Xoshiro256 rng(229);
+  std::uint64_t asked = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::uint32_t k =
+        2 + static_cast<std::uint32_t>(rng.below(kMaxKwayIds - 1));
+    std::vector<std::uint32_t> ids(k);
+    for (auto& id : ids) {
+      id = static_cast<std::uint32_t>(rng.below(fx.snap.size()));
+    }
+    ASSERT_EQ(ask(engine, kway_query(ids)), brute_fold(fx.store, ids).size())
+        << "iter=" << iter;
+    ++asked;
+  }
+  const auto st = settled_stats(engine, asked);
+  EXPECT_GT(st.kway_queries, 0u);
+  EXPECT_GT(st.kway_list_steps, 0u);
 }
 
 TEST(KwayDiffTest, RejectsMalformedKwayQueries) {

@@ -1,0 +1,228 @@
+// Differential tests for adaptive per-row container layouts: every layout
+// pair's intersect kernel, every forced LayoutMode, and the auto cost model
+// must produce counts byte-identical to the BatmapStore the snapshot was
+// built from — raw (unpatched) AND patched — across seeds × density
+// regimes, including a forced-insertion-failure regime. The engine's
+// batched path and its naive reference path are spot-checked on mixed
+// snapshots too. Runs in the stress tier (ASan+UBSan CI job) and in the
+// diff-smoke target.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "batmap/intersect.hpp"
+#include "core/row_container.hpp"
+#include "service/query_engine.hpp"
+#include "service/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace repro::service {
+namespace {
+
+batmap::BatmapStore make_store(std::uint64_t universe, int sets,
+                               std::size_t min_size, std::size_t max_size,
+                               std::uint64_t seed,
+                               batmap::BatmapStore::Options opt = {}) {
+  batmap::BatmapStore store(universe, opt);
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < sets; ++i) {
+    std::set<std::uint64_t> s;
+    const std::size_t size =
+        min_size + rng.below(std::uint64_t{max_size - min_size + 1});
+    while (s.size() < size) s.insert(rng.below(universe));
+    std::vector<std::uint64_t> v(s.begin(), s.end());
+    store.add(v);
+  }
+  return store;
+}
+
+Snapshot cut(const batmap::BatmapStore& store, const char* tag,
+             std::span<const core::RowLayout> layouts) {
+  const std::string path =
+      std::string("/tmp/batmap_row_layout_diff_") + tag + ".snap";
+  write_snapshot(store, path, /*epoch=*/1, layouts);
+  Snapshot snap = Snapshot::open(path);
+  std::remove(path.c_str());  // the mapping keeps the data alive
+  return snap;
+}
+
+/// Asserts every pair query on `snap` matches the store bit-exactly.
+void expect_all_pairs_match(const Snapshot& snap,
+                            const batmap::BatmapStore& store,
+                            const char* what) {
+  ASSERT_EQ(snap.size(), store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    for (std::size_t j = i; j < store.size(); ++j) {
+      ASSERT_EQ(snap.raw_count(i, j), store.raw_count(i, j))
+          << what << " raw " << i << "x" << j;
+      ASSERT_EQ(snap.intersection_size(i, j), store.intersection_size(i, j))
+          << what << " patched " << i << "x" << j;
+    }
+  }
+}
+
+struct Regime {
+  std::uint64_t universe;
+  std::size_t min_size, max_size;
+  bool force_failures;
+  const char* name;
+};
+
+constexpr Regime kRegimes[] = {
+    {3000, 5, 120, false, "sparse"},     // list/wah territory
+    {2000, 900, 1700, false, "dense"},   // dense-bitvector territory
+    {30000, 5, 4000, false, "spread"},   // wild mix, large universe
+    {2500, 400, 1200, true, "failures"}, // every row carries a failure patch
+};
+
+TEST(RowLayoutDiffTest, EveryLayoutPairMatchesStoreOracle) {
+  // Cycled layouts with coprime strides on top of an offset cover all 16
+  // ordered (layout_a, layout_b) kernel dispatches within each regime.
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    for (const auto& rg : kRegimes) {
+      batmap::BatmapStore::Options opt;
+      if (rg.force_failures) {
+        opt.builder.max_loop = 1;
+        opt.builder.max_cascade = 1;
+      }
+      const auto store = make_store(rg.universe, 13, rg.min_size, rg.max_size,
+                                    seed, opt);
+      if (rg.force_failures) {
+        ASSERT_GT(store.total_failures(), 0u);
+      }
+      for (int stride = 1; stride <= 3; stride += 2) {
+        std::vector<core::RowLayout> layouts(store.size());
+        for (std::size_t i = 0; i < layouts.size(); ++i) {
+          layouts[i] = static_cast<core::RowLayout>(
+              (i * static_cast<std::size_t>(stride) + seed) %
+              core::kRowLayoutCount);
+        }
+        char tag[64];
+        std::snprintf(tag, sizeof(tag), "pairs_%s_%llu_%d", rg.name,
+                      static_cast<unsigned long long>(seed), stride);
+        const Snapshot snap = cut(store, tag, layouts);
+        EXPECT_FALSE(snap.all_batmap());
+        expect_all_pairs_match(snap, store, tag);
+      }
+    }
+  }
+}
+
+TEST(RowLayoutDiffTest, ForcedUniformAndAutoModesMatchStoreOracle) {
+  constexpr LayoutMode kModes[] = {LayoutMode::kBatmap, LayoutMode::kAuto,
+                                   LayoutMode::kDense, LayoutMode::kList,
+                                   LayoutMode::kWah};
+  constexpr const char* kModeNames[] = {"batmap", "auto", "dense", "list",
+                                        "wah"};
+  for (const auto& rg : kRegimes) {
+    batmap::BatmapStore::Options opt;
+    if (rg.force_failures) {
+      opt.builder.max_loop = 1;
+      opt.builder.max_cascade = 1;
+    }
+    const auto store =
+        make_store(rg.universe, 11, rg.min_size, rg.max_size, 5, opt);
+    for (std::size_t m = 0; m < std::size(kModes); ++m) {
+      const auto layouts = plan_layouts(store, kModes[m]);
+      char tag[64];
+      std::snprintf(tag, sizeof(tag), "mode_%s_%s", rg.name, kModeNames[m]);
+      const Snapshot snap = cut(store, tag, layouts);
+      expect_all_pairs_match(snap, store, tag);
+    }
+  }
+}
+
+TEST(RowLayoutDiffTest, AutoPicksTheSmallestEncodingPerRow) {
+  // The cost model's choice must never be larger than forcing any single
+  // layout everywhere: compare the words-section footprints.
+  const auto store = make_store(30000, 24, 5, 6000, 17);
+  const auto measure = [&](LayoutMode mode, const char* tag) {
+    const Snapshot snap = cut(store, tag, plan_layouts(store, mode));
+    return snap.layout_breakdown().payload_bytes_total;
+  };
+  const std::uint64_t auto_bytes = measure(LayoutMode::kAuto, "cost_auto");
+  EXPECT_LE(auto_bytes, measure(LayoutMode::kBatmap, "cost_batmap"));
+  EXPECT_LE(auto_bytes, measure(LayoutMode::kDense, "cost_dense"));
+  EXPECT_LE(auto_bytes, measure(LayoutMode::kList, "cost_list"));
+  EXPECT_LE(auto_bytes, measure(LayoutMode::kWah, "cost_wah"));
+}
+
+TEST(RowLayoutDiffTest, EngineServesMixedSnapshotsExactly) {
+  // The serving stack on a mixed snapshot: batched submit and the naive
+  // reference path both answer straight off the layout kernels (the packed
+  // sweep engine disables itself), and both match the store.
+  const auto store = make_store(8000, 14, 50, 2500, 29);
+  std::vector<core::RowLayout> layouts(store.size());
+  for (std::size_t i = 0; i < layouts.size(); ++i) {
+    layouts[i] = static_cast<core::RowLayout>(i % core::kRowLayoutCount);
+  }
+  const Snapshot snap = cut(store, "engine", layouts);
+  ASSERT_FALSE(snap.all_batmap());
+  QueryEngine engine(snap, {});
+
+  Xoshiro256 rng(31);
+  Request req;
+  for (int iter = 0; iter < 200; ++iter) {
+    Query q;
+    const auto a = static_cast<std::uint32_t>(rng.below(store.size()));
+    const auto b = static_cast<std::uint32_t>(rng.below(store.size()));
+    q.kind = rng.below(2) == 0 ? QueryKind::kIntersect : QueryKind::kSupport;
+    q.a = a;
+    q.b = b;
+    const std::uint64_t want = q.kind == QueryKind::kIntersect
+                                   ? store.intersection_size(a, b)
+                                   : store.raw_count(a, b);
+    req.query = q;
+    engine.submit(req);
+    ASSERT_TRUE(QueryEngine::wait(req));
+    ASSERT_EQ(req.result().value, want) << "iter=" << iter;
+    ASSERT_EQ(engine.execute_one(q).value, want) << "iter=" << iter;
+  }
+
+  // Top-k on the mixed snapshot: the per-row fallback must produce the
+  // canonical (count desc, id asc) ranking the packed sweep would.
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    Query q;
+    q.kind = QueryKind::kTopK;
+    q.a = a;
+    q.k = 5;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> best;
+    for (std::uint32_t id = 0; id < store.size(); ++id) {
+      if (id == a) continue;
+      best.emplace_back(store.intersection_size(a, id), id);
+    }
+    std::sort(best.begin(), best.end(), [](const auto& x, const auto& y) {
+      return x.first != y.first ? x.first > y.first : x.second < y.second;
+    });
+    req.query = q;
+    engine.submit(req);
+    ASSERT_TRUE(QueryEngine::wait(req));
+    const Result& r = req.result();
+    ASSERT_EQ(r.topk_count, 5u);
+    for (std::uint32_t j = 0; j < r.topk_count; ++j) {
+      ASSERT_EQ(r.topk[j].id, best[j].second) << "a=" << a << " j=" << j;
+      ASSERT_EQ(r.topk[j].count, best[j].first) << "a=" << a << " j=" << j;
+    }
+  }
+}
+
+TEST(RowLayoutDiffTest, StatsReportLayoutGauges) {
+  const auto store = make_store(4000, 12, 50, 800, 3);
+  std::vector<core::RowLayout> layouts(store.size());
+  for (std::size_t i = 0; i < layouts.size(); ++i) {
+    layouts[i] = static_cast<core::RowLayout>(i % core::kRowLayoutCount);
+  }
+  const Snapshot snap = cut(store, "stats", layouts);
+  QueryEngine engine(snap, {});
+  const auto st = engine.stats();
+  EXPECT_EQ(st.rows_batmap, 3u);  // ceil/floor of 12 rows cycled over 4 tags
+  EXPECT_EQ(st.rows_dense, 3u);
+  EXPECT_EQ(st.rows_list, 3u);
+  EXPECT_EQ(st.rows_wah, 3u);
+}
+
+}  // namespace
+}  // namespace repro::service

@@ -191,6 +191,61 @@ TEST(ServiceSmokeTest, TypedErrorsForMalformedAndOversizedLines) {
   std::remove(snap.c_str());
 }
 
+// Tentpole: serving from an adaptive-layout snapshot is byte-identical to
+// serving from the all-batmap snapshot of the same store — every reply
+// line including the rolled-up fingerprint. snapshot-info reports the
+// per-layout split and the size saving.
+TEST(ServiceSmokeTest, AdaptiveLayoutSnapshotServesIdentically) {
+  const std::string store = build_store("layout");
+  const std::string snap_bm = cut_snapshot(store, "layout_bm", 4);
+  const std::string snap_auto = "/tmp/service_smoke_layout_auto.snap";
+  const auto cut = run(std::string(BATMAP_CLI_PATH) + " snapshot --store " +
+                       store + " --out " + snap_auto +
+                       " --epoch 4 --layout auto");
+  ASSERT_EQ(cut.exit_code, 0) << cut.out;
+
+  // Pair, support, top-k, and conjunctive queries all flow through the
+  // cross-layout kernels on the auto snapshot; the reply block (everything
+  // up to STATS, whose layout gauges legitimately differ) must match.
+  const std::string script =
+      "I 0 1\\nI 1 2\\nS 0 1\\nS 5 9\\nT 3 5\\nK 3 1 2 3\\nR 3 4 5 6\\n"
+      "I 0 1\\nFINGERPRINT\\nSTATS\\nQUIT\\n";
+  const auto serve_script = [&](const std::string& snap) {
+    const auto res = run("printf '" + script + "' | " + BATMAP_SERVE_PATH +
+                         " --snapshot " + snap);
+    EXPECT_EQ(res.exit_code, 0) << res.out;
+    return res.out;
+  };
+  const std::string from_bm = serve_script(snap_bm);
+  const std::string from_auto = serve_script(snap_auto);
+  const auto replies = [](const std::string& s) {
+    const auto from = s.find("\nOK ");
+    return s.substr(from, s.find("STATS ") - from);
+  };
+  ASSERT_NE(from_bm.find("\nOK "), std::string::npos) << from_bm;
+  ASSERT_NE(from_auto.find("\nOK "), std::string::npos) << from_auto;
+  EXPECT_EQ(replies(from_bm), replies(from_auto))
+      << "batmap:\n" << from_bm << "\nauto:\n" << from_auto;
+  EXPECT_NE(from_bm.find("FP "), std::string::npos) << from_bm;
+
+  // snapshot-info on both: the batmap file saves nothing vs itself; both
+  // report the accounting lines.
+  const auto info_bm = run(std::string(BATMAP_CLI_PATH) +
+                           " snapshot-info --snapshot " + snap_bm);
+  EXPECT_EQ(info_bm.exit_code, 0) << info_bm.out;
+  EXPECT_NE(info_bm.out.find("saved 0 bytes (0.0%)"), std::string::npos)
+      << info_bm.out;
+  const auto info_auto = run(std::string(BATMAP_CLI_PATH) +
+                             " snapshot-info --snapshot " + snap_auto);
+  EXPECT_EQ(info_auto.exit_code, 0) << info_auto.out;
+  EXPECT_NE(info_auto.out.find("vs all-batmap:"), std::string::npos)
+      << info_auto.out;
+
+  std::remove(store.c_str());
+  std::remove(snap_bm.c_str());
+  std::remove(snap_auto.c_str());
+}
+
 // Tentpole: RELOAD hot-swaps the snapshot mid-stream. Answers are
 // identical across the swap (same store, new epoch), a bad path or a
 // non-advancing epoch is rejected with a typed ERR RELOAD while the

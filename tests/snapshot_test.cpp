@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <set>
 #include <string>
@@ -11,6 +12,7 @@
 
 #include "batmap/intersect.hpp"
 #include "service/snapshot.hpp"
+#include "util/fnv.hpp"
 #include "util/rng.hpp"
 
 namespace repro::service {
@@ -153,6 +155,88 @@ TEST(SnapshotTest, RejectsAnyFlippedByte) {
 
 TEST(SnapshotTest, MissingFileThrows) {
   EXPECT_THROW(Snapshot::open("/nonexistent/batmap.snap"), CheckError);
+}
+
+/// Re-seals a hand-patched snapshot image: recomputes the FNV-1a digest
+/// (checksum field read as zero) so tests can corrupt SPECIFIC fields and
+/// prove the typed validation path fires, not just the checksum.
+void reseal(std::string& img) {
+  constexpr std::size_t kChecksumOff = offsetof(SnapshotHeader, checksum);
+  std::memset(img.data() + kChecksumOff, 0, sizeof(std::uint64_t));
+  const std::uint64_t digest = util::fnv1a(img.data(), img.size());
+  std::memcpy(img.data() + kChecksumOff, &digest, sizeof(digest));
+}
+
+TEST(SnapshotTest, MixedLayoutRoundTrip) {
+  const auto store = make_store(15000, 20, 7);
+  std::vector<core::RowLayout> layouts(store.size());
+  for (std::size_t i = 0; i < layouts.size(); ++i) {
+    layouts[i] = static_cast<core::RowLayout>(i % core::kRowLayoutCount);
+  }
+  const std::string path = temp_path("mixed");
+  write_snapshot(store, path, /*epoch=*/5, layouts);
+  const Snapshot snap = Snapshot::open(path);
+
+  EXPECT_FALSE(snap.all_batmap());
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap.layout(i), layouts[i]) << i;
+    EXPECT_EQ(snap.stored_elements(i), store.map(i).stored_elements()) << i;
+  }
+  // Every query — raw and patched — is byte-identical to the store across
+  // all 16 ordered layout pairs (i%4 cycling covers each at least once).
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    for (std::size_t j = i; j < store.size(); ++j) {
+      ASSERT_EQ(snap.intersection_size(i, j), store.intersection_size(i, j))
+          << i << "x" << j;
+      ASSERT_EQ(snap.raw_count(i, j), store.raw_count(i, j)) << i << "x" << j;
+    }
+  }
+  const auto br = snap.layout_breakdown();
+  EXPECT_EQ(br.rows[0] + br.rows[1] + br.rows[2] + br.rows[3], snap.size());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LegacyVersion1StillOpens) {
+  const auto store = make_store(6000, 10, 11);
+  const std::string path = temp_path("v1compat");
+  write_snapshot(store, path, /*epoch=*/2);
+  std::string img = slurp(path);
+  // Rewind the version field to 1 — the pre-layout format was identical
+  // except the tag field was reserved-zero, which is what the writer emits
+  // for batmap rows anyway.
+  const std::uint32_t v1 = kSnapshotVersionLegacy;
+  std::memcpy(img.data() + offsetof(SnapshotHeader, version), &v1, sizeof(v1));
+  reseal(img);
+  spit(path, img);
+
+  const Snapshot snap = Snapshot::open(path);
+  EXPECT_TRUE(snap.all_batmap());
+  EXPECT_EQ(snap.size(), store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    for (std::size_t j = i; j < store.size(); ++j) {
+      ASSERT_EQ(snap.intersection_size(i, j), store.intersection_size(i, j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsUnknownLayoutTag) {
+  const auto store = make_store(6000, 10, 11);
+  const std::string path = temp_path("badtag");
+  write_snapshot(store, path);
+  std::string img = slurp(path);
+  // Entry 0's layout tag lives right after the fixed header.
+  const std::size_t tag_off =
+      sizeof(SnapshotHeader) + offsetof(SnapshotMapEntry, layout);
+  const std::uint32_t alien = 7;
+  std::memcpy(img.data() + tag_off, &alien, sizeof(alien));
+  reseal(img);
+  spit(path, img);
+
+  EXPECT_THROW(Snapshot::open(path), SnapshotLayoutError);
+  // And the typed error is still a CheckError, so reload paths catch it.
+  EXPECT_THROW(Snapshot::open(path), CheckError);
+  std::remove(path.c_str());
 }
 
 }  // namespace

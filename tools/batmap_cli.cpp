@@ -1,10 +1,13 @@
 // batmap_cli — command-line front end for the library.
 //
 //   batmap_cli gen   --items N --density P --total N --out data.fimi [--seed S]
+//                    [--dist bernoulli|webdocs --docs N --zipf S --mean-len L]
 //   batmap_cli build --fimi data.fimi --out store.bin [--seed S]
 //   batmap_cli info  --store store.bin
 //   batmap_cli query --store store.bin --a I --b J
 //   batmap_cli snapshot --store store.bin --out snap.bin [--epoch E]
+//                       [--layout auto|batmap|dense|list|wah]
+//   batmap_cli snapshot-info --snapshot snap.bin [--assert-saving-pct P]
 //   batmap_cli pairs --fimi data.fimi --minsup S [--top K] [--backend native|device]
 //                    [--threads T] [--shards S]   (S: 0=auto, 1=flat pool)
 //                    [--chunk-bytes N]            (N: 0=whole-file ingest)
@@ -19,6 +22,7 @@
 // general itemset miner.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -44,7 +48,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: batmap_cli "
-               "<gen|build|info|query|snapshot|pairs|mine|verify> [flags]\n"
+               "<gen|build|info|query|snapshot|snapshot-info|pairs|mine|verify>"
+               " [flags]\n"
                "run a subcommand with --help for its flags\n");
   return 2;
 }
@@ -55,13 +60,35 @@ int cmd_gen(Args& args) {
   const std::uint64_t total = args.u64("total", 100000, "instance size");
   const std::uint64_t seed = args.u64("seed", 1, "generator seed");
   const std::string out = args.str("out", "data.fimi", "output path");
+  const std::string dist =
+      args.str("dist", "bernoulli", "distribution: bernoulli|webdocs");
+  const std::uint64_t docs = args.u64("docs", 25600, "webdocs: documents");
+  const double zipf = args.f64("zipf", 1.1, "webdocs: zipf exponent");
+  const double mean_len =
+      args.f64("mean-len", 80.0, "webdocs: mean words per document");
   args.finish();
-  mining::BernoulliSpec spec;
-  spec.num_items = static_cast<std::uint32_t>(items);
-  spec.density = density;
-  spec.total_items = total;
-  spec.seed = seed;
-  const auto db = mining::bernoulli_instance(spec);
+  if (dist != "bernoulli" && dist != "webdocs") {
+    std::fprintf(stderr, "gen: --dist must be bernoulli or webdocs\n");
+    return 2;
+  }
+  mining::TransactionDb db;
+  if (dist == "webdocs") {
+    // Zipf-skewed corpus: a few ultra-dense items and a long sparse tail —
+    // the density mix the adaptive snapshot layouts are built for.
+    mining::WebDocsSpec spec;
+    spec.num_docs = static_cast<std::size_t>(docs);
+    spec.zipf_exponent = zipf;
+    spec.mean_doc_len = mean_len;
+    spec.seed = seed;
+    db = mining::webdocs_like(spec);
+  } else {
+    mining::BernoulliSpec spec;
+    spec.num_items = static_cast<std::uint32_t>(items);
+    spec.density = density;
+    spec.total_items = total;
+    spec.seed = seed;
+    db = mining::bernoulli_instance(spec);
+  }
   mining::write_fimi_file(db, out);
   std::printf("wrote %zu transactions (%llu item occurrences, %u items) to %s\n",
               db.num_transactions(),
@@ -177,9 +204,19 @@ int cmd_snapshot(Args& args) {
   const std::string store_path = args.str("store", "", "input store path");
   const std::string out = args.str("out", "snap.bin", "output snapshot path");
   const std::uint64_t epoch = args.u64("epoch", 1, "snapshot epoch tag");
+  const std::string layout = args.str(
+      "layout", "batmap",
+      "row layouts: batmap|auto|dense|list|wah (auto = per-row cost model)");
   args.finish();
   if (store_path.empty()) {
     std::fprintf(stderr, "snapshot: --store is required\n");
+    return 2;
+  }
+  const auto mode = service::parse_layout_mode(layout);
+  if (!mode) {
+    std::fprintf(stderr,
+                 "snapshot: --layout must be batmap, auto, dense, list or "
+                 "wah\n");
     return 2;
   }
   std::ifstream f(store_path, std::ios::binary);
@@ -188,13 +225,75 @@ int cmd_snapshot(Args& args) {
     return 2;
   }
   const auto store = batmap::BatmapStore::load(f);
-  service::write_snapshot(store, out, epoch);
+  const auto layouts = service::plan_layouts(store, *mode);
+  service::write_snapshot(store, out, epoch, layouts);
   const auto snap = service::Snapshot::open(out);  // validates the write
   std::printf("snapshot: %zu sets, epoch %llu, %.1f MiB (64B-aligned, "
               "checksummed) -> %s\n",
               snap.size(), static_cast<unsigned long long>(snap.epoch()),
               static_cast<double>(snap.mapped_bytes()) / (1 << 20),
               out.c_str());
+  if (!snap.all_batmap()) {
+    const auto br = snap.layout_breakdown();
+    std::printf("layouts: batmap %llu, dense %llu, list %llu, wah %llu\n",
+                static_cast<unsigned long long>(br.rows[0]),
+                static_cast<unsigned long long>(br.rows[1]),
+                static_cast<unsigned long long>(br.rows[2]),
+                static_cast<unsigned long long>(br.rows[3]));
+  }
+  return 0;
+}
+
+int cmd_snapshot_info(Args& args) {
+  const std::string path = args.str("snapshot", "snap.bin", "snapshot path");
+  const double assert_pct = args.f64(
+      "assert-saving-pct", -1.0,
+      "exit 1 unless the file is at least this % smaller than all-batmap");
+  args.finish();
+  service::Snapshot snap = [&] {
+    try {
+      return service::Snapshot::open(path);
+    } catch (const CheckError& e) {
+      std::fprintf(stderr, "snapshot-info: %s\n", e.what());
+      std::exit(2);
+    }
+  }();
+  const auto br = snap.layout_breakdown();
+  std::printf("snapshot: %zu sets, epoch %llu, universe [0, %llu), %llu "
+              "bytes, %llu failures\n",
+              snap.size(), static_cast<unsigned long long>(snap.epoch()),
+              static_cast<unsigned long long>(snap.universe()),
+              static_cast<unsigned long long>(snap.mapped_bytes()),
+              static_cast<unsigned long long>(snap.total_failures()));
+  std::printf("%-8s %12s %16s\n", "layout", "rows", "payload bytes");
+  for (std::uint32_t t = 0; t < core::kRowLayoutCount; ++t) {
+    std::printf("%-8s %12llu %16llu\n",
+                core::row_layout_name(static_cast<core::RowLayout>(t)),
+                static_cast<unsigned long long>(br.rows[t]),
+                static_cast<unsigned long long>(br.payload_bytes[t]));
+  }
+  // An all-batmap snapshot of the same store differs only in its words
+  // section; directory and failure/element sections are identical.
+  const std::uint64_t hypothetical = snap.mapped_bytes() -
+                                     br.payload_bytes_total +
+                                     br.all_batmap_payload_bytes;
+  const std::int64_t saved = static_cast<std::int64_t>(hypothetical) -
+                             static_cast<std::int64_t>(snap.mapped_bytes());
+  const double pct =
+      hypothetical ? 100.0 * static_cast<double>(saved) /
+                         static_cast<double>(hypothetical)
+                   : 0.0;
+  std::printf("vs all-batmap: %llu bytes hypothetical, saved %lld bytes "
+              "(%.1f%%)\n",
+              static_cast<unsigned long long>(hypothetical),
+              static_cast<long long>(saved), pct);
+  if (assert_pct >= 0 && pct < assert_pct) {
+    std::fprintf(stderr,
+                 "snapshot-info: saving %.1f%% is below the required "
+                 "%.1f%%\n",
+                 pct, assert_pct);
+    return 1;
+  }
   return 0;
 }
 
@@ -355,6 +454,7 @@ int main(int argc, char** argv) {
   if (cmd == "info") return cmd_info(args);
   if (cmd == "query") return cmd_query(args);
   if (cmd == "snapshot") return cmd_snapshot(args);
+  if (cmd == "snapshot-info") return cmd_snapshot_info(args);
   if (cmd == "pairs") return cmd_pairs(args);
   if (cmd == "mine") return cmd_mine(args);
   if (cmd == "verify") return cmd_verify(args);

@@ -228,7 +228,7 @@ bool parse_u32(std::string_view s, std::uint32_t& out) {
 
 std::string format_stats(const service::QueryEngine::Stats& s,
                          std::uint64_t epoch, std::uint64_t swaps) {
-  char tmp[768];
+  char tmp[1024];
   std::snprintf(
       tmp, sizeof(tmp),
       "STATS queries=%" PRIu64 " batches=%" PRIu64 " max_batch=%" PRIu64
@@ -236,12 +236,14 @@ std::string format_stats(const service::QueryEngine::Stats& s,
       " cyclic_pairs=%" PRIu64 " topk_sweeps=%" PRIu64 " kway=%" PRIu64
       " kway_list=%" PRIu64 " kway_sweep=%" PRIu64 " arena_reserved=%" PRIu64
       " shed=%" PRIu64 " timeouts=%" PRIu64 " pinned_fallbacks=%" PRIu64
-      " rollovers=%" PRIu64 " epoch=%" PRIu64 " swaps=%" PRIu64,
+      " rollovers=%" PRIu64 " rows_batmap=%" PRIu64 " rows_dense=%" PRIu64
+      " rows_list=%" PRIu64 " rows_wah=%" PRIu64 " epoch=%" PRIu64
+      " swaps=%" PRIu64,
       s.queries, s.batches, s.max_batch_seen, s.cache_hits, s.cache_misses,
       s.strip_pairs, s.cyclic_pairs, s.topk_sweeps, s.kway_queries,
       s.kway_list_steps, s.kway_sweep_steps, s.arena_reserved_bytes,
       s.shed_overload, s.timeouts, s.pinned_fallbacks, s.epoch_rollovers,
-      epoch, swaps);
+      s.rows_batmap, s.rows_dense, s.rows_list, s.rows_wah, epoch, swaps);
   return tmp;
 }
 
