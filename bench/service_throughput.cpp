@@ -65,6 +65,29 @@
 //                       REPRO_FAULT=worker_stall_ms=N to make shedding
 //                       deterministic in CI; --overload-only skips the
 //                       other arms for that job.
+//   --write-permille P  adds a "live" arm: the same zipf read stream with
+//                       P‰ of operations replaced by A/D writes through the
+//                       delta layer, while a background thread compacts
+//                       every --compact-every-ms ms. Base sets draw from
+//                       the lower universe half and adds from the upper
+//                       half with globally unique (set, elem) pairs —
+//                       deletes only ever remove base elements — so the
+//                       final corpus is independent of client
+//                       interleaving. The arm reports read QPS/p99 at that
+//                       write rate, requires every request (read and
+//                       write) to end kOk with zero drops across >= 1
+//                       background compaction, and after a final
+//                       compaction fingerprints the served state against
+//                       an offline BatmapStore rebuilt from the tracked
+//                       model. --live-only runs just this arm (CI
+//                       live-smoke mode; defaults to 200‰ writes).
+//   --calibrate-kway    replaces the load arms with the k-way planner
+//                       calibration sweep (ROADMAP 5c): groups of sets at
+//                       size ratios x1..x32 queried under kForceList,
+//                       kForceSweep, and kAuto planner modes. Reports QPS
+//                       per (ratio, mode), the measured list-vs-sweep
+//                       crossover, and the cost model's switch point; all
+//                       three modes must fingerprint identically.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -245,10 +268,130 @@ std::uint64_t oracle_fingerprint(const batmap::BatmapStore& store,
         if (q.kind == service::QueryKind::kRuleScore) r.aux = ante;
         break;
       }
+      case service::QueryKind::kAdd:
+      case service::QueryKind::kDelete:
+      case service::QueryKind::kFlush:
+        break;  // write verbs never reach the oracle's read streams
     }
     fp ^= result_fingerprint(i, q, r);
   }
   return fp;
+}
+
+/// The k-way planner calibration sweep: one snapshot holding groups of
+/// sets, each group a small DRIVER set plus larger operands at size ratio
+/// x1..x32, queried with 3-way conjunctions under all three planner modes.
+/// Batmap rows are packed, so a counter sweep streams ~the larger operand's
+/// slots while a galloping merge does ~driver * log(ratio) probes: sweeps
+/// win near ratio 1 and lose as the ratio grows. Where the measured winner
+/// flips is the crossover the planner's cost model is supposed to predict.
+bool run_kway_calibration(std::uint64_t universe, std::uint64_t base_size,
+                          std::uint64_t queries_per_ratio, std::uint64_t seed,
+                          const std::string& snap_path,
+                          const std::string& csv) {
+  const std::vector<std::uint64_t> ratios = {1, 2, 4, 8, 16, 32};
+  constexpr std::uint32_t kGroupSets = 6;  // 1 driver + 5 large operands
+
+  batmap::BatmapStore store(universe);
+  {
+    Xoshiro256 rng(seed);
+    std::vector<std::uint64_t> v;
+    for (const std::uint64_t r : ratios) {
+      for (std::uint32_t j = 0; j < kGroupSets; ++j) {
+        const std::uint64_t target = std::min<std::uint64_t>(
+            j == 0 ? base_size : base_size * r, universe / 2);
+        std::set<std::uint64_t> s;
+        while (s.size() < target) s.insert(rng.below(universe));
+        v.assign(s.begin(), s.end());
+        store.add(v);
+      }
+    }
+  }
+  // Batmap rows only: the counter sweep is only eligible on packed batmap
+  // rows, and the calibration is about the planner, not the row layouts.
+  service::write_snapshot(store, snap_path, /*epoch=*/1,
+                          service::plan_layouts(store, service::LayoutMode::kBatmap));
+  const service::Snapshot snap = service::Snapshot::open(snap_path);
+  std::printf("calibrate-kway: %zu ratios x %u sets, base size %" PRIu64
+              ", universe %" PRIu64 ", %" PRIu64 " failures, %" PRIu64
+              " queries per ratio\n",
+              ratios.size(), kGroupSets, base_size, universe,
+              snap.total_failures(), queries_per_ratio);
+
+  Table table({"ratio", "operand_size", "list_qps", "sweep_qps", "auto_qps",
+               "model", "measured"});
+  bool ok = true;
+  std::size_t measured_cross = ratios.size();  // first ratio where list wins
+  std::size_t model_cross = ratios.size();     // first ratio auto goes list
+  for (std::size_t g = 0; g < ratios.size(); ++g) {
+    // Every query drives from the group's small set against two of its
+    // large operands — the regime the list-vs-sweep choice is about.
+    std::vector<service::Query> qs(queries_per_ratio);
+    Xoshiro256 rng(seed ^ (0x5eedull + g));
+    for (auto& q : qs) {
+      q.kind = service::QueryKind::kKway;
+      q.nids = 3;
+      const std::uint32_t base_id = static_cast<std::uint32_t>(g) * kGroupSets;
+      q.ids[0] = base_id;
+      q.ids[1] = base_id + 1 + static_cast<std::uint32_t>(rng.below(kGroupSets - 1));
+      do {
+        q.ids[2] = base_id + 1 + static_cast<std::uint32_t>(rng.below(kGroupSets - 1));
+      } while (q.ids[2] == q.ids[1]);
+      q.a = q.ids[0];
+    }
+
+    double qps[3] = {0, 0, 0};
+    std::uint64_t fp[3] = {0, 0, 0};
+    bool auto_swept = false;
+    const service::KwayMode modes[3] = {service::KwayMode::kForceList,
+                                        service::KwayMode::kForceSweep,
+                                        service::KwayMode::kAuto};
+    for (int m = 0; m < 3; ++m) {
+      service::QueryEngine::Options opt;
+      opt.cache_entries = 0;
+      opt.kway_mode = modes[m];
+      service::QueryEngine engine(snap, opt);
+      Timer t;
+      for (std::size_t i = 0; i < qs.size(); ++i) {
+        fp[m] ^= result_fingerprint(i, qs[i], engine.execute_one(qs[i]));
+      }
+      qps[m] = static_cast<double>(qs.size()) / t.seconds();
+      if (modes[m] == service::KwayMode::kAuto) {
+        const auto st = engine.stats();
+        auto_swept = st.kway_sweep_steps > st.kway_list_steps;
+      }
+    }
+    if (fp[0] != fp[1] || fp[0] != fp[2]) {
+      std::printf("FINGERPRINT MISMATCH across planner modes at ratio %" PRIu64
+                  "\n",
+                  ratios[g]);
+      ok = false;
+    }
+    const bool list_won = qps[0] > qps[1];
+    if (list_won && measured_cross == ratios.size()) measured_cross = g;
+    if (!auto_swept && model_cross == ratios.size()) model_cross = g;
+    table.row()
+        .add(ratios[g])
+        .add(std::min<std::uint64_t>(base_size * ratios[g], universe / 2))
+        .add(qps[0], 0)
+        .add(qps[1], 0)
+        .add(qps[2], 0)
+        .add(std::string(auto_swept ? "sweep" : "list"))
+        .add(std::string(list_won ? "list" : "sweep"));
+  }
+  bench::emit(table, csv);
+  const auto cross_str = [&](std::size_t c) {
+    if (c >= ratios.size()) return std::string("none");
+    std::string s = "x";
+    s += std::to_string(ratios[c]);
+    return s;
+  };
+  std::printf("crossover: list merges win measured from ratio %s, cost model "
+              "switches to lists at ratio %s\n",
+              cross_str(measured_cross).c_str(),
+              cross_str(model_cross).c_str());
+  std::remove(snap_path.c_str());
+  return ok;
 }
 
 }  // namespace
@@ -296,10 +439,28 @@ int main(int argc, char** argv) {
   const double assert_p99_ms = args.f64(
       "assert-p99-ms", 0.0,
       "fail if overload-arm served p99 exceeds this bound (0 = off)");
+  const std::uint64_t write_permille = args.u64(
+      "write-permille", 0, "live arm: ‰ of ops that are A/D writes (0 = off)");
+  const std::uint64_t compact_every_ms = args.u64(
+      "compact-every-ms", 0,
+      "live arm: background compaction period (0 = final compaction only)");
+  const bool live_only = args.flag(
+      "live-only", false, "run only the live read/write arm (CI live-smoke)");
+  const bool calibrate_kway = args.flag(
+      "calibrate-kway", false,
+      "run the k-way planner calibration sweep instead of the load arms");
   const std::string snap_path =
       args.str("snapshot", "service_throughput.snap", "snapshot scratch path");
   const std::string csv = args.str("csv", "", "write table as CSV");
   args.finish();
+
+  if (calibrate_kway) {
+    return run_kway_calibration(universe, set_size,
+                                std::max<std::uint64_t>(queries / 6, 50), seed,
+                                snap_path, csv)
+               ? 0
+               : 1;
+  }
 
   std::printf("service_throughput: %" PRIu64 " sets x %" PRIu64
               " elements over [0, %" PRIu64 "), %" PRIu64 " queries, %" PRIu64
@@ -389,20 +550,20 @@ int main(int argc, char** argv) {
   base.queue_capacity = std::max<std::size_t>(2 * clients, 64);
 
   RunResult direct, naive, batched, cached;
-  if (!overload_only) {
+  if (!overload_only && !live_only) {
     service::QueryEngine::Options opt = base;
     opt.cache_entries = 0;
     service::QueryEngine engine(snap, opt);
     direct = run_arm(engine, stream, 1, /*naive=*/true);
   }
-  if (!overload_only) {
+  if (!overload_only && !live_only) {
     service::QueryEngine::Options opt = base;
     opt.cache_entries = 0;
     opt.max_batch = 1;  // one-query-at-a-time serving
     service::QueryEngine engine(snap, opt);
     naive = run_arm(engine, stream, clients, /*naive=*/false);
   }
-  if (!overload_only) {
+  if (!overload_only && !live_only) {
     service::QueryEngine::Options opt = base;
     opt.cache_entries = 0;
     service::QueryEngine engine(snap, opt);
@@ -418,7 +579,7 @@ int main(int argc, char** argv) {
                 st.kway_list_steps, st.kway_sweep_steps,
                 st.arena_reserved_bytes);
   }
-  if (!overload_only) {
+  if (!overload_only && !live_only) {
     service::QueryEngine::Options opt = base;
     opt.cache_entries = cache;
     service::QueryEngine engine(snap, opt);
@@ -436,7 +597,7 @@ int main(int argc, char** argv) {
   // digest divergence.
   RunResult swapped;
   bool swapped_ok = true;
-  if (swap_every_ms > 0 && !overload_only) {
+  if (swap_every_ms > 0 && !overload_only && !live_only) {
     service::SnapshotManager mgr(service::Snapshot::open(snap_path));
     service::QueryEngine::Options opt = base;
     opt.cache_entries = cache;
@@ -480,7 +641,7 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   const double qn = static_cast<double>(queries);
-  if (!overload_only) {
+  if (!overload_only && !live_only) {
     Table table({"mode", "seconds", "qps", "p50_us", "p99_us", "speedup",
                  "fingerprint"});
     const auto row = [&](const char* mode, const RunResult& r) {
@@ -529,6 +690,188 @@ int main(int argc, char** argv) {
                     assert_speedup);
         ok = false;
       }
+    }
+  }
+
+  // Live read/write arm: the zipf read stream with write_permille‰ of ops
+  // replaced by A/D writes through the delta layer while a background
+  // thread compacts mid-load. Every request must end kOk (zero drops), and
+  // after a final compaction the served state must fingerprint identically
+  // to an offline BatmapStore rebuilt from the tracked model.
+  if (write_permille > 0 || live_only) {
+    const std::uint64_t wpm = write_permille > 0 ? write_permille : 200;
+    // A base corpus whose writes commute: base elements come from the lower
+    // universe half, adds from the upper half with globally unique
+    // (set, elem) pairs, and deletes only ever remove base elements — the
+    // final corpus is the same under every client interleaving.
+    std::vector<std::set<std::uint64_t>> model(sets);
+    std::vector<std::vector<std::uint64_t>> deletable(sets);
+    batmap::BatmapStore base_store(universe);
+    {
+      Xoshiro256 rng(seed ^ 0x11feull);
+      std::vector<std::uint64_t> v;
+      for (std::uint64_t i = 0; i < sets; ++i) {
+        auto& s = model[i];
+        const std::uint64_t target = std::min(set_size, universe / 4);
+        while (s.size() < target) s.insert(rng.below(universe / 2));
+        deletable[i].assign(s.begin(), s.end());
+        v.assign(s.begin(), s.end());
+        base_store.add(v);
+      }
+    }
+    const std::string base_path = snap_path + ".live.base";
+    service::write_snapshot(base_store, base_path, /*epoch=*/1,
+                            service::plan_layouts(base_store, *layout_mode));
+    service::SnapshotManager mgr(service::Snapshot::open(base_path));
+    std::remove(base_path.c_str());
+
+    // The mixed op stream: each slot keeps its read from `stream` or takes
+    // a pre-generated write (~25% deletes). Every write's recorded-op count
+    // is deterministic — adds are always new elements, deletes always
+    // present ones — so it is asserted even under concurrency.
+    std::vector<service::Query> ops(stream);
+    std::uint64_t n_writes = 0, n_deletes = 0;
+    {
+      Xoshiro256 rng(seed ^ 0xd311aull);
+      const Zipf zipf(sets, zipf_theta);
+      std::uint64_t next_add = universe / 2;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (rng.below(1000) >= wpm) continue;  // stays a read
+        const std::uint32_t set = zipf(rng);
+        const std::size_t want = 1 + rng.below(4);
+        service::Query q;
+        q.a = set;
+        if (rng.below(4) == 0 && !deletable[set].empty()) {
+          q.kind = service::QueryKind::kDelete;
+          auto& d = deletable[set];
+          while (q.nids < want && !d.empty()) {
+            const std::uint64_t e = d.back();
+            d.pop_back();
+            q.ids[q.nids++] = static_cast<std::uint32_t>(e);
+            model[set].erase(e);
+          }
+        } else {
+          q.kind = service::QueryKind::kAdd;
+          while (q.nids < want && next_add < universe) {
+            q.ids[q.nids++] = static_cast<std::uint32_t>(next_add);
+            model[set].insert(next_add);
+            ++next_add;
+          }
+        }
+        if (q.nids == 0) continue;  // unique elements exhausted: keep read
+        ops[i] = q;
+        ++n_writes;
+        if (q.kind == service::QueryKind::kDelete) ++n_deletes;
+      }
+    }
+
+    service::QueryEngine::Options opt = base;
+    opt.cache_entries = cache;
+    service::QueryEngine engine(mgr, opt);
+    service::Compactor::Options copt;
+    copt.out_prefix = snap_path + ".live";
+    copt.layout = *layout_mode;
+    service::Compactor compactor(mgr, engine.delta(), copt);
+    engine.set_flush_hook([&compactor] { return compactor.compact_now(); });
+
+    std::atomic<bool> live_done{false};
+    std::thread compact_thread;
+    if (compact_every_ms > 0) {
+      compact_thread = std::thread([&] {
+        while (!live_done.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(compact_every_ms));
+          if (live_done.load(std::memory_order_relaxed)) break;
+          compactor.compact_now();
+        }
+      });
+    }
+
+    std::atomic<std::uint64_t> bad{0};
+    std::vector<std::vector<std::uint64_t>> rlat(clients);
+    Timer wall;
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+      const std::size_t lo = queries * c / clients;
+      const std::size_t hi = queries * (c + 1) / clients;
+      threads.emplace_back([&, c, lo, hi] {
+        service::Request req;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const service::Query& q = ops[i];
+          const bool is_write = q.kind == service::QueryKind::kAdd ||
+                                q.kind == service::QueryKind::kDelete;
+          Timer t;
+          req.query = q;
+          engine.submit(req);
+          service::QueryEngine::wait(req);
+          if (req.outcome() != service::Request::Outcome::kOk ||
+              (is_write && req.result().value != q.nids)) {
+            bad.fetch_add(1, std::memory_order_relaxed);
+          } else if (!is_write) {
+            rlat[c].push_back(static_cast<std::uint64_t>(t.seconds() * 1e9));
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double secs = wall.seconds();
+    live_done.store(true, std::memory_order_relaxed);
+    if (compact_thread.joinable()) compact_thread.join();
+
+    // Final compaction drains whatever delta remains; the post-compaction
+    // state is what gets fingerprinted against the offline rebuild.
+    compactor.compact_now();
+    const auto st = engine.stats();
+    std::vector<std::uint64_t> rall;
+    for (auto& l : rlat) rall.insert(rall.end(), l.begin(), l.end());
+    const double reads = static_cast<double>(queries - n_writes);
+    std::printf("live: %" PRIu64 "‰ writes — %.0f reads (%.0f qps, p50 %.1f "
+                "us, p99 %.1f us), %" PRIu64 " writes (%" PRIu64
+                " deletes), %" PRIu64 " compactions, %" PRIu64 " swaps\n",
+                wpm, reads, reads / secs, percentile(rall, 0.50),
+                percentile(rall, 0.99), n_writes, n_deletes, st.compactions,
+                mgr.swaps());
+    if (bad.load() != 0) {
+      std::printf("LIVE ARM DROPPED %" PRIu64
+                  " requests (non-kOk or wrong recorded count)\n",
+                  bad.load());
+      ok = false;
+    }
+    if (mgr.swaps() < 1) {
+      std::printf("LIVE ARM expected at least one compaction swap\n");
+      ok = false;
+    }
+    if (st.delta_elements != 0) {
+      std::printf("LIVE ARM delta not drained after final compaction "
+                  "(%" PRIu64 " pending)\n",
+                  st.delta_elements);
+      ok = false;
+    }
+    batmap::BatmapStore final_store(universe);
+    {
+      std::vector<std::uint64_t> v;
+      for (const auto& s : model) {
+        v.assign(s.begin(), s.end());
+        final_store.add(v);
+      }
+    }
+    std::uint64_t live_fp = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      live_fp ^= result_fingerprint(i, stream[i],
+                                    engine.execute_serial(stream[i]));
+    }
+    const std::uint64_t want_fp = oracle_fingerprint(final_store, stream);
+    if (live_fp != want_fp) {
+      std::printf("LIVE ARM FINGERPRINT MISMATCH vs offline rebuild of the "
+                  "merged corpus\n");
+      ok = false;
+    } else {
+      std::printf("live post-compaction state matches offline rebuild "
+                  "(%016" PRIx64 ")\n",
+                  live_fp);
+    }
+    for (std::uint64_t e = 2; e <= mgr.epoch(); ++e) {
+      std::remove((copt.out_prefix + ".e" + std::to_string(e)).c_str());
     }
   }
 

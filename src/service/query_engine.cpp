@@ -39,6 +39,11 @@ bool is_kway(QueryKind kind) {
   return kind == QueryKind::kKway || kind == QueryKind::kRuleScore;
 }
 
+bool is_mutation(QueryKind kind) {
+  return kind == QueryKind::kAdd || kind == QueryKind::kDelete ||
+         kind == QueryKind::kFlush;
+}
+
 /// Dedups `ids[0, n)` order-preserving into `out` (capacity kMaxKwayIds);
 /// returns the unique count. A ∩ A = A, so duplicates are harmless to drop.
 std::uint32_t dedup_ids(const std::uint32_t* ids, std::uint32_t n,
@@ -113,7 +118,8 @@ QueryEngine::QueryEngine(SnapshotManager& mgr, Options opt)
     : mgr_(&mgr),
       opt_(opt),
       cache_(opt.cache_entries),
-      queue_(opt.queue_capacity) {
+      queue_(opt.queue_capacity),
+      delta_(opt.delta) {
   init();
 }
 
@@ -123,9 +129,15 @@ QueryEngine::QueryEngine(const Snapshot& snap, Options opt)
           std::make_unique<SnapshotManager>(ServingState::borrow(snap))),
       opt_(opt),
       cache_(opt.cache_entries),
-      queue_(opt.queue_capacity) {
+      queue_(opt.queue_capacity),
+      delta_(opt.delta) {
   mgr_ = owned_mgr_.get();
   init();
+}
+
+void QueryEngine::set_flush_hook(std::function<std::uint64_t()> hook) {
+  std::lock_guard lock(hook_mu_);
+  flush_hook_ = std::move(hook);
 }
 
 QueryEngine::~QueryEngine() {
@@ -137,6 +149,19 @@ QueryEngine::~QueryEngine() {
 
 bool QueryEngine::valid(const ServingState& st, const Query& q) {
   const auto n = static_cast<std::uint32_t>(st.size());
+  if (q.kind == QueryKind::kFlush) return true;
+  if (q.kind == QueryKind::kAdd || q.kind == QueryKind::kDelete) {
+    if (q.a >= n) return false;
+    if (q.nids < 1 || q.nids > kMaxKwayIds) return false;
+    // The record rule and compaction both need base membership; a snapshot
+    // cut without element lists cannot accept writes.
+    if (!st.writable()) return false;
+    const std::uint64_t universe = st.snapshot().universe();
+    for (std::uint32_t i = 0; i < q.nids; ++i) {
+      if (q.ids[i] >= universe) return false;
+    }
+    return true;
+  }
   if (is_kway(q.kind)) {
     if (q.nids < 2 || q.nids > kMaxKwayIds) return false;
     const Snapshot& snap = st.snapshot();
@@ -208,7 +233,10 @@ bool QueryEngine::wait(Request& r) {
   for (;;) {
     const std::uint32_t s = r.state_.load(std::memory_order_acquire);
     if (s == Request::kDone) return true;
-    if (s == Request::kError || s == Request::kTimeout) return false;
+    if (s == Request::kError || s == Request::kTimeout ||
+        s == Request::kOverload) {
+      return false;
+    }
     r.state_.wait(s, std::memory_order_acquire);
   }
 }
@@ -281,6 +309,13 @@ void QueryEngine::execute_batch(std::size_t count) {
   const std::uint64_t cur_epoch = cur->epoch();
   const std::uint64_t batch_now = now_ns();
 
+  // One consistent delta view for the whole batch (a single lock
+  // acquisition; empty_at is one relaxed load when no writes ever landed).
+  // Sets without pending ops take the untouched coalesced paths below.
+  DeltaView dview;
+  if (!delta_.empty_at(cur_epoch)) dview = delta_.view_at(cur_epoch);
+  const bool delta_active = dview.any();
+
   auto plans = arena_.alloc_array<PairPlan>(count);
   std::size_t n_plans = 0;
   auto topks = arena_.alloc_array<std::uint32_t>(count);
@@ -294,6 +329,16 @@ void QueryEngine::execute_batch(std::size_t count) {
       ++local.queries;
       ++local.timeouts;
       finish(r, Request::kTimeout);
+      batch_[i] = nullptr;
+      continue;
+    }
+    if (is_mutation(r.query.kind)) {
+      // Mutations apply to the live layer against the current base,
+      // whatever epoch the request was admitted under. Queries later in
+      // this batch still read the pre-batch dview — writes in a batch are
+      // concurrent with its reads, and either serialization is valid.
+      ++local.queries;
+      execute_mutation(cur, r, local);
       batch_[i] = nullptr;
       continue;
     }
@@ -326,7 +371,16 @@ void QueryEngine::execute_batch(std::size_t count) {
       kways[n_kway++] = static_cast<std::uint32_t>(i);
       continue;
     }
-    if (cache_.capacity() > 0) {
+    // Dirty queries bypass the cache entirely (no probe, no insert): an
+    // entry keyed (epoch, pair) must mean "base answer" — sets only become
+    // clean again via compaction, which bumps the epoch and clears the
+    // cache, so stale entries can never be consulted. Top-k ranks against
+    // every row, so any pending delta makes it dirty.
+    const bool q_dirty =
+        delta_active &&
+        (r.query.kind == QueryKind::kTopK ||
+         dview.dirty(r.query.a) || dview.dirty(r.query.b));
+    if (!q_dirty && cache_.capacity() > 0) {
       if (const Result* hit = cache_.find(cache_key(cur_epoch, r.query))) {
         r.result_ = *hit;
         ++local.queries;
@@ -339,6 +393,15 @@ void QueryEngine::execute_batch(std::size_t count) {
     ++local.cache_misses;
     if (r.query.kind == QueryKind::kTopK) {
       topks[n_topk++] = static_cast<std::uint32_t>(i);
+    } else if (q_dirty) {
+      // Merge-on-read: base kernel + delta correction, completed per pair.
+      // Only pairs touching a dirty set pay this; the clean majority keeps
+      // the coalesced strip path below.
+      r.result_.value = delta_pair_value(snap, dview, r.query, cur_epoch);
+      ++local.queries;
+      ++local.cyclic_pairs;
+      finish(r, Request::kDone);
+      batch_[i] = nullptr;
     } else if (mixed) {
       // No strips without packed words; the per-pair dispatch counts the
       // same stored intersection the strip kernels would, so results stay
@@ -482,11 +545,11 @@ void QueryEngine::execute_batch(std::size_t count) {
   std::size_t t = 0;
   while (t < n_topk) {
     Request& lead = *batch_[topks[t]];
-    run_topk(*cur, lead);
+    run_topk(*cur, lead, dview);
     ++local.topk_sweeps;
     const Result lead_res = lead.result_;  // copy before handing back
     const Query lead_query = lead.query;
-    if (cache_.capacity() > 0) {
+    if (!delta_active && cache_.capacity() > 0) {
       cache_.insert(cache_key(cur_epoch, lead_query), lead_res);
     }
     finish(lead, Request::kDone);
@@ -497,7 +560,7 @@ void QueryEngine::execute_batch(std::size_t count) {
       r.result_.topk_count = k;
       r.result_.value = k;
       std::copy_n(lead_res.topk, k, r.result_.topk);
-      if (cache_.capacity() > 0) {
+      if (!delta_active && cache_.capacity() > 0) {
         cache_.insert(cache_key(cur_epoch, r.query), r.result_);
       }
       ++local.duplicate_topk;
@@ -511,7 +574,7 @@ void QueryEngine::execute_batch(std::size_t count) {
   // mmap spans (list merges + counter sweeps over arena scratch).
   for (std::size_t i = 0; i < n_kway; ++i) {
     Request& r = *batch_[kways[i]];
-    run_kway(*cur, r, local);
+    run_kway(*cur, r, local, dview);
     finish(r, Request::kDone);
   }
   local.queries += n_kway;
@@ -557,20 +620,33 @@ ResultCache<Result>::Key QueryEngine::cache_key(std::uint64_t epoch,
           static_cast<std::uint8_t>(q.kind)};
 }
 
-void QueryEngine::run_topk(const ServingState& st, Request& r) {
+void QueryEngine::run_topk(const ServingState& st, Request& r,
+                           const DeltaView& dview) {
   const Snapshot& snap = st.snapshot();
   const core::PackedMaps& packed = st.packed();
   const std::uint32_t a = r.query.a;
   const std::uint32_t k = r.query.k;
+  const bool delta_active = dview.any();
+  const auto ops_a = dview.ops(a);
   if (packed.n == 0) {
     // Mixed-layout snapshot: no packed matrix to sweep. Rank every row
     // through the same topk_insert, so the (count desc, id asc) order is
     // identical to the sweep path and to execute_on.
     TopEntry best[kMaxTopK];
     std::uint32_t size = 0;
+    const auto ea = snap.elements(a);
     for (std::uint32_t id = 0; id < snap.size(); ++id) {
       if (id == a) continue;
-      size = topk_insert(best, size, k, id, snap.intersection_size(a, id));
+      std::uint64_t cnt = snap.intersection_size(a, id);
+      if (delta_active) {
+        const auto ops_r = dview.ops(id);
+        if (!ops_a.empty() || !ops_r.empty()) {
+          cnt = static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(cnt) +
+              pair_delta_correction(ea, ops_a, snap.elements(id), ops_r));
+        }
+      }
+      size = topk_insert(best, size, k, id, cnt);
     }
     r.result_.topk_count = size;
     r.result_.value = size;
@@ -583,7 +659,9 @@ void QueryEngine::run_topk(const ServingState& st, Request& r) {
 
   std::fill(topk_sizes_.begin(), topk_sizes_.end(), 0u);
   // Sweep column sa against ALL rows (the transposed band parallelizes
-  // across row-band shards); counts are symmetric in the pair.
+  // across row-band shards); counts are symmetric in the pair. The delta
+  // correction is applied inside the visitor, before ranking — a per-shard
+  // k-best by base counts would miss rows a pending insert promotes.
   sweep_->sweep_rect(
       0, packed.n, sa, sa + 1, [&](core::SweepEngine::TileView& tv) {
         TopEntry* best = topk_merge_.data() +
@@ -599,6 +677,15 @@ void QueryEngine::run_topk(const ServingState& st, Request& r) {
           if (!fa.empty() || !fr.empty()) {
             patched += batmap::failure_patch_correction(
                 fa, ea, fr, snap.elements(id_row));
+          }
+          if (delta_active) {
+            const auto ops_r = dview.ops(id_row);
+            if (!ops_a.empty() || !ops_r.empty()) {
+              patched = static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(patched) +
+                  pair_delta_correction(ea, ops_a, snap.elements(id_row),
+                                        ops_r));
+            }
           }
           size = topk_insert(best, size, k, id_row, patched);
         });
@@ -618,18 +705,86 @@ void QueryEngine::run_topk(const ServingState& st, Request& r) {
   std::copy_n(merged, m, r.result_.topk);
 }
 
-void QueryEngine::run_kway(const ServingState& st, Request& r, Stats& local) {
+void QueryEngine::run_kway(const ServingState& st, Request& r, Stats& local,
+                           const DeltaView& dview) {
   const Query& q = r.query;
   std::uint32_t uniq[kMaxKwayIds];
   const std::uint32_t n_uniq = dedup_ids(q.ids, q.nids, uniq);
-  r.result_.value = kway_count(st, {uniq, n_uniq}, local);
+  // A pending delta on any operand invalidates the packed-word planner
+  // paths (sweeps read base words); those queries take the delta list
+  // fold over effective rows instead. Clean queries keep the planned path
+  // untouched.
+  bool dirty = false;
+  if (dview.any()) {
+    for (std::uint32_t i = 0; i < n_uniq; ++i) {
+      if (dview.dirty(uniq[i])) { dirty = true; break; }
+    }
+  }
+  r.result_.value = dirty ? kway_count_delta(st, {uniq, n_uniq}, dview, local)
+                          : kway_count(st, {uniq, n_uniq}, local);
   if (q.kind == QueryKind::kRuleScore) {
     // Antecedent = ids[0 .. nids-2]; the consequent is the last operand.
     std::uint32_t ante[kMaxKwayIds];
     const std::uint32_t n_ante =
         dedup_ids(q.ids, static_cast<std::uint32_t>(q.nids - 1), ante);
-    r.result_.aux = kway_count(st, {ante, n_ante}, local);
+    bool ante_dirty = false;
+    if (dview.any()) {
+      for (std::uint32_t i = 0; i < n_ante; ++i) {
+        if (dview.dirty(ante[i])) { ante_dirty = true; break; }
+      }
+    }
+    r.result_.aux = ante_dirty
+                        ? kway_count_delta(st, {ante, n_ante}, dview, local)
+                        : kway_count(st, {ante, n_ante}, local);
   }
+}
+
+std::uint64_t QueryEngine::kway_count_delta(const ServingState& st,
+                                            std::span<const std::uint32_t> ids,
+                                            const DeltaView& dview,
+                                            Stats& local) {
+  const Snapshot& snap = st.snapshot();
+  REPRO_CHECK(!ids.empty());
+  const std::uint64_t epoch = st.epoch();
+
+  // Materialize the effective element list per operand: dirty rows come
+  // from the delta cache (rebuilt + cached per (epoch, version)), clean
+  // rows read the snapshot directly. The refs keep cached rows alive for
+  // the duration of the fold.
+  EffectiveRowRef refs[kMaxKwayIds];
+  std::span<const std::uint64_t> rows[kMaxKwayIds];
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (dview.dirty(ids[i])) {
+      refs[i] = delta_.effective_row(snap, ids[i], epoch);
+      rows[i] = refs[i]->elements;
+    } else {
+      rows[i] = snap.elements(ids[i]);
+    }
+  }
+  auto order = arena_.alloc_array<std::uint32_t>(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              if (rows[x].size() != rows[y].size()) {
+                return rows[x].size() < rows[y].size();
+              }
+              return ids[x] < ids[y];
+            });
+  const auto base = rows[order[0]];
+  if (order.size() == 1) return base.size();
+  if (base.empty()) return 0;
+  auto buf = arena_.alloc_array<std::uint64_t>(base.size());
+  std::span<const std::uint64_t> m = base;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const std::size_t n2 =
+        batmap::gallop_intersect(m, rows[order[i]], buf.data());
+    m = {buf.data(), n2};
+    ++local.kway_list_steps;
+    if (m.empty()) return 0;
+  }
+  return m.size();
 }
 
 std::uint64_t QueryEngine::kway_count(const ServingState& st,
@@ -661,7 +816,9 @@ std::uint64_t QueryEngine::kway_count(const ServingState& st,
   // lists and is always exact. Counter sweeps also read packed batmap
   // words, so in a mixed-layout snapshot any non-batmap operand (e.g. a
   // sorted-list row) enters the plan as a free list operand instead.
-  const bool base_clean = snap.failures(base).empty() &&
+  const KwayMode mode = opt_.kway_mode;
+  const bool base_clean = mode != KwayMode::kForceList &&
+                          snap.failures(base).empty() &&
                           snap.layout(base) == core::RowLayout::kBatmap;
   const std::uint64_t base_slots = snap.words(base).size() * 4;
   auto lists = arena_.alloc_array<std::uint32_t>(order.size());
@@ -689,7 +846,13 @@ std::uint64_t QueryEngine::kway_count(const ServingState& st,
       const std::uint64_t list_cost =
           driver * (2 + std::bit_width(ratio));
       const std::uint64_t sweep_cost = std::max(base_slots, other_slots) / 4;
-      if (sweep_cost < list_cost) {
+      if (mode == KwayMode::kForceSweep) {
+        // Calibration override: take every eligible sweep regardless of the
+        // model. Gain still accumulates (clamped at 0 per step) so the
+        // joint-demotion gate below cannot undo the force.
+        sweep = true;
+        if (sweep_cost < list_cost) sweep_gain += list_cost - sweep_cost;
+      } else if (sweep_cost < list_cost) {
         sweep = true;
         sweep_gain += list_cost - sweep_cost;
       }
@@ -703,7 +866,8 @@ std::uint64_t QueryEngine::kway_count(const ServingState& st,
   // run. Take the sweep set only if its aggregate saving covers that;
   // otherwise demote every candidate to a list merge.
   const std::uint64_t sweep_fixed = base_slots / 4 + 2 * driver;
-  if (n_sweep > 0 && sweep_gain <= sweep_fixed) {
+  if (mode != KwayMode::kForceSweep && n_sweep > 0 &&
+      sweep_gain <= sweep_fixed) {
     for (std::size_t i = 0; i < n_sweep; ++i) lists[n_list++] = sweeps[i];
     n_sweep = 0;
   }
@@ -744,18 +908,151 @@ std::uint64_t QueryEngine::kway_count(const ServingState& st,
                                         n_sweep);
 }
 
+std::uint64_t QueryEngine::delta_pair_value(const Snapshot& snap,
+                                            const DeltaView& dview,
+                                            const Query& q,
+                                            std::uint64_t epoch) const {
+  const auto ea = snap.elements(q.a);
+  const auto eb = snap.elements(q.b);
+  const std::uint64_t exact = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(snap.intersection_size(q.a, q.b)) +
+      pair_delta_correction(ea, dview.ops(q.a), eb, dview.ops(q.b)));
+  if (q.kind == QueryKind::kIntersect) return exact;
+  // kSupport: raw = exact − failure patch, both over the EFFECTIVE rows.
+  // A dirty row's failure set comes from the deterministic rebuild (same
+  // context / insertion order / builder options the compactor will use),
+  // so the raw count served now is byte-identical to the one served after
+  // the pending ops compact into a snapshot.
+  REPRO_DCHECK(q.kind == QueryKind::kSupport);
+  std::span<const std::uint64_t> fa = snap.failures(q.a);
+  std::span<const std::uint64_t> fea = ea;
+  std::span<const std::uint64_t> fb = snap.failures(q.b);
+  std::span<const std::uint64_t> feb = eb;
+  EffectiveRowRef ra, rb;  // keep cached rows alive across the patch
+  if (dview.dirty(q.a)) {
+    ra = delta_.effective_row(snap, q.a, epoch);
+    fa = ra->failures;
+    fea = ra->elements;
+  }
+  if (dview.dirty(q.b)) {
+    rb = delta_.effective_row(snap, q.b, epoch);
+    fb = rb->failures;
+    feb = rb->elements;
+  }
+  std::uint64_t patch = 0;
+  if (!fa.empty() || !fb.empty()) {
+    patch = batmap::failure_patch_correction(fa, fea, fb, feb);
+  }
+  return exact - patch;
+}
+
+std::uint64_t QueryEngine::execute_write(const ServingState& st,
+                                         const Query& q) {
+  std::uint64_t ids64[kMaxKwayIds];
+  for (std::uint32_t i = 0; i < q.nids; ++i) ids64[i] = q.ids[i];
+  return delta_.apply(q.a, {ids64, q.nids},
+                      q.kind == QueryKind::kDelete,
+                      st.snapshot().elements(q.a), st.epoch());
+}
+
+void QueryEngine::execute_mutation(const ServingStateRef& cur, Request& r,
+                                   Stats& local) {
+  const Query& q = r.query;
+  if (q.kind == QueryKind::kFlush) {
+    std::function<std::uint64_t()> hook;
+    {
+      std::lock_guard lock(hook_mu_);
+      hook = flush_hook_;
+    }
+    if (!hook) {
+      // No compactor wired: FLUSH is a barrier only. With nothing pending
+      // it trivially succeeds at the current epoch; with pending ops it
+      // cannot make them durable, which is an error the client must see.
+      if (delta_.pending_total() == 0) {
+        r.result_.value = cur->epoch();
+        finish(r, Request::kDone);
+      } else {
+        ++local.errors;
+        finish(r, Request::kError);
+      }
+      return;
+    }
+    try {
+      r.result_.value = hook();
+      finish(r, Request::kDone);
+    } catch (const CheckError&) {
+      ++local.errors;
+      finish(r, Request::kError);
+    }
+    return;
+  }
+  if (!valid(*cur, q)) {
+    ++local.errors;
+    finish(r, Request::kError);
+    return;
+  }
+  try {
+    r.result_.value = execute_write(*cur, q);
+    finish(r, Request::kDone);
+  } catch (const DeltaFullError&) {
+    delta_shed_.fetch_add(1, std::memory_order_relaxed);
+    finish(r, Request::kOverload);
+  } catch (const CheckError&) {
+    ++local.errors;
+    finish(r, Request::kError);
+  }
+}
+
+Result QueryEngine::execute_serial(const Query& q) {
+  const ServingStateRef st = mgr_->current();
+  Result res;
+  if (q.kind == QueryKind::kFlush) {
+    std::function<std::uint64_t()> hook;
+    {
+      std::lock_guard lock(hook_mu_);
+      hook = flush_hook_;
+    }
+    if (hook) {
+      res.value = hook();  // CheckError propagates to the caller
+    } else {
+      REPRO_CHECK_MSG(delta_.pending_total() == 0,
+                      "FLUSH with pending writes needs a compactor");
+      res.value = st->epoch();
+    }
+    return res;
+  }
+  REPRO_CHECK_MSG(valid(*st, q), "invalid query");
+  if (is_mutation(q.kind)) {
+    res.value = execute_write(*st, q);  // DeltaFullError propagates
+    return res;
+  }
+  return execute_on(*st, q);
+}
+
 Result QueryEngine::execute_on(const ServingState& st, const Query& q) const {
   const Snapshot& snap = st.snapshot();
+  DeltaView dview;
+  if (!delta_.empty_at(st.epoch())) dview = delta_.view_at(st.epoch());
   Result res;
   if (is_kway(q.kind)) {
     // Brute force in protocol order, deliberately independent of the
     // planner: batched-vs-naive fingerprint parity cross-checks run_kway
-    // against this implementation.
-    const auto first = snap.elements(q.ids[0]);
+    // against this implementation. Dirty operands fold their pending ops
+    // into a materialized effective list first.
+    const auto effective = [&](std::uint32_t id,
+                               std::vector<std::uint64_t>& tmp)
+        -> std::span<const std::uint64_t> {
+      if (!dview.dirty(id)) return snap.elements(id);
+      apply_delta_ops(snap.elements(id), dview.ops(id), tmp);
+      return tmp;
+    };
+    std::vector<std::uint64_t> tmp0;
+    const auto first = effective(q.ids[0], tmp0);
     std::vector<std::uint64_t> cur(first.begin(), first.end());
     std::uint64_t ante = cur.size();
+    std::vector<std::uint64_t> tmp;
     for (std::uint32_t i = 1; i < q.nids; ++i) {
-      const auto other = snap.elements(q.ids[i]);
+      const auto other = effective(q.ids[i], tmp);
       cur.resize(batmap::gallop_intersect(cur, other, cur.data()));
       // After folding ids[nids-2] the running set is ∩ antecedent (the
       // consequent ids[nids-1] is still unfolded).
@@ -767,18 +1064,33 @@ Result QueryEngine::execute_on(const ServingState& st, const Query& q) const {
   }
   switch (q.kind) {
     case QueryKind::kIntersect:
-      res.value = snap.intersection_size(q.a, q.b);
-      break;
     case QueryKind::kSupport:
-      res.value = snap.raw_count(q.a, q.b);
+      if (dview.dirty(q.a) || dview.dirty(q.b)) {
+        res.value = delta_pair_value(snap, dview, q, st.epoch());
+      } else {
+        res.value = q.kind == QueryKind::kIntersect
+                        ? snap.intersection_size(q.a, q.b)
+                        : snap.raw_count(q.a, q.b);
+      }
       break;
     case QueryKind::kTopK: {
+      const bool delta_active = dview.any();
+      const auto ea = snap.elements(q.a);
+      const auto ops_a = dview.ops(q.a);
       TopEntry best[kMaxTopK];
       std::uint32_t size = 0;
       for (std::uint32_t id = 0; id < snap.size(); ++id) {
         if (id == q.a) continue;
-        size = topk_insert(best, size, q.k, id,
-                           snap.intersection_size(q.a, id));
+        std::uint64_t cnt = snap.intersection_size(q.a, id);
+        if (delta_active) {
+          const auto ops_r = dview.ops(id);
+          if (!ops_a.empty() || !ops_r.empty()) {
+            cnt = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(cnt) +
+                pair_delta_correction(ea, ops_a, snap.elements(id), ops_r));
+          }
+        }
+        size = topk_insert(best, size, q.k, id, cnt);
       }
       res.topk_count = size;
       res.value = size;
@@ -787,12 +1099,17 @@ Result QueryEngine::execute_on(const ServingState& st, const Query& q) const {
     }
     case QueryKind::kKway:
     case QueryKind::kRuleScore:
-      break;  // handled by the early return above
+    case QueryKind::kAdd:
+    case QueryKind::kDelete:
+    case QueryKind::kFlush:
+      break;  // k-way handled above; mutations never reach execute_on
   }
   return res;
 }
 
 Result QueryEngine::execute_one(const Query& q) const {
+  REPRO_CHECK_MSG(!is_mutation(q.kind),
+                  "execute_one is read-only; use execute_serial");
   const ServingStateRef st = mgr_->current();
   REPRO_CHECK_MSG(valid(*st, q), "invalid query");
   return execute_on(*st, q);
@@ -806,6 +1123,14 @@ QueryEngine::Stats QueryEngine::stats() const {
   }
   out.shed_overload = shed_.load(std::memory_order_relaxed);
   out.timeouts += adm_timeouts_.load(std::memory_order_relaxed);
+  const DeltaLayer::Gauges g = delta_.gauges();
+  out.delta_sets = g.delta_sets;
+  out.delta_elements = g.delta_elements;
+  out.delta_bytes = g.delta_bytes;
+  out.delta_writes = g.writes;
+  out.delta_deletes = g.deletes;
+  out.compactions = g.compactions;
+  out.delta_shed = delta_shed_.load(std::memory_order_relaxed);
   // Layout gauges reflect the snapshot being served right now.
   const Snapshot::LayoutBreakdown br =
       mgr_->current()->snapshot().layout_breakdown();

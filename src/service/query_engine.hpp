@@ -58,6 +58,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -65,6 +66,7 @@
 #include <vector>
 
 #include "core/sweep_engine.hpp"
+#include "service/delta_layer.hpp"
 #include "service/mpmc_queue.hpp"
 #include "service/result_cache.hpp"
 #include "service/snapshot.hpp"
@@ -82,6 +84,24 @@ enum class QueryKind : std::uint8_t {
   /// over the antecedent ids[0..nids-2] (the consequent is ids[nids-1]), so
   /// the caller can form confidence = value / aux without a second query.
   kRuleScore = 4,
+  /// Mutations against the live delta layer (protocol `A` / `D`): set `a`,
+  /// elements in ids[0..nids-1]. value = ops actually recorded (re-adding a
+  /// present element is 0). `FLUSH` forces a synchronous compaction; value
+  /// = the epoch serving afterwards.
+  kAdd = 5,
+  kDelete = 6,
+  kFlush = 7,
+};
+
+/// Planner override for the k-way cost model — the calibration arm of
+/// service_throughput forces each strategy to measure the real crossover
+/// against the model's prediction. kAuto is the production setting.
+enum class KwayMode : std::uint8_t {
+  kAuto = 0,
+  kForceList = 1,   ///< galloping list merges only
+  /// Counter sweeps wherever exactness allows (failure-free batmap rows);
+  /// ineligible operands still run as list merges.
+  kForceSweep = 2,
 };
 
 /// Top-k width cap: results are fixed-size so completion slots never
@@ -140,20 +160,25 @@ class Request {
     kOk = 1,
     kInvalid = 2,  ///< rejected: id or k out of range for the epoch served
     kTimeout = 3,  ///< deadline expired before execution
+    /// Write shed: the delta layer is over budget (typed OVERLOAD — FLUSH
+    /// or back off and retry).
+    kOverload = 4,
   };
 
   /// Valid after wait(); unspecified while in flight.
   const Result& result() const { return result_; }
-  /// True when the engine did not serve the query (invalid or timed out).
+  /// True when the engine did not serve the query (invalid, timed out, or
+  /// a shed write).
   bool failed() const {
     const std::uint32_t s = state_.load(std::memory_order_acquire);
-    return s == kError || s == kTimeout;
+    return s == kError || s == kTimeout || s == kOverload;
   }
   Outcome outcome() const {
     switch (state_.load(std::memory_order_acquire)) {
       case kDone: return Outcome::kOk;
       case kError: return Outcome::kInvalid;
       case kTimeout: return Outcome::kTimeout;
+      case kOverload: return Outcome::kOverload;
       default: return Outcome::kPending;
     }
   }
@@ -161,7 +186,7 @@ class Request {
  private:
   friend class QueryEngine;
   static constexpr std::uint32_t kIdle = 0, kQueued = 1, kDone = 2,
-                                 kError = 3, kTimeout = 4;
+                                 kError = 3, kTimeout = 4, kOverload = 5;
 
   Result result_;
   std::atomic<std::uint32_t> state_{kIdle};
@@ -191,6 +216,12 @@ class QueryEngine {
     double admit_rate = 0;
     /// Token-gate burst size (tokens the bucket can accumulate).
     double admit_burst = 64;
+    /// Live-update delta layer configuration (buffering, memory budget,
+    /// and the builder options effective-row rebuilds must share with the
+    /// offline build).
+    DeltaLayer::Options delta{};
+    /// K-way planner override; kAuto in production (see KwayMode).
+    KwayMode kway_mode = KwayMode::kAuto;
   };
 
   struct Stats {
@@ -232,6 +263,16 @@ class QueryEngine {
     std::uint64_t rows_dense = 0;
     std::uint64_t rows_list = 0;
     std::uint64_t rows_wah = 0;
+    /// Live-update gauges (delta layer state at stats() time) and write
+    /// counters (cumulative).
+    std::uint64_t delta_sets = 0;
+    std::uint64_t delta_elements = 0;
+    std::uint64_t delta_bytes = 0;
+    std::uint64_t delta_writes = 0;
+    std::uint64_t delta_deletes = 0;
+    std::uint64_t compactions = 0;
+    /// Writes shed with Outcome::kOverload (delta over budget).
+    std::uint64_t delta_shed = 0;
   };
 
   /// Fixed-snapshot mode: serves `snap` forever (no hot-swap). The
@@ -270,8 +311,24 @@ class QueryEngine {
   /// The naive reference path: executes one query synchronously on the
   /// calling thread via the per-pair cyclic kernel against the current
   /// state — no queue, no batch, no cache, no strips. Bit-identical to the
-  /// batched answers.
+  /// batched answers. Read kinds only (REPRO_CHECK on mutations — use
+  /// execute_serial for those).
   Result execute_one(const Query& q) const;
+
+  /// The naive path including mutations: writes apply to the delta layer,
+  /// FLUSH runs the flush hook (or no-ops when the delta is already empty).
+  /// Throws DeltaFullError on an over-budget write and CheckError on an
+  /// invalid query or failed compaction — the serial server's typed-reply
+  /// contract.
+  Result execute_serial(const Query& q);
+
+  /// The live-update layer (writes, views, compaction protocol).
+  DeltaLayer& delta() { return delta_; }
+
+  /// Installs the FLUSH handler — normally Compactor::compact_now bound by
+  /// the server. Returns the post-compaction epoch; without a hook FLUSH
+  /// succeeds only when the delta is already empty.
+  void set_flush_hook(std::function<std::uint64_t()> hook);
 
   /// Steady-clock timestamp in the units Query::deadline_ns uses.
   static std::uint64_t now_ns();
@@ -313,11 +370,13 @@ class QueryEngine {
   /// since their counts are symmetric; top-k on (a, k).
   static ResultCache<Result>::Key cache_key(std::uint64_t epoch,
                                             const Query& q);
-  void run_topk(const ServingState& st, Request& r);
+  void run_topk(const ServingState& st, Request& r, const DeltaView& dview);
   /// Cost-planned k-way execution on the worker thread (arena scratch):
   /// operands ordered by snapshot-stored support, each step either a
   /// galloping list merge or a batmap counter sweep. Exact for both kinds.
-  void run_kway(const ServingState& st, Request& r, Stats& local);
+  /// Queries touching a dirty set divert to the delta-merged list path.
+  void run_kway(const ServingState& st, Request& r, Stats& local,
+                const DeltaView& dview);
   /// The planner core: exact |∩ ids| over deduplicated operands, worker
   /// thread only (scratch comes from the batch arena). The naive path
   /// (execute_on) instead runs a brute-force galloping merge in protocol
@@ -325,6 +384,23 @@ class QueryEngine {
   /// against an independent implementation.
   std::uint64_t kway_count(const ServingState& st,
                            std::span<const std::uint32_t> ids, Stats& local);
+  /// K-way over delta-merged element lists (any operand dirty): gallop
+  /// merges over the effective lists, smallest first. Worker thread only.
+  std::uint64_t kway_count_delta(const ServingState& st,
+                                 std::span<const std::uint32_t> ids,
+                                 const DeltaView& dview, Stats& local);
+  /// Exact pair answer under a delta view: base kernel + correction; for
+  /// kSupport the effective rows' failure patch is subtracted so the raw
+  /// count matches an offline rebuild. Shared by the batched, straggler and
+  /// naive paths — bit-identity by construction.
+  std::uint64_t delta_pair_value(const Snapshot& snap, const DeltaView& dview,
+                                 const Query& q, std::uint64_t epoch) const;
+  /// Applies one mutation request on the worker thread and finishes it
+  /// (kDone / kError / kOverload).
+  void execute_mutation(const ServingStateRef& cur, Request& r, Stats& local);
+  /// Records one write into the delta layer; returns ops recorded. Throws
+  /// DeltaFullError over budget.
+  std::uint64_t execute_write(const ServingState& st, const Query& q);
   Result execute_on(const ServingState& st, const Query& q) const;
   /// Terminal transition for a queued request: releases the epoch pin,
   /// retires the in-flight count, and wakes the waiter.
@@ -347,10 +423,18 @@ class QueryEngine {
   std::vector<TopEntry> topk_merge_;  ///< per-shard k-best scratch
   std::vector<std::uint32_t> topk_sizes_;  ///< per-shard k-best fill
 
+  /// The live-update layer. Internally synchronized: const read methods
+  /// (views, effective rows) are safe from any thread; writes go through
+  /// the worker (batched) or the caller (execute_serial).
+  mutable DeltaLayer delta_;
+  std::function<std::uint64_t()> flush_hook_;
+  mutable std::mutex hook_mu_;
+
   TokenGate gate_;
   std::atomic<std::uint64_t> inflight_{0};  ///< admitted, not yet finished
   std::atomic<std::uint64_t> shed_{0};      ///< typed overload admissions
   std::atomic<std::uint64_t> adm_timeouts_{0};  ///< expired at admission
+  std::atomic<std::uint64_t> delta_shed_{0};    ///< kOverload writes
 
   std::atomic<std::uint64_t> signal_{0};  ///< submit notifications
   std::atomic<bool> stop_{false};

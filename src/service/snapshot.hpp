@@ -152,6 +152,9 @@ class Snapshot {
   std::uint64_t universe() const { return header_->universe; }
   std::uint64_t epoch() const { return header_->epoch; }
   std::uint64_t seed() const { return header_->seed; }
+  /// On-disk format version (kSnapshotVersion, or kSnapshotVersionLegacy
+  /// for pre-layout-tag files served as all-batmap).
+  std::uint32_t version() const { return header_->version; }
   const batmap::BatmapContext& context() const { return ctx_; }
 
   std::uint32_t range(std::size_t id) const { return entry(id).range; }

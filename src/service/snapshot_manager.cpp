@@ -9,6 +9,16 @@
 namespace repro::service {
 
 void ServingState::pack() {
+  // Writable iff base membership is recoverable for every row: a nonempty
+  // row without its element list cannot answer the delta layer's no-op
+  // check or be rebuilt by the compactor.
+  for (std::size_t i = 0; i < snap_->size(); ++i) {
+    if (snap_->elements(i).empty() &&
+        snap_->stored_elements(i) + snap_->failures(i).size() > 0) {
+      writable_ = false;
+      break;
+    }
+  }
   // The packed sweep matrix (and the strip kernels over it) assumes every
   // row is batmap words. Mixed-layout snapshots serve through the per-pair
   // cross-layout kernels instead; packed_.n stays 0 as the signal.

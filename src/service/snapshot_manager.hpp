@@ -47,6 +47,10 @@ class ServingState {
   const core::PackedMaps& packed() const { return packed_; }
   std::uint64_t epoch() const { return snap_->epoch(); }
   std::size_t size() const { return snap_->size(); }
+  /// True iff every nonempty row retains its element list — the delta
+  /// layer's record rule and compaction rebuild both need base membership,
+  /// so writes are rejected (kInvalid) against element-less snapshots.
+  bool writable() const { return writable_; }
 
  private:
   ServingState() = default;
@@ -55,6 +59,7 @@ class ServingState {
   std::optional<Snapshot> owned_;     ///< engaged in adopt() mode
   const Snapshot* snap_ = nullptr;
   core::PackedMaps packed_;
+  bool writable_ = true;
 };
 
 using ServingStateRef = std::shared_ptr<const ServingState>;

@@ -19,6 +19,12 @@
 //                      (widens the mid-swap window for kill tests)
 //     worker_stall_ms  the query engine's batch worker sleeps V ms per batch
 //     ring_full        QueryEngine::try_submit_ex reports a full ring
+//     compact_emit     Compactor::compact_now fails before writing the new
+//                      snapshot (freeze is aborted, old epoch keeps serving)
+//     compact_swap     Compactor::compact_now fails after writing but before
+//                      publishing (the partial file is removed, never served)
+//     delta_oom        DeltaLayer::apply throws DeltaFullError (the typed
+//                      OVERLOAD write-shed path)
 //
 // Cost when off: every hook is guarded by armed(), a single relaxed load of
 // an atomic bool that is false unless a spec is active — no parsing, no

@@ -376,5 +376,143 @@ TEST(ChaosTest, CacheEntriesNeverCrossEpochs) {
   std::remove(p2.c_str());
 }
 
+// ---- Delta layer & compaction ----------------------------------------------
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  if (FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fclose(f);
+    return true;
+  }
+  return false;
+}
+
+/// Engine + compactor over a fresh epoch-1 snapshot, with a few writes
+/// already applied through the batched path.
+struct LiveRig {
+  SnapshotManager mgr;
+  QueryEngine engine;
+  Compactor compactor;
+
+  LiveRig(const std::string& base, const std::string& prefix)
+      : mgr(Snapshot::open(base)),
+        engine(mgr, QueryEngine::Options{}),
+        compactor(mgr, engine.delta(),
+                  [&] {
+                    Compactor::Options copt;
+                    copt.out_prefix = prefix;
+                    return copt;
+                  }()) {
+    engine.set_flush_hook([this] { return compactor.compact_now(); });
+  }
+
+  std::uint64_t write(std::uint32_t set, std::uint32_t elem, bool del,
+                      Request::Outcome* outcome = nullptr) {
+    Request req;
+    req.query.kind = del ? QueryKind::kDelete : QueryKind::kAdd;
+    req.query.a = set;
+    req.query.ids[0] = elem;
+    req.query.nids = 1;
+    engine.submit(req);
+    QueryEngine::wait(req);
+    if (outcome) *outcome = req.outcome();
+    return req.result().value;
+  }
+
+  std::uint64_t ask(std::uint32_t a, std::uint32_t b) {
+    Request req;
+    req.query = {QueryKind::kIntersect, a, b, 0};
+    engine.submit(req);
+    QueryEngine::wait(req);
+    return req.result().value;
+  }
+};
+
+}  // namespace
+
+TEST(ChaosTest, FailedCompactEmitKeepsOldEpochServingByteIdentically) {
+  FaultGuard guard;
+  const auto store = make_store(5000, 20, 31);
+  const std::string base = snap_file(store, "cemit", 1);
+  const std::string prefix = "/tmp/batmap_chaos_cemit_compact";
+  LiveRig rig(base, prefix);
+
+  EXPECT_EQ(rig.write(0, 4999, /*del=*/false), 1u);
+  EXPECT_EQ(rig.write(1, 4999, /*del=*/false), 1u);
+  const std::uint64_t merged = rig.ask(0, 1);
+  EXPECT_EQ(merged, store.intersection_size(0, 1) + 1);
+
+  // Fault mid-emit: the compaction must fail atomically — same epoch, no
+  // emitted file, and the merged answers unchanged (the frozen ops went
+  // back to the live layer).
+  util::fault::configure("compact_emit");
+  EXPECT_THROW(rig.compactor.compact_now(), CheckError);
+  EXPECT_EQ(rig.mgr.epoch(), 1u);
+  EXPECT_EQ(rig.mgr.swaps(), 0u);
+  EXPECT_FALSE(file_exists(prefix + ".e2"));
+  EXPECT_EQ(rig.ask(0, 1), merged);
+
+  // Disarmed, the retry compacts the SAME ops into epoch 2 and the merged
+  // answer survives the swap.
+  util::fault::configure("");
+  EXPECT_EQ(rig.compactor.compact_now(), 2u);
+  EXPECT_EQ(rig.mgr.epoch(), 2u);
+  EXPECT_EQ(rig.ask(0, 1), merged);
+  EXPECT_TRUE(settled(rig.engine, [](const QueryEngine::Stats& st) {
+    return st.delta_elements == 0 && st.compactions == 1;
+  }));
+  std::remove(base.c_str());
+  std::remove((prefix + ".e2").c_str());
+}
+
+TEST(ChaosTest, FailedCompactSwapNeverPublishesPartialSnapshot) {
+  FaultGuard guard;
+  const auto store = make_store(5000, 20, 37);
+  const std::string base = snap_file(store, "cswap", 1);
+  const std::string prefix = "/tmp/batmap_chaos_cswap_compact";
+  LiveRig rig(base, prefix);
+
+  EXPECT_EQ(rig.write(2, 4998, /*del=*/false), 1u);
+  const std::uint64_t merged = rig.ask(2, 3);
+
+  // Fault after the file is written but before publish: the emitted file
+  // must be removed, the old epoch keeps serving, nothing was swapped.
+  util::fault::configure("compact_swap");
+  EXPECT_THROW(rig.compactor.compact_now(), CheckError);
+  EXPECT_EQ(rig.mgr.epoch(), 1u);
+  EXPECT_EQ(rig.mgr.swaps(), 0u);
+  EXPECT_FALSE(file_exists(prefix + ".e2"));
+  EXPECT_EQ(rig.ask(2, 3), merged);
+
+  util::fault::configure("");
+  EXPECT_EQ(rig.compactor.compact_now(), 2u);
+  EXPECT_EQ(rig.ask(2, 3), merged);
+  std::remove(base.c_str());
+  std::remove((prefix + ".e2").c_str());
+}
+
+TEST(ChaosTest, DeltaOomShedsWritesTypedAndLeavesReadsAlone) {
+  FaultGuard guard;
+  const auto store = make_store(5000, 20, 41);
+  const std::string base = snap_file(store, "doom", 1);
+  LiveRig rig(base, "/tmp/batmap_chaos_doom_compact");
+
+  util::fault::configure("delta_oom");
+  Request::Outcome out = Request::Outcome::kPending;
+  rig.write(0, 4997, /*del=*/false, &out);
+  EXPECT_EQ(out, Request::Outcome::kOverload);
+  // Reads are unaffected by the write path being shed.
+  EXPECT_EQ(rig.ask(0, 1), store.intersection_size(0, 1));
+
+  util::fault::configure("");
+  EXPECT_EQ(rig.write(0, 4997, /*del=*/false, &out), 1u);
+  EXPECT_EQ(out, Request::Outcome::kOk);
+  EXPECT_TRUE(settled(rig.engine, [](const QueryEngine::Stats& st) {
+    return st.delta_shed == 1 && st.delta_writes == 1;
+  }));
+  std::remove(base.c_str());
+}
+
 }  // namespace
 }  // namespace repro::service

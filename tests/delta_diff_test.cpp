@@ -1,0 +1,259 @@
+// Differential tests for the live-update delta layer: a base snapshot plus
+// a random write stream (adds + tombstones) must answer every query kind —
+// I / S / T / K / R — byte-identically to an offline snapshot rebuilt from
+// the merged corpus, at every checkpoint of the stream and again after a
+// FLUSH compacts the delta into a new epoch. Each query is answered three
+// ways (batched submit, execute_serial, offline-oracle execute_one) and all
+// three must agree exactly, across seeds × delete ratios × row layouts and
+// a forced-insertion-failure case (the raw kSupport counts only match if
+// the effective-row rebuild is bit-equal to the offline cuckoo build).
+// Runs in the stress tier and in the diff-smoke CI job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "batmap/intersect.hpp"
+#include "service/delta_layer.hpp"
+#include "service/query_engine.hpp"
+#include "service/snapshot.hpp"
+#include "service/snapshot_manager.hpp"
+#include "util/rng.hpp"
+
+namespace repro::service {
+namespace {
+
+/// Ground truth: the merged corpus as plain sorted sets.
+using Model = std::vector<std::set<std::uint64_t>>;
+
+Model random_model(std::uint64_t universe, int sets, std::uint64_t seed,
+                   std::size_t max_size) {
+  Model m(static_cast<std::size_t>(sets));
+  Xoshiro256 rng(seed);
+  for (auto& s : m) {
+    const std::size_t size = 3 + rng.below(max_size);
+    while (s.size() < size) s.insert(rng.below(universe));
+  }
+  return m;
+}
+
+batmap::BatmapStore store_of(const Model& m, std::uint64_t universe,
+                             batmap::BatmapStore::Options sopt) {
+  batmap::BatmapStore store(universe, sopt);
+  for (const auto& s : m) {
+    std::vector<std::uint64_t> v(s.begin(), s.end());
+    store.add(v);
+  }
+  return store;
+}
+
+std::string snap_of(const Model& m, std::uint64_t universe,
+                    batmap::BatmapStore::Options sopt, LayoutMode mode,
+                    std::uint64_t epoch, const std::string& tag) {
+  const auto store = store_of(m, universe, sopt);
+  const std::string path =
+      "/tmp/batmap_delta_diff_" + tag + "_" + std::to_string(epoch) + ".snap";
+  write_snapshot(store, path, epoch, plan_layouts(store, mode));
+  return path;
+}
+
+void expect_equal(const Result& got, const Result& want, const Query& q,
+                  const char* which) {
+  ASSERT_EQ(got.value, want.value)
+      << which << " kind=" << static_cast<int>(q.kind) << " a=" << q.a
+      << " b=" << q.b << " k=" << q.k;
+  ASSERT_EQ(got.aux, want.aux) << which;
+  ASSERT_EQ(got.topk_count, want.topk_count) << which;
+  for (std::uint32_t i = 0; i < want.topk_count; ++i) {
+    ASSERT_EQ(got.topk[i].id, want.topk[i].id) << which << " rank " << i;
+    ASSERT_EQ(got.topk[i].count, want.topk[i].count) << which << " rank " << i;
+  }
+}
+
+/// One checkpoint: every pair (I and S), a top-k grid, and random K/R
+/// queries — three-way compared between the live engine's batched path,
+/// its serial path, and an offline engine over a snapshot rebuilt from the
+/// model. Byte-identity here IS the merge-on-read contract.
+void verify_checkpoint(QueryEngine& engine, const Model& model,
+                       std::uint64_t universe,
+                       batmap::BatmapStore::Options sopt, LayoutMode mode,
+                       std::uint64_t rng_seed, const std::string& tag) {
+  const std::string opath = snap_of(model, universe, sopt, mode, 777, tag);
+  Snapshot oracle_snap = Snapshot::open(opath);
+  std::remove(opath.c_str());
+  QueryEngine oracle(oracle_snap, QueryEngine::Options{});
+
+  const auto n = static_cast<std::uint32_t>(model.size());
+  std::vector<Query> queries;
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = a; b < n; ++b) {
+      Query q;
+      q.a = a;
+      q.b = b;
+      q.kind = QueryKind::kIntersect;
+      queries.push_back(q);
+      q.kind = QueryKind::kSupport;
+      queries.push_back(q);
+    }
+  }
+  for (std::uint32_t a = 0; a < n; a += 5) {
+    for (const std::uint32_t k : {1u, 3u, static_cast<std::uint32_t>(kMaxTopK)}) {
+      Query q;
+      q.kind = QueryKind::kTopK;
+      q.a = a;
+      q.k = k;
+      queries.push_back(q);
+    }
+  }
+  Xoshiro256 rng(rng_seed);
+  for (int i = 0; i < 50; ++i) {
+    Query q;
+    q.kind = i % 2 == 0 ? QueryKind::kKway : QueryKind::kRuleScore;
+    q.nids = static_cast<std::uint8_t>(2 + rng.below(kMaxKwayIds - 1));
+    for (std::uint32_t j = 0; j < q.nids; ++j) {
+      q.ids[j] = static_cast<std::uint32_t>(rng.below(n));
+    }
+    queries.push_back(q);
+  }
+
+  Request req;
+  for (const Query& q : queries) {
+    const Result want = oracle.execute_one(q);
+    expect_equal(engine.execute_serial(q), want, q, "serial-vs-oracle");
+    req.query = q;
+    engine.submit(req);
+    ASSERT_TRUE(QueryEngine::wait(req));
+    expect_equal(req.result(), want, q, "batched-vs-oracle");
+  }
+}
+
+struct Case {
+  std::uint64_t seed;
+  int delete_permille;  ///< tombstone probability of each write op
+  LayoutMode mode;
+  batmap::BatmapStore::Options sopt;
+  std::uint64_t universe;
+  int sets;
+  std::size_t max_size;
+  std::string tag;
+};
+
+void run_case(const Case& c) {
+  SCOPED_TRACE(c.tag);
+  Model model = random_model(c.universe, c.sets, c.seed, c.max_size);
+  const std::string base =
+      snap_of(model, c.universe, c.sopt, c.mode, /*epoch=*/1, c.tag);
+  SnapshotManager mgr(Snapshot::open(base));
+  std::remove(base.c_str());
+
+  QueryEngine::Options opt;
+  opt.cache_entries = 128;  // small: writes must interact with eviction too
+  opt.delta.builder = c.sopt.builder;
+  QueryEngine engine(mgr, opt);
+
+  Compactor::Options copt;
+  copt.out_prefix = "/tmp/batmap_delta_diff_" + c.tag + "_compact";
+  copt.layout = c.mode;
+  Compactor compactor(mgr, engine.delta(), copt);
+  engine.set_flush_hook([&compactor] { return compactor.compact_now(); });
+
+  // The write stream: random (set, elems, tombstone) triples through the
+  // batched path, with the model tracking the merged truth. Every write
+  // must be admitted (never dropped) and report exactly the ops that
+  // changed visible membership.
+  Xoshiro256 rng(c.seed * 1000 + 17);
+  Request req;
+  int writes = 0;
+  const std::vector<int> checkpoints = {40, 100, 150};
+  std::size_t next_cp = 0;
+  while (writes < 150) {
+    Query q;
+    const bool del = rng.below(1000) < static_cast<std::uint64_t>(c.delete_permille);
+    q.kind = del ? QueryKind::kDelete : QueryKind::kAdd;
+    q.a = static_cast<std::uint32_t>(rng.below(static_cast<std::uint64_t>(c.sets)));
+    std::set<std::uint64_t> elems;
+    const std::size_t want = 1 + rng.below(6);
+    while (elems.size() < want) elems.insert(rng.below(c.universe));
+    q.nids = 0;
+    for (const std::uint64_t e : elems) {
+      q.ids[q.nids++] = static_cast<std::uint32_t>(e);
+    }
+    std::uint64_t expect_recorded = 0;
+    auto& s = model[q.a];
+    for (const std::uint64_t e : elems) {
+      if (del ? s.erase(e) > 0 : s.insert(e).second) ++expect_recorded;
+    }
+    req.query = q;
+    engine.submit(req);
+    ASSERT_TRUE(QueryEngine::wait(req));
+    ASSERT_EQ(req.outcome(), Request::Outcome::kOk);
+    ASSERT_EQ(req.result().value, expect_recorded);
+    ++writes;
+    if (next_cp < checkpoints.size() && writes == checkpoints[next_cp]) {
+      verify_checkpoint(engine, model, c.universe, c.sopt, c.mode,
+                        c.seed + static_cast<std::uint64_t>(writes), c.tag);
+      ++next_cp;
+    }
+  }
+
+  // FLUSH: the compactor drains the delta into epoch 2 with zero dropped
+  // queries, and the merged answers must not change across the swap.
+  req.query = Query{};
+  req.query.kind = QueryKind::kFlush;
+  engine.submit(req);
+  ASSERT_TRUE(QueryEngine::wait(req));
+  ASSERT_EQ(req.outcome(), Request::Outcome::kOk);
+  EXPECT_EQ(req.result().value, 2u);
+  EXPECT_EQ(mgr.epoch(), 2u);
+  const auto st = engine.stats();
+  EXPECT_EQ(st.delta_elements, 0u);
+  EXPECT_GE(st.compactions, 1u);
+  verify_checkpoint(engine, model, c.universe, c.sopt, c.mode, c.seed + 999,
+                    c.tag);
+  std::remove((copt.out_prefix + ".e2").c_str());
+}
+
+TEST(DeltaDiffTest, MergedServingMatchesOfflineRebuild) {
+  for (const std::uint64_t seed : {3ull}) {
+    for (const int del_pm : {0, 400, 800}) {
+      for (const LayoutMode mode : {LayoutMode::kBatmap, LayoutMode::kAuto}) {
+        Case c;
+        c.seed = seed;
+        c.delete_permille = del_pm;
+        c.mode = mode;
+        c.universe = 3000;
+        c.sets = 24;
+        c.max_size = 200;
+        c.tag = "s" + std::to_string(seed) + "_d" + std::to_string(del_pm) +
+                "_m" + std::to_string(static_cast<int>(mode));
+        run_case(c);
+      }
+    }
+  }
+}
+
+TEST(DeltaDiffTest, ForcedFailuresStayByteIdenticalAcrossLayouts) {
+  // Dense rows + a tiny cuckoo loop budget force insertion failures, so the
+  // kSupport raw counts exercise the effective-row rebuild: the delta-side
+  // failure lists must be bit-equal to the offline build's.
+  for (const LayoutMode mode :
+       {LayoutMode::kList, LayoutMode::kDense, LayoutMode::kWah}) {
+    Case c;
+    c.seed = 11;
+    c.delete_permille = 300;
+    c.mode = mode;
+    c.sopt.builder.max_loop = 6;
+    c.universe = 400;
+    c.sets = 16;
+    c.max_size = 180;
+    c.tag = "fail_m" + std::to_string(static_cast<int>(mode));
+    run_case(c);
+  }
+}
+
+}  // namespace
+}  // namespace repro::service

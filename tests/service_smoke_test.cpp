@@ -543,4 +543,80 @@ TEST(ServiceSmokeTest, MalformedFuzzYieldsOnlyTypedErrors) {
   std::remove(input.c_str());
 }
 
+// Live updates: a mixed read/write stream with a FLUSH compaction in the
+// middle answers byte-identically on the batched and --naive servers —
+// merged reads before the flush, compacted reads after it, fingerprint
+// included — and the compaction is visible as FLUSHED epoch=2 plus the
+// delta/compaction STATS gauges.
+TEST(ServiceSmokeTest, LiveWriteStreamMatchesNaiveAcrossFlush) {
+  const std::string store = build_store("live");
+  const std::string snap = cut_snapshot(store, "live", 1);
+
+  const std::string script =
+      "I 0 1\\n"
+      "A 0 2 3 4\\n"      // adds are visible to every following read
+      "I 0 1\\n"
+      "A 1 2 3\\n"
+      "D 0 2\\n"          // tombstone: removed from the merged view
+      "I 0 1\\n"
+      "S 0 1\\n"
+      "T 0 4\\n"
+      "K 3 0 1 2\\n"
+      "R 3 0 1 2\\n"
+      "FLUSH\\n"          // compacts the delta into epoch 2
+      "I 0 1\\n"
+      "S 0 1\\n"
+      "T 0 4\\n"
+      "FINGERPRINT\\nSTATS\\nQUIT\\n";
+  const auto go = [&](const std::string& flags, const std::string& prefix) {
+    const auto res = run("printf '" + script + "' | " + BATMAP_SERVE_PATH +
+                         " --snapshot " + snap + " --compact-prefix " +
+                         prefix + " " + flags);
+    EXPECT_EQ(res.exit_code, 0) << res.out;
+    std::remove((prefix + ".e2").c_str());
+    return res.out;
+  };
+  const std::string batched = go("", "/tmp/service_smoke_live_b");
+  const std::string naive = go("--naive", "/tmp/service_smoke_live_n");
+
+  EXPECT_NE(batched.find("FLUSHED epoch=2"), std::string::npos) << batched;
+  const auto replies = [](const std::string& s) {
+    const auto from = s.find("\nOK ");
+    return s.substr(from, s.find("STATS ") - from);
+  };
+  ASSERT_NE(batched.find("\nOK "), std::string::npos) << batched;
+  ASSERT_NE(naive.find("\nOK "), std::string::npos) << naive;
+  EXPECT_EQ(replies(batched), replies(naive))
+      << "batched:\n" << batched << "\nnaive:\n" << naive;
+
+  // The delta drained into the new epoch and the gauges say so.
+  const auto stats_pos = batched.find("STATS queries=");
+  ASSERT_NE(stats_pos, std::string::npos) << batched;
+  const std::string stats = batched.substr(stats_pos);
+  EXPECT_NE(stats.find(" epoch=2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" compactions=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" delta_elements=0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" writes="), std::string::npos) << stats;
+
+  std::remove(store.c_str());
+  std::remove(snap.c_str());
+}
+
+// Legacy v1 snapshots: snapshot-info must say the file is v1 and that the
+// all-batmap serving plan comes from the format, not from layout tags.
+TEST(ServiceSmokeTest, SnapshotInfoReportsFormatVersion) {
+  const std::string store = build_store("v1info");
+  const std::string snap = cut_snapshot(store, "v1info", 2);
+
+  const auto info = run(std::string(BATMAP_CLI_PATH) +
+                        " snapshot-info --snapshot " + snap);
+  EXPECT_EQ(info.exit_code, 0) << info.out;
+  EXPECT_NE(info.out.find("format v3"), std::string::npos) << info.out;
+  // A v3 file must NOT carry the legacy note.
+  EXPECT_EQ(info.out.find("legacy v1"), std::string::npos) << info.out;
+
+  std::remove(store.c_str());
+  std::remove(snap.c_str());
+}
+
 }  // namespace

@@ -217,6 +217,17 @@ TEST(SnapshotTest, LegacyVersion1StillOpens) {
       ASSERT_EQ(snap.intersection_size(i, j), store.intersection_size(i, j));
     }
   }
+  // Regression for snapshot-info on legacy files: the reader must expose
+  // the real on-disk version (not claim v3), and the layout breakdown must
+  // account every row as explicit batmap — the reserved-zero tag field is
+  // presented as the all-batmap serving plan, never as planned layouts.
+  EXPECT_EQ(snap.version(), kSnapshotVersionLegacy);
+  const auto br = snap.layout_breakdown();
+  EXPECT_EQ(br.rows[static_cast<int>(core::RowLayout::kBatmap)], snap.size());
+  EXPECT_EQ(br.rows[static_cast<int>(core::RowLayout::kDense)] +
+                br.rows[static_cast<int>(core::RowLayout::kSortedList)] +
+                br.rows[static_cast<int>(core::RowLayout::kWah)],
+            0u);
   std::remove(path.c_str());
 }
 

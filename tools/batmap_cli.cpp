@@ -260,11 +260,20 @@ int cmd_snapshot_info(Args& args) {
   }();
   const auto br = snap.layout_breakdown();
   std::printf("snapshot: %zu sets, epoch %llu, universe [0, %llu), %llu "
-              "bytes, %llu failures\n",
+              "bytes, %llu failures, format v%u\n",
               snap.size(), static_cast<unsigned long long>(snap.epoch()),
               static_cast<unsigned long long>(snap.universe()),
               static_cast<unsigned long long>(snap.mapped_bytes()),
-              static_cast<unsigned long long>(snap.total_failures()));
+              static_cast<unsigned long long>(snap.total_failures()),
+              snap.version());
+  if (snap.version() == service::kSnapshotVersionLegacy) {
+    // The v1 layout field was reserved-zero, which happens to equal the
+    // batmap tag — say so explicitly instead of presenting the zeros as a
+    // planned layout table.
+    std::printf("layout: legacy v1 file predates layout tags; all %zu rows "
+                "served as batmap\n",
+                snap.size());
+  }
   std::printf("%-8s %12s %16s\n", "layout", "rows", "payload bytes");
   for (std::uint32_t t = 0; t < core::kRowLayoutCount; ++t) {
     std::printf("%-8s %12llu %16llu\n",

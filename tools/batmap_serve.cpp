@@ -12,13 +12,25 @@
 //   K <k> <id>... [ms]  exact k-way |∩ S_id|, k in [2,8] -> "OK <count>"
 //   R <k> <id>... [ms]  association-rule score: the last id is the
 //                    consequent -> "OK <joint> <antecedent>"
+//   A <set> <id>...  insert ids into S_set (live delta) -> "OK <recorded>"
+//   D <set> <id>...  delete ids from S_set (tombstones) -> "OK <recorded>"
+//   FLUSH            compact the delta into a new snapshot epoch
+//                    -> "FLUSHED epoch=<e>"
 //   RELOAD [path]    hot-swap the snapshot        -> "RELOADED epoch=<e>"
 //   STATS            engine counters              -> "STATS k=v k=v ..."
 //   FINGERPRINT      FNV-1a over this connection's results -> "FP <hex>"
 //   QUIT             close the connection
 //
 // The optional trailing [ms] is a per-request deadline in milliseconds;
-// --deadline-ms sets a default for requests that omit it.
+// --deadline-ms sets a default for requests that omit it. Writes take no
+// deadline: once admitted they always apply (an acknowledged write is
+// never dropped), and "OK <recorded>" counts the ops that changed visible
+// membership (re-adding a present id records nothing). A write shed
+// because the delta is over budget replies "ERR OVERLOAD delta_full
+// retry_ms=<n>" — FLUSH (or the background compactor; see --compact-ops /
+// --compact-age-ms) drains the delta into a fresh epoch. Reads merge
+// base + delta transparently, so every query kind observes acknowledged
+// writes immediately.
 //
 // Request lines are parsed by a strict tokenizer: every numeric field must
 // be a plain decimal u32 (no sign, no hex, no overflow) and the token count
@@ -69,6 +81,7 @@
 
 #include <string_view>
 
+#include "service/delta_layer.hpp"
 #include "service/query_engine.hpp"
 #include "service/snapshot.hpp"
 #include "service/snapshot_manager.hpp"
@@ -178,6 +191,10 @@ void fold_result(util::Fnv1a& fp, const service::Query& q,
 
 std::string format_result(const service::Result& r, char op) {
   char tmp[64];
+  if (op == 'F') {
+    std::snprintf(tmp, sizeof(tmp), "FLUSHED epoch=%" PRIu64, r.value);
+    return tmp;
+  }
   std::snprintf(tmp, sizeof(tmp), "OK %" PRIu64, r.value);
   std::string out = tmp;
   if (op == 'R') {
@@ -237,13 +254,17 @@ std::string format_stats(const service::QueryEngine::Stats& s,
       " kway_list=%" PRIu64 " kway_sweep=%" PRIu64 " arena_reserved=%" PRIu64
       " shed=%" PRIu64 " timeouts=%" PRIu64 " pinned_fallbacks=%" PRIu64
       " rollovers=%" PRIu64 " rows_batmap=%" PRIu64 " rows_dense=%" PRIu64
-      " rows_list=%" PRIu64 " rows_wah=%" PRIu64 " epoch=%" PRIu64
-      " swaps=%" PRIu64,
+      " rows_list=%" PRIu64 " rows_wah=%" PRIu64 " delta_sets=%" PRIu64
+      " delta_elements=%" PRIu64 " delta_bytes=%" PRIu64 " writes=%" PRIu64
+      " deletes=%" PRIu64 " compactions=%" PRIu64 " delta_shed=%" PRIu64
+      " epoch=%" PRIu64 " swaps=%" PRIu64,
       s.queries, s.batches, s.max_batch_seen, s.cache_hits, s.cache_misses,
       s.strip_pairs, s.cyclic_pairs, s.topk_sweeps, s.kway_queries,
       s.kway_list_steps, s.kway_sweep_steps, s.arena_reserved_bytes,
       s.shed_overload, s.timeouts, s.pinned_fallbacks, s.epoch_rollovers,
-      s.rows_batmap, s.rows_dense, s.rows_list, s.rows_wah, epoch, swaps);
+      s.rows_batmap, s.rows_dense, s.rows_list, s.rows_wah, s.delta_sets,
+      s.delta_elements, s.delta_bytes, s.delta_writes, s.delta_deletes,
+      s.compactions, s.delta_shed, epoch, swaps);
   return tmp;
 }
 
@@ -328,12 +349,26 @@ std::uint64_t serve_connection(FdLineIo io, ServeCtx& ctx) {
     constexpr int kMaxToks = 3 + static_cast<int>(service::kMaxKwayIds) + 1;
     std::string_view toks[kMaxToks];
     const int nt = tokenize(line, toks, kMaxToks);
-    const char op = (nt >= 1 && toks[0].size() == 1) ? toks[0][0] : 0;
+    char op = (nt >= 1 && toks[0].size() == 1) ? toks[0][0] : 0;
     service::Query q;
     std::uint32_t dl_ms = 0;
     bool have_dl = false;
     bool ok = true;
-    if (op == 'I' || op == 'S' || op == 'T') {
+    if (line == "FLUSH") {
+      op = 'F';
+      q.kind = service::QueryKind::kFlush;
+    } else if (op == 'A' || op == 'D') {
+      // Writes: "A|D <set> <id>..." — no deadline token (acknowledged
+      // writes are never dropped, so a deadline would be meaningless).
+      q.kind = op == 'A' ? service::QueryKind::kAdd
+                         : service::QueryKind::kDelete;
+      ok = nt >= 3 && nt <= 2 + static_cast<int>(service::kMaxKwayIds) &&
+           parse_u32(toks[1], q.a);
+      for (int i = 2; ok && i < nt; ++i) {
+        ok = parse_u32(toks[i], q.ids[i - 2]);
+      }
+      q.nids = ok ? static_cast<std::uint8_t>(nt - 2) : 0;
+    } else if (op == 'I' || op == 'S' || op == 'T') {
       std::uint32_t y = 0;
       ok = (nt == 3 || nt == 4) && parse_u32(toks[1], q.a) &&
            parse_u32(toks[2], y) &&
@@ -366,12 +401,13 @@ std::uint64_t serve_connection(FdLineIo io, ServeCtx& ctx) {
     }
     if (!ok) {
       io.write_line("ERR BADREQ expected: I|S|T <u32> <u32> [deadline_ms], "
-                    "K|R <k:2..8> <id>... [deadline_ms], RELOAD [path], "
-                    "STATS, FINGERPRINT, or QUIT");
+                    "K|R <k:2..8> <id>... [deadline_ms], A|D <set> <id>..., "
+                    "FLUSH, RELOAD [path], STATS, FINGERPRINT, or QUIT");
       continue;
     }
+    const bool mutation = op == 'A' || op == 'D' || op == 'F';
     const std::uint64_t deadline_ms =
-        have_dl ? dl_ms : ctx.default_deadline_ms;
+        mutation ? 0 : (have_dl ? dl_ms : ctx.default_deadline_ms);
     if (deadline_ms > 0) {
       q.deadline_ns =
           service::QueryEngine::now_ns() + deadline_ms * 1'000'000ull;
@@ -387,12 +423,15 @@ std::uint64_t serve_connection(FdLineIo io, ServeCtx& ctx) {
         continue;
       }
       try {
-        const service::Result r = ctx.engine.execute_one(q);
-        fold_result(fp, q, r);
+        const service::Result r = ctx.engine.execute_serial(q);
+        if (op != 'F') fold_result(fp, q, r);
         ++served;
         io.write_line(format_result(r, op));
+      } catch (const service::DeltaFullError&) {
+        io.write_line("ERR OVERLOAD delta_full retry_ms=100");
       } catch (const CheckError&) {
-        io.write_line("ERR RANGE id or k out of range");
+        io.write_line(op == 'F' ? "ERR RELOAD compaction failed"
+                                : "ERR RANGE id or k out of range");
       }
       continue;
     }
@@ -409,15 +448,21 @@ std::uint64_t serve_connection(FdLineIo io, ServeCtx& ctx) {
     if (verdict == service::Admit::kOk) service::QueryEngine::wait(req);
     switch (req.outcome()) {
       case service::Request::Outcome::kOk:
-        fold_result(fp, q, req.result());
+        if (op != 'F') fold_result(fp, q, req.result());
         ++served;
         io.write_line(format_result(req.result(), op));
         break;
       case service::Request::Outcome::kTimeout:
         io.write_line("ERR TIMEOUT deadline exceeded");
         break;
+      case service::Request::Outcome::kOverload:
+        // The write itself was shed (delta over budget) — distinct from
+        // admission overload: the request WAS admitted and executed.
+        io.write_line("ERR OVERLOAD delta_full retry_ms=100");
+        break;
       default:
-        io.write_line("ERR RANGE id or k out of range");
+        io.write_line(op == 'F' ? "ERR RELOAD compaction failed"
+                                : "ERR RANGE id or k out of range");
         break;
     }
   }
@@ -492,6 +537,18 @@ int main(int argc, char** argv) {
       args.f64("admit-burst", 64.0, "token-gate burst size");
   const bool naive =
       args.flag("naive", false, "answer one query at a time (reference mode)");
+  const std::uint64_t compact_ops = args.u64(
+      "compact-ops", 0, "background-compact at this many pending ops (0 = off)");
+  const std::uint64_t compact_age_ms = args.u64(
+      "compact-age-ms", 0,
+      "background-compact when the oldest pending op is this old (0 = off)");
+  const std::string compact_layout =
+      args.str("compact-layout", "auto",
+               "row layout policy for compacted snapshots "
+               "(batmap|auto|dense|list|wah)");
+  const std::string compact_prefix = args.str(
+      "compact-prefix", "",
+      "emitted snapshot path prefix (default: <snapshot>.compact)");
   args.finish();
   if (snapshot_path.empty()) {
     std::fprintf(stderr, "batmap_serve: --snapshot is required\n");
@@ -515,6 +572,24 @@ int main(int argc, char** argv) {
     opt.admit_rate = admit_rate;
     opt.admit_burst = admit_burst;
     service::QueryEngine engine(mgr, opt);
+    // Constructed after the engine so it is destroyed first: the FLUSH hook
+    // below runs on the engine's batch worker, which must never outlive the
+    // compactor it calls into.
+    service::Compactor::Options copt;
+    copt.out_prefix =
+        compact_prefix.empty() ? snapshot_path + ".compact" : compact_prefix;
+    const auto cmode = service::parse_layout_mode(compact_layout);
+    if (!cmode) {
+      std::fprintf(stderr, "batmap_serve: unknown --compact-layout '%s'\n",
+                   compact_layout.c_str());
+      return 2;
+    }
+    copt.layout = *cmode;
+    copt.trigger_ops = compact_ops;
+    copt.max_age_ms = compact_age_ms;
+    service::Compactor compactor(mgr, engine.delta(), copt);
+    engine.set_flush_hook([&compactor] { return compactor.compact_now(); });
+    compactor.start_background();
     ServeCtx ctx{mgr, engine};
     ctx.naive = naive;
     ctx.default_deadline_ms = deadline_ms;
