@@ -88,6 +88,8 @@
 //                       per (ratio, mode), the measured list-vs-sweep
 //                       crossover, and the cost model's switch point; all
 //                       three modes must fingerprint identically.
+#include <signal.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -102,12 +104,19 @@
 
 #include "batmap/intersect.hpp"
 #include "harness.hpp"
+#include "router/router_core.hpp"
+#include "router/shard_map.hpp"
 #include "service/query_engine.hpp"
 #include "service/snapshot.hpp"
 #include "service/snapshot_manager.hpp"
 #include "util/fnv.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+
+// Path to the shard binary for the --router arm, injected by CMake.
+#ifndef BATMAP_SERVE_PATH
+#define BATMAP_SERVE_PATH "./batmap_serve"
+#endif
 
 using namespace repro;
 
@@ -394,6 +403,77 @@ bool run_kway_calibration(std::uint64_t universe, std::uint64_t base_size,
   return ok;
 }
 
+/// A batmap_serve shard subprocess for the --router arm: spawned with
+/// --port 0, the ephemeral port read back off the LISTENING stdout
+/// contract. The bench owns the pid and SIGTERMs it when the arm ends.
+struct ShardProc {
+  long pid = -1;
+  std::uint16_t port = 0;
+};
+
+ShardProc spawn_shard(const std::string& snap, const std::string& out) {
+  ShardProc sp;
+  const std::string cmd = std::string(BATMAP_SERVE_PATH) + " --snapshot " +
+                          snap + " --port 0 --max-line 1048576 < /dev/null > " +
+                          out + " 2>/dev/null & echo $!";
+  FILE* p = popen(cmd.c_str(), "r");
+  if (!p) return sp;
+  if (std::fscanf(p, "%ld", &sp.pid) != 1) sp.pid = -1;
+  pclose(p);
+  for (int i = 0; i < 100 && sp.port == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (FILE* f = std::fopen(out.c_str(), "r")) {
+      unsigned port = 0;
+      if (std::fscanf(f, "LISTENING %u", &port) == 1) {
+        sp.port = static_cast<std::uint16_t>(port);
+      }
+      std::fclose(f);
+    }
+  }
+  return sp;
+}
+
+/// C closed-loop clients drive disjoint stream slices through the router
+/// core (each execute() is a synchronous scatter/forward over the shard
+/// connections). Mirrors run_arm so the rows compare like for like.
+RunResult run_router_arm(router::RouterCore& core,
+                         const std::vector<service::Query>& stream,
+                         std::size_t clients, std::uint64_t& errors) {
+  RunResult out;
+  const std::size_t q = stream.size();
+  std::vector<std::uint64_t> fps(clients, 0);
+  std::vector<std::vector<std::uint64_t>> lat(clients);
+  std::atomic<std::uint64_t> errs{0};
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    const std::size_t lo = q * c / clients;
+    const std::size_t hi = q * (c + 1) / clients;
+    lat[c].reserve(hi - lo);
+    threads.emplace_back([&, c, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        Timer t;
+        const auto r = core.execute(stream[i], /*deadline_ns=*/0);
+        lat[c].push_back(static_cast<std::uint64_t>(t.seconds() * 1e9));
+        if (r.ok) {
+          fps[c] ^= result_fingerprint(i, stream[i], r.result);
+        } else {
+          errs.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  out.seconds = wall.seconds();
+  for (const auto f : fps) out.fingerprint ^= f;
+  std::vector<std::uint64_t> all;
+  for (auto& l : lat) all.insert(all.end(), l.begin(), l.end());
+  out.p50_us = percentile(all, 0.50);
+  out.p99_us = percentile(all, 0.99);
+  errors = errs.load();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -449,6 +529,10 @@ int main(int argc, char** argv) {
   const bool calibrate_kway = args.flag(
       "calibrate-kway", false,
       "run the k-way planner calibration sweep instead of the load arms");
+  const std::uint64_t router_n = args.u64(
+      "router", 0,
+      "router arm: serve the stream through batmap_router topologies of 1..N "
+      "local shards (0 = off); fingerprints must match the direct arm");
   const std::string snap_path =
       args.str("snapshot", "service_throughput.snap", "snapshot scratch path");
   const std::string csv = args.str("csv", "", "write table as CSV");
@@ -691,6 +775,94 @@ int main(int argc, char** argv) {
         ok = false;
       }
     }
+  }
+
+  // Router arm: the same read stream served through batmap_router over
+  // 1..N local batmap_serve shards. Each topology cuts the store into
+  // per-shard snapshots (ShardMap-consistent, like `batmap_cli
+  // shard-split`), spawns the fleet on ephemeral ports, and drives the
+  // router core from C closed-loop clients. Aggregate QPS shows the
+  // scatter/forward scaling; every topology's fingerprint must equal the
+  // direct arm's — the sharding-transparency gate.
+  if (router_n > 0 && !overload_only && !live_only) {
+    Table rtable({"mode", "shards", "seconds", "qps", "p50_us", "p99_us",
+                  "fingerprint"});
+    for (std::uint64_t n = 1; n <= router_n; ++n) {
+      router::ShardMap::Options mopt;
+      mopt.shards = static_cast<std::uint32_t>(n);
+      const auto part = router::ShardMap(mopt).partition(
+          static_cast<std::uint32_t>(sets));
+      std::vector<ShardProc> procs;
+      std::vector<std::string> scratch;
+      router::RouterCore::Options ropt;
+      bool spawned = true;
+      for (std::uint64_t s = 0; s < n; ++s) {
+        const auto& owned = part.owned[s];
+        std::vector<core::RowLayout> sub;
+        if (!layouts.empty()) {
+          sub.reserve(owned.size());
+          for (const std::uint32_t gid : owned) sub.push_back(layouts[gid]);
+        }
+        const std::string base_path = snap_path + ".router" +
+                                      std::to_string(n) + "." +
+                                      std::to_string(s);
+        service::write_snapshot(store, base_path + ".snap", /*epoch=*/1, sub,
+                                owned);
+        scratch.push_back(base_path);
+        const ShardProc sp =
+            spawn_shard(base_path + ".snap", base_path + ".out");
+        if (sp.pid < 0 || sp.port == 0) spawned = false;
+        procs.push_back(sp);
+        ropt.ports.push_back(sp.port);
+      }
+      if (spawned) {
+        try {
+          router::RouterCore core(ropt);
+          std::uint64_t errors = 0;
+          const RunResult r = run_router_arm(core, stream, clients, errors);
+          char fpbuf[32];
+          std::snprintf(fpbuf, sizeof(fpbuf), "%016" PRIx64, r.fingerprint);
+          rtable.row()
+              .add(std::string("router"))
+              .add(n)
+              .add(r.seconds, 3)
+              .add(qn / r.seconds, 0)
+              .add(r.p50_us, 1)
+              .add(r.p99_us, 1)
+              .add(std::string(fpbuf));
+          if (errors != 0) {
+            std::printf("ROUTER ARM: %" PRIu64 " queries errored at %" PRIu64
+                        " shards\n",
+                        errors, n);
+            ok = false;
+          }
+          if (r.fingerprint != direct.fingerprint) {
+            std::printf("FINGERPRINT MISMATCH on the router arm at %" PRIu64
+                        " shards\n",
+                        n);
+            ok = false;
+          }
+        } catch (const CheckError& e) {
+          std::printf("ROUTER ARM: handshake failed at %" PRIu64
+                      " shards: %s\n",
+                      n, e.what());
+          ok = false;
+        }
+      } else {
+        std::printf("ROUTER ARM: failed to spawn the %" PRIu64
+                    "-shard fleet\n",
+                    n);
+        ok = false;
+      }
+      for (const ShardProc& sp : procs) {
+        if (sp.pid > 0) kill(static_cast<pid_t>(sp.pid), SIGTERM);
+      }
+      for (const std::string& base_path : scratch) {
+        std::remove((base_path + ".snap").c_str());
+        std::remove((base_path + ".out").c_str());
+      }
+    }
+    bench::emit(rtable, csv);
   }
 
   // Live read/write arm: the zipf read stream with write_permille‰ of ops

@@ -1,0 +1,162 @@
+#include "router/shard_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "service/line_io.hpp"
+#include "service/query_engine.hpp"
+
+namespace repro::router {
+
+namespace {
+
+std::chrono::steady_clock::time_point to_time_point(std::uint64_t ns) {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::nanoseconds(ns)));
+}
+
+/// MSG_NOSIGNAL: a shard that died mid-reply must surface as a write error
+/// on this thread, not a process-wide SIGPIPE.
+bool send_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+ShardClient::ShardClient(Options opt) : opt_(opt) {}
+
+ShardClient::~ShardClient() {
+  std::vector<std::thread> reap;
+  {
+    std::lock_guard lock(mu_);
+    stop_.store(true, std::memory_order_relaxed);
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      fd_ = -1;
+    }
+    for (auto& w : pending_) {
+      w->state = 2;
+    }
+    pending_.clear();
+    cv_.notify_all();
+    if (reader_.joinable()) reap.push_back(std::move(reader_));
+    for (auto& t : retired_) reap.push_back(std::move(t));
+    retired_.clear();
+  }
+  for (auto& t : reap) t.join();
+}
+
+bool ShardClient::ensure_connected_locked() {
+  if (fd_ >= 0) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opt_.port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  ++generation_;
+  if (generation_ > 1) reconnects_.fetch_add(1, std::memory_order_relaxed);
+  // The previous reader (if any) is already unblocked — its fd was shut
+  // down at teardown — but may not have exited yet; joining here would
+  // deadlock on mu_, so retire it for the destructor to reap. One live
+  // reader per generation; stale generations no-op on exit.
+  if (reader_.joinable()) retired_.push_back(std::move(reader_));
+  reader_ = std::thread(&ShardClient::reader_loop, this, fd_, generation_);
+  return true;
+}
+
+void ShardClient::teardown_locked() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);  // the reader owns the close
+    fd_ = -1;
+  }
+  for (auto& w : pending_) {
+    w->state = 2;
+  }
+  pending_.clear();
+  cv_.notify_all();
+}
+
+void ShardClient::reader_loop(int fd, std::uint64_t generation) {
+  service::FdLineIo io(fd, fd, opt_.max_reply, &stop_);
+  std::string line;
+  for (;;) {
+    const service::FdLineIo::Line st = io.read_line(line);
+    if (st != service::FdLineIo::Line::kOk) break;  // kTooLong => desynced
+    std::unique_lock lock(mu_);
+    if (generation_ != generation) break;  // reconnected underneath us
+    if (!pending_.empty()) {
+      const std::shared_ptr<Waiter> w = std::move(pending_.front());
+      pending_.pop_front();
+      if (!w->abandoned) {
+        w->reply = std::move(line);
+        w->state = 1;
+        cv_.notify_all();
+      }
+    }
+    // else: reply for a waiter a teardown already failed — drop it.
+  }
+  {
+    std::lock_guard lock(mu_);
+    if (generation_ == generation) {
+      fd_ = -1;
+      for (auto& w : pending_) {
+        w->state = 2;
+      }
+      pending_.clear();
+      cv_.notify_all();
+    }
+  }
+  ::close(fd);
+}
+
+ShardClient::Io ShardClient::request(const std::string& line,
+                                     std::uint64_t deadline_ns,
+                                     std::string& reply) {
+  std::unique_lock lock(mu_);
+  if (stop_.load(std::memory_order_relaxed)) return Io::kConnFail;
+  if (!ensure_connected_locked()) return Io::kConnFail;
+  std::string out = line;
+  out.push_back('\n');
+  if (!send_all(fd_, out.data(), out.size())) {
+    teardown_locked();
+    return Io::kConnFail;
+  }
+  auto w = std::make_shared<Waiter>();
+  pending_.push_back(w);
+  const auto done = [&] { return w->state != 0; };
+  if (deadline_ns == 0) {
+    cv_.wait(lock, done);
+  } else if (!cv_.wait_until(lock, to_time_point(deadline_ns), done)) {
+    // The reply (if it ever comes) still occupies this pipeline position;
+    // the reader consumes and discards it.
+    w->abandoned = true;
+    return Io::kTimeout;
+  }
+  if (w->state != 1) return Io::kConnFail;
+  reply = std::move(w->reply);
+  return Io::kOk;
+}
+
+}  // namespace repro::router

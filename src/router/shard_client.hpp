@@ -1,0 +1,89 @@
+// One persistent line-protocol connection to a batmap_serve shard, safe
+// for concurrent router threads.
+//
+// The shard protocol is strictly one reply line per request line, in
+// order, so the connection is pipelined FIFO: a sender appends its line
+// and a completion slot under the lock, and a single reader thread matches
+// incoming reply lines to slots front-to-back. Concurrent requests from
+// different router connections interleave on the wire without waiting for
+// each other's replies — the "one persistent connection per shard" model.
+//
+// A sender whose deadline expires abandons its slot; the reader still
+// consumes the matching reply line when it arrives (protocol positions
+// must stay aligned) and discards it. On EOF/write failure every pending
+// slot fails with kConnFail, the socket is torn down, and the next request
+// reconnects lazily — the router retries idempotent reads within their
+// deadline and surfaces typed errors for everything else.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace repro::router {
+
+class ShardClient {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  ///< on 127.0.0.1 (shards are loopback-only)
+    /// Longest accepted reply line. Semi-join and top-k scatter replies
+    /// carry element lists, so this is far above batmap_serve's request
+    /// default.
+    std::size_t max_reply = 1u << 22;
+  };
+
+  explicit ShardClient(Options opt);
+  ~ShardClient();
+
+  ShardClient(const ShardClient&) = delete;
+  ShardClient& operator=(const ShardClient&) = delete;
+
+  enum class Io {
+    kOk = 0,
+    kConnFail = 1,  ///< connect/send/receive failed; connection torn down
+    kTimeout = 2,   ///< deadline expired while waiting for the reply
+  };
+
+  /// One request/reply exchange. `line` must not contain '\n'.
+  /// deadline_ns == 0 means no deadline (waits until reply or teardown).
+  Io request(const std::string& line, std::uint64_t deadline_ns,
+             std::string& reply);
+
+  std::uint16_t port() const { return opt_.port; }
+  std::uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Waiter {
+    std::string reply;
+    int state = 0;  // 0 pending, 1 done, 2 failed
+    bool abandoned = false;
+  };
+
+  bool ensure_connected_locked();
+  void teardown_locked();
+  void reader_loop(int fd, std::uint64_t generation);
+
+  Options opt_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int fd_ = -1;
+  std::uint64_t generation_ = 0;  ///< bumps per (re)connect
+  std::deque<std::shared_ptr<Waiter>> pending_;
+  std::thread reader_;
+  /// Readers of torn-down generations: unblocked (their fd was shut down)
+  /// but not yet exited. Joining them inline would deadlock on mu_, so the
+  /// destructor reaps them off-lock.
+  std::vector<std::thread> retired_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> reconnects_{0};
+};
+
+}  // namespace repro::router

@@ -1,0 +1,64 @@
+#include "router/shard_map.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace repro::router {
+
+namespace {
+
+/// splitmix64 finalizer: FNV-style multiplicative hashes cluster in the
+/// low bits, which would clump ring points; this avalanche stage makes
+/// every output bit depend on every input bit. Fixed constants — the ring
+/// is a cross-process wire contract, so no std::hash, no per-build salt.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(Options opt) : opt_(opt) {
+  REPRO_CHECK_MSG(opt_.shards >= 1, "ShardMap needs at least one shard");
+  REPRO_CHECK_MSG(opt_.vnodes >= 1, "ShardMap needs at least one vnode");
+  ring_.reserve(static_cast<std::size_t>(opt_.shards) * opt_.vnodes);
+  for (std::uint32_t s = 0; s < opt_.shards; ++s) {
+    for (std::uint32_t v = 0; v < opt_.vnodes; ++v) {
+      const std::uint64_t point =
+          mix64(opt_.seed ^ mix64((static_cast<std::uint64_t>(s) << 32) | v));
+      ring_.emplace_back(point, s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::uint32_t ShardMap::shard_of(std::uint64_t id) const {
+  const std::uint64_t h = mix64(id ^ opt_.seed);
+  // First point at or after h, wrapping to the smallest point at the top.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<std::uint64_t, std::uint32_t>& p, std::uint64_t v) {
+        return p.first < v;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+ShardMap::Partition ShardMap::partition(std::uint32_t total) const {
+  Partition p;
+  p.owned.resize(opt_.shards);
+  p.shard_of_id.resize(total);
+  p.local_of_id.resize(total);
+  for (std::uint32_t id = 0; id < total; ++id) {
+    const std::uint32_t s = shard_of(id);
+    p.shard_of_id[id] = s;
+    p.local_of_id[id] = static_cast<std::uint32_t>(p.owned[s].size());
+    p.owned[s].push_back(id);
+  }
+  return p;
+}
+
+}  // namespace repro::router

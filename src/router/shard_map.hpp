@@ -1,0 +1,67 @@
+// Consistent-hash partitioning of set ids across batmap_serve shards.
+//
+// Classic ring construction: every shard contributes `vnodes` points on a
+// 64-bit ring (hashed from (seed, shard, vnode) — nothing process-local),
+// and a set id belongs to the shard owning the first ring point at or
+// after the id's own hash, wrapping at the top. Two properties the router
+// tier is built on:
+//
+//  * Determinism: the assignment is a pure function of (shards, vnodes,
+//    seed), so `batmap_cli shard-split`, the router, and every test agree
+//    on who owns what without exchanging state.
+//  * Stability: growing N shards to N+1 only inserts new ring points, so
+//    an id moves only if a new point landed between its hash and its old
+//    successor — i.e. only *into* the new shard, ~1/(N+1) of all ids.
+//    Shrinking is symmetric. shard_map_test pins both.
+//
+// Shards address sets by dense local ids. `partition(total)` derives the
+// global<->local mapping the router and shard-split share: shard s serves
+// the ascending sequence of global ids it owns, and a global id's local id
+// is its rank in that sequence.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace repro::router {
+
+class ShardMap {
+ public:
+  struct Options {
+    std::uint32_t shards = 1;
+    /// Ring points per shard. More points tighten the balance spread at
+    /// O(shards·vnodes·log) build cost; 64 keeps the max/mean load under
+    /// ~1.35 across the configurations shard_map_test sweeps.
+    std::uint32_t vnodes = 64;
+    /// Ring salt. Every participant must use the same value (the default
+    /// is the wire default; shard-split and the router only override it
+    /// together via --ring-seed).
+    std::uint64_t seed = 0xba72a9005eedull;
+  };
+
+  explicit ShardMap(Options opt);
+
+  std::uint32_t shard_of(std::uint64_t id) const;
+  std::uint32_t shard_count() const { return opt_.shards; }
+  const Options& options() const { return opt_; }
+
+  /// The dense-id-space view for a corpus of `total` sets.
+  struct Partition {
+    /// Per shard: the global set ids it owns, ascending. Position == the
+    /// set's local id on that shard.
+    std::vector<std::vector<std::uint32_t>> owned;
+    std::vector<std::uint32_t> shard_of_id;  ///< global id -> shard
+    std::vector<std::uint32_t> local_of_id;  ///< global id -> local id
+  };
+  Partition partition(std::uint32_t total) const;
+
+ private:
+  Options opt_;
+  /// (ring point, shard), sorted by point then shard — the tie order is
+  /// part of the wire contract, so equal points resolve identically in
+  /// every process.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+}  // namespace repro::router

@@ -13,24 +13,6 @@ namespace repro::service {
 
 namespace {
 
-/// Inserts (id, count) into a k-best array sorted by (count desc, id asc).
-/// `size` is the current fill; returns the new fill. Both the batched and
-/// the naive top-k path rank through this, so their outputs are identical
-/// by construction (the order is total — ids are distinct).
-std::uint32_t topk_insert(TopEntry* best, std::uint32_t size, std::uint32_t k,
-                          std::uint32_t id, std::uint64_t count) {
-  std::uint32_t pos = size;
-  while (pos > 0 && (count > best[pos - 1].count ||
-                     (count == best[pos - 1].count && id < best[pos - 1].id))) {
-    --pos;
-  }
-  if (pos >= k) return size;
-  const std::uint32_t new_size = std::min(size + 1, k);
-  for (std::uint32_t i = new_size; i-- > pos + 1;) best[i] = best[i - 1];
-  best[pos] = {id, count};
-  return new_size;
-}
-
 bool deadline_expired(const Query& q, std::uint64_t now) {
   return q.deadline_ns != 0 && now >= q.deadline_ns;
 }
@@ -834,17 +816,25 @@ std::uint64_t QueryEngine::kway_count(const ServingState& st,
     if (base_clean && snap.failures(id).empty() &&
         snap.layout(id) == core::RowLayout::kBatmap) {
       // Cost model, in units of ~one random memory touch. A galloping
-      // merge does ~driver gallops of 2+log2(other/driver) touches, each
+      // merge does ~driver gallops of 3+log2(other/driver) touches, each
       // a cache-hostile probe into the other list. A sweep streams
       // max(base_slots, other_slots) packed slot bytes sequentially, four
       // per word, so it counts slots/4. A step is a sweep CANDIDATE when
       // its marginal cost beats the merge; whether the candidates run is
       // settled jointly below, because they share the fixed costs.
+      //
+      // The per-gallop constant was 2 until the --calibrate-kway sweep
+      // (service_throughput) showed the model conservative at mid
+      // operand-size ratios (4–16): it kept choosing list merges where
+      // measured sweeps ran ~10–15% faster. One extra touch per gallop —
+      // the binary-search refinement probe the old constant ignored —
+      // moves the modeled crossover to match the measured one;
+      // kway_diff_test pins the new switch point.
       const std::uint64_t other_slots = snap.words(id).size() * 4;
       const std::uint64_t other_size = snap.elements(id).size();
       const std::uint64_t ratio = other_size / std::max<std::uint64_t>(driver, 1);
       const std::uint64_t list_cost =
-          driver * (2 + std::bit_width(ratio));
+          driver * (3 + std::bit_width(ratio));
       const std::uint64_t sweep_cost = std::max(base_slots, other_slots) / 4;
       if (mode == KwayMode::kForceSweep) {
         // Calibration override: take every eligible sweep regardless of the
@@ -1113,6 +1103,111 @@ Result QueryEngine::execute_one(const Query& q) const {
   const ServingStateRef st = mgr_->current();
   REPRO_CHECK_MSG(valid(*st, q), "invalid query");
   return execute_on(*st, q);
+}
+
+std::vector<std::uint64_t> QueryEngine::semi_join(
+    std::span<const std::uint32_t> ids, std::span<const std::uint64_t> seed,
+    bool use_seed, bool raw) const {
+  const ServingStateRef st = mgr_->current();
+  const Snapshot& snap = st->snapshot();
+  DeltaView dview;
+  if (!delta_.empty_at(st->epoch())) dview = delta_.view_at(st->epoch());
+  EffectiveRowRef hold;  // keeps the last dirty rebuild alive across use
+  // Materializes set `id` in the requested domain: full membership
+  // (raw=false) or stored elements — membership minus insertion failures —
+  // (raw=true, the domain the raw sweep counts in).
+  const auto row = [&](std::uint32_t id, std::vector<std::uint64_t>& out)
+      -> std::span<const std::uint64_t> {
+    REPRO_CHECK_MSG(id < snap.size(), "set id out of range");
+    if (!raw) {
+      if (!dview.dirty(id)) return snap.elements(id);
+      apply_delta_ops(snap.elements(id), dview.ops(id), out);
+      return out;
+    }
+    std::span<const std::uint64_t> elems = snap.elements(id);
+    std::span<const std::uint64_t> fails = snap.failures(id);
+    if (dview.dirty(id)) {
+      hold = delta_.effective_row(snap, id, st->epoch());
+      elems = hold->elements;
+      fails = hold->failures;
+    }
+    out.clear();
+    out.reserve(elems.size());
+    std::size_t f = 0;
+    for (const std::uint64_t v : elems) {
+      while (f < fails.size() && fails[f] < v) ++f;
+      if (f < fails.size() && fails[f] == v) {
+        ++f;
+        continue;
+      }
+      out.push_back(v);
+    }
+    return out;
+  };
+
+  std::vector<std::uint64_t> cur;
+  std::vector<std::uint64_t> scratch;
+  std::size_t first = 0;
+  if (use_seed) {
+    cur.assign(seed.begin(), seed.end());
+  } else {
+    REPRO_CHECK_MSG(!ids.empty(), "semi_join needs a seed or an operand");
+    const auto r0 = row(ids[0], scratch);
+    cur.assign(r0.begin(), r0.end());
+    first = 1;
+  }
+  for (std::size_t i = first; i < ids.size(); ++i) {
+    if (cur.empty()) break;
+    const auto r = row(ids[i], scratch);
+    cur.resize(batmap::gallop_intersect(cur, r, cur.data()));
+  }
+  return cur;
+}
+
+std::vector<TopEntry> QueryEngine::topk_against(
+    std::span<const std::uint64_t> list, std::uint32_t k,
+    std::uint32_t exclude) const {
+  REPRO_CHECK_MSG(k >= 1 && k <= kMaxTopK, "k out of range");
+  const ServingStateRef st = mgr_->current();
+  const Snapshot& snap = st->snapshot();
+  DeltaView dview;
+  if (!delta_.empty_at(st->epoch())) dview = delta_.view_at(st->epoch());
+  TopEntry best[kMaxTopK];
+  std::uint32_t size = 0;
+  std::vector<std::uint64_t> buf(list.size());
+  std::vector<std::uint64_t> tmp;
+  for (std::uint32_t id = 0; id < snap.size(); ++id) {
+    if (id == exclude) continue;
+    std::span<const std::uint64_t> other = snap.elements(id);
+    if (dview.dirty(id)) {
+      apply_delta_ops(snap.elements(id), dview.ops(id), tmp);
+      other = tmp;
+    }
+    const std::uint64_t cnt =
+        list.empty() || other.empty()
+            ? 0
+            : batmap::gallop_intersect(list, other, buf.data());
+    size = topk_insert(best, size, k, id, cnt);
+  }
+  return {best, best + size};
+}
+
+std::vector<std::uint64_t> QueryEngine::row_supports() const {
+  const ServingStateRef st = mgr_->current();
+  const Snapshot& snap = st->snapshot();
+  DeltaView dview;
+  if (!delta_.empty_at(st->epoch())) dview = delta_.view_at(st->epoch());
+  std::vector<std::uint64_t> out(snap.size());
+  std::vector<std::uint64_t> tmp;
+  for (std::uint32_t id = 0; id < snap.size(); ++id) {
+    if (dview.dirty(id)) {
+      apply_delta_ops(snap.elements(id), dview.ops(id), tmp);
+      out[id] = tmp.size();
+    } else {
+      out[id] = snap.elements(id).size();
+    }
+  }
+  return out;
 }
 
 QueryEngine::Stats QueryEngine::stats() const {

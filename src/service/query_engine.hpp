@@ -132,6 +132,27 @@ struct TopEntry {
   std::uint64_t count = 0;
 };
 
+/// Inserts (id, count) into a k-best array sorted by (count desc, id asc).
+/// `size` is the current fill; returns the new fill. Every ranked path —
+/// batched top-k, the naive reference, the shard-local X T handler, and
+/// the router's global scatter-gather merge — ranks through this one
+/// function, so their outputs are identical by construction (the order is
+/// total — ids are distinct).
+inline std::uint32_t topk_insert(TopEntry* best, std::uint32_t size,
+                                 std::uint32_t k, std::uint32_t id,
+                                 std::uint64_t count) {
+  std::uint32_t pos = size;
+  while (pos > 0 && (count > best[pos - 1].count ||
+                     (count == best[pos - 1].count && id < best[pos - 1].id))) {
+    --pos;
+  }
+  if (pos >= k) return size;
+  const std::uint32_t new_size = size + 1 < k ? size + 1 : k;
+  for (std::uint32_t i = new_size; i-- > pos + 1;) best[i] = best[i - 1];
+  best[pos] = {id, count};
+  return new_size;
+}
+
 struct Result {
   std::uint64_t value = 0;       ///< pair count, or number of top-k entries
   /// kRuleScore: antecedent intersection count (0 for every other kind).
@@ -321,6 +342,36 @@ class QueryEngine {
   /// invalid query or failed compaction — the serial server's typed-reply
   /// contract.
   Result execute_serial(const Query& q);
+
+  // ---- shard-internal entry points (the router's X verb) -------------
+  // Thread-safe, delta-aware, executed on the calling thread against the
+  // currently published state. These are what a batmap_serve shard runs
+  // when a batmap_router forwards cross-shard work: semi-join hops carry
+  // the shrinking intermediate element list between shards, and top-k
+  // scatter sends the probe set's membership to every shard.
+
+  /// Intersects the effective (delta-merged) rows of `ids` in order,
+  /// starting from `seed` when `use_seed` is true (else from ids[0]'s
+  /// row), and returns the surviving elements. With raw=false rows are
+  /// full membership lists (exact counts — the I/K/R/T domain); with
+  /// raw=true they are stored lists (elements minus insertion failures —
+  /// the raw sweep domain the S verb counts in). Throws CheckError when an
+  /// id is out of range or a needed element list was dropped at build.
+  std::vector<std::uint64_t> semi_join(std::span<const std::uint32_t> ids,
+                                       std::span<const std::uint64_t> seed,
+                                       bool use_seed, bool raw) const;
+
+  /// Ranks every local set id != exclude by |list ∩ S_id| (effective
+  /// membership) through the canonical (count desc, id asc) order and
+  /// returns the k best. `exclude` = UINT32_MAX disables the exclusion
+  /// (used to drop the probe set itself on its owning shard).
+  std::vector<TopEntry> topk_against(std::span<const std::uint64_t> list,
+                                     std::uint32_t k,
+                                     std::uint32_t exclude) const;
+
+  /// Effective per-set support (|membership|) for every local set, in id
+  /// order — the router's planning table for semi-join operand ordering.
+  std::vector<std::uint64_t> row_supports() const;
 
   /// The live-update layer (writes, views, compaction protocol).
   DeltaLayer& delta() { return delta_; }

@@ -146,6 +146,13 @@ void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
 void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
                     std::uint64_t epoch,
                     std::span<const core::RowLayout> layouts) {
+  write_snapshot(store, path, epoch, layouts, {});
+}
+
+void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
+                    std::uint64_t epoch,
+                    std::span<const core::RowLayout> layouts,
+                    std::span<const std::uint32_t> rows) {
   // The snapshot records only (universe, seed); the layout it implies must
   // be the one the store actually used, or a reader would mis-decode.
   const batmap::LayoutParams derived =
@@ -155,7 +162,18 @@ void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
                   "store layout is not the default for its universe; "
                   "snapshot format cannot represent it");
 
-  const std::uint64_t n = store.size();
+  // An empty `rows` means "all rows" (the 4-arg overload), so a shard that
+  // owns zero sets cannot be expressed here — shard-split rejects that
+  // topology before calling.
+  const bool subset = !rows.empty();
+  const std::uint64_t n = subset ? rows.size() : store.size();
+  for (const std::uint32_t r : rows) {
+    REPRO_CHECK_MSG(r < store.size(), "shard row id out of range");
+  }
+  // Output position -> store row. The full-store path is the identity.
+  const auto src = [&](std::uint64_t i) -> std::size_t {
+    return subset ? rows[i] : static_cast<std::size_t>(i);
+  };
   REPRO_CHECK_MSG(layouts.empty() || layouts.size() == n,
                   "layout plan size does not match store");
   SnapshotHeader hdr;
@@ -174,11 +192,11 @@ void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
   for (std::uint64_t i = 0; i < n; ++i) {
     const core::RowLayout layout = row_layout(i);
     if (layout == core::RowLayout::kBatmap) continue;
-    const auto& m = store.map(i);
-    REPRO_CHECK_MSG(
-        store.elements(i).size() == m.stored_elements() + store.failures(i).size(),
-        "non-batmap layout requires retained element lists");
-    const auto ids = stored_ids_u32(store, i);
+    const auto& m = store.map(src(i));
+    REPRO_CHECK_MSG(store.elements(src(i)).size() ==
+                        m.stored_elements() + store.failures(src(i)).size(),
+                    "non-batmap layout requires retained element lists");
+    const auto ids = stored_ids_u32(store, src(i));
     switch (layout) {
       case core::RowLayout::kDense: {
         const auto dense = core::dense_from_ids(ids, store.universe());
@@ -202,7 +220,7 @@ void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
   std::uint64_t off = sizeof(SnapshotHeader) + n * sizeof(SnapshotMapEntry);
   off = bits::round_up(off, kAlign);
   for (std::uint64_t i = 0; i < n; ++i) {
-    const auto& m = store.map(i);
+    const auto& m = store.map(src(i));
     const core::RowLayout layout = row_layout(i);
     const std::uint64_t words =
         layout == core::RowLayout::kBatmap ? m.word_count() : built[i].size();
@@ -215,13 +233,13 @@ void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
     off = bits::round_up(off + words * sizeof(std::uint32_t), kAlign);
   }
   for (std::uint64_t i = 0; i < n; ++i) {
-    entries[i].fail_count = store.failures(i).size();
+    entries[i].fail_count = store.failures(src(i)).size();
     entries[i].fail_off = off;
     off = bits::round_up(off + entries[i].fail_count * sizeof(std::uint64_t),
                          kAlign);
   }
   for (std::uint64_t i = 0; i < n; ++i) {
-    entries[i].elem_count = store.elements(i).size();
+    entries[i].elem_count = store.elements(src(i)).size();
     entries[i].elem_off = off;
     off = bits::round_up(off + entries[i].elem_count * sizeof(std::uint64_t),
                          kAlign);
@@ -250,20 +268,20 @@ void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
     pad_to(entries[i].words_off);
     const std::span<const std::uint32_t> w =
         row_layout(i) == core::RowLayout::kBatmap
-            ? store.map(i).words()
+            ? store.map(src(i)).words()
             : std::span<const std::uint32_t>(built[i]);
     write_hashed(out, hash, w.data(), w.size() * sizeof(std::uint32_t));
     pos += w.size() * sizeof(std::uint32_t);
   }
   for (std::uint64_t i = 0; i < n; ++i) {
     pad_to(entries[i].fail_off);
-    const auto f = store.failures(i);
+    const auto f = store.failures(src(i));
     write_hashed(out, hash, f.data(), f.size() * sizeof(std::uint64_t));
     pos += f.size() * sizeof(std::uint64_t);
   }
   for (std::uint64_t i = 0; i < n; ++i) {
     pad_to(entries[i].elem_off);
-    const auto e = store.elements(i);
+    const auto e = store.elements(src(i));
     write_hashed(out, hash, e.data(), e.size() * sizeof(std::uint64_t));
     pos += e.size() * sizeof(std::uint64_t);
   }

@@ -123,6 +123,17 @@ void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
 void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
                     std::uint64_t epoch, std::span<const core::RowLayout> layouts);
 
+/// Serializes only the store rows named by `rows`, in that order (the new
+/// snapshot's set id i is store row rows[i]). The payload bytes of each
+/// selected row are identical to a full-store snapshot's — no rebuild, so
+/// raw sweep counts and failure lists survive the split bit-exactly. This
+/// is how `batmap_cli shard-split` cuts one corpus into per-shard
+/// snapshots that a ShardMap-consistent router can address. `layouts` is
+/// indexed by output position (size rows.size(), or empty = all batmap).
+void write_snapshot(const batmap::BatmapStore& store, const std::string& path,
+                    std::uint64_t epoch, std::span<const core::RowLayout> layouts,
+                    std::span<const std::uint32_t> rows);
+
 class Snapshot {
  public:
   /// Per-layout row/byte accounting over the directory, for snapshot-info

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <iterator>
 #include <set>
@@ -176,6 +177,109 @@ TEST(KwayDiffTest, PlannerMatchesBruteForceAcrossSeedsAndOrders) {
   EXPECT_GT(total_queries, 0u);
   EXPECT_GT(list_steps, 0u);
   EXPECT_GT(sweep_steps, 0u);
+}
+
+TEST(KwayDiffTest, CostModelSwitchPointIsPinned) {
+  // Pins the planner's list-vs-sweep switch point after the
+  // --calibrate-kway retune (per-gallop constant 2 -> 3). The test
+  // replicates the whole plan — support-ordered fold, per-step sweep
+  // candidacy, the shared fixed-cost demotion gate — from snapshot
+  // introspection, then demands the planner's observed step mix
+  // (kway_list_steps/kway_sweep_steps deltas) match the replica exactly
+  // for every query shape. At least one shape must land in the band the
+  // retune flipped (sweeps under the new constant, all-demoted under the
+  // old), so reverting the constant fails here, not just in a timing run.
+  batmap::BatmapStore store(20000);
+  Xoshiro256 rng(47);
+  auto add_set = [&](std::size_t size) {
+    std::set<std::uint64_t> s;
+    while (s.size() < size) s.insert(rng.below(store.universe()));
+    std::vector<std::uint64_t> v(s.begin(), s.end());
+    store.add(v);
+  };
+  add_set(1990);  // id 0: strictly smallest -> always the fold base
+  for (int i = 0; i < 7; ++i) add_set(2000);   // near-equal: sweep fodder
+  for (int i = 0; i < 2; ++i) add_set(16000);  // skewed: list territory
+  const std::string path = "/tmp/batmap_kway_diff_test_switch.snap";
+  write_snapshot(store, path, /*epoch=*/1, {});
+  Snapshot snap = Snapshot::open(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(snap.all_batmap());
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    ASSERT_TRUE(snap.failures(i).empty()) << i;  // all steps stay eligible
+  }
+
+  // The replica of kway_count's planner for a per-gallop constant; returns
+  // {list_steps, sweep_steps}.
+  const auto predict = [&](std::vector<std::uint32_t> ids,
+                           std::uint64_t per_gallop) {
+    std::sort(ids.begin(), ids.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                const auto ex = snap.elements(x).size();
+                const auto ey = snap.elements(y).size();
+                return ex != ey ? ex < ey : x < y;
+              });
+    const std::uint64_t driver = snap.elements(ids[0]).size();
+    const std::uint64_t base_slots = snap.words(ids[0]).size() * 4;
+    std::uint64_t n_list = 0, n_sweep = 0, gain = 0;
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+      const std::uint64_t other_size = snap.elements(ids[i]).size();
+      const std::uint64_t other_slots = snap.words(ids[i]).size() * 4;
+      const std::uint64_t list_cost =
+          driver * (per_gallop + std::bit_width(other_size / driver));
+      const std::uint64_t sweep_cost = std::max(base_slots, other_slots) / 4;
+      if (sweep_cost < list_cost) {
+        ++n_sweep;
+        gain += list_cost - sweep_cost;
+      } else {
+        ++n_list;
+      }
+    }
+    if (n_sweep > 0 && gain <= base_slots / 4 + 2 * driver) {
+      n_list += n_sweep;  // joint demotion: the saving missed the fixed cost
+      n_sweep = 0;
+    }
+    return std::pair<std::uint64_t, std::uint64_t>{n_list, n_sweep};
+  };
+
+  QueryEngine engine(snap, {});
+  std::uint64_t asked = 0, flipped = 0, sweeps_seen = 0, lists_seen = 0;
+  std::uint64_t prev_list = 0, prev_sweep = 0;
+  std::vector<std::vector<std::uint32_t>> shapes;
+  for (std::uint32_t k = 2; k <= kMaxKwayIds; ++k) {
+    std::vector<std::uint32_t> ids(k);
+    for (std::uint32_t i = 0; i < k; ++i) ids[i] = i;  // base + equal sizes
+    shapes.push_back(ids);
+  }
+  shapes.push_back({0, 8});         // pure skew: never a sweep candidate
+  shapes.push_back({0, 1, 8});      // mixed: candidate + non-candidate
+  shapes.push_back({0, 1, 2, 8, 9});
+  for (const auto& ids : shapes) {
+    const auto [want_list, want_sweep] = predict(ids, 3);
+    const auto [old_list, old_sweep] = predict(ids, 2);
+    if (want_sweep > 0 && old_sweep == 0) ++flipped;
+
+    Request req;
+    req.query = kway_query(ids);
+    engine.submit(req);
+    ASSERT_TRUE(QueryEngine::wait(req));
+    ASSERT_EQ(req.result().value, brute_fold(store, ids).size());
+    const auto st = settled_stats(engine, ++asked);
+    const std::uint64_t dl = st.kway_list_steps - prev_list;
+    const std::uint64_t ds = st.kway_sweep_steps - prev_sweep;
+    prev_list = st.kway_list_steps;
+    prev_sweep = st.kway_sweep_steps;
+    ASSERT_EQ(dl, want_list) << "k=" << ids.size();
+    ASSERT_EQ(ds, want_sweep) << "k=" << ids.size();
+    sweeps_seen += ds;
+    lists_seen += dl;
+  }
+  // The fan must exercise both primitives and cross the band the retune
+  // moved; fixture drift that collapses either would make the pin
+  // vacuous, so it fails loudly instead.
+  EXPECT_GT(sweeps_seen, 0u);
+  EXPECT_GT(lists_seen, 0u);
+  EXPECT_GT(flipped, 0u);
 }
 
 TEST(KwayDiffTest, RuleScoreReportsJointAndAntecedent) {

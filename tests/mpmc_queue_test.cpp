@@ -1,0 +1,152 @@
+// Direct coverage for the Vyukov MPMC ring (src/service/mpmc_queue.hpp),
+// until now tested only through the query engine that sits on top of it:
+// single-thread semantics, full-ring backpressure (try_push returning
+// false is the engine's admission signal, so it must be exact, and the
+// ring must stay usable afterwards), FIFO order per producer under
+// multi-producer/multi-consumer stress, and loss/duplication-free
+// transfer across every thread mix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "service/mpmc_queue.hpp"
+
+namespace repro::service {
+namespace {
+
+TEST(MpmcQueueTest, SingleThreadFifoAndCapacityRounding) {
+  MpmcQueue<int> q(5);  // rounds up to 8
+  EXPECT_EQ(q.capacity(), 8u);
+  int out = 0;
+  EXPECT_FALSE(q.try_pop(out));  // empty
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    ASSERT_EQ(out, i);  // FIFO
+  }
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(MpmcQueueTest, FullRingRejectsThenRecoversExactly) {
+  MpmcQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.try_push(i));
+  // Backpressure: a full ring refuses — repeatedly, without corrupting
+  // the cells the rejected pushes probed.
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(q.try_push(99));
+  int out = -1;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 0);
+  // Exactly one slot opened; it accepts exactly one value.
+  EXPECT_TRUE(q.try_push(4));
+  EXPECT_FALSE(q.try_push(5));
+  for (int want = 1; want <= 4; ++want) {
+    ASSERT_TRUE(q.try_pop(out));
+    ASSERT_EQ(out, want);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+// Element tag: producer in the high bits, per-producer sequence low.
+constexpr std::uint64_t tag(std::uint64_t producer, std::uint64_t seq) {
+  return producer << 32 | seq;
+}
+
+TEST(MpmcQueueTest, StressPreservesEveryElementOnceInProducerOrder) {
+  // Small ring + many threads = constant full/empty churn, which is
+  // where the seq-counter handoff can go wrong. Consumers validate the
+  // per-producer FIFO invariant (the ring is MPMC-unordered globally,
+  // but each producer's elements come out in push order) and a final
+  // tally proves no element was lost or duplicated.
+  constexpr std::uint64_t kProducers = 4;
+  constexpr std::uint64_t kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 200000;
+  MpmcQueue<std::uint64_t> q(64);
+
+  std::atomic<std::uint64_t> popped{0};
+  std::vector<std::vector<std::uint64_t>> seen(
+      kConsumers, std::vector<std::uint64_t>(kProducers, 0));
+  std::atomic<bool> fifo_ok{true};
+
+  std::vector<std::thread> threads;
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        while (!q.try_push(tag(p, i))) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::uint64_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      // last[] tracks the highest sequence this consumer saw per
+      // producer; per-producer FIFO means a consumer can never observe
+      // the same producer's sequences out of order.
+      std::vector<std::uint64_t> last(kProducers, 0);
+      std::uint64_t v = 0;
+      while (popped.load(std::memory_order_relaxed) <
+             kProducers * kPerProducer) {
+        if (!q.try_pop(v)) {
+          std::this_thread::yield();
+          continue;
+        }
+        popped.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t p = v >> 32;
+        const std::uint64_t s = v & 0xffffffffull;
+        if (s + 1 <= last[p]) fifo_ok.store(false, std::memory_order_relaxed);
+        last[p] = s + 1;
+        ++seen[c][p];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_TRUE(fifo_ok.load()) << "per-producer FIFO violated";
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    std::uint64_t total = 0;
+    for (std::uint64_t c = 0; c < kConsumers; ++c) total += seen[c][p];
+    EXPECT_EQ(total, kPerProducer) << "producer " << p;
+  }
+  std::uint64_t v = 0;
+  EXPECT_FALSE(q.try_pop(v));  // fully drained
+}
+
+TEST(MpmcQueueTest, ContendedFullRingNeverOverAdmits) {
+  // Many producers hammer a tiny full ring while one consumer drains
+  // slowly: accepted pushes must exactly equal pops + retained, i.e. a
+  // rejected push must never have landed anyway (double-admission would
+  // wedge the engine's request accounting).
+  constexpr int kThreads = 6;
+  constexpr int kAttemptsPerThread = 100000;
+  MpmcQueue<int> q(8);
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> drained{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kAttemptsPerThread; ++i) {
+        if (q.try_push(1)) accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread consumer([&] {
+    int v = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (q.try_pop(v)) drained.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (auto& t : producers) t.join();
+  stop.store(true, std::memory_order_release);
+  consumer.join();
+  int v = 0;
+  std::uint64_t retained = 0;
+  while (q.try_pop(v)) ++retained;
+  EXPECT_EQ(accepted.load(), drained.load() + retained);
+  EXPECT_LE(retained, q.capacity());
+}
+
+}  // namespace
+}  // namespace repro::service

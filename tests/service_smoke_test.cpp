@@ -174,16 +174,19 @@ TEST(ServiceSmokeTest, TypedErrorsForMalformedAndOversizedLines) {
 
   const std::string long_line(80, 'x');
   const std::string script = "I 0 1\\n" + long_line +
-                             "\\nX 1 2\\nI 0\\nT 999999 5\\nI 0 1\\nQUIT\\n";
+                             "\\nV 1 2\\nI 0\\nX 1 2\\nT 999999 5\\nI 0 1\\n"
+                             "QUIT\\n";
   const auto res = run("printf '" + script + "' | " + BATMAP_SERVE_PATH +
                        " --snapshot " + snap + " --max-line 32");
   EXPECT_EQ(res.exit_code, 0) << res.out;
 
   // Oversized line (80 > --max-line 32) -> BADREQ; bogus op and missing
-  // operand -> BADREQ; out-of-range set id -> RANGE. Valid queries before
-  // and after the garbage still answer.
+  // operand -> BADREQ; malformed shard-internal X -> its own BADREQ;
+  // out-of-range set id -> RANGE. Valid queries before and after the
+  // garbage still answer.
   EXPECT_EQ(count_of(res.out, "ERR BADREQ line too long"), 1u) << res.out;
   EXPECT_EQ(count_of(res.out, "ERR BADREQ expected:"), 2u) << res.out;
+  EXPECT_EQ(count_of(res.out, "ERR BADREQ bad X request"), 1u) << res.out;
   EXPECT_EQ(count_of(res.out, "ERR RANGE"), 1u) << res.out;
   EXPECT_EQ(count_of(res.out, "\nOK "), 2u) << res.out;
 

@@ -8,6 +8,8 @@
 //   batmap_cli snapshot --store store.bin --out snap.bin [--epoch E]
 //                       [--layout auto|batmap|dense|list|wah]
 //   batmap_cli snapshot-info --snapshot snap.bin [--assert-saving-pct P]
+//   batmap_cli shard-split --store store.bin --shards N --out-prefix p
+//                          [--vnodes V] [--ring-seed S] [--epoch E] [--layout L]
 //   batmap_cli pairs --fimi data.fimi --minsup S [--top K] [--backend native|device]
 //                    [--threads T] [--shards S]   (S: 0=auto, 1=flat pool)
 //                    [--chunk-bytes N]            (N: 0=whole-file ingest)
@@ -29,6 +31,7 @@
 
 #include "batmap/intersect.hpp"
 #include "batmap/strip.hpp"
+#include "router/shard_map.hpp"
 #include "service/snapshot.hpp"
 #include "core/itemset_miner.hpp"
 #include "baselines/apriori.hpp"
@@ -48,8 +51,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: batmap_cli "
-               "<gen|build|info|query|snapshot|snapshot-info|pairs|mine|verify>"
-               " [flags]\n"
+               "<gen|build|info|query|snapshot|snapshot-info|shard-split|"
+               "pairs|mine|verify> [flags]\n"
                "run a subcommand with --help for its flags\n");
   return 2;
 }
@@ -241,6 +244,84 @@ int cmd_snapshot(Args& args) {
                 static_cast<unsigned long long>(br.rows[2]),
                 static_cast<unsigned long long>(br.rows[3]));
   }
+  return 0;
+}
+
+/// Cuts one store into per-shard serving snapshots along the consistent-
+/// hash partition the router will derive at run time. Each shard's file
+/// carries its owned rows byte-exactly (no rebuild — raw counts and
+/// insertion failures survive), renumbered to dense local ids in global-id
+/// order, so shard s's local id l is global id partition.owned[s][l].
+int cmd_shard_split(Args& args) {
+  const std::string store_path = args.str("store", "", "input store path");
+  const std::uint64_t shards = args.u64("shards", 2, "shard count");
+  const std::uint64_t vnodes =
+      args.u64("vnodes", router::ShardMap::Options{}.vnodes,
+               "consistent-hash ring points per shard");
+  const std::uint64_t ring_seed = args.u64(
+      "ring-seed", router::ShardMap::Options{}.seed, "consistent-hash salt");
+  const std::string prefix = args.str(
+      "out-prefix", "shard", "output snapshot paths: <prefix>.<s>.snap");
+  const std::uint64_t epoch = args.u64("epoch", 1, "snapshot epoch tag");
+  const std::string layout = args.str(
+      "layout", "batmap",
+      "row layouts: batmap|auto|dense|list|wah (auto = per-row cost model)");
+  args.finish();
+  if (store_path.empty()) {
+    std::fprintf(stderr, "shard-split: --store is required\n");
+    return 2;
+  }
+  if (shards < 1 || shards > 64) {
+    std::fprintf(stderr, "shard-split: --shards must be in [1, 64]\n");
+    return 2;
+  }
+  const auto mode = service::parse_layout_mode(layout);
+  if (!mode) {
+    std::fprintf(stderr,
+                 "shard-split: --layout must be batmap, auto, dense, list or "
+                 "wah\n");
+    return 2;
+  }
+  std::ifstream f(store_path, std::ios::binary);
+  if (!f.good()) {
+    std::fprintf(stderr, "cannot open %s\n", store_path.c_str());
+    return 2;
+  }
+  const auto store = batmap::BatmapStore::load(f);
+  const router::ShardMap map(router::ShardMap::Options{
+      static_cast<std::uint32_t>(shards), static_cast<std::uint32_t>(vnodes),
+      ring_seed});
+  const router::ShardMap::Partition part =
+      map.partition(static_cast<std::uint32_t>(store.size()));
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    if (part.owned[s].empty()) {
+      // A shard with zero sets could never answer its X Z handshake in a
+      // way the router can validate; the topology is operator error.
+      std::fprintf(stderr,
+                   "shard-split: shard %llu owns no sets (corpus %zu sets); "
+                   "use fewer shards or more vnodes\n",
+                   static_cast<unsigned long long>(s), store.size());
+      return 2;
+    }
+  }
+  const auto layouts = service::plan_layouts(store, *mode);
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    const std::vector<std::uint32_t>& owned = part.owned[s];
+    std::vector<core::RowLayout> sub;
+    sub.reserve(owned.size());
+    for (const std::uint32_t gid : owned) sub.push_back(layouts[gid]);
+    const std::string out =
+        prefix + "." + std::to_string(s) + ".snap";
+    service::write_snapshot(store, out, epoch, sub, owned);
+    const auto snap = service::Snapshot::open(out);  // validates the write
+    std::printf("shard %llu: %zu sets, %.1f MiB -> %s\n",
+                static_cast<unsigned long long>(s), snap.size(),
+                static_cast<double>(snap.mapped_bytes()) / (1 << 20),
+                out.c_str());
+  }
+  std::printf("shard-split: %zu sets over %llu shards (vnodes %llu)\n",
+              store.size(), static_cast<unsigned long long>(shards),
+              static_cast<unsigned long long>(vnodes));
   return 0;
 }
 
@@ -464,6 +545,7 @@ int main(int argc, char** argv) {
   if (cmd == "query") return cmd_query(args);
   if (cmd == "snapshot") return cmd_snapshot(args);
   if (cmd == "snapshot-info") return cmd_snapshot_info(args);
+  if (cmd == "shard-split") return cmd_shard_split(args);
   if (cmd == "pairs") return cmd_pairs(args);
   if (cmd == "mine") return cmd_mine(args);
   if (cmd == "verify") return cmd_verify(args);

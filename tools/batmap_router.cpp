@@ -1,0 +1,265 @@
+// batmap_router — sharded serving front end: speaks the batmap_serve
+// client protocol and routes each query across a fleet of batmap_serve
+// shards through a consistent-hash ShardMap (see src/router/).
+//
+//   batmap_router --shards 7071,7072,7073            # serve stdin/stdout
+//   batmap_router --shards 7071,7072 --port 0        # ephemeral TCP port
+//
+// The shard fleet must serve a corpus cut by `batmap_cli shard-split`
+// with the same --vnodes/--ring-seed; the startup handshake (X Z) fails
+// loudly on any mismatch. Client-visible protocol, replies, typed errors,
+// and FINGERPRINT folding are byte-identical to a single batmap_serve
+// over the unsharded corpus — the router-smoke CI job diffs the two.
+//
+// Routing (details in src/router/router_core.hpp): single-shard queries
+// forward directly with ids rewritten to shard-local; cross-shard pairs
+// and k-way queries run as semi-join hops carrying the shrinking element
+// list; top-k scatters to every shard and merges through the engine's
+// canonical ranking. RELOAD/FLUSH fan out all-or-nothing; STATS
+// aggregates shard gauges and appends router counters. Shard overload
+// hints arm a per-shard retry horizon: queries touching a shedding shard
+// are rejected router-side with `ERR OVERLOAD retry_ms=<n>` instead of
+// piling on. One router-only error type exists: `ERR UNAVAILABLE
+// shard=<s>` when a shard connection is down and the in-deadline retry
+// failed.
+//
+// RELOAD semantics: a bare RELOAD tells every shard to re-load its own
+// last snapshot path; `RELOAD <prefix>` makes shard s load
+// "<prefix>.<s>.snap" (shard-split's naming). Lifecycle (signals, drain,
+// LISTENING line, stdio vs TCP) matches batmap_serve.
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "router/router_core.hpp"
+#include "service/line_io.hpp"
+#include "service/protocol.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+#include "util/fnv.hpp"
+
+using namespace repro;
+namespace proto = repro::service::proto;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+struct RouterCtx {
+  explicit RouterCtx(router::RouterCore& c) : core(c) {}
+
+  router::RouterCore& core;
+  std::uint64_t default_deadline_ms = 0;
+  std::size_t max_line = 4096;
+};
+
+std::uint64_t serve_connection(service::FdLineIo io, RouterCtx& ctx) {
+  util::Fnv1a fp;
+  std::string line;
+  std::uint64_t served = 0;
+  for (;;) {
+    const service::FdLineIo::Line st = io.read_line(line);
+    if (st == service::FdLineIo::Line::kEof) break;
+    if (st == service::FdLineIo::Line::kTooLong) {
+      io.write_line("ERR BADREQ line too long");
+      continue;
+    }
+    if (line.empty()) continue;
+    if (line == "QUIT") break;
+    if (line == "STATS") {
+      io.write_line(ctx.core.stats_line());
+      continue;
+    }
+    if (line == "FINGERPRINT") {
+      char tmp[32];
+      std::snprintf(tmp, sizeof(tmp), "FP %016" PRIx64, fp.digest());
+      io.write_line(tmp);
+      continue;
+    }
+    if (line == "RELOAD" || line.rfind("RELOAD ", 0) == 0) {
+      io.write_line(
+          ctx.core.reload(line.size() > 7 ? line.substr(7) : std::string()));
+      continue;
+    }
+    const proto::ParsedRequest p = proto::parse_request(line);
+    if (!p.ok) {
+      io.write_line(proto::kBadReqHelp);
+      continue;
+    }
+    if (p.op == 'F') {
+      // FLUSH fans out; like on a single shard it never folds.
+      io.write_line(ctx.core.flush());
+      continue;
+    }
+    service::Query q = p.q;
+    const bool mutation = p.op == 'A' || p.op == 'D';
+    const std::uint64_t deadline_ms =
+        mutation ? 0 : (p.have_dl ? p.dl_ms : ctx.default_deadline_ms);
+    std::uint64_t deadline_ns = 0;
+    if (deadline_ms > 0) {
+      deadline_ns =
+          service::QueryEngine::now_ns() + deadline_ms * 1'000'000ull;
+    }
+    const router::RouterCore::Reply r = ctx.core.execute(q, deadline_ns);
+    if (!r.ok) {
+      io.write_line(r.error);
+      continue;
+    }
+    proto::fold_result(fp, q, r.result);
+    ++served;
+    io.write_line(proto::format_result(r.result, p.op));
+  }
+  return served;
+}
+
+int serve_tcp(std::uint16_t port, RouterCtx& ctx) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd, 64) != 0) {
+    std::perror("bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &blen) ==
+      0) {
+    port = ntohs(bound.sin_port);
+  }
+  std::fprintf(stderr, "batmap_router: listening on 127.0.0.1:%u\n", port);
+  std::printf("LISTENING %u\n", port);
+  std::fflush(stdout);
+  std::atomic<std::size_t> active{0};
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    active.fetch_add(1, std::memory_order_relaxed);
+    std::thread([fd, &ctx, &active] {
+      serve_connection(service::FdLineIo(fd, fd, ctx.max_line, &g_stop), ctx);
+      ::close(fd);
+      active.fetch_sub(1, std::memory_order_release);
+    }).detach();
+  }
+  ::close(listen_fd);
+  while (active.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return 0;
+}
+
+/// "7071,7072,7073" -> ports. Empty/invalid entries fail.
+bool parse_ports(const std::string& s, std::vector<std::uint16_t>& out) {
+  std::size_t i = 0;
+  while (i <= s.size()) {
+    std::size_t j = s.find(',', i);
+    if (j == std::string::npos) j = s.size();
+    std::uint32_t p = 0;
+    if (!proto::parse_u32(std::string_view(s).substr(i, j - i), p) || p == 0 ||
+        p > 65535) {
+      return false;
+    }
+    out.push_back(static_cast<std::uint16_t>(p));
+    i = j + 1;
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::string shards_s = args.str(
+      "shards", "", "comma-separated batmap_serve ports on 127.0.0.1");
+  const std::string port_s =
+      args.str("port", "",
+               "TCP port on 127.0.0.1; 0 binds an ephemeral port and prints "
+               "LISTENING <port> on stdout (default: serve stdin/stdout)");
+  const std::uint64_t vnodes =
+      args.u64("vnodes", router::ShardMap::Options{}.vnodes,
+               "consistent-hash ring points per shard");
+  const std::uint64_t ring_seed = args.u64(
+      "ring-seed", router::ShardMap::Options{}.seed, "consistent-hash salt");
+  const std::uint64_t deadline_ms = args.u64(
+      "deadline-ms", 0, "default per-request deadline (0 = none)");
+  const std::uint64_t max_line =
+      args.u64("max-line", 4096, "longest accepted request line, bytes");
+  args.finish();
+  if (shards_s.empty()) {
+    std::fprintf(stderr, "batmap_router: --shards is required\n");
+    return 2;
+  }
+  router::RouterCore::Options opt;
+  if (!parse_ports(shards_s, opt.ports)) {
+    std::fprintf(stderr, "batmap_router: bad --shards '%s'\n",
+                 shards_s.c_str());
+    return 2;
+  }
+  opt.vnodes = static_cast<std::uint32_t>(vnodes);
+  opt.ring_seed = ring_seed;
+  std::uint32_t port = 0;
+  const bool tcp = !port_s.empty();
+  if (tcp && (!proto::parse_u32(port_s, port) || port > 65535)) {
+    std::fprintf(stderr, "batmap_router: bad --port '%s'\n", port_s.c_str());
+    return 2;
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGTERM, on_stop_signal);
+  std::signal(SIGINT, on_stop_signal);
+
+  try {
+    router::RouterCore core(opt);
+    std::fprintf(stderr,
+                 "batmap_router: %u shards, %u sets, universe %" PRIu64 "\n",
+                 core.shard_count(), core.total_sets(), core.universe());
+    RouterCtx ctx{core};
+    ctx.default_deadline_ms = deadline_ms;
+    ctx.max_line = static_cast<std::size_t>(max_line);
+
+    int rc = 0;
+    if (tcp) {
+      rc = serve_tcp(static_cast<std::uint16_t>(port), ctx);
+    } else {
+      serve_connection(
+          service::FdLineIo(STDIN_FILENO, STDOUT_FILENO, ctx.max_line,
+                            &g_stop),
+          ctx);
+    }
+    g_stop.store(true, std::memory_order_relaxed);
+    std::fprintf(stderr, "batmap_router: %s\n", core.stats_line().c_str());
+    return rc;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "batmap_router: %s\n", e.what());
+    return 2;
+  }
+}

@@ -3,6 +3,12 @@
 //
 //   batmap_serve --snapshot snap.bin                 # serve stdin/stdout
 //   batmap_serve --snapshot snap.bin --port 7070     # serve TCP clients
+//   batmap_serve --snapshot snap.bin --port 0        # ephemeral TCP port
+//
+// With --port, "LISTENING <port>" goes to stdout (flushed) before the
+// accept loop starts; --port 0 binds an ephemeral port, so orchestrators
+// (the router smoke test, multi-shard benches) parse that line instead of
+// racing for free ports.
 //
 // Protocol (one request per line, one reply line per request):
 //
@@ -19,6 +25,9 @@
 //   RELOAD [path]    hot-swap the snapshot        -> "RELOADED epoch=<e>"
 //   STATS            engine counters              -> "STATS k=v k=v ..."
 //   FINGERPRINT      FNV-1a over this connection's results -> "FP <hex>"
+//   X <form> ...     shard-internal verb for batmap_router (semi-join
+//                    hops, top-k scatter, handshake; see handle_x below).
+//                    Replies never advance the fingerprint.
 //   QUIT             close the connection
 //
 // The optional trailing [ms] is a per-request deadline in milliseconds;
@@ -32,10 +41,12 @@
 // base + delta transparently, so every query kind observes acknowledged
 // writes immediately.
 //
-// Request lines are parsed by a strict tokenizer: every numeric field must
-// be a plain decimal u32 (no sign, no hex, no overflow) and the token count
-// must match the command exactly — a negative id or trailing garbage is
-// ERR BADREQ, never a silently reinterpreted query.
+// Request lines are parsed by a strict tokenizer (src/service/protocol.*,
+// shared with batmap_router so both front ends reject and reply
+// byte-identically): every numeric field must be a plain decimal (no
+// sign, no hex, no overflow) and the token count must match the command
+// exactly — a negative id or trailing garbage is ERR BADREQ, never a
+// silently reinterpreted query.
 //
 // Error replies are typed — the first token after ERR is machine-parseable:
 //
@@ -49,7 +60,8 @@
 // Error replies do not advance the fingerprint, so a script of valid
 // queries has a deterministic digest regardless of interleaved errors —
 // the service-smoke CI job relies on this to cross-check the batched
-// server against a --naive run.
+// server against a --naive run, and the router-smoke job to cross-check
+// topologies.
 //
 // Lifecycle: SIGHUP re-loads the last successfully served snapshot path
 // (atomic swap: a bad file is rejected and the current epoch keeps
@@ -77,11 +89,13 @@
 #include <cstring>
 #include <mutex>
 #include <string>
-#include <thread>
-
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "service/delta_layer.hpp"
+#include "service/line_io.hpp"
+#include "service/protocol.hpp"
 #include "service/query_engine.hpp"
 #include "service/snapshot.hpp"
 #include "service/snapshot_manager.hpp"
@@ -90,6 +104,7 @@
 #include "util/fnv.hpp"
 
 using namespace repro;
+namespace proto = repro::service::proto;
 
 namespace {
 
@@ -99,149 +114,6 @@ std::atomic<bool> g_reload{false};
 
 void on_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
 void on_hup_signal(int) { g_reload.store(true, std::memory_order_relaxed); }
-
-/// Minimal buffered line IO over raw fds (shared by the stdin and TCP
-/// paths; iostreams don't wrap sockets portably). Reads poll with a short
-/// timeout and re-check g_stop, so connection threads exit promptly on
-/// shutdown even when the peer is idle.
-class FdLineIo {
- public:
-  FdLineIo(int in_fd, int out_fd, std::size_t max_line)
-      : in_(in_fd), out_(out_fd), max_line_(max_line) {}
-
-  enum class Line {
-    kOk = 0,
-    kEof = 1,      ///< EOF, read error, or shutdown requested
-    kTooLong = 2,  ///< line exceeded max_line; the excess was discarded
-  };
-
-  /// Strips the trailing newline (and '\r').
-  Line read_line(std::string& line) {
-    line.clear();
-    bool overflow = false;
-    for (;;) {
-      if (pos_ == len_) {
-        for (;;) {
-          if (g_stop.load(std::memory_order_relaxed)) return Line::kEof;
-          pollfd pfd{in_, POLLIN, 0};
-          const int pr = ::poll(&pfd, 1, 100);
-          if (pr > 0) break;
-          if (pr < 0 && errno != EINTR) return Line::kEof;
-        }
-        const ssize_t n = ::read(in_, buf_, sizeof(buf_));
-        if (n <= 0) {
-          if (line.empty() && !overflow) return Line::kEof;
-          return overflow ? Line::kTooLong : Line::kOk;
-        }
-        pos_ = 0;
-        len_ = static_cast<std::size_t>(n);
-      }
-      const char c = buf_[pos_++];
-      if (c == '\n') {
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        return overflow ? Line::kTooLong : Line::kOk;
-      }
-      if (line.size() >= max_line_) {
-        overflow = true;  // keep consuming to the newline, drop the excess
-        continue;
-      }
-      line.push_back(c);
-    }
-  }
-
-  void write_all(const char* data, std::size_t n) {
-    while (n > 0) {
-      const ssize_t w = ::write(out_, data, n);
-      if (w <= 0) return;  // client went away; replies are best-effort
-      data += w;
-      n -= static_cast<std::size_t>(w);
-    }
-  }
-
-  void write_line(const std::string& s) {
-    std::string out = s;
-    out.push_back('\n');
-    write_all(out.data(), out.size());
-  }
-
- private:
-  int in_, out_;
-  std::size_t max_line_;
-  char buf_[1 << 16];
-  std::size_t pos_ = 0, len_ = 0;
-};
-
-void fold_result(util::Fnv1a& fp, const service::Query& q,
-                 const service::Result& r) {
-  fp.update(&q.kind, sizeof(q.kind));
-  fp.update(&q.a, sizeof(q.a));
-  fp.update(&q.b, sizeof(q.b));
-  fp.update(&q.k, sizeof(q.k));
-  fp.update(&q.nids, sizeof(q.nids));
-  for (std::uint32_t i = 0; i < q.nids; ++i) {
-    fp.update(&q.ids[i], sizeof(q.ids[i]));
-  }
-  fp.update(&r.value, sizeof(r.value));
-  fp.update(&r.aux, sizeof(r.aux));
-  for (std::uint32_t i = 0; i < r.topk_count; ++i) {
-    fp.update(&r.topk[i].id, sizeof(r.topk[i].id));
-    fp.update(&r.topk[i].count, sizeof(r.topk[i].count));
-  }
-}
-
-std::string format_result(const service::Result& r, char op) {
-  char tmp[64];
-  if (op == 'F') {
-    std::snprintf(tmp, sizeof(tmp), "FLUSHED epoch=%" PRIu64, r.value);
-    return tmp;
-  }
-  std::snprintf(tmp, sizeof(tmp), "OK %" PRIu64, r.value);
-  std::string out = tmp;
-  if (op == 'R') {
-    std::snprintf(tmp, sizeof(tmp), " %" PRIu64, r.aux);
-    out += tmp;
-  }
-  if (op == 'T') {
-    for (std::uint32_t i = 0; i < r.topk_count; ++i) {
-      std::snprintf(tmp, sizeof(tmp), " %u:%" PRIu64, r.topk[i].id,
-                    r.topk[i].count);
-      out += tmp;
-    }
-  }
-  return out;
-}
-
-/// Splits on runs of spaces/tabs. Returns the token count, or -1 when the
-/// line has more than `cap` tokens (itself a malformed request).
-int tokenize(const std::string& line, std::string_view* out, int cap) {
-  int n = 0;
-  std::size_t i = 0;
-  while (i < line.size()) {
-    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
-    if (i == line.size()) break;
-    std::size_t j = i;
-    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
-    if (n == cap) return -1;
-    out[n++] = std::string_view(line).substr(i, j - i);
-    i = j;
-  }
-  return n;
-}
-
-/// Strict decimal u32: digits only — no sign, no hex, no leading/trailing
-/// junk — and the value must fit 32 bits. This is what rejects "-2"
-/// (sscanf's %u silently wraps it to 4294967294) and "2junk".
-bool parse_u32(std::string_view s, std::uint32_t& out) {
-  if (s.empty() || s.size() > 10) return false;
-  std::uint64_t v = 0;
-  for (const char c : s) {
-    if (c < '0' || c > '9') return false;
-    v = v * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  if (v > 0xffffffffull) return false;
-  out = static_cast<std::uint32_t>(v);
-  return true;
-}
 
 std::string format_stats(const service::QueryEngine::Stats& s,
                          std::uint64_t epoch, std::uint64_t swaps) {
@@ -309,17 +181,146 @@ std::string do_reload(ServeCtx& ctx, const std::string& path) {
   }
 }
 
+void append_u64(std::string& out, std::uint64_t v) {
+  char tmp[24];
+  std::snprintf(tmp, sizeof(tmp), "%" PRIu64, v);
+  out += tmp;
+}
+
+/// The shard side of the router's internal X verb. All ids are LOCAL set
+/// ids on this shard, elements are u64; every form executes synchronously
+/// on the connection thread against the currently published state (delta
+/// included), bypassing batching and admission — the router owns
+/// cross-shard admission. Forms:
+///
+///   X Z                          -> OK <universe> <n> <support>...      (handshake)
+///   X J <g> <lid>...             -> OK <m> <e>...    semi-join start: the
+///                                   intersection of the g sets' effective
+///                                   membership (exact domain)
+///   X I <g> <lid>... <m> <e>...  -> OK <m'> <e>...   semi-join hop: fold
+///                                   the g sets into the incoming list
+///   X RJ <lid>                   -> OK <m> <e>...    stored (raw-domain)
+///                                   list of one set
+///   X RI <lid> <m> <e>...        -> OK <c>           |stored ∩ list| (the
+///                                   raw count the S verb is defined in)
+///   X T <k> <xlid> <m> <e>...    -> OK <c> <lid>:<cnt>...  rank local
+///                                   sets against the list; xlid
+///                                   4294967295 = exclude nothing
+///
+/// Errors: "ERR BADREQ bad X request" for grammar, the shared RANGE line
+/// for out-of-range ids (CheckError from the engine).
+std::string handle_x(const std::string& line, ServeCtx& ctx) {
+  static constexpr char kBadX[] = "ERR BADREQ bad X request";
+  proto::Cursor c{line};
+  std::string_view t;
+  c.tok(t);  // the leading "X"
+  std::string_view form;
+  if (!c.tok(form)) return kBadX;
+
+  const auto read_ids = [&](std::vector<std::uint32_t>& ids) {
+    std::uint32_t g = 0;
+    if (!c.u32(g) || g < 1 || g > service::kMaxKwayIds) return false;
+    ids.resize(g);
+    for (std::uint32_t i = 0; i < g; ++i) {
+      if (!c.u32(ids[i])) return false;
+    }
+    return true;
+  };
+  const auto read_list = [&](std::vector<std::uint64_t>& list) {
+    std::uint64_t m = 0;
+    if (!c.u64(m) || m > (1u << 27)) return false;
+    list.resize(m);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      if (!c.u64(list[i])) return false;
+    }
+    return true;
+  };
+  const auto list_reply = [](std::span<const std::uint64_t> list) {
+    std::string out;
+    out.reserve(8 + 21 * (list.size() + 1));
+    out = "OK ";
+    append_u64(out, list.size());
+    for (const std::uint64_t e : list) {
+      out.push_back(' ');
+      append_u64(out, e);
+    }
+    return out;
+  };
+
+  try {
+    if (form == "Z") {
+      if (!c.done()) return kBadX;
+      const std::vector<std::uint64_t> sup = ctx.engine.row_supports();
+      std::string out;
+      out.reserve(16 + 21 * (sup.size() + 2));
+      out = "OK ";
+      append_u64(out, ctx.mgr.current()->snapshot().universe());
+      out.push_back(' ');
+      return out + list_reply(sup).substr(3);  // "OK <u> <n> <s>..."
+    }
+    if (form == "J" || form == "I") {
+      std::vector<std::uint32_t> ids;
+      std::vector<std::uint64_t> seed;
+      if (!read_ids(ids)) return kBadX;
+      const bool use_seed = form == "I";
+      if (use_seed && !read_list(seed)) return kBadX;
+      if (!c.done()) return kBadX;
+      return list_reply(ctx.engine.semi_join(ids, seed, use_seed, false));
+    }
+    if (form == "RJ") {
+      std::uint32_t lid = 0;
+      if (!c.u32(lid) || !c.done()) return kBadX;
+      return list_reply(ctx.engine.semi_join(
+          std::span<const std::uint32_t>(&lid, 1), {}, false, true));
+    }
+    if (form == "RI") {
+      std::uint32_t lid = 0;
+      std::vector<std::uint64_t> seed;
+      if (!c.u32(lid) || !read_list(seed) || !c.done()) return kBadX;
+      const std::vector<std::uint64_t> out = ctx.engine.semi_join(
+          std::span<const std::uint32_t>(&lid, 1), seed, true, true);
+      std::string reply = "OK ";
+      append_u64(reply, out.size());
+      return reply;
+    }
+    if (form == "T") {
+      std::uint32_t k = 0;
+      std::uint32_t xlid = 0;
+      std::vector<std::uint64_t> list;
+      if (!c.u32(k) || !c.u32(xlid) || !read_list(list) || !c.done()) {
+        return kBadX;
+      }
+      const std::vector<service::TopEntry> best =
+          ctx.engine.topk_against(list, k, xlid);
+      std::string out;
+      out.reserve(8 + 32 * (best.size() + 1));
+      out = "OK ";
+      append_u64(out, best.size());
+      for (const service::TopEntry& e : best) {
+        out.push_back(' ');
+        append_u64(out, e.id);
+        out.push_back(':');
+        append_u64(out, e.count);
+      }
+      return out;
+    }
+  } catch (const CheckError&) {
+    return "ERR RANGE id or k out of range";
+  }
+  return kBadX;
+}
+
 /// Serves one connection until QUIT/EOF/shutdown. Returns requests
 /// answered OK.
-std::uint64_t serve_connection(FdLineIo io, ServeCtx& ctx) {
+std::uint64_t serve_connection(service::FdLineIo io, ServeCtx& ctx) {
   util::Fnv1a fp;
   service::Request req;
   std::string line;
   std::uint64_t served = 0;
   for (;;) {
-    const FdLineIo::Line st = io.read_line(line);
-    if (st == FdLineIo::Line::kEof) break;
-    if (st == FdLineIo::Line::kTooLong) {
+    const service::FdLineIo::Line st = io.read_line(line);
+    if (st == service::FdLineIo::Line::kEof) break;
+    if (st == service::FdLineIo::Line::kTooLong) {
       io.write_line("ERR BADREQ line too long");
       continue;
     }
@@ -342,72 +343,22 @@ std::uint64_t serve_connection(FdLineIo io, ServeCtx& ctx) {
       io.write_line(do_reload(ctx, path));
       continue;
     }
-    // Strict tokenizer: exact token counts, plain-decimal u32 fields. The
-    // widest legal line is "R <k> <id>×8 <ms>" = 11 tokens; one extra slot
-    // lets trailing garbage show up as a countable token instead of -1, so
-    // both overlong and garbage lines land in the same BADREQ path.
-    constexpr int kMaxToks = 3 + static_cast<int>(service::kMaxKwayIds) + 1;
-    std::string_view toks[kMaxToks];
-    const int nt = tokenize(line, toks, kMaxToks);
-    char op = (nt >= 1 && toks[0].size() == 1) ? toks[0][0] : 0;
-    service::Query q;
-    std::uint32_t dl_ms = 0;
-    bool have_dl = false;
-    bool ok = true;
-    if (line == "FLUSH") {
-      op = 'F';
-      q.kind = service::QueryKind::kFlush;
-    } else if (op == 'A' || op == 'D') {
-      // Writes: "A|D <set> <id>..." — no deadline token (acknowledged
-      // writes are never dropped, so a deadline would be meaningless).
-      q.kind = op == 'A' ? service::QueryKind::kAdd
-                         : service::QueryKind::kDelete;
-      ok = nt >= 3 && nt <= 2 + static_cast<int>(service::kMaxKwayIds) &&
-           parse_u32(toks[1], q.a);
-      for (int i = 2; ok && i < nt; ++i) {
-        ok = parse_u32(toks[i], q.ids[i - 2]);
-      }
-      q.nids = ok ? static_cast<std::uint8_t>(nt - 2) : 0;
-    } else if (op == 'I' || op == 'S' || op == 'T') {
-      std::uint32_t y = 0;
-      ok = (nt == 3 || nt == 4) && parse_u32(toks[1], q.a) &&
-           parse_u32(toks[2], y) &&
-           (nt == 3 || (have_dl = parse_u32(toks[3], dl_ms)));
-      if (op == 'T') {
-        q.kind = service::QueryKind::kTopK;
-        q.k = y;
-      } else {
-        q.kind = op == 'I' ? service::QueryKind::kIntersect
-                           : service::QueryKind::kSupport;
-        q.b = y;
-      }
-    } else if (op == 'K' || op == 'R') {
-      q.kind = op == 'K' ? service::QueryKind::kKway
-                         : service::QueryKind::kRuleScore;
-      std::uint32_t k = 0;
-      ok = nt >= 2 && parse_u32(toks[1], k) && k >= 2 &&
-           k <= service::kMaxKwayIds;
-      const int ids_end = 2 + static_cast<int>(k);
-      ok = ok && (nt == ids_end || nt == ids_end + 1);
-      for (int i = 2; ok && i < ids_end; ++i) {
-        ok = parse_u32(toks[i], q.ids[i - 2]);
-      }
-      if (ok && nt == ids_end + 1) {
-        ok = have_dl = parse_u32(toks[ids_end], dl_ms);
-      }
-      q.nids = static_cast<std::uint8_t>(k);
-    } else {
-      ok = false;
-    }
-    if (!ok) {
-      io.write_line("ERR BADREQ expected: I|S|T <u32> <u32> [deadline_ms], "
-                    "K|R <k:2..8> <id>... [deadline_ms], A|D <set> <id>..., "
-                    "FLUSH, RELOAD [path], STATS, FINGERPRINT, or QUIT");
+    if (line.rfind("X ", 0) == 0) {
+      // Shard-internal verb: synchronous, never folded into the
+      // fingerprint (its replies are topology plumbing, not results).
+      io.write_line(handle_x(line, ctx));
       continue;
     }
+    const proto::ParsedRequest p = proto::parse_request(line);
+    if (!p.ok) {
+      io.write_line(proto::kBadReqHelp);
+      continue;
+    }
+    service::Query q = p.q;
+    const char op = p.op;
     const bool mutation = op == 'A' || op == 'D' || op == 'F';
     const std::uint64_t deadline_ms =
-        mutation ? 0 : (have_dl ? dl_ms : ctx.default_deadline_ms);
+        mutation ? 0 : (p.have_dl ? p.dl_ms : ctx.default_deadline_ms);
     if (deadline_ms > 0) {
       q.deadline_ns =
           service::QueryEngine::now_ns() + deadline_ms * 1'000'000ull;
@@ -424,9 +375,9 @@ std::uint64_t serve_connection(FdLineIo io, ServeCtx& ctx) {
       }
       try {
         const service::Result r = ctx.engine.execute_serial(q);
-        if (op != 'F') fold_result(fp, q, r);
+        if (op != 'F') proto::fold_result(fp, q, r);
         ++served;
-        io.write_line(format_result(r, op));
+        io.write_line(proto::format_result(r, op));
       } catch (const service::DeltaFullError&) {
         io.write_line("ERR OVERLOAD delta_full retry_ms=100");
       } catch (const CheckError&) {
@@ -448,9 +399,9 @@ std::uint64_t serve_connection(FdLineIo io, ServeCtx& ctx) {
     if (verdict == service::Admit::kOk) service::QueryEngine::wait(req);
     switch (req.outcome()) {
       case service::Request::Outcome::kOk:
-        if (op != 'F') fold_result(fp, q, req.result());
+        if (op != 'F') proto::fold_result(fp, q, req.result());
         ++served;
-        io.write_line(format_result(req.result(), op));
+        io.write_line(proto::format_result(req.result(), op));
         break;
       case service::Request::Outcome::kTimeout:
         io.write_line("ERR TIMEOUT deadline exceeded");
@@ -488,7 +439,20 @@ int serve_tcp(std::uint16_t port, ServeCtx& ctx) {
     ::close(listen_fd);
     return 1;
   }
+  // With --port 0 the kernel picked the port; read it back so the
+  // LISTENING line always carries the real one.
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &blen) ==
+      0) {
+    port = ntohs(bound.sin_port);
+  }
   std::fprintf(stderr, "batmap_serve: listening on 127.0.0.1:%u\n", port);
+  // The orchestration contract: the port reaches stdout (flushed) before
+  // the first accept, so a parent that spawned us with --port 0 can
+  // connect as soon as it reads this line.
+  std::printf("LISTENING %u\n", port);
+  std::fflush(stdout);
   // Connection threads are detached (a long-lived server must not hoard
   // one joinable zombie per past connection); the counter keeps the
   // engine alive until the last connection drains after accept() stops.
@@ -502,7 +466,7 @@ int serve_tcp(std::uint16_t port, ServeCtx& ctx) {
     if (fd < 0) continue;
     active.fetch_add(1, std::memory_order_relaxed);
     std::thread([fd, &ctx, &active] {
-      serve_connection(FdLineIo(fd, fd, ctx.max_line), ctx);
+      serve_connection(service::FdLineIo(fd, fd, ctx.max_line, &g_stop), ctx);
       ::close(fd);
       active.fetch_sub(1, std::memory_order_release);
     }).detach();
@@ -520,8 +484,10 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   const std::string snapshot_path =
       args.str("snapshot", "", "snapshot file (required)");
-  const std::uint64_t port =
-      args.u64("port", 0, "TCP port on 127.0.0.1 (0 = serve stdin/stdout)");
+  const std::string port_s =
+      args.str("port", "",
+               "TCP port on 127.0.0.1; 0 binds an ephemeral port and prints "
+               "LISTENING <port> on stdout (default: serve stdin/stdout)");
   const std::uint64_t cache = args.u64("cache", 4096, "result cache entries");
   const std::uint64_t batch = args.u64("batch", 256, "max micro-batch size");
   const std::uint64_t queue = args.u64("queue", 1024, "admission queue slots");
@@ -552,6 +518,12 @@ int main(int argc, char** argv) {
   args.finish();
   if (snapshot_path.empty()) {
     std::fprintf(stderr, "batmap_serve: --snapshot is required\n");
+    return 2;
+  }
+  std::uint32_t port = 0;
+  const bool tcp = !port_s.empty();
+  if (tcp && (!proto::parse_u32(port_s, port) || port > 65535)) {
+    std::fprintf(stderr, "batmap_serve: bad --port '%s'\n", port_s.c_str());
     return 2;
   }
 
@@ -618,11 +590,13 @@ int main(int argc, char** argv) {
     });
 
     int rc = 0;
-    if (port != 0) {
+    if (tcp) {
       rc = serve_tcp(static_cast<std::uint16_t>(port), ctx);
     } else {
-      serve_connection(FdLineIo(STDIN_FILENO, STDOUT_FILENO, ctx.max_line),
-                       ctx);
+      serve_connection(
+          service::FdLineIo(STDIN_FILENO, STDOUT_FILENO, ctx.max_line,
+                            &g_stop),
+          ctx);
     }
 
     // Graceful drain: every admitted request completes (acknowledged work
